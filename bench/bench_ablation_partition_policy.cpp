@@ -1,0 +1,57 @@
+// Ablation: uniform-window vs event-balanced multi-window decomposition
+// (the paper's conclusion raises this as future work: equal window counts
+// "may not be the decomposition that minimize memory and work overheads").
+// Spike-shaped datasets (Enron, Epinions) are where the uniform scheme
+// concentrates most events into one part.
+#include "bench_common.hpp"
+
+using namespace pmpr;
+using namespace pmpr::bench;
+
+int main(int argc, char** argv) {
+  Options opts("Ablation - multi-window partition policy");
+  BenchArgs args;
+  std::int64_t max_windows = 192;
+  std::int64_t parts = 8;
+  args.attach(opts);
+  opts.add("max-windows", &max_windows, "cap on windows");
+  opts.add("parts", &parts, "number of multi-window graphs");
+  if (!opts.parse(argc, argv)) return opts.saw_help() ? 0 : 1;
+
+  Table table("Ablation: partition policy (window-level parallel SpMV)",
+              {"dataset", "policy", "max part events", "total part events",
+               "compute (s)"});
+
+  for (const char* name :
+       {"ia-enron-email", "epinions-user-ratings", "wiki-talk"}) {
+    const TemporalEdgeList events = load_surrogate(name, args);
+    const gen::DatasetSpec& base = gen::dataset_by_name(name);
+    const WindowSpec spec = WindowSpec::cover_capped(
+        events.min_time(), events.max_time(), base.window_sizes.front(),
+        base.sliding_offsets.front(), static_cast<std::size_t>(max_windows));
+
+    for (const auto policy : {PartitionPolicy::kUniformWindows,
+                              PartitionPolicy::kBalancedEvents}) {
+      const MultiWindowSet set = MultiWindowSet::build(
+          events, spec, static_cast<std::size_t>(parts), policy);
+      std::size_t max_events = 0;
+      for (std::size_t p = 0; p < set.num_parts(); ++p) {
+        max_events = std::max(max_events, set.part(p).num_events);
+      }
+
+      PostmortemConfig cfg;
+      cfg.mode = ParallelMode::kWindow;
+      cfg.kernel = KernelKind::kSpmv;
+      cfg.num_multi_windows = static_cast<std::size_t>(parts);
+      cfg.partition_policy = policy;
+      const double t = time_postmortem_prebuilt(set, cfg);
+
+      table.add_row({name, std::string(to_string(policy)),
+                     Table::fmt(static_cast<std::uint64_t>(max_events)),
+                     Table::fmt(static_cast<std::uint64_t>(set.total_events())),
+                     Table::fmt(t, 4)});
+    }
+  }
+  print(table, args);
+  return 0;
+}

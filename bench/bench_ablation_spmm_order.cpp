@@ -1,0 +1,59 @@
+// Ablation: the §4.4 strided batch pick. SpMM with strided batches keeps
+// partial initialization for every batch after the first; disabling partial
+// initialization emulates the naive consecutive pick (G0..G7 at once),
+// where every lane cold-starts. Also reports SpMV with partial init as the
+// reference the strided trick is trying to match.
+#include "bench_common.hpp"
+
+using namespace pmpr;
+using namespace pmpr::bench;
+
+int main(int argc, char** argv) {
+  Options opts("Ablation - SpMM batch ordering vs partial initialization");
+  BenchArgs args;
+  std::int64_t windows = 256;
+  std::int64_t veclen = 16;
+  args.attach(opts);
+  opts.add("windows", &windows, "number of analysis windows");
+  opts.add("veclen", &veclen, "SpMM vector length");
+  if (!opts.parse(argc, argv)) return opts.saw_help() ? 0 : 1;
+
+  const TemporalEdgeList events = load_surrogate("wiki-talk", args);
+  const WindowSpec spec =
+      last_windows(events, 90 * duration::kDay, 43'200,
+                   static_cast<std::size_t>(windows));
+  const MultiWindowSet set = MultiWindowSet::build(events, spec, 6);
+
+  struct Variant {
+    const char* name;
+    KernelKind kernel;
+    bool partial;
+  };
+  const std::vector<Variant> variants{
+      {"SpMM strided + partial init (§4.4)", KernelKind::kSpmm, true},
+      {"SpMM, no partial init (≈ consecutive pick)", KernelKind::kSpmm,
+       false},
+      {"SpMV + partial init", KernelKind::kSpmv, true},
+      {"SpMV, full init", KernelKind::kSpmv, false},
+  };
+
+  Table table("Ablation: SpMM ordering and partial init, wiki-talk (windows=" +
+                  std::to_string(spec.count) +
+                  ", veclen=" + std::to_string(veclen) + ")",
+              {"variant", "compute (s)", "total iterations"});
+
+  for (const auto& v : variants) {
+    PostmortemConfig cfg;
+    cfg.mode = ParallelMode::kPagerank;
+    cfg.kernel = v.kernel;
+    cfg.partial_init = v.partial;
+    cfg.vector_length = static_cast<std::size_t>(veclen);
+    cfg.num_multi_windows = 6;
+    ChecksumSink sink(spec.count);
+    const RunResult r = run_postmortem_prebuilt(set, sink, cfg);
+    table.add_row({v.name, Table::fmt(r.compute_seconds, 4),
+                   Table::fmt(r.total_iterations)});
+  }
+  print(table, args);
+  return 0;
+}

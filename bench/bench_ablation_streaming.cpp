@@ -1,0 +1,51 @@
+// Ablation: the streaming baseline's three refresh strategies — cold
+// restart, warm restart (previous solution carried over), and Riedy-style
+// ∆-push (Eq. 3). Relevant to how strong a baseline the paper's streaming
+// comparison is: the reported 50x-880x is against STINGER's incremental
+// algorithm, i.e. the strongest of these.
+#include "bench_common.hpp"
+
+using namespace pmpr;
+using namespace pmpr::bench;
+
+int main(int argc, char** argv) {
+  Options opts("Ablation - streaming PageRank refresh strategies");
+  BenchArgs args;
+  std::int64_t max_windows = 192;
+  args.attach(opts);
+  opts.add("max-windows", &max_windows, "cap on windows");
+  if (!opts.parse(argc, argv)) return opts.saw_help() ? 0 : 1;
+
+  Table table("Ablation: streaming refresh strategy (wiki-talk, sw=86,400, "
+              "delta=90d)",
+              {"strategy", "mutate (s)", "compute (s)", "total iterations"});
+
+  const TemporalEdgeList events = load_surrogate("wiki-talk", args);
+  const WindowSpec spec = WindowSpec::cover_capped(
+      events.min_time(), events.max_time(), 90 * duration::kDay, 86'400,
+      static_cast<std::size_t>(max_windows));
+
+  struct Variant {
+    const char* name;
+    bool incremental;
+    StreamingAlgorithm algorithm;
+  };
+  const std::vector<Variant> variants{
+      {"cold restart", false, StreamingAlgorithm::kWarmRestart},
+      {"warm restart", true, StreamingAlgorithm::kWarmRestart},
+      {"delta-push (Eq. 3)", true, StreamingAlgorithm::kDeltaPush},
+  };
+
+  for (const auto& v : variants) {
+    StreamingOptions sopts;
+    sopts.incremental = v.incremental;
+    sopts.algorithm = v.algorithm;
+    ChecksumSink sink(spec.count);
+    const RunResult r = run_streaming(events, spec, sink, sopts);
+    table.add_row({v.name, Table::fmt(r.build_seconds, 3),
+                   Table::fmt(r.compute_seconds, 3),
+                   Table::fmt(r.total_iterations)});
+  }
+  print(table, args);
+  return 0;
+}

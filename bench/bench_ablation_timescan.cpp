@@ -1,0 +1,88 @@
+// Ablation: linear run scan vs per-run binary search in the temporal CSR
+// time filter (DESIGN.md §5). Real event data has short runs (few repeats
+// per vertex pair) where the linear scan wins; synthetic heavy-multigraph
+// data has long runs where lower_bound pays. This bench sweeps run length.
+#include "bench_common.hpp"
+#include "util/stats.hpp"
+
+using namespace pmpr;
+using namespace pmpr::bench;
+
+namespace {
+
+/// Events with a controlled number of repeats per vertex pair.
+TemporalEdgeList repeated_events(std::size_t pairs, std::size_t repeats,
+                                 Timestamp t_max, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  TemporalEdgeList events;
+  const auto n = static_cast<VertexId>(std::max<std::size_t>(64, pairs / 8));
+  for (std::size_t p = 0; p < pairs; ++p) {
+    const auto u = static_cast<VertexId>(rng.bounded(n));
+    const auto v = static_cast<VertexId>(rng.bounded(n));
+    for (std::size_t r = 0; r < repeats; ++r) {
+      events.add(u, v,
+                 static_cast<Timestamp>(rng.bounded(
+                     static_cast<std::uint64_t>(t_max) + 1)));
+    }
+  }
+  events.ensure_vertices(n);
+  events.sort_by_time();
+  return events;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts("Ablation - linear vs binary-search time scan");
+  BenchArgs args;
+  std::int64_t total_events = 400'000;
+  args.attach(opts);
+  opts.add("events", &total_events, "events per configuration");
+  if (!opts.parse(argc, argv)) return opts.saw_help() ? 0 : 1;
+
+  Table table("Ablation: temporal CSR time-filter scan strategy",
+              {"run length", "linear (s)", "binsearch (s)",
+               "linear/binsearch"});
+
+  for (const std::size_t repeats : {1u, 2u, 4u, 16u, 64u, 256u}) {
+    const auto pairs =
+        static_cast<std::size_t>(total_events) / repeats;
+    const TemporalEdgeList events =
+        repeated_events(pairs, repeats, 1'000'000, 42 + repeats);
+    const TemporalCsr g =
+        TemporalCsr::build(events.events(), events.num_vertices(), true);
+
+    // Query a 10%-of-range window repeatedly.
+    const Timestamp ts = 450'000;
+    const Timestamp te = 550'000;
+    volatile std::uint64_t sink = 0;
+
+    const auto linear = median(time_repeats(
+        [&] {
+          std::uint64_t count = 0;
+          for (VertexId v = 0; v < g.num_vertices(); ++v) {
+            g.for_each_active_neighbor(v, ts, te,
+                                       [&](VertexId) { ++count; });
+          }
+          sink = count;
+        },
+        static_cast<int>(std::max<std::int64_t>(args.repeats, 3))));
+
+    const auto binsearch = median(time_repeats(
+        [&] {
+          std::uint64_t count = 0;
+          for (VertexId v = 0; v < g.num_vertices(); ++v) {
+            g.for_each_active_neighbor_binsearch(v, ts, te,
+                                                 [&](VertexId) { ++count; });
+          }
+          sink = count;
+        },
+        static_cast<int>(std::max<std::int64_t>(args.repeats, 3))));
+
+    table.add_row({Table::fmt(static_cast<std::uint64_t>(repeats)),
+                   Table::fmt(linear, 5), Table::fmt(binsearch, 5),
+                   Table::fmt(binsearch > 0 ? linear / binsearch : 0.0, 2)});
+  }
+  print(table, args);
+  return 0;
+}

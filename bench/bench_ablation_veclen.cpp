@@ -1,0 +1,46 @@
+// Ablation: SpMM vector length (the paper uses 8 or 16 and notes that very
+// large vectors erode partial initialization because every lane of the
+// first batch cold-starts). Sweeps L = 1..64 on wiki-talk and reports time
+// plus total iterations.
+#include "bench_common.hpp"
+
+using namespace pmpr;
+using namespace pmpr::bench;
+
+int main(int argc, char** argv) {
+  Options opts("Ablation - SpMM vector length");
+  BenchArgs args;
+  std::int64_t windows = 256;
+  args.attach(opts);
+  opts.add("windows", &windows, "number of analysis windows");
+  if (!opts.parse(argc, argv)) return opts.saw_help() ? 0 : 1;
+
+  const TemporalEdgeList events = load_surrogate("wiki-talk", args);
+  const WindowSpec spec =
+      last_windows(events, 90 * duration::kDay, 43'200,
+                   static_cast<std::size_t>(windows));
+  const MultiWindowSet set = MultiWindowSet::build(events, spec, 6);
+
+  Table table("Ablation: SpMM vector length, wiki-talk (windows=" +
+                  std::to_string(spec.count) + ")",
+              {"vector length", "compute (s)", "total iterations",
+               "iters/window"});
+
+  for (const std::size_t veclen : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    PostmortemConfig cfg;
+    cfg.mode = ParallelMode::kPagerank;
+    cfg.kernel = KernelKind::kSpmm;
+    cfg.vector_length = veclen;
+    cfg.num_multi_windows = 6;
+    ChecksumSink sink(spec.count);
+    const RunResult r = run_postmortem_prebuilt(set, sink, cfg);
+    table.add_row(
+        {Table::fmt(static_cast<std::uint64_t>(veclen)),
+         Table::fmt(r.compute_seconds, 4), Table::fmt(r.total_iterations),
+         Table::fmt(static_cast<double>(r.total_iterations) /
+                        static_cast<double>(spec.count),
+                    2)});
+  }
+  print(table, args);
+  return 0;
+}

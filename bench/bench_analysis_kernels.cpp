@@ -1,0 +1,105 @@
+// Extension bench: the postmortem representation driving the paper's §3.1
+// kernel family — PageRank, weakly-connected components, k-core, Katz,
+// closeness (sampled), betweenness (sampled), degree distributions —
+// amortizing one MultiWindowSet build across all of them.
+#include "analysis/betweenness.hpp"
+#include "analysis/closeness.hpp"
+#include "analysis/connected_components.hpp"
+#include "analysis/degree_distribution.hpp"
+#include "analysis/katz.hpp"
+#include "analysis/kcore.hpp"
+#include "bench_common.hpp"
+
+using namespace pmpr;
+using namespace pmpr::bench;
+
+int main(int argc, char** argv) {
+  Options opts("Extension - all analysis kernels on one representation");
+  BenchArgs args;
+  args.scale = 0.05;
+  std::int64_t max_windows = 96;
+  std::int64_t samples = 16;
+  args.attach(opts);
+  opts.add("max-windows", &max_windows, "cap on windows");
+  opts.add("samples", &samples,
+           "BFS/Brandes sources for closeness/betweenness");
+  if (!opts.parse(argc, argv)) return opts.saw_help() ? 0 : 1;
+
+  const TemporalEdgeList events = load_surrogate("wiki-talk", args);
+  // Windows anchored at the busy end of the growth-shaped dataset.
+  const WindowSpec spec =
+      last_windows(events, 90 * duration::kDay, 259'200,
+                   static_cast<std::size_t>(max_windows));
+
+  Timer build_timer;
+  const MultiWindowSet set = MultiWindowSet::build(events, spec, 6);
+  const double build = build_timer.seconds();
+
+  Table table("Analysis kernels over one multi-window representation "
+              "(wiki-talk, windows=" + std::to_string(spec.count) +
+              ", build=" + Table::fmt(build, 3) + "s)",
+              {"kernel", "time (s)", "sample headline (last window)"});
+
+  {
+    Timer t;
+    ChecksumSink sink(spec.count);
+    PostmortemConfig cfg;
+    cfg.num_multi_windows = 6;
+    run_postmortem_prebuilt(set, sink, cfg);
+    table.add_row({"pagerank (SpMM, partial init)", Table::fmt(t.seconds(), 3),
+                   "checksum " + Table::fmt(sink.weighted().back(), 1)});
+  }
+  {
+    Timer t;
+    const auto wcc = analysis::wcc_over_windows(set);
+    table.add_row(
+        {"connected components", Table::fmt(t.seconds(), 3),
+         Table::fmt(static_cast<std::uint64_t>(wcc.back().num_components)) +
+             " components, largest " +
+             Table::fmt(static_cast<std::uint64_t>(
+                 wcc.back().largest_component))});
+  }
+  {
+    Timer t;
+    const auto kc = analysis::kcore_over_windows(set);
+    table.add_row({"k-core decomposition", Table::fmt(t.seconds(), 3),
+                   "degeneracy " + Table::fmt(static_cast<std::uint64_t>(
+                                       kc.back().max_core))});
+  }
+  {
+    Timer t;
+    const auto katz = analysis::katz_over_windows(set, {});
+    table.add_row({"katz centrality", Table::fmt(t.seconds(), 3),
+                   "leader v" + Table::fmt(static_cast<std::uint64_t>(
+                                    katz.back().top_vertex))});
+  }
+  {
+    Timer t;
+    analysis::ClosenessParams p;
+    p.sample_sources = static_cast<std::size_t>(samples);
+    const auto cl = analysis::closeness_over_windows(set, p);
+    table.add_row({"closeness (sampled)", Table::fmt(t.seconds(), 3),
+                   "leader v" + Table::fmt(static_cast<std::uint64_t>(
+                                    cl.back().top_vertex))});
+  }
+  {
+    Timer t;
+    analysis::BetweennessParams p;
+    p.sample_sources = static_cast<std::size_t>(samples);
+    const auto bc = analysis::betweenness_over_windows(set, p);
+    table.add_row({"betweenness (sampled)", Table::fmt(t.seconds(), 3),
+                   "leader v" + Table::fmt(static_cast<std::uint64_t>(
+                                    bc.back().top_vertex))});
+  }
+  {
+    Timer t;
+    const auto dd = analysis::degree_over_windows(set);
+    table.add_row({"degree distribution", Table::fmt(t.seconds(), 3),
+                   "max degree " + Table::fmt(static_cast<std::uint64_t>(
+                                       dd.back().max_degree)) +
+                       ", top1% share " +
+                       Table::fmt(dd.back().top1pct_share, 2)});
+  }
+  print(table, args);
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Shared plumbing for the figure/table benchmark binaries.
+//
+// Every binary reproduces one table or figure of the paper and prints its
+// rows/series as an aligned text table (plus CSV with --csv). Surrogate
+// datasets are scaled for laptop runtimes via --scale; window counts are
+// capped like the paper's experiment setups (6 / 256 / 1024 windows).
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "exec/offline_runner.hpp"
+#include "exec/postmortem_runner.hpp"
+#include "exec/results.hpp"
+#include "exec/streaming_runner.hpp"
+#include "gen/surrogates.hpp"
+#include "graph/window.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace pmpr::bench {
+
+/// Common CLI switches. Individual benches add their own on top.
+struct BenchArgs {
+  double scale = 0.1;        ///< Multiplier on surrogate event counts.
+  std::int64_t seed = 42;
+  bool csv = false;          ///< Emit CSV instead of aligned text.
+  std::int64_t repeats = 1;  ///< Timing repeats (median reported).
+
+  /// Registers the common flags on `opts`.
+  void attach(Options& opts) {
+    opts.add("scale", &scale, "surrogate dataset scale factor");
+    opts.add("seed", &seed, "generator seed");
+    opts.add("csv", &csv, "print CSV instead of aligned text");
+    opts.add("repeats", &repeats, "timing repeats, median reported");
+  }
+};
+
+inline void print(const Table& table, const BenchArgs& args) {
+  if (args.csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print_text(std::cout);
+  }
+  std::cout << std::endl;
+}
+
+/// Generates a surrogate scaled by `args.scale` on top of its laptop
+/// default size.
+inline TemporalEdgeList load_surrogate(const std::string& name,
+                                       const BenchArgs& args) {
+  const gen::DatasetSpec spec =
+      gen::scaled(gen::dataset_by_name(name), args.scale);
+  return gen::generate(spec, static_cast<std::uint64_t>(args.seed));
+}
+
+/// Window spec with exactly `count` windows anchored at the *end* of the
+/// data range (the busy region for growth-shaped datasets), like the
+/// paper's fixed-window-count studies (Figs. 7-10).
+inline WindowSpec last_windows(const TemporalEdgeList& events, Timestamp delta,
+                               Timestamp sw, std::size_t count) {
+  const Timestamp t_max = events.max_time();
+  const Timestamp t_min = events.min_time();
+  Timestamp t0 = t_max - delta - static_cast<Timestamp>(count - 1) * sw;
+  if (t0 < t_min) t0 = t_min;
+  WindowSpec spec;
+  spec.t0 = t0;
+  spec.delta = delta;
+  spec.sw = sw;
+  spec.count = count;
+  return spec;
+}
+
+/// One streaming run (the baseline of most figures); returns total seconds.
+inline double time_streaming(const TemporalEdgeList& events,
+                             const WindowSpec& spec,
+                             bool incremental = true) {
+  StreamingOptions opts;
+  opts.incremental = incremental;
+  ChecksumSink sink(spec.count);
+  const RunResult r = run_streaming(events, spec, sink, opts);
+  return r.build_seconds + r.compute_seconds;
+}
+
+/// One offline run; returns total seconds.
+inline double time_offline(const TemporalEdgeList& events,
+                           const WindowSpec& spec) {
+  OfflineOptions opts;
+  ChecksumSink sink(spec.count);
+  const RunResult r = run_offline(events, spec, sink, opts);
+  return r.build_seconds + r.compute_seconds;
+}
+
+/// One postmortem run (building the representation included); returns
+/// total seconds.
+inline double time_postmortem(const TemporalEdgeList& events,
+                              const WindowSpec& spec,
+                              const PostmortemConfig& cfg) {
+  ChecksumSink sink(spec.count);
+  const RunResult r = run_postmortem(events, spec, sink, cfg);
+  return r.build_seconds + r.compute_seconds;
+}
+
+/// Postmortem on a prebuilt representation (parameter sweeps).
+inline double time_postmortem_prebuilt(const MultiWindowSet& set,
+                                       const PostmortemConfig& cfg) {
+  ChecksumSink sink(set.spec().count);
+  const RunResult r = run_postmortem_prebuilt(set, sink, cfg);
+  return r.compute_seconds;
+}
+
+inline std::string fmt_days(Timestamp seconds) {
+  const double days = static_cast<double>(seconds) /
+                      static_cast<double>(duration::kDay);
+  if (days >= 365.0) {
+    return Table::fmt(days / 365.0, 1) + "y";
+  }
+  return Table::fmt(days, 1) + "d";
+}
+
+}  // namespace pmpr::bench

@@ -1,0 +1,10 @@
+// Figure 10: the same sweep as Fig. 7 but with 1,024 windows
+// (sw = 86,400 s, delta = 90 days) — plentiful window-level parallelism.
+#include "granularity_sweep.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pmpr;
+  return bench::run_granularity_figure("Fig 10", 90 * duration::kDay, 86'400,
+                                       1024, argc, argv,
+                                       /*default_scale=*/0.03);
+}

@@ -1,0 +1,63 @@
+// Figure 11: best postmortem-over-streaming speedup per (sliding offset,
+// window size) cell for all seven datasets — the paper's headline heatmaps
+// (50x-880x on the authors' testbed; scaled surrogates land in the same
+// orders of magnitude with the same orderings).
+#include "bench_common.hpp"
+
+using namespace pmpr;
+using namespace pmpr::bench;
+
+int main(int argc, char** argv) {
+  Options opts("Figure 11 - best postmortem speedup over streaming");
+  BenchArgs args;
+  args.scale = 0.05;  // full grid across 7 datasets: keep cells small
+  std::int64_t max_windows = 128;
+  args.attach(opts);
+  opts.add("max-windows", &max_windows, "cap on windows per cell");
+  if (!opts.parse(argc, argv)) return opts.saw_help() ? 0 : 1;
+
+  Table table("Fig 11: best postmortem speedup over streaming",
+              {"dataset", "sliding offset (s)", "window size", "windows",
+               "streaming (s)", "best postmortem (s)", "best config",
+               "speedup"});
+
+  for (const auto& base : gen::dataset_catalog()) {
+    const TemporalEdgeList events = load_surrogate(base.name, args);
+    for (const Timestamp sw : base.sliding_offsets) {
+      for (const Timestamp delta : base.window_sizes) {
+        const WindowSpec spec = WindowSpec::cover_capped(
+            events.min_time(), events.max_time(), delta, sw,
+            static_cast<std::size_t>(max_windows));
+        const double streaming = time_streaming(events, spec);
+
+        // Small tuning set, as in the paper's "best over configurations".
+        double best = -1.0;
+        std::string best_name;
+        for (const auto mode :
+             {ParallelMode::kNested, ParallelMode::kPagerank}) {
+          for (const auto kernel : {KernelKind::kSpmm, KernelKind::kSpmv}) {
+            PostmortemConfig cfg;
+            cfg.mode = mode;
+            cfg.kernel = kernel;
+            cfg.grain = 2;
+            cfg.num_multi_windows = 6;
+            const double t = time_postmortem(events, spec, cfg);
+            if (best < 0.0 || t < best) {
+              best = t;
+              best_name = std::string(to_string(mode)) + "/" +
+                          std::string(to_string(kernel));
+            }
+          }
+        }
+
+        table.add_row({base.name, Table::fmt(sw), fmt_days(delta),
+                       Table::fmt(static_cast<std::uint64_t>(spec.count)),
+                       Table::fmt(streaming, 3), Table::fmt(best, 3),
+                       best_name,
+                       Table::fmt(best > 0 ? streaming / best : 0.0, 1)});
+      }
+    }
+  }
+  print(table, args);
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figure 12: performance of the §6.3.6 suggested parameters (SpMM, auto
+// partitioner, grain <= 4, nested unless the workload is dominated or has
+// few windows) on wiki-talk across the sliding-offset x window-size grid —
+// "very honorable performance at little tuning cost".
+#include "bench_common.hpp"
+
+using namespace pmpr;
+using namespace pmpr::bench;
+
+int main(int argc, char** argv) {
+  Options opts("Figure 12 - suggested parameters on wiki-talk");
+  BenchArgs args;
+  std::int64_t max_windows = 128;
+  args.attach(opts);
+  opts.add("max-windows", &max_windows, "cap on windows per cell");
+  if (!opts.parse(argc, argv)) return opts.saw_help() ? 0 : 1;
+
+  const gen::DatasetSpec& base = gen::dataset_by_name("wiki-talk");
+  const TemporalEdgeList events = load_surrogate(base.name, args);
+
+  Table table("Fig 12: suggested-parameter postmortem speedup on wiki-talk",
+              {"sliding offset (s)", "window size", "windows", "mode chosen",
+               "streaming (s)", "postmortem (s)", "speedup"});
+
+  for (const Timestamp sw : base.sliding_offsets) {
+    for (const Timestamp delta : base.window_sizes) {
+      const WindowSpec spec = WindowSpec::cover_capped(
+          events.min_time(), events.max_time(), delta, sw,
+          static_cast<std::size_t>(max_windows));
+      const double streaming = time_streaming(events, spec);
+
+      const PostmortemConfig cfg = suggest_config_for(events, spec);
+      const double t = time_postmortem(events, spec, cfg);
+
+      table.add_row({Table::fmt(sw), fmt_days(delta),
+                     Table::fmt(static_cast<std::uint64_t>(spec.count)),
+                     std::string(to_string(cfg.mode)),
+                     Table::fmt(streaming, 3), Table::fmt(t, 3),
+                     Table::fmt(t > 0 ? streaming / t : 0.0, 1)});
+    }
+  }
+  print(table, args);
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Figure 5: Offline vs Streaming vs Postmortem wall time on four datasets
+// (Enron, YouTube, Epinions, wiki-talk) across their window-size grids.
+// Postmortem here is the paper's "bare-bones" configuration: partial
+// initialization, 6 multi-window graphs, application-level parallelism —
+// no per-dataset tuning.
+#include "bench_common.hpp"
+
+using namespace pmpr;
+using namespace pmpr::bench;
+
+namespace {
+
+struct Setup {
+  const char* dataset;
+  Timestamp sw;
+  std::vector<Timestamp> deltas;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts("Figure 5 - offline vs streaming vs postmortem");
+  BenchArgs args;
+  std::int64_t max_windows = 192;
+  args.attach(opts);
+  opts.add("max-windows", &max_windows, "cap on windows per configuration");
+  if (!opts.parse(argc, argv)) return opts.saw_help() ? 0 : 1;
+
+  using duration::kDay;
+  using duration::kYear;
+  const std::vector<Setup> setups{
+      {"ia-enron-email", 172'800, {2 * kYear, 4 * kYear}},
+      {"youtube-growth", 86'400, {60 * kDay, 90 * kDay}},
+      {"epinions-user-ratings", 86'400, {60 * kDay, 90 * kDay}},
+      {"wiki-talk", 259'200,
+       {10 * kDay, 15 * kDay, 90 * kDay, 180 * kDay}},
+  };
+
+  Table table("Fig 5: execution model comparison (seconds)",
+              {"dataset", "sliding offset (s)", "window size", "windows",
+               "offline", "streaming", "postmortem", "best"});
+
+  for (const auto& setup : setups) {
+    const TemporalEdgeList events = load_surrogate(setup.dataset, args);
+    for (const Timestamp delta : setup.deltas) {
+      const WindowSpec spec = WindowSpec::cover_capped(
+          events.min_time(), events.max_time(), delta, setup.sw,
+          static_cast<std::size_t>(max_windows));
+
+      const double offline = time_offline(events, spec);
+      const double streaming = time_streaming(events, spec);
+
+      PostmortemConfig cfg;  // bare-bones per the paper's Fig. 5 setup
+      cfg.mode = ParallelMode::kPagerank;
+      cfg.kernel = KernelKind::kSpmv;
+      cfg.partitioner = par::Partitioner::kStatic;
+      cfg.num_multi_windows = 6;
+      cfg.partial_init = true;
+      const double postmortem = time_postmortem(events, spec, cfg);
+
+      const char* best = "postmortem";
+      if (offline < streaming && offline < postmortem) best = "offline";
+      if (streaming < offline && streaming < postmortem) best = "streaming";
+
+      table.add_row({setup.dataset, Table::fmt(setup.sw), fmt_days(delta),
+                     Table::fmt(static_cast<std::uint64_t>(spec.count)),
+                     Table::fmt(offline, 3), Table::fmt(streaming, 3),
+                     Table::fmt(postmortem, 3), best});
+    }
+  }
+  print(table, args);
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Figure 7: postmortem PageRank speedup over streaming on wiki-talk for
+// each TBB-style partitioner, parallelization level and kernel across
+// grain sizes — 256 windows (sw = 43,200 s, delta = 90 days).
+#include "granularity_sweep.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pmpr;
+  return bench::run_granularity_figure("Fig 7", 90 * duration::kDay, 43'200,
+                                       256, argc, argv);
+}

@@ -1,0 +1,60 @@
+// Figure 8: impact of the number of multi-window graphs (Y) on wiki-talk,
+// per parallelization level and grain size. Too few parts -> each SpMV
+// traverses events of unrelated windows; past "large enough" the
+// performance flattens (the paper's observation).
+#include "bench_common.hpp"
+
+using namespace pmpr;
+using namespace pmpr::bench;
+
+int main(int argc, char** argv) {
+  Options opts("Figure 8 - number of multi-window graphs");
+  BenchArgs args;
+  args.scale = 0.05;
+  std::int64_t windows = 1024;
+  args.attach(opts);
+  opts.add("windows", &windows, "number of analysis windows");
+  if (!opts.parse(argc, argv)) return opts.saw_help() ? 0 : 1;
+
+  const TemporalEdgeList events = load_surrogate("wiki-talk", args);
+  const WindowSpec spec =
+      last_windows(events, 90 * duration::kDay, 43'200,
+                   static_cast<std::size_t>(windows));
+  const double streaming = time_streaming(events, spec);
+
+  const std::vector<std::size_t> multi_windows{6, 32, 256, 512, 1024};
+  const std::vector<std::size_t> grains{1, 16, 256};
+  const std::vector<ParallelMode> modes{
+      ParallelMode::kPagerank, ParallelMode::kWindow, ParallelMode::kNested};
+
+  Table table(
+      "Fig 8: multi-window count sweep, wiki-talk (auto partitioner, SpMV, "
+      "windows=" + std::to_string(spec.count) +
+          ", streaming=" + Table::fmt(streaming, 3) + "s)",
+      {"mode", "multi-windows", "grain", "build (s)", "compute (s)",
+       "speedup"});
+
+  for (const auto mode : modes) {
+    for (const std::size_t y : multi_windows) {
+      Timer build_timer;
+      const MultiWindowSet set = MultiWindowSet::build(events, spec, y);
+      const double build = build_timer.seconds();
+      for (const std::size_t grain : grains) {
+        PostmortemConfig cfg;
+        cfg.mode = mode;
+        cfg.kernel = KernelKind::kSpmv;
+        cfg.partitioner = par::Partitioner::kAuto;
+        cfg.grain = grain;
+        cfg.num_multi_windows = y;
+        const double t = time_postmortem_prebuilt(set, cfg);
+        table.add_row({std::string(to_string(mode)),
+                       Table::fmt(static_cast<std::uint64_t>(set.num_parts())),
+                       Table::fmt(static_cast<std::uint64_t>(grain)),
+                       Table::fmt(build, 3), Table::fmt(t, 4),
+                       Table::fmt(t > 0 ? streaming / t : 0.0, 1)});
+      }
+    }
+  }
+  print(table, args);
+  return 0;
+}

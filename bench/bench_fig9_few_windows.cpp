@@ -1,0 +1,10 @@
+// Figure 9: the same sweep as Fig. 7 but with only 6 windows
+// (sw = 43,200 s, delta = 10 days) — window-level parallelism starves
+// because there are fewer windows than cores.
+#include "granularity_sweep.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pmpr;
+  return bench::run_granularity_figure("Fig 9", 10 * duration::kDay, 43'200,
+                                       6, argc, argv);
+}

@@ -1,0 +1,167 @@
+// Kernel microbenchmarks (google-benchmark): the building blocks whose
+// costs explain the figure-level results — temporal CSR construction,
+// per-window state scatter, one SpMV iteration vs one SpMM iteration
+// (amortized per window), streaming graph mutation, and window-graph
+// reconstruction (the offline model's per-window cost).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "pagerank/propagation_blocking.hpp"
+#include "pagerank/spmm_temporal.hpp"
+#include "pagerank/spmv_temporal.hpp"
+#include "streaming/dynamic_graph.hpp"
+
+namespace {
+
+using namespace pmpr;
+
+struct MicroFixture {
+  TemporalEdgeList events;
+  WindowSpec spec;
+  MultiWindowSet set;
+
+  MicroFixture()
+      : events(gen::generate(
+            gen::scaled(gen::dataset_by_name("wiki-talk"), 0.05), 42)),
+        spec(bench::last_windows(events, 90 * duration::kDay, 86'400, 64)),
+        set(MultiWindowSet::build(events, spec, 2)) {}
+
+  static const MicroFixture& get() {
+    static MicroFixture fixture;
+    return fixture;
+  }
+};
+
+void BM_TemporalCsrBuild(benchmark::State& state) {
+  const auto& f = MicroFixture::get();
+  const auto slice = f.events.slice(f.spec.start(0), f.spec.end(16));
+  for (auto _ : state) {
+    TemporalCsr g = TemporalCsr::build(slice, f.events.num_vertices(), true);
+    benchmark::DoNotOptimize(g.num_entries());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(slice.size()));
+}
+BENCHMARK(BM_TemporalCsrBuild);
+
+void BM_WindowGraphBuild(benchmark::State& state) {
+  const auto& f = MicroFixture::get();
+  const auto slice = f.events.slice(f.spec.start(0), f.spec.end(0));
+  for (auto _ : state) {
+    WindowGraph g = build_window_graph(slice, f.events.num_vertices());
+    benchmark::DoNotOptimize(g.num_edges);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(slice.size()));
+}
+BENCHMARK(BM_WindowGraphBuild);
+
+void BM_WindowStateScatter(benchmark::State& state) {
+  const auto& f = MicroFixture::get();
+  const auto& part = f.set.part(0);
+  const std::size_t w = part.first_window;
+  WindowState ws;
+  for (auto _ : state) {
+    compute_window_state(part, f.spec.start(w), f.spec.end(w), ws);
+    benchmark::DoNotOptimize(ws.num_active);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(part.num_events));
+}
+BENCHMARK(BM_WindowStateScatter);
+
+void BM_SpmvIteration(benchmark::State& state) {
+  const auto& f = MicroFixture::get();
+  const auto& part = f.set.part(0);
+  const std::size_t w = part.first_window;
+  WindowState ws;
+  compute_window_state(part, f.spec.start(w), f.spec.end(w), ws);
+  std::vector<double> x(part.num_local());
+  std::vector<double> scratch(part.num_local());
+  full_init(ws.active, ws.num_active, x);
+  PagerankParams params;
+  params.max_iters = 1;  // time exactly one traversal
+  params.tol = 0.0;
+  for (auto _ : state) {
+    pagerank_window_spmv(part, f.spec.start(w), f.spec.end(w), ws, x,
+                         scratch, params);
+    benchmark::DoNotOptimize(x[0]);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(part.num_events));
+}
+BENCHMARK(BM_SpmvIteration);
+
+void BM_SpmmIteration16(benchmark::State& state) {
+  const auto& f = MicroFixture::get();
+  const auto& part = f.set.part(0);
+  SpmmBatch batch;
+  batch.lanes = std::min<std::size_t>(16, part.num_windows);
+  batch.first_window = part.first_window;
+  batch.window_stride = std::max<std::size_t>(1, part.num_windows / batch.lanes);
+  SpmmWindowState ws;
+  compute_spmm_state(part, f.spec, batch, ws);
+  const std::size_t n = part.num_local();
+  std::vector<double> x(n * batch.lanes, 1.0 / static_cast<double>(n));
+  std::vector<double> scratch(n * batch.lanes);
+  PagerankParams params;
+  params.max_iters = 1;
+  params.tol = 0.0;
+  for (auto _ : state) {
+    pagerank_spmm(part, f.spec, batch, ws, x, scratch, params);
+    benchmark::DoNotOptimize(x[0]);
+  }
+  // One traversal advances `lanes` windows: credit lanes x events.
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(part.num_events) *
+                          static_cast<std::int64_t>(batch.lanes));
+}
+BENCHMARK(BM_SpmmIteration16);
+
+void BM_PropagationBlockingIteration(benchmark::State& state) {
+  const auto& f = MicroFixture::get();
+  const auto slice = f.events.slice(f.spec.start(0), f.spec.end(0));
+  const PushGraph g =
+      PushGraph::from_events(slice, f.events.num_vertices());
+  std::vector<double> x(g.num_vertices);
+  std::vector<double> scratch(g.num_vertices);
+  full_init(g.is_active, g.num_active, x);
+  PagerankParams params;
+  params.max_iters = 1;
+  params.tol = 0.0;
+  for (auto _ : state) {
+    pagerank_propagation_blocking(g, x, scratch, params,
+                                  static_cast<unsigned>(state.range(0)));
+    benchmark::DoNotOptimize(x[0]);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.out.num_edges()));
+}
+BENCHMARK(BM_PropagationBlockingIteration)->Arg(8)->Arg(12)->Arg(16)->Arg(24);
+
+void BM_StreamingWindowAdvance(benchmark::State& state) {
+  const auto& f = MicroFixture::get();
+  for (auto _ : state) {
+    streaming::DynamicGraph g(f.events.num_vertices());
+    g.insert_batch(f.events.slice(f.spec.start(0), f.spec.end(0)));
+    g.remove_batch(f.events.slice(f.spec.start(0), f.spec.start(1) - 1));
+    g.insert_batch(f.events.slice(f.spec.end(0) + 1, f.spec.end(1)));
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+}
+BENCHMARK(BM_StreamingWindowAdvance);
+
+void BM_MultiWindowSetBuild(benchmark::State& state) {
+  const auto& f = MicroFixture::get();
+  for (auto _ : state) {
+    MultiWindowSet set = MultiWindowSet::build(f.events, f.spec, 6);
+    benchmark::DoNotOptimize(set.total_events());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.events.size()));
+}
+BENCHMARK(BM_MultiWindowSetBuild);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// Shared implementation of the paper's granularity-sweep figures
+// (Figs. 7, 9, 10): speedup over streaming on wiki-talk for every
+// combination of TBB-style partitioner x parallelization level x
+// SpMV/SpMM kernel, across grain sizes 1..2048. The three figures differ
+// only in window geometry (256 / 6 / 1024 windows).
+#pragma once
+
+#include "bench_common.hpp"
+
+namespace pmpr::bench {
+
+inline int run_granularity_figure(const char* figure, Timestamp delta,
+                                  Timestamp sw, std::size_t windows, int argc,
+                                  char** argv, double default_scale = 0.1) {
+  Options opts(std::string(figure) +
+               " - partitioner/granularity sweep on wiki-talk");
+  BenchArgs args;
+  args.scale = default_scale;
+  std::int64_t veclen = 16;
+  std::int64_t multi_windows = 6;
+  args.attach(opts);
+  opts.add("veclen", &veclen, "SpMM vector length");
+  opts.add("multi-windows", &multi_windows, "number of multi-window graphs");
+  if (!opts.parse(argc, argv)) return opts.saw_help() ? 0 : 1;
+
+  const TemporalEdgeList events = load_surrogate("wiki-talk", args);
+  const WindowSpec spec = last_windows(events, delta, sw, windows);
+  const MultiWindowSet set = MultiWindowSet::build(
+      events, spec, static_cast<std::size_t>(multi_windows));
+
+  const double streaming = time_streaming(events, spec);
+
+  const std::vector<std::size_t> grains{1,  2,  4,   8,   16,  32,
+                                        64, 128, 256, 512, 1024, 2048};
+  const std::vector<par::Partitioner> partitioners{
+      par::Partitioner::kAuto, par::Partitioner::kSimple,
+      par::Partitioner::kStatic};
+  const std::vector<ParallelMode> modes{
+      ParallelMode::kNested, ParallelMode::kPagerank, ParallelMode::kWindow};
+  const std::vector<KernelKind> kernels{KernelKind::kSpmm, KernelKind::kSpmv};
+
+  Table table(std::string(figure) + ": speedup over streaming, wiki-talk (sw=" +
+                  std::to_string(sw) + ", delta=" + fmt_days(delta) +
+                  ", windows=" + std::to_string(spec.count) +
+                  ", streaming=" + Table::fmt(streaming, 3) + "s)",
+              {"partitioner", "mode", "kernel", "grain", "time (s)",
+               "speedup"});
+
+  for (const auto partitioner : partitioners) {
+    for (const auto mode : modes) {
+      for (const auto kernel : kernels) {
+        for (const std::size_t grain : grains) {
+          PostmortemConfig cfg;
+          cfg.mode = mode;
+          cfg.kernel = kernel;
+          cfg.partitioner = partitioner;
+          cfg.grain = grain;
+          cfg.vector_length = static_cast<std::size_t>(veclen);
+          cfg.num_multi_windows = static_cast<std::size_t>(multi_windows);
+          const double t = time_postmortem_prebuilt(set, cfg);
+          table.add_row({std::string(to_string(partitioner)),
+                         std::string(to_string(mode)),
+                         std::string(to_string(kernel)),
+                         Table::fmt(static_cast<std::uint64_t>(grain)),
+                         Table::fmt(t, 4),
+                         Table::fmt(t > 0 ? streaming / t : 0.0, 1)});
+        }
+      }
+    }
+  }
+  print(table, args);
+  return 0;
+}
+
+}  // namespace pmpr::bench

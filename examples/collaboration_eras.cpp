@@ -1,0 +1,105 @@
+// Collaboration-network analysis at two time scales (paper §3.1).
+//
+// The paper motivates the sliding-window parameters with academic
+// collaboration networks: a large delta (10 years) surfaces the important
+// authors of a scientific *era*, while a small delta (1 year) tracks
+// current collaborator dynamics. Neither is "better" — they answer
+// different questions — and the postmortem engine computes both series
+// from the same temporal CSR.
+//
+// This example generates a HepTh-like co-authorship surrogate and runs the
+// same analysis twice, printing who leads each era vs each year and how
+// much the leaders churn at the fine scale.
+#include <cstdio>
+#include <map>
+
+#include "pmpr.hpp"
+
+using namespace pmpr;
+
+namespace {
+
+/// Top-k vertices of a window by PageRank.
+std::vector<std::pair<VertexId, double>> top_k(
+    const StoreAllSink& sink, std::size_t w, std::size_t k) {
+  auto ranked = sink.window(w);
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  if (ranked.size() > k) ranked.resize(k);
+  return ranked;
+}
+
+void run_scale(const TemporalEdgeList& events, Timestamp delta, Timestamp sw,
+               const char* label) {
+  const WindowSpec spec =
+      WindowSpec::cover(events.min_time(), events.max_time(), delta, sw);
+  StoreAllSink sink(spec.count);
+  PostmortemConfig cfg;
+  cfg.num_multi_windows = std::min<std::size_t>(6, spec.count);
+  const RunResult r = run_postmortem(events, spec, sink, cfg);
+
+  std::printf("\n=== %s: delta=%lldd, sw=%lldd -> %zu windows "
+              "(%.3fs build, %.3fs compute) ===\n",
+              label, static_cast<long long>(delta / duration::kDay),
+              static_cast<long long>(sw / duration::kDay), spec.count,
+              r.build_seconds, r.compute_seconds);
+
+  // Leader per window + churn of the top-5 set between windows.
+  std::vector<VertexId> prev_top;
+  for (std::size_t w = 0; w < spec.count; ++w) {
+    const auto leaders = top_k(sink, w, 5);
+    if (leaders.empty()) continue;
+    std::size_t kept = 0;
+    for (const auto& [v, pr] : leaders) {
+      for (const VertexId p : prev_top) {
+        if (p == v) {
+          ++kept;
+          break;
+        }
+      }
+    }
+    std::printf("  window %3zu: leader=author-%-6u pr=%.4f  top5-retained=%zu/5\n",
+                w, leaders.front().first, leaders.front().second,
+                prev_top.empty() ? leaders.size() : kept);
+    prev_top.clear();
+    for (const auto& [v, pr] : leaders) prev_top.push_back(v);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = 0.1;
+  std::int64_t seed = 7;
+  Options opts("Collaboration eras: one temporal graph, two time scales");
+  opts.add("scale", &scale, "surrogate dataset scale factor");
+  opts.add("seed", &seed, "generator seed");
+  if (!opts.parse(argc, argv)) return opts.saw_help() ? 0 : 1;
+
+  // HepTh-like co-authorship events (paper §3.1: a tuple (a1, a2, day) per
+  // co-authored paper). Symmetrize: collaboration is mutual.
+  const gen::DatasetSpec spec =
+      gen::scaled(gen::dataset_by_name("ca-cit-HepTh"), scale);
+  TemporalEdgeList directed =
+      gen::generate(spec, static_cast<std::uint64_t>(seed));
+  TemporalEdgeList events;
+  for (const auto& e : directed.events()) {
+    events.add(e.src, e.dst, e.time);
+    events.add(e.dst, e.src, e.time);
+  }
+  events.ensure_vertices(directed.num_vertices());
+  events.sort_by_time();
+
+  std::printf("co-authorship surrogate: %zu events, %u authors, %.1f years\n",
+              events.size(), events.num_vertices(),
+              static_cast<double>(events.max_time() - events.min_time()) /
+                  static_cast<double>(duration::kYear));
+
+  // Era view: delta = 10 years, sliding by 1 year.
+  run_scale(events, 10 * duration::kYear, duration::kYear,
+            "Era view (who defined a decade)");
+  // Dynamics view: delta = 1 year, sliding by 90 days.
+  run_scale(events, duration::kYear, 90 * duration::kDay,
+            "Dynamics view (current collaborator activity)");
+  return 0;
+}

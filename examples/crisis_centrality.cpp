@@ -1,0 +1,105 @@
+// Organizational-crisis centrality tracking (paper §3.2).
+//
+// Hossain, Murshed et al. showed that during an organizational crisis some
+// actors become central in the communication graph. The Enron email corpus
+// is the canonical dataset: its edge volume spikes around the 2001 scandal
+// (Fig. 4a). This example runs a postmortem PageRank time series over an
+// Enron-like surrogate and flags the actors whose rank *rises most* as the
+// spike unfolds — the postmortem question par excellence, since it needs
+// every window, not just the latest one.
+#include <cstdio>
+#include <map>
+
+#include "pmpr.hpp"
+
+using namespace pmpr;
+
+int main(int argc, char** argv) {
+  double scale = 0.15;
+  std::int64_t seed = 11;
+  std::int64_t delta_days = 120;
+  std::int64_t sw_days = 30;
+  Options opts("Crisis centrality: rank trajectories around an event spike");
+  opts.add("scale", &scale, "surrogate dataset scale factor");
+  opts.add("seed", &seed, "generator seed");
+  opts.add("delta-days", &delta_days, "window size in days");
+  opts.add("sw-days", &sw_days, "sliding offset in days");
+  if (!opts.parse(argc, argv)) return opts.saw_help() ? 0 : 1;
+
+  const gen::DatasetSpec spec =
+      gen::scaled(gen::dataset_by_name("ia-enron-email"), scale);
+  TemporalEdgeList events = gen::generate(spec, static_cast<std::uint64_t>(seed));
+
+  const WindowSpec windows =
+      WindowSpec::cover(events.min_time(), events.max_time(),
+                        delta_days * duration::kDay, sw_days * duration::kDay);
+  std::printf("enron-like surrogate: %zu events, %u actors, %zu windows\n",
+              events.size(), events.num_vertices(), windows.count);
+
+  StoreAllSink sink(windows.count);
+  PostmortemConfig cfg;
+  cfg.num_multi_windows = std::min<std::size_t>(6, windows.count);
+  const RunResult r = run_postmortem(events, windows, sink, cfg);
+  std::printf("postmortem series computed in %.3fs (+%.3fs build)\n",
+              r.compute_seconds, r.build_seconds);
+
+  // Locate the crisis: the window with the most activity.
+  std::size_t peak = 0;
+  std::size_t peak_edges = 0;
+  for (std::size_t w = 0; w < windows.count; ++w) {
+    const std::size_t e =
+        events.slice(windows.start(w), windows.end(w)).size();
+    if (e > peak_edges) {
+      peak_edges = e;
+      peak = w;
+    }
+  }
+  const std::size_t before = peak >= 3 ? peak - 3 : 0;
+  std::printf("activity peaks in window %zu (%zu events); comparing with "
+              "window %zu\n",
+              peak, peak_edges, before);
+
+  // Rank actors in the quiet window and in the crisis window.
+  auto rank_of = [&](std::size_t w) {
+    auto ranked = sink.window(w);
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+      return a.second > b.second;
+    });
+    std::map<VertexId, std::size_t> rank;
+    for (std::size_t i = 0; i < ranked.size(); ++i) {
+      rank[ranked[i].first] = i + 1;
+    }
+    return rank;
+  };
+  const auto rank_before = rank_of(before);
+  const auto rank_crisis = rank_of(peak);
+
+  // Actors that jumped the furthest into the top-20 during the crisis.
+  struct Riser {
+    VertexId actor;
+    std::size_t from;
+    std::size_t to;
+  };
+  std::vector<Riser> risers;
+  for (const auto& [actor, to] : rank_crisis) {
+    if (to > 20) continue;
+    const auto it = rank_before.find(actor);
+    const std::size_t from =
+        it != rank_before.end() ? it->second : rank_before.size() + 1;
+    if (from > to) risers.push_back({actor, from, to});
+  }
+  std::sort(risers.begin(), risers.end(), [](const Riser& a, const Riser& b) {
+    return (a.from - a.to) > (b.from - b.to);
+  });
+
+  std::printf("\nactors who surged into prominence during the crisis:\n");
+  std::printf("  %-12s %-14s %-14s\n", "actor", "rank before", "rank at peak");
+  for (std::size_t i = 0; i < std::min<std::size_t>(10, risers.size()); ++i) {
+    std::printf("  actor-%-6u %-14zu %-14zu\n", risers[i].actor,
+                risers[i].from, risers[i].to);
+  }
+  if (risers.empty()) {
+    std::printf("  (no risers found - try a larger --scale)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,145 @@
+#include "analysis/betweenness.hpp"
+
+#include <algorithm>
+
+#include "analysis/undirected.hpp"
+#include "util/rng.hpp"
+
+namespace pmpr::analysis {
+
+namespace {
+
+/// One Brandes pass from `source`: BFS computing shortest-path counts, then
+/// reverse accumulation of dependencies into `score`.
+struct BrandesScratch {
+  std::vector<std::int32_t> dist;
+  std::vector<double> sigma;  ///< Shortest-path counts.
+  std::vector<double> delta;  ///< Dependencies.
+  std::vector<VertexId> order;
+
+  void resize(std::size_t n) {
+    dist.assign(n, -1);
+    sigma.assign(n, 0.0);
+    delta.assign(n, 0.0);
+    order.clear();
+    order.reserve(n);
+  }
+};
+
+void brandes_pass(const UndirectedWindow& g, VertexId source,
+                  BrandesScratch& s, std::vector<double>& score,
+                  double weight) {
+  s.resize(g.degree.size());
+  s.dist[source] = 0;
+  s.sigma[source] = 1.0;
+  s.order.push_back(source);
+  for (std::size_t head = 0; head < s.order.size(); ++head) {
+    const VertexId v = s.order[head];
+    for (const VertexId u : g.neighbors(v)) {
+      if (s.dist[u] < 0) {
+        s.dist[u] = s.dist[v] + 1;
+        s.order.push_back(u);
+      }
+      if (s.dist[u] == s.dist[v] + 1) {
+        s.sigma[u] += s.sigma[v];
+      }
+    }
+  }
+  // Reverse accumulation (order is BFS order, so reverse = non-increasing
+  // distance).
+  for (std::size_t i = s.order.size(); i-- > 1;) {
+    const VertexId u = s.order[i];
+    for (const VertexId v : g.neighbors(u)) {
+      if (s.dist[v] == s.dist[u] - 1) {
+        s.delta[v] += (s.sigma[v] / s.sigma[u]) * (1.0 + s.delta[u]);
+      }
+    }
+    score[u] += weight * s.delta[u];
+  }
+}
+
+}  // namespace
+
+BetweennessResult betweenness_window(const MultiWindowGraph& part,
+                                     Timestamp ts, Timestamp te,
+                                     const BetweennessParams& params) {
+  const std::size_t n = part.num_local();
+  BetweennessResult result;
+  result.score.assign(n, 0.0);
+
+  const UndirectedWindow g = build_undirected_window(part, ts, te);
+  std::vector<VertexId> actives;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (g.degree[v] > 0) actives.push_back(static_cast<VertexId>(v));
+  }
+  // Activity for reporting counts every window participant (self-loop-only
+  // vertices have betweenness 0 but are active).
+  {
+    std::vector<std::uint8_t> active(n, 0);
+    for (std::size_t v = 0; v < n; ++v) {
+      part.in.for_each_active_neighbor(static_cast<VertexId>(v), ts, te,
+                                       [&](VertexId u) {
+                                         active[v] = 1;
+                                         active[u] = 1;
+                                       });
+    }
+    for (std::size_t v = 0; v < n; ++v) result.num_active += active[v];
+  }
+  if (actives.size() < 3) return result;
+
+  BrandesScratch scratch;
+  const bool exact = params.sample_sources == 0 ||
+                     params.sample_sources >= actives.size();
+  if (exact) {
+    for (const VertexId s : actives) {
+      brandes_pass(g, s, scratch, result.score, 1.0);
+      ++result.passes;
+    }
+  } else {
+    Xoshiro256 rng(params.seed);
+    for (std::size_t i = 0; i < params.sample_sources; ++i) {
+      const std::size_t j = i + rng.bounded(actives.size() - i);
+      std::swap(actives[i], actives[j]);
+    }
+    const double weight = static_cast<double>(actives.size()) /
+                          static_cast<double>(params.sample_sources);
+    for (std::size_t i = 0; i < params.sample_sources; ++i) {
+      brandes_pass(g, actives[i], scratch, result.score, weight);
+      ++result.passes;
+    }
+  }
+  // Undirected: every pair was counted from both endpoints.
+  for (auto& s : result.score) s *= 0.5;
+  return result;
+}
+
+std::vector<BetweennessSummary> betweenness_over_windows(
+    const MultiWindowSet& set, const BetweennessParams& params,
+    const par::ForOptions* parallel) {
+  const std::size_t m = set.spec().count;
+  std::vector<BetweennessSummary> out(m);
+  auto body = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t w = lo; w < hi; ++w) {
+      const auto& part = set.part_for_window(w);
+      const BetweennessResult r = betweenness_window(
+          part, set.spec().start(w), set.spec().end(w), params);
+      BetweennessSummary& s = out[w];
+      s.window = w;
+      s.num_active = r.num_active;
+      for (std::size_t v = 0; v < r.score.size(); ++v) {
+        if (r.score[v] > s.top_score) {
+          s.top_score = r.score[v];
+          s.top_vertex = part.global_of(static_cast<VertexId>(v));
+        }
+      }
+    }
+  };
+  if (parallel != nullptr) {
+    par::parallel_for_range(0, m, *parallel, body);
+  } else {
+    body(0, m);
+  }
+  return out;
+}
+
+}  // namespace pmpr::analysis

@@ -1,0 +1,50 @@
+// Postmortem betweenness centrality over the sliding windows.
+//
+// Betweenness is named alongside closeness in the paper's §3.1 and has a
+// streaming-update literature of its own (Green, McColl & Bader, cited in
+// §3.2). Exact betweenness is Brandes' algorithm — one augmented BFS per
+// vertex; for large windows this kernel also supports the standard
+// source-sampling estimator (Brandes–Pich): accumulate dependencies from k
+// sampled sources and scale by n/k.
+//
+// Computed on the undirected window graph (unweighted shortest paths),
+// endpoints excluded, each unordered pair counted once (scores are halved).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/multi_window.hpp"
+#include "par/parallel_for.hpp"
+
+namespace pmpr::analysis {
+
+struct BetweennessParams {
+  /// 0 = exact (one Brandes pass per active vertex); otherwise the number
+  /// of sampled sources per window (estimates scale by actives/samples).
+  std::size_t sample_sources = 0;
+  std::uint64_t seed = 42;
+};
+
+struct BetweennessResult {
+  std::vector<double> score;  ///< Per local vertex; 0 if inactive.
+  std::size_t num_active = 0;
+  std::size_t passes = 0;  ///< Brandes passes performed.
+};
+
+BetweennessResult betweenness_window(const MultiWindowGraph& part,
+                                     Timestamp ts, Timestamp te,
+                                     const BetweennessParams& params);
+
+struct BetweennessSummary {
+  std::size_t window = 0;
+  VertexId top_vertex = kInvalidVertex;
+  double top_score = 0.0;
+  std::size_t num_active = 0;
+};
+
+std::vector<BetweennessSummary> betweenness_over_windows(
+    const MultiWindowSet& set, const BetweennessParams& params,
+    const par::ForOptions* parallel = nullptr);
+
+}  // namespace pmpr::analysis

@@ -1,0 +1,184 @@
+#include "analysis/closeness.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "analysis/undirected.hpp"
+#include "util/rng.hpp"
+
+namespace pmpr::analysis {
+
+namespace {
+
+/// BFS distances from `source` over the undirected window graph.
+/// `dist` uses kUnreached for unreachable vertices.
+constexpr std::uint32_t kUnreached = ~0u;
+
+void bfs(const UndirectedWindow& g, VertexId source,
+         std::vector<std::uint32_t>& dist, std::vector<VertexId>& queue) {
+  std::fill(dist.begin(), dist.end(), kUnreached);
+  queue.clear();
+  dist[source] = 0;
+  queue.push_back(source);
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const VertexId v = queue[head];
+    for (const VertexId u : g.neighbors(v)) {
+      if (dist[u] == kUnreached) {
+        dist[u] = dist[v] + 1;
+        queue.push_back(u);
+      }
+    }
+  }
+}
+
+/// Connected-component labels and sizes of the undirected graph, active
+/// vertices only (degree 0 actives form singleton components).
+void components(const UndirectedWindow& g,
+                const std::vector<std::uint8_t>& active,
+                std::vector<std::uint32_t>& comp,
+                std::vector<std::size_t>& comp_size) {
+  const std::size_t n = g.degree.size();
+  comp.assign(n, kUnreached);
+  comp_size.clear();
+  std::vector<VertexId> queue;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (active[v] == 0 || comp[v] != kUnreached) continue;
+    const auto id = static_cast<std::uint32_t>(comp_size.size());
+    comp_size.push_back(0);
+    comp[v] = id;
+    queue.clear();
+    queue.push_back(static_cast<VertexId>(v));
+    while (!queue.empty()) {
+      const VertexId w = queue.back();
+      queue.pop_back();
+      ++comp_size[id];
+      for (const VertexId u : g.neighbors(w)) {
+        if (comp[u] == kUnreached) {
+          comp[u] = id;
+          queue.push_back(u);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ClosenessResult closeness_window(const MultiWindowGraph& part, Timestamp ts,
+                                 Timestamp te,
+                                 const ClosenessParams& params) {
+  const std::size_t n = part.num_local();
+  ClosenessResult result;
+  result.score.assign(n, 0.0);
+
+  const UndirectedWindow g = build_undirected_window(part, ts, te);
+
+  std::vector<std::uint8_t> active(n, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    part.in.for_each_active_neighbor(static_cast<VertexId>(v), ts, te,
+                                     [&](VertexId u) {
+                                       active[v] = 1;
+                                       active[u] = 1;
+                                     });
+  }
+  for (std::size_t v = 0; v < n; ++v) result.num_active += active[v];
+  if (result.num_active < 2) return result;
+  const double n_minus_1 = static_cast<double>(result.num_active - 1);
+
+  std::vector<std::uint32_t> comp;
+  std::vector<std::size_t> comp_size;
+  components(g, active, comp, comp_size);
+
+  std::vector<std::uint32_t> dist(n);
+  std::vector<VertexId> queue;
+  queue.reserve(n);
+
+  const bool exact = params.sample_sources == 0 ||
+                     params.sample_sources >= result.num_active;
+  if (exact) {
+    // BFS from every active vertex: exact Wasserman–Faust closeness.
+    for (std::size_t v = 0; v < n; ++v) {
+      if (active[v] == 0) continue;
+      const std::size_t r = comp_size[comp[v]];
+      if (r < 2) continue;
+      bfs(g, static_cast<VertexId>(v), dist, queue);
+      ++result.bfs_performed;
+      std::uint64_t total = 0;
+      for (const VertexId u : queue) total += dist[u];
+      const double r_minus_1 = static_cast<double>(r - 1);
+      result.score[v] = (r_minus_1 / static_cast<double>(total)) *
+                        (r_minus_1 / n_minus_1);
+    }
+    return result;
+  }
+
+  // Pivot sampling: BFS from k sources; every vertex estimates its average
+  // distance from the samples of its own component (distances symmetric).
+  std::vector<VertexId> actives;
+  actives.reserve(result.num_active);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (active[v] != 0) actives.push_back(static_cast<VertexId>(v));
+  }
+  Xoshiro256 rng(params.seed);
+  // Partial Fisher–Yates for the first k picks.
+  for (std::size_t i = 0; i < params.sample_sources; ++i) {
+    const std::size_t j = i + rng.bounded(actives.size() - i);
+    std::swap(actives[i], actives[j]);
+  }
+
+  std::vector<double> dist_sum(n, 0.0);
+  std::vector<std::uint32_t> hits(n, 0);
+  for (std::size_t s = 0; s < params.sample_sources; ++s) {
+    const VertexId source = actives[s];
+    if (comp_size[comp[source]] < 2) continue;
+    bfs(g, source, dist, queue);
+    ++result.bfs_performed;
+    for (const VertexId u : queue) {
+      if (u == source) continue;
+      dist_sum[u] += dist[u];
+      ++hits[u];
+    }
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    if (active[v] == 0 || hits[v] == 0) continue;
+    const double avg = dist_sum[v] / hits[v];
+    const double r_minus_1 =
+        static_cast<double>(comp_size[comp[v]] - 1);
+    if (avg <= 0.0) continue;
+    // Same Wasserman–Faust form as the exact path with total ≈ avg·(r-1):
+    // C(v) = ((r-1)/total)·((r-1)/(n-1)) = (1/avg)·((r-1)/(n-1)).
+    result.score[v] = (1.0 / avg) * (r_minus_1 / n_minus_1);
+  }
+  return result;
+}
+
+std::vector<ClosenessSummary> closeness_over_windows(
+    const MultiWindowSet& set, const ClosenessParams& params,
+    const par::ForOptions* parallel) {
+  const std::size_t m = set.spec().count;
+  std::vector<ClosenessSummary> out(m);
+  auto body = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t w = lo; w < hi; ++w) {
+      const auto& part = set.part_for_window(w);
+      const ClosenessResult r = closeness_window(
+          part, set.spec().start(w), set.spec().end(w), params);
+      ClosenessSummary& s = out[w];
+      s.window = w;
+      s.num_active = r.num_active;
+      for (std::size_t v = 0; v < r.score.size(); ++v) {
+        if (r.score[v] > s.top_score) {
+          s.top_score = r.score[v];
+          s.top_vertex = part.global_of(static_cast<VertexId>(v));
+        }
+      }
+    }
+  };
+  if (parallel != nullptr) {
+    par::parallel_for_range(0, m, *parallel, body);
+  } else {
+    body(0, m);
+  }
+  return out;
+}
+
+}  // namespace pmpr::analysis

@@ -1,0 +1,56 @@
+// Postmortem closeness centrality over the sliding windows.
+//
+// Closeness is the second centrality the paper names when motivating the
+// sliding-window model (§3.1) and has its own streaming literature
+// (Sariyüce et al., cited in §3.2). Exact closeness needs all-pairs BFS —
+// Θ(V·E) per window — so, as is standard for large graphs, this kernel
+// supports both exact computation and pivot sampling (Eppstein–Wang style):
+// BFS from k sampled sources estimates every vertex's average distance.
+//
+// Closeness of v here is the harmonic-free classic variant restricted to
+// v's reachable set, computed on the undirected window graph:
+//   C(v) = (r_v - 1) / Σ_{u reachable} d(v, u) · (r_v - 1) / (n_active - 1)
+// (the Wasserman–Faust correction, so scores are comparable across
+// differently-sized components).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/multi_window.hpp"
+#include "par/parallel_for.hpp"
+
+namespace pmpr::analysis {
+
+struct ClosenessParams {
+  /// 0 = exact (BFS from every active vertex); otherwise the number of
+  /// sampled BFS sources per window.
+  std::size_t sample_sources = 0;
+  std::uint64_t seed = 42;
+};
+
+struct ClosenessResult {
+  /// score[v] = estimated closeness of local vertex v (0 if inactive or
+  /// isolated).
+  std::vector<double> score;
+  std::size_t num_active = 0;
+  std::size_t bfs_performed = 0;
+};
+
+/// Closeness for window [ts, te] of `part`.
+ClosenessResult closeness_window(const MultiWindowGraph& part, Timestamp ts,
+                                 Timestamp te, const ClosenessParams& params);
+
+struct ClosenessSummary {
+  std::size_t window = 0;
+  VertexId top_vertex = kInvalidVertex;  ///< Global id of the most central.
+  double top_score = 0.0;
+  std::size_t num_active = 0;
+};
+
+/// Per-window closeness leaders, optionally window-parallel.
+std::vector<ClosenessSummary> closeness_over_windows(
+    const MultiWindowSet& set, const ClosenessParams& params,
+    const par::ForOptions* parallel = nullptr);
+
+}  // namespace pmpr::analysis

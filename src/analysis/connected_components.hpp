@@ -1,0 +1,47 @@
+// Postmortem weakly-connected components over the sliding windows.
+//
+// The paper (§3.1) notes the temporal-CSR machinery is not PageRank-
+// specific: "different analysis could be done using other kernels like
+// closeness and betweenness centrality, connecting component, k-core".
+// This kernel computes weakly-connected components per window by label
+// propagation directly on the multi-window representation — the same
+// time-filtered traversal as the PageRank SpMV, demonstrating the
+// representation's generality.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/multi_window.hpp"
+#include "par/parallel_for.hpp"
+
+namespace pmpr::analysis {
+
+/// Components of one window over a part's local vertex space.
+struct WccResult {
+  /// label[v] = smallest local id in v's component; kInvalidVertex for
+  /// vertices inactive in this window.
+  std::vector<VertexId> label;
+  std::size_t num_components = 0;
+  std::size_t largest_component = 0;  ///< Vertex count of the biggest WCC.
+  std::size_t num_active = 0;
+  int rounds = 0;  ///< Propagation rounds until fixpoint.
+};
+
+/// Label propagation (min-label, push+pull over the in-CSR so direction is
+/// ignored) for window [ts, te] of `part`.
+WccResult wcc_window(const MultiWindowGraph& part, Timestamp ts, Timestamp te);
+
+/// Per-window summary for the whole analysis.
+struct WccSummary {
+  std::size_t window = 0;
+  std::size_t num_components = 0;
+  std::size_t largest_component = 0;
+  std::size_t num_active = 0;
+};
+
+/// Runs wcc_window for every window of `set`, optionally window-parallel.
+std::vector<WccSummary> wcc_over_windows(
+    const MultiWindowSet& set, const par::ForOptions* parallel = nullptr);
+
+}  // namespace pmpr::analysis

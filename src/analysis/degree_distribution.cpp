@@ -1,0 +1,84 @@
+#include "analysis/degree_distribution.hpp"
+
+#include <algorithm>
+
+#include "analysis/undirected.hpp"
+
+namespace pmpr::analysis {
+
+double DegreeDistribution::top_share(double percent) const {
+  if (num_active == 0) return 0.0;
+  percent = std::clamp(percent, 0.0, 1.0);
+  auto take = static_cast<std::size_t>(
+      static_cast<double>(num_active) * percent);
+  take = std::max<std::size_t>(take, 1);
+
+  std::uint64_t total = 0;
+  for (std::size_t d = 0; d < histogram.size(); ++d) {
+    total += static_cast<std::uint64_t>(d) * histogram[d];
+  }
+  if (total == 0) return 0.0;
+
+  std::uint64_t top = 0;
+  for (std::size_t d = histogram.size(); d-- > 0 && take > 0;) {
+    const std::size_t here = std::min<std::size_t>(histogram[d], take);
+    top += static_cast<std::uint64_t>(d) * here;
+    take -= here;
+  }
+  return static_cast<double>(top) / static_cast<double>(total);
+}
+
+DegreeDistribution degree_distribution_window(const MultiWindowGraph& part,
+                                              Timestamp ts, Timestamp te) {
+  const std::size_t n = part.num_local();
+  DegreeDistribution out;
+
+  const UndirectedWindow g = build_undirected_window(part, ts, te);
+  std::vector<std::uint8_t> active(n, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    part.in.for_each_active_neighbor(static_cast<VertexId>(v), ts, te,
+                                     [&](VertexId u) {
+                                       active[v] = 1;
+                                       active[u] = 1;
+                                     });
+  }
+
+  std::uint64_t degree_sum = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (active[v] == 0) continue;
+    ++out.num_active;
+    const std::uint32_t d = g.degree[v];
+    out.max_degree = std::max(out.max_degree, d);
+    degree_sum += d;
+    if (d >= out.histogram.size()) out.histogram.resize(d + 1, 0);
+    ++out.histogram[d];
+  }
+  out.mean_degree = out.num_active > 0
+                        ? static_cast<double>(degree_sum) /
+                              static_cast<double>(out.num_active)
+                        : 0.0;
+  return out;
+}
+
+std::vector<DegreeSummary> degree_over_windows(
+    const MultiWindowSet& set, const par::ForOptions* parallel) {
+  const std::size_t m = set.spec().count;
+  std::vector<DegreeSummary> out(m);
+  auto body = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t w = lo; w < hi; ++w) {
+      const auto& part = set.part_for_window(w);
+      const DegreeDistribution d = degree_distribution_window(
+          part, set.spec().start(w), set.spec().end(w));
+      out[w] = DegreeSummary{w, d.max_degree, d.mean_degree, d.num_active,
+                             d.top_share(0.01)};
+    }
+  };
+  if (parallel != nullptr) {
+    par::parallel_for_range(0, m, *parallel, body);
+  } else {
+    body(0, m);
+  }
+  return out;
+}
+
+}  // namespace pmpr::analysis

@@ -1,0 +1,46 @@
+// Per-window degree distributions.
+//
+// The paper's related work opens with HyperHeadTail (Stolman & Matulef),
+// a streaming estimator for the degree distribution of a dynamic graph
+// split into windows — exactly the question the postmortem representation
+// answers exactly and cheaply: one pass per window over the temporal CSR.
+// Also used by the dataset surrogates' self-checks (power-law sanity).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/multi_window.hpp"
+#include "par/parallel_for.hpp"
+
+namespace pmpr::analysis {
+
+struct DegreeDistribution {
+  /// histogram[d] = number of active vertices with undirected distinct
+  /// degree d (index 0 = active vertices with only self-loops).
+  std::vector<std::size_t> histogram;
+  std::uint32_t max_degree = 0;
+  double mean_degree = 0.0;
+  std::size_t num_active = 0;
+
+  /// Fraction of degree mass held by the top `percent` (0,1] of vertices —
+  /// a skewness measure (≈ percent for regular graphs, >> for power laws).
+  [[nodiscard]] double top_share(double percent) const;
+};
+
+/// Exact undirected degree distribution of window [ts, te] of `part`.
+DegreeDistribution degree_distribution_window(const MultiWindowGraph& part,
+                                              Timestamp ts, Timestamp te);
+
+struct DegreeSummary {
+  std::size_t window = 0;
+  std::uint32_t max_degree = 0;
+  double mean_degree = 0.0;
+  std::size_t num_active = 0;
+  double top1pct_share = 0.0;
+};
+
+std::vector<DegreeSummary> degree_over_windows(
+    const MultiWindowSet& set, const par::ForOptions* parallel = nullptr);
+
+}  // namespace pmpr::analysis

@@ -1,0 +1,107 @@
+#include "analysis/kcore.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "analysis/undirected.hpp"
+
+namespace pmpr::analysis {
+
+KcoreResult kcore_window(const MultiWindowGraph& part, Timestamp ts,
+                         Timestamp te) {
+  const std::size_t n = part.num_local();
+  KcoreResult result;
+  result.core.assign(n, 0);
+
+  const UndirectedWindow g = build_undirected_window(part, ts, te);
+
+  // Activity from the directed view (a vertex with only self-loops is
+  // active but has undirected degree 0 -> core 0).
+  std::vector<std::uint8_t> active(n, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    part.in.for_each_active_neighbor(static_cast<VertexId>(v), ts, te,
+                                     [&](VertexId u) {
+                                       active[v] = 1;
+                                       active[u] = 1;
+                                     });
+  }
+  for (std::size_t v = 0; v < n; ++v) result.num_active += active[v];
+  if (result.num_active == 0) return result;
+
+  // Matula–Beck peeling with bin sort (Batagelj–Zaveršnik layout).
+  const std::uint32_t max_deg =
+      g.degree.empty() ? 0 : *std::max_element(g.degree.begin(), g.degree.end());
+  std::vector<std::size_t> bin(max_deg + 2, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (active[v]) ++bin[g.degree[v]];
+  }
+  std::size_t start = 0;
+  for (std::uint32_t d = 0; d <= max_deg; ++d) {
+    const std::size_t count = bin[d];
+    bin[d] = start;
+    start += count;
+  }
+  std::vector<VertexId> order(result.num_active);
+  std::vector<std::size_t> pos(n, 0);
+  {
+    std::vector<std::size_t> cursor(bin.begin(), bin.end() - 1);
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!active[v]) continue;
+      pos[v] = cursor[g.degree[v]]++;
+      order[pos[v]] = static_cast<VertexId>(v);
+    }
+  }
+
+  std::vector<std::uint32_t> deg = g.degree;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const VertexId v = order[i];
+    result.core[v] = deg[v];
+    result.max_core = std::max(result.max_core, deg[v]);
+    for (std::size_t e = g.row_ptr[v]; e < g.row_ptr[v + 1]; ++e) {
+      const VertexId u = g.adj[e];
+      if (deg[u] <= deg[v]) continue;
+      // Move u one bin down: swap with the first vertex of its bin.
+      const std::size_t du = deg[u];
+      const std::size_t pu = pos[u];
+      const std::size_t pw = bin[du];
+      const VertexId w = order[pw];
+      if (u != w) {
+        order[pu] = w;
+        order[pw] = u;
+        pos[u] = pw;
+        pos[w] = pu;
+      }
+      ++bin[du];
+      --deg[u];
+    }
+  }
+
+  for (std::size_t v = 0; v < n; ++v) {
+    if (active[v] && result.core[v] == result.max_core) {
+      ++result.innermost_size;
+    }
+  }
+  return result;
+}
+
+std::vector<KcoreSummary> kcore_over_windows(const MultiWindowSet& set,
+                                             const par::ForOptions* parallel) {
+  const std::size_t m = set.spec().count;
+  std::vector<KcoreSummary> out(m);
+  auto body = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t w = lo; w < hi; ++w) {
+      const auto& part = set.part_for_window(w);
+      const KcoreResult r =
+          kcore_window(part, set.spec().start(w), set.spec().end(w));
+      out[w] = KcoreSummary{w, r.max_core, r.innermost_size, r.num_active};
+    }
+  };
+  if (parallel != nullptr) {
+    par::parallel_for_range(0, m, *parallel, body);
+  } else {
+    body(0, m);
+  }
+  return out;
+}
+
+}  // namespace pmpr::analysis

@@ -1,0 +1,44 @@
+// Postmortem k-core decomposition over the sliding windows.
+//
+// The paper's related work (§3.2) highlights postmortem k-core analysis of
+// dynamic graphs (Gabert et al.) and streaming k-core (Sariyüce et al.);
+// §3.1 lists k-core among the kernels the sliding-window formulation
+// supports. This kernel computes the core number of every active vertex of
+// a window (treating edges as undirected, the standard convention) with the
+// Matula–Beck peeling algorithm in O(E + V) per window, directly on the
+// multi-window representation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/multi_window.hpp"
+#include "par/parallel_for.hpp"
+
+namespace pmpr::analysis {
+
+struct KcoreResult {
+  /// core[v] = core number of local vertex v; 0 for inactive vertices.
+  std::vector<std::uint32_t> core;
+  std::uint32_t max_core = 0;  ///< Degeneracy of the window graph.
+  std::size_t num_active = 0;
+  /// Vertices in the innermost (max_core) core.
+  std::size_t innermost_size = 0;
+};
+
+/// Core decomposition of window [ts, te] of `part`.
+KcoreResult kcore_window(const MultiWindowGraph& part, Timestamp ts,
+                         Timestamp te);
+
+struct KcoreSummary {
+  std::size_t window = 0;
+  std::uint32_t max_core = 0;
+  std::size_t innermost_size = 0;
+  std::size_t num_active = 0;
+};
+
+/// Per-window degeneracy series, optionally window-parallel.
+std::vector<KcoreSummary> kcore_over_windows(
+    const MultiWindowSet& set, const par::ForOptions* parallel = nullptr);
+
+}  // namespace pmpr::analysis

@@ -1,0 +1,117 @@
+#include "analysis/timeseries.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+namespace pmpr::analysis {
+
+namespace {
+
+std::vector<Scored> sorted_window(const StoreAllSink& sink, std::size_t w) {
+  std::vector<Scored> scores = sink.window(w);
+  std::sort(scores.begin(), scores.end(),
+            [](const Scored& a, const Scored& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  return scores;
+}
+
+}  // namespace
+
+std::vector<Scored> top_k(const StoreAllSink& sink, std::size_t w,
+                          std::size_t k) {
+  std::vector<Scored> scores = sorted_window(sink, w);
+  if (scores.size() > k) scores.resize(k);
+  return scores;
+}
+
+std::size_t rank_of(const StoreAllSink& sink, std::size_t w, VertexId v) {
+  const std::vector<Scored> scores = sorted_window(sink, w);
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    if (scores[i].first == v) return i + 1;
+  }
+  return 0;
+}
+
+std::vector<std::size_t> rank_trajectory(const StoreAllSink& sink,
+                                         VertexId v) {
+  std::vector<std::size_t> out(sink.num_windows(), 0);
+  for (std::size_t w = 0; w < sink.num_windows(); ++w) {
+    out[w] = rank_of(sink, w, v);
+  }
+  return out;
+}
+
+double topk_jaccard(const StoreAllSink& sink, std::size_t w1, std::size_t w2,
+                    std::size_t k) {
+  const auto a = top_k(sink, w1, k);
+  const auto b = top_k(sink, w2, k);
+  if (a.empty() && b.empty()) return 1.0;
+  std::set<VertexId> sa;
+  for (const auto& [v, s] : a) sa.insert(v);
+  std::size_t inter = 0;
+  std::set<VertexId> uni(sa);
+  for (const auto& [v, s] : b) {
+    if (sa.count(v) != 0) ++inter;
+    uni.insert(v);
+  }
+  return uni.empty() ? 0.0
+                     : static_cast<double>(inter) /
+                           static_cast<double>(uni.size());
+}
+
+double spearman(const StoreAllSink& sink, std::size_t w1, std::size_t w2) {
+  const std::vector<Scored> a = sorted_window(sink, w1);
+  const std::vector<Scored> b = sorted_window(sink, w2);
+  std::map<VertexId, std::size_t> rank_a;
+  for (std::size_t i = 0; i < a.size(); ++i) rank_a[a[i].first] = i + 1;
+  std::map<VertexId, std::size_t> rank_b;
+  for (std::size_t i = 0; i < b.size(); ++i) rank_b[b[i].first] = i + 1;
+
+  // Shared vertices, re-ranked within the intersection.
+  std::vector<std::pair<std::size_t, std::size_t>> shared;
+  for (const auto& [v, ra] : rank_a) {
+    const auto it = rank_b.find(v);
+    if (it != rank_b.end()) shared.emplace_back(ra, it->second);
+  }
+  const std::size_t n = shared.size();
+  if (n < 2) return 0.0;
+
+  // Compress each side's ranks to 1..n preserving order.
+  auto compress = [&](bool first_side) {
+    std::vector<std::size_t> order(n);
+    for (std::size_t i = 0; i < n; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+      return first_side ? shared[x].first < shared[y].first
+                        : shared[x].second < shared[y].second;
+    });
+    std::vector<std::size_t> rank(n);
+    for (std::size_t i = 0; i < n; ++i) rank[order[i]] = i + 1;
+    return rank;
+  };
+  const auto ra = compress(true);
+  const auto rb = compress(false);
+
+  double d2 = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(ra[i]) - static_cast<double>(rb[i]);
+    d2 += d * d;
+  }
+  const auto nd = static_cast<double>(n);
+  return 1.0 - 6.0 * d2 / (nd * (nd * nd - 1.0));
+}
+
+std::vector<double> churn_series(const StoreAllSink& sink, std::size_t k) {
+  std::vector<double> out;
+  if (sink.num_windows() < 2) return out;
+  out.reserve(sink.num_windows() - 1);
+  for (std::size_t w = 1; w < sink.num_windows(); ++w) {
+    out.push_back(topk_jaccard(sink, w - 1, w, k));
+  }
+  return out;
+}
+
+}  // namespace pmpr::analysis

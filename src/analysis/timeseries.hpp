@@ -1,0 +1,47 @@
+// Downstream time-series utilities over per-window PageRank (or any
+// per-window vertex scores).
+//
+// The paper frames postmortem analysis as producing a time series that an
+// application then consumes ("applications will have a downstream analysis
+// that will depend on these vectors", §2.2). These helpers cover the common
+// consumptions: top-k ranking per window, rank trajectories of a vertex,
+// leadership churn between windows, and rank-correlation between
+// consecutive windows (how fast the ordering drifts).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "exec/results.hpp"
+#include "graph/types.hpp"
+
+namespace pmpr::analysis {
+
+using Scored = std::pair<VertexId, double>;
+
+/// Top-k (vertex, score) pairs of window `w`, descending by score (ties by
+/// ascending vertex id for determinism).
+std::vector<Scored> top_k(const StoreAllSink& sink, std::size_t w,
+                          std::size_t k);
+
+/// 1-based rank of `v` in window `w`; 0 if the vertex has no score there.
+std::size_t rank_of(const StoreAllSink& sink, std::size_t w, VertexId v);
+
+/// Rank trajectory of `v` across all windows (0 where absent).
+std::vector<std::size_t> rank_trajectory(const StoreAllSink& sink, VertexId v);
+
+/// Jaccard similarity of the top-k sets of two windows — 1 means the same
+/// leaders, 0 a complete change of guard.
+double topk_jaccard(const StoreAllSink& sink, std::size_t w1, std::size_t w2,
+                    std::size_t k);
+
+/// Spearman rank correlation between two windows over the vertices scored
+/// in both. Returns 1 for identical orderings, 0 if fewer than 2 shared
+/// vertices.
+double spearman(const StoreAllSink& sink, std::size_t w1, std::size_t w2);
+
+/// Per-step churn series: topk_jaccard(w-1, w, k) for every w >= 1.
+std::vector<double> churn_series(const StoreAllSink& sink, std::size_t k);
+
+}  // namespace pmpr::analysis

@@ -1,0 +1,44 @@
+#include "analysis/undirected.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace pmpr::analysis {
+
+UndirectedWindow build_undirected_window(const MultiWindowGraph& part,
+                                         Timestamp ts, Timestamp te) {
+  const std::size_t n = part.num_local();
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (std::size_t v = 0; v < n; ++v) {
+    part.in.for_each_active_neighbor(
+        static_cast<VertexId>(v), ts, te, [&](VertexId u) {
+          if (u == static_cast<VertexId>(v)) return;
+          const VertexId a = std::min<VertexId>(u, static_cast<VertexId>(v));
+          const VertexId b = std::max<VertexId>(u, static_cast<VertexId>(v));
+          edges.emplace_back(a, b);
+        });
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  UndirectedWindow g;
+  g.num_edges = edges.size();
+  g.degree.assign(n, 0);
+  for (const auto& [a, b] : edges) {
+    ++g.degree[a];
+    ++g.degree[b];
+  }
+  g.row_ptr.assign(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    g.row_ptr[v + 1] = g.row_ptr[v] + g.degree[v];
+  }
+  g.adj.resize(edges.size() * 2);
+  std::vector<std::size_t> cursor(g.row_ptr.begin(), g.row_ptr.end() - 1);
+  for (const auto& [a, b] : edges) {
+    g.adj[cursor[a]++] = b;
+    g.adj[cursor[b]++] = a;
+  }
+  return g;
+}
+
+}  // namespace pmpr::analysis

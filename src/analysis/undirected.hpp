@@ -1,0 +1,31 @@
+// Undirected per-window adjacency, derived on demand from a multi-window
+// graph's reverse temporal CSR. Several analyses (k-core, closeness,
+// degree distributions) follow the convention of ignoring edge direction;
+// this helper builds the deduplicated symmetric CSR of one window in the
+// part's local vertex space (self-loops dropped).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/multi_window.hpp"
+
+namespace pmpr::analysis {
+
+struct UndirectedWindow {
+  std::vector<std::size_t> row_ptr;  ///< n + 1 entries.
+  std::vector<VertexId> adj;         ///< 2 x (distinct undirected edges).
+  std::vector<std::uint32_t> degree;
+  std::size_t num_edges = 0;  ///< Distinct undirected edges.
+
+  [[nodiscard]] std::span<const VertexId> neighbors(VertexId v) const {
+    return {adj.data() + row_ptr[v], adj.data() + row_ptr[v + 1]};
+  }
+};
+
+/// Builds the undirected simple graph of window [ts, te] of `part`.
+UndirectedWindow build_undirected_window(const MultiWindowGraph& part,
+                                         Timestamp ts, Timestamp te);
+
+}  // namespace pmpr::analysis

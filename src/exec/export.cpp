@@ -1,0 +1,117 @@
+#include "exec/export.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace pmpr {
+
+void save_series_csv(const StoreAllSink& sink, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  out << "window,vertex,score\n";
+  char buf[64];
+  for (std::size_t w = 0; w < sink.num_windows(); ++w) {
+    for (const auto& [v, score] : sink.window(w)) {
+      std::snprintf(buf, sizeof(buf), "%zu,%u,%.17g\n", w, v, score);
+      out << buf;
+    }
+  }
+  if (!out) throw std::runtime_error("write failure on " + path);
+}
+
+StoreAllSink load_series_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::string line;
+  if (!std::getline(in, line) || line != "window,vertex,score") {
+    throw std::runtime_error(path + ": missing series CSV header");
+  }
+  // Two passes are avoided by buffering rows grouped per window.
+  std::vector<std::vector<std::pair<VertexId, double>>> windows;
+  std::size_t lineno = 1;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::size_t w = 0;
+    unsigned v = 0;
+    double score = 0.0;
+    if (std::sscanf(line.c_str(), "%zu,%u,%lg", &w, &v, &score) != 3) {
+      throw std::runtime_error(path + ":" + std::to_string(lineno) +
+                               ": malformed series row: '" + line + "'");
+    }
+    if (w >= windows.size()) windows.resize(w + 1);
+    windows[w].emplace_back(static_cast<VertexId>(v), score);
+  }
+  StoreAllSink sink(windows.size());
+  for (std::size_t w = 0; w < windows.size(); ++w) {
+    std::vector<VertexId> ids;
+    std::vector<double> scores;
+    ids.reserve(windows[w].size());
+    scores.reserve(windows[w].size());
+    for (const auto& [v, s] : windows[w]) {
+      ids.push_back(v);
+      scores.push_back(s);
+    }
+    sink.consume_mapped(w, ids, scores);
+  }
+  return sink;
+}
+
+namespace {
+constexpr char kMagic[8] = {'P', 'M', 'P', 'R', 'T', 'S', '0', '1'};
+}
+
+void save_series_binary(const StoreAllSink& sink, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  out.write(kMagic, sizeof(kMagic));
+  const std::uint64_t windows = sink.num_windows();
+  out.write(reinterpret_cast<const char*>(&windows), sizeof(windows));
+  for (std::size_t w = 0; w < windows; ++w) {
+    const auto& rows = sink.window(w);
+    const std::uint64_t count = rows.size();
+    out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+    for (const auto& [v, score] : rows) {
+      out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+      out.write(reinterpret_cast<const char*>(&score), sizeof(score));
+    }
+  }
+  if (!out) throw std::runtime_error("write failure on " + path);
+}
+
+StoreAllSink load_series_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error(path + ": not a pmpr time-series file");
+  }
+  std::uint64_t windows = 0;
+  in.read(reinterpret_cast<char*>(&windows), sizeof(windows));
+  if (!in) throw std::runtime_error(path + ": truncated header");
+  StoreAllSink sink(windows);
+  std::vector<VertexId> ids;
+  std::vector<double> scores;
+  for (std::size_t w = 0; w < windows; ++w) {
+    std::uint64_t count = 0;
+    in.read(reinterpret_cast<char*>(&count), sizeof(count));
+    if (!in) throw std::runtime_error(path + ": truncated window header");
+    ids.resize(count);
+    scores.resize(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      in.read(reinterpret_cast<char*>(&ids[i]), sizeof(VertexId));
+      in.read(reinterpret_cast<char*>(&scores[i]), sizeof(double));
+    }
+    if (!in) throw std::runtime_error(path + ": truncated window payload");
+    sink.consume_mapped(w, ids, scores);
+  }
+  return sink;
+}
+
+}  // namespace pmpr

@@ -1,0 +1,26 @@
+// Persistence for computed time series.
+//
+// A postmortem run produces one score vector per window; downstream
+// analysis often happens elsewhere (notebooks, plotting). These helpers
+// write a StoreAllSink as CSV (window,vertex,score — one row per nonzero)
+// or as a compact binary file, and read both back. Round-tripping is exact
+// for binary and 17-significant-digit for CSV.
+#pragma once
+
+#include <string>
+
+#include "exec/results.hpp"
+
+namespace pmpr {
+
+/// Writes `sink` as CSV. Throws std::runtime_error on IO failure.
+void save_series_csv(const StoreAllSink& sink, const std::string& path);
+
+/// Reads a CSV written by save_series_csv. Throws on malformed input.
+StoreAllSink load_series_csv(const std::string& path);
+
+/// Compact binary form (magic-tagged, little-endian).
+void save_series_binary(const StoreAllSink& sink, const std::string& path);
+StoreAllSink load_series_binary(const std::string& path);
+
+}  // namespace pmpr

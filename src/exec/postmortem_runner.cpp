@@ -1,0 +1,324 @@
+#include "exec/postmortem_runner.hpp"
+
+#include <cassert>
+#include <memory>
+#include <vector>
+
+#include "pagerank/partial_init.hpp"
+#include "pagerank/spmm_temporal.hpp"
+#include "pagerank/spmv_temporal.hpp"
+#include "util/timer.hpp"
+
+namespace pmpr {
+
+namespace {
+
+/// Per-execution-context scratch. Acquired per work item from a per-thread
+/// stack: the common case reuses the same state for consecutive items on a
+/// thread (which is what lets partial initialization chain, §4.3.1); the
+/// rare nested-steal reentrancy gets a fresh state instead of corrupting
+/// the busy one.
+struct ThreadState {
+  WindowState ws;
+  SpmmWindowState spmm_ws;
+  std::vector<double> x;
+  std::vector<double> scratch;
+  std::vector<double> lane_buf;
+
+  // Carry for partial initialization: result of the previous item this
+  // state processed.
+  std::vector<double> prev_x;
+  std::vector<std::uint8_t> prev_active;      // SpMV
+  std::vector<std::uint64_t> prev_mask;       // SpMM
+  std::size_t prev_lanes = 0;                 // SpMM
+  std::size_t carry_part = SIZE_MAX;
+  std::size_t carry_index = SIZE_MAX;
+};
+
+struct WorkItem {
+  std::size_t part;
+  std::size_t index;  // window-in-part (SpMV) or batch-in-part (SpMM)
+};
+
+/// SpMM batch geometry for one part (§4.4): W windows are divided into
+/// `lanes` regions of `region` consecutive windows; batch j takes the j-th
+/// window of every region, so batch j+1 holds the successors of batch j.
+struct PartBatching {
+  std::size_t lanes_max = 0;
+  std::size_t region = 0;
+  std::size_t num_batches = 0;
+};
+
+PartBatching batching_for(std::size_t num_windows, std::size_t vector_length) {
+  PartBatching b;
+  b.lanes_max = std::min(std::max<std::size_t>(vector_length, 1),
+                         std::min<std::size_t>(num_windows, 64));
+  b.region = (num_windows + b.lanes_max - 1) / b.lanes_max;
+  b.num_batches = b.region;
+  return b;
+}
+
+std::size_t lanes_of_batch(const PartBatching& b, std::size_t num_windows,
+                           std::size_t j) {
+  // Lane r exists iff r*region + j < num_windows.
+  if (j >= num_windows) return 0;
+  return (num_windows - j - 1) / b.region + 1;
+}
+
+/// Eq. 4 for one SpMM lane over lane-interleaved storage.
+void spmm_partial_init_lane(std::span<const double> prev_x,
+                            std::size_t prev_lanes, std::size_t kp,
+                            std::span<const std::uint64_t> prev_mask,
+                            std::span<double> cur_x, std::size_t cur_lanes,
+                            std::size_t k,
+                            std::span<const std::uint64_t> cur_mask,
+                            std::size_t cur_num_active) {
+  const std::size_t n = cur_mask.size();
+  const std::uint64_t pb = 1ULL << kp;
+  const std::uint64_t cb = 1ULL << k;
+  if (cur_num_active == 0) {
+    for (std::size_t v = 0; v < n; ++v) cur_x[v * cur_lanes + k] = 0.0;
+    return;
+  }
+  std::size_t shared = 0;
+  double mass = 0.0;
+  for (std::size_t v = 0; v < n; ++v) {
+    if ((prev_mask[v] & pb) != 0 && (cur_mask[v] & cb) != 0) {
+      ++shared;
+      mass += prev_x[v * prev_lanes + kp];
+    }
+  }
+  const double uniform = 1.0 / static_cast<double>(cur_num_active);
+  if (shared == 0 || mass <= 0.0) {
+    for (std::size_t v = 0; v < n; ++v) {
+      cur_x[v * cur_lanes + k] = (cur_mask[v] & cb) != 0 ? uniform : 0.0;
+    }
+    return;
+  }
+  const double scale =
+      (static_cast<double>(shared) / static_cast<double>(cur_num_active)) /
+      mass;
+  for (std::size_t v = 0; v < n; ++v) {
+    if ((cur_mask[v] & cb) == 0) {
+      cur_x[v * cur_lanes + k] = 0.0;
+    } else if ((prev_mask[v] & pb) != 0) {
+      cur_x[v * cur_lanes + k] = prev_x[v * prev_lanes + kp] * scale;
+    } else {
+      cur_x[v * cur_lanes + k] = uniform;
+    }
+  }
+}
+
+class PostmortemDriver {
+ public:
+  PostmortemDriver(const MultiWindowSet& set, ResultSink& sink,
+                   const PostmortemConfig& cfg, RunResult& result)
+      : set_(set), sink_(sink), cfg_(cfg), result_(result) {
+    pool_ = cfg.pool != nullptr ? cfg.pool : &par::ThreadPool::global();
+    for_opts_ = par::ForOptions{cfg.partitioner, cfg.grain, pool_};
+    kernel_par_ =
+        cfg.mode == ParallelMode::kWindow ? nullptr : &for_opts_;
+
+    // One work-item list spanning all parts, ordered by part then index so
+    // contiguous chunks chain partial initialization.
+    for (std::size_t p = 0; p < set.num_parts(); ++p) {
+      const auto& part = set.part(p);
+      const std::size_t count =
+          cfg.kernel == KernelKind::kSpmv
+              ? part.num_windows
+              : batching_for(part.num_windows, cfg.vector_length).num_batches;
+      for (std::size_t i = 0; i < count; ++i) items_.push_back({p, i});
+    }
+
+    state_stacks_.resize(pool_->num_threads() + 1);
+  }
+
+  void run() {
+    result_.num_windows = set_.spec().count;
+    result_.iterations_per_window.assign(set_.spec().count, 0);
+
+    if (cfg_.mode == ParallelMode::kPagerank) {
+      // Windows strictly in order, parallelism inside the kernel only.
+      StateLease lease(*this);
+      for (const WorkItem& item : items_) process(*lease.state, item);
+    } else {
+      par::parallel_for_range(
+          0, items_.size(), for_opts_, [this](std::size_t lo, std::size_t hi) {
+            StateLease lease(*this);
+            for (std::size_t i = lo; i < hi; ++i) {
+              process(*lease.state, items_[i]);
+            }
+          });
+    }
+
+    for (const int iters : result_.iterations_per_window) {
+      result_.total_iterations += static_cast<std::uint64_t>(iters);
+    }
+  }
+
+ private:
+  /// RAII acquisition of a per-thread state (stack per thread slot; only
+  /// the owning thread touches its stack, so no locking).
+  struct StateLease {
+    explicit StateLease(PostmortemDriver& driver) : d(driver) {
+      const int idx = par::ThreadPool::current_worker_index();
+      slot = idx >= 0 ? static_cast<std::size_t>(idx) : d.pool_->num_threads();
+      auto& stack = d.state_stacks_[slot];
+      if (stack.empty()) {
+        state_holder = std::make_unique<ThreadState>();
+      } else {
+        state_holder = std::move(stack.back());
+        stack.pop_back();
+      }
+      state = state_holder.get();
+    }
+    ~StateLease() {
+      d.state_stacks_[slot].push_back(std::move(state_holder));
+    }
+    PostmortemDriver& d;
+    std::size_t slot = 0;
+    std::unique_ptr<ThreadState> state_holder;
+    ThreadState* state = nullptr;
+  };
+
+  void process(ThreadState& st, const WorkItem& item) {
+    if (cfg_.kernel == KernelKind::kSpmv) {
+      process_spmv(st, item);
+    } else {
+      process_spmm(st, item);
+    }
+  }
+
+  void process_spmv(ThreadState& st, const WorkItem& item) {
+    const MultiWindowGraph& part = set_.part(item.part);
+    const std::size_t w = part.first_window + item.index;
+    const Timestamp ts = set_.spec().start(w);
+    const Timestamp te = set_.spec().end(w);
+    const std::size_t n = part.num_local();
+
+    st.x.resize(n);
+    st.scratch.resize(n);
+    compute_window_state(part, ts, te, st.ws, kernel_par_);
+
+    const bool partial = cfg_.partial_init && item.index > 0 &&
+                         st.carry_part == item.part &&
+                         st.carry_index == item.index - 1 &&
+                         st.prev_x.size() == n;
+    if (partial) {
+      partial_init(st.prev_x, st.prev_active, st.ws.active, st.ws.num_active,
+                   st.x);
+    } else {
+      full_init(st.ws.active, st.ws.num_active, st.x);
+    }
+
+    const PagerankStats stats = pagerank_window_spmv(
+        part, ts, te, st.ws, st.x, st.scratch, cfg_.pr, kernel_par_);
+    result_.iterations_per_window[w] = stats.iterations;
+    sink_.consume_mapped(w, part.local_to_global, st.x);
+
+    st.prev_x.swap(st.x);
+    st.prev_active.swap(st.ws.active);
+    st.carry_part = item.part;
+    st.carry_index = item.index;
+  }
+
+  void process_spmm(ThreadState& st, const WorkItem& item) {
+    const MultiWindowGraph& part = set_.part(item.part);
+    const PartBatching geo =
+        batching_for(part.num_windows, cfg_.vector_length);
+    const std::size_t j = item.index;
+    const std::size_t lanes = lanes_of_batch(geo, part.num_windows, j);
+    assert(lanes >= 1);
+    const std::size_t n = part.num_local();
+
+    SpmmBatch batch;
+    batch.lanes = lanes;
+    batch.first_window = part.first_window + j;
+    batch.window_stride = geo.region;
+
+    st.x.resize(n * lanes);
+    st.scratch.resize(n * lanes);
+    compute_spmm_state(part, set_.spec(), batch, st.spmm_ws, kernel_par_);
+
+    const bool partial = cfg_.partial_init && j > 0 &&
+                         st.carry_part == item.part &&
+                         st.carry_index == j - 1 &&
+                         st.prev_lanes >= lanes &&
+                         st.prev_x.size() == n * st.prev_lanes;
+    for (std::size_t k = 0; k < lanes; ++k) {
+      if (partial) {
+        // Lane k's window is the successor of the previous batch's lane k.
+        spmm_partial_init_lane(st.prev_x, st.prev_lanes, k, st.prev_mask,
+                               st.x, lanes, k, st.spmm_ws.active_mask,
+                               st.spmm_ws.num_active[k]);
+      } else {
+        const double uniform =
+            st.spmm_ws.num_active[k] > 0
+                ? 1.0 / static_cast<double>(st.spmm_ws.num_active[k])
+                : 0.0;
+        const std::uint64_t bit = 1ULL << k;
+        for (std::size_t v = 0; v < n; ++v) {
+          st.x[v * lanes + k] =
+              (st.spmm_ws.active_mask[v] & bit) != 0 ? uniform : 0.0;
+        }
+      }
+    }
+
+    const SpmmStats stats =
+        pagerank_spmm(part, set_.spec(), batch, st.spmm_ws, st.x, st.scratch,
+                      cfg_.pr, kernel_par_);
+
+    st.lane_buf.resize(n);
+    for (std::size_t k = 0; k < lanes; ++k) {
+      const std::size_t w = batch.window_of_lane(k);
+      for (std::size_t v = 0; v < n; ++v) {
+        st.lane_buf[v] = st.x[v * lanes + k];
+      }
+      result_.iterations_per_window[w] = stats.lane_stats[k].iterations;
+      sink_.consume_mapped(w, part.local_to_global, st.lane_buf);
+    }
+
+    st.prev_x.swap(st.x);
+    st.prev_mask = st.spmm_ws.active_mask;  // copy; spmm_ws reused next item
+    st.prev_lanes = lanes;
+    st.carry_part = item.part;
+    st.carry_index = j;
+  }
+
+  const MultiWindowSet& set_;
+  ResultSink& sink_;
+  const PostmortemConfig& cfg_;
+  RunResult& result_;
+  par::ThreadPool* pool_ = nullptr;
+  par::ForOptions for_opts_;
+  const par::ForOptions* kernel_par_ = nullptr;
+  std::vector<WorkItem> items_;
+  std::vector<std::vector<std::unique_ptr<ThreadState>>> state_stacks_;
+};
+
+}  // namespace
+
+RunResult run_postmortem_prebuilt(const MultiWindowSet& set, ResultSink& sink,
+                                  const PostmortemConfig& config) {
+  RunResult result;
+  Timer timer;
+  PostmortemDriver driver(set, sink, config, result);
+  driver.run();
+  result.compute_seconds = timer.seconds();
+  return result;
+}
+
+RunResult run_postmortem(const TemporalEdgeList& events,
+                         const WindowSpec& spec, ResultSink& sink,
+                         const PostmortemConfig& config) {
+  Timer build_timer;
+  const MultiWindowSet set = MultiWindowSet::build(
+      events, spec, config.num_multi_windows, config.partition_policy);
+  const double build_seconds = build_timer.seconds();
+
+  RunResult result = run_postmortem_prebuilt(set, sink, config);
+  result.build_seconds = build_seconds;
+  return result;
+}
+
+}  // namespace pmpr

@@ -1,0 +1,29 @@
+// Postmortem execution model (paper §4): the whole temporal graph is encoded
+// once as a MultiWindowSet; PageRank runs over windows with
+//   * partial initialization chained across consecutive windows processed by
+//     the same thread (§4.2, §4.3.1),
+//   * window-level / application-level / nested parallelism on the
+//     work-stealing pool (§4.3),
+//   * the SpMV or SpMM-inspired kernel (§4.4); SpMM batches are strided so
+//     every batch after the first still partial-initializes.
+#pragma once
+
+#include "exec/config.hpp"
+#include "exec/results.hpp"
+#include "graph/edge_list.hpp"
+#include "graph/multi_window.hpp"
+
+namespace pmpr {
+
+/// Builds the multi-window representation (timed as build_seconds) and runs
+/// the analysis. `events` must be time-sorted.
+RunResult run_postmortem(const TemporalEdgeList& events,
+                         const WindowSpec& spec, ResultSink& sink,
+                         const PostmortemConfig& config);
+
+/// Runs on an already-built representation (build_seconds = 0). Benchmarks
+/// use this to sweep execution parameters without re-paying construction.
+RunResult run_postmortem_prebuilt(const MultiWindowSet& set, ResultSink& sink,
+                                  const PostmortemConfig& config);
+
+}  // namespace pmpr

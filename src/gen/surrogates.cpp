@@ -1,0 +1,174 @@
+#include "gen/surrogates.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pmpr::gen {
+
+namespace {
+
+using pmpr::duration::kDay;
+using pmpr::duration::kYear;
+
+/// Rough epoch seconds for the first of a year (leap-day precision is
+/// irrelevant for surrogate shapes).
+constexpr Timestamp year_start(int year) {
+  return static_cast<Timestamp>(year - 1970) * kYear;
+}
+
+std::vector<DatasetSpec> make_catalog() {
+  std::vector<DatasetSpec> cat;
+
+  {
+    DatasetSpec d;
+    d.name = "ca-cit-HepTh";
+    d.paper_events = 2'673'133;
+    d.events = 150'000;
+    d.topology = {.scale = 14, .a = 0.55, .b = 0.2, .c = 0.2, .noise = 0.1};
+    d.t_begin = year_start(1993);
+    d.t_end = year_start(2001) + 90 * kDay;
+    d.profile = {ProfileShape::kIrregular, 4.0, 0.0};
+    d.sliding_offsets = {43'200, 86'400, 172'800};
+    d.window_sizes = {10 * kDay, 15 * kDay, 90 * kDay,
+                      180 * kDay, 730 * kDay, 1460 * kDay};
+    cat.push_back(std::move(d));
+  }
+  {
+    DatasetSpec d;
+    d.name = "stackoverflow";
+    d.paper_events = 47'903'266;
+    d.events = 500'000;
+    d.topology = {.scale = 16, .a = 0.57, .b = 0.19, .c = 0.19, .noise = 0.1};
+    d.t_begin = year_start(2008) + 210 * kDay;
+    d.t_end = year_start(2015) + 210 * kDay;
+    d.profile = {ProfileShape::kGrowth, 2.0, 0.0};
+    d.sliding_offsets = {43'200, 86'400};
+    d.window_sizes = {10 * kDay, 15 * kDay, 90 * kDay, 180 * kDay,
+                      730 * kDay};
+    cat.push_back(std::move(d));
+  }
+  {
+    DatasetSpec d;
+    d.name = "askubuntu";
+    d.paper_events = 726'661;
+    d.events = 120'000;
+    d.topology = {.scale = 14, .a = 0.57, .b = 0.19, .c = 0.19, .noise = 0.1};
+    d.t_begin = year_start(2009);
+    d.t_end = year_start(2015) + 270 * kDay;
+    d.profile = {ProfileShape::kGrowth, 1.5, 0.0};
+    d.sliding_offsets = {86'400, 172'800};
+    d.window_sizes = {90 * kDay, 180 * kDay};
+    cat.push_back(std::move(d));
+  }
+  {
+    DatasetSpec d;
+    d.name = "youtube-growth";
+    d.paper_events = 12'223'774;
+    d.events = 300'000;
+    d.topology = {.scale = 15, .a = 0.6, .b = 0.18, .c = 0.18, .noise = 0.1};
+    d.t_begin = year_start(2006) + 340 * kDay;
+    d.t_end = year_start(2007) + 190 * kDay;
+    d.profile = {ProfileShape::kSteadyBursty, 4.0, 0.08};
+    d.sliding_offsets = {43'200, 86'400};
+    d.window_sizes = {60 * kDay, 90 * kDay};
+    cat.push_back(std::move(d));
+  }
+  {
+    DatasetSpec d;
+    d.name = "epinions-user-ratings";
+    d.paper_events = 13'668'281;
+    d.events = 300'000;
+    // Bipartite-ish reviews: skew sources harder than destinations.
+    d.topology = {.scale = 15, .a = 0.62, .b = 0.2, .c = 0.12, .noise = 0.1};
+    d.t_begin = year_start(2001) + 14 * kDay;
+    d.t_end = year_start(2002) + 70 * kDay;
+    d.profile = {ProfileShape::kBurst, 0.35, 0.08};
+    d.sliding_offsets = {43'200, 86'400};
+    d.window_sizes = {60 * kDay, 90 * kDay};
+    cat.push_back(std::move(d));
+  }
+  {
+    DatasetSpec d;
+    d.name = "ia-enron-email";
+    d.paper_events = 1'134'990;
+    d.events = 150'000;
+    d.topology = {.scale = 13, .a = 0.55, .b = 0.22, .c = 0.18, .noise = 0.1};
+    d.t_begin = year_start(1997);
+    d.t_end = year_start(2003);
+    // The 2001 scandal spike (Fig. 4a).
+    d.profile = {ProfileShape::kSpike, 0.8, 0.05};
+    d.sliding_offsets = {86'400, 172'800};
+    d.window_sizes = {2 * kYear, 4 * kYear};
+    cat.push_back(std::move(d));
+  }
+  {
+    DatasetSpec d;
+    d.name = "wiki-talk";
+    d.paper_events = 6'100'538;
+    d.events = 400'000;
+    d.topology = {.scale = 15, .a = 0.57, .b = 0.19, .c = 0.19, .noise = 0.1};
+    d.t_begin = year_start(2001) + 270 * kDay;
+    d.t_end = year_start(2007);
+    d.profile = {ProfileShape::kGrowth, 2.2, 0.0};
+    d.sliding_offsets = {43'200, 86'400, 172'800, 259'200};
+    d.window_sizes = {10 * kDay, 15 * kDay, 90 * kDay, 180 * kDay};
+    cat.push_back(std::move(d));
+  }
+  return cat;
+}
+
+}  // namespace
+
+const std::vector<DatasetSpec>& dataset_catalog() {
+  static const std::vector<DatasetSpec> catalog = make_catalog();
+  return catalog;
+}
+
+const DatasetSpec& dataset_by_name(std::string_view name) {
+  for (const auto& d : dataset_catalog()) {
+    if (d.name == name) return d;
+  }
+  throw std::invalid_argument("unknown dataset surrogate: " +
+                              std::string(name));
+}
+
+DatasetSpec scaled(const DatasetSpec& spec, double factor) {
+  DatasetSpec out = spec;
+  if (factor <= 0.0) factor = 1.0;
+  out.events = std::max<std::size_t>(
+      1000, static_cast<std::size_t>(
+                static_cast<double>(spec.events) * factor));
+  const int shift = static_cast<int>(std::lround(std::log2(factor)));
+  out.topology.scale =
+      std::clamp(spec.topology.scale + shift, 8, 24);
+  return out;
+}
+
+TemporalEdgeList generate(const DatasetSpec& spec, std::uint64_t seed) {
+  // Independent deterministic streams for times and endpoints.
+  std::uint64_t name_hash = 1469598103934665603ULL;
+  for (const char ch : spec.name) {
+    name_hash = (name_hash ^ static_cast<std::uint64_t>(ch)) *
+                1099511628211ULL;
+  }
+  Xoshiro256 root(seed ^ name_hash);
+  Xoshiro256 time_rng = root.fork();
+  Xoshiro256 edge_rng = root.fork();
+
+  const std::vector<Timestamp> times = sample_timestamps(
+      spec.profile, spec.events, spec.t_begin, spec.t_end, time_rng);
+
+  RmatSampler sampler(spec.topology);
+  std::vector<TemporalEdge> edges;
+  edges.reserve(times.size());
+  for (const Timestamp t : times) {
+    const auto [src, dst] = sampler.sample(edge_rng);
+    edges.push_back({src, dst, t});
+  }
+  TemporalEdgeList list(std::move(edges));
+  list.ensure_vertices(sampler.num_vertices());
+  return list;
+}
+
+}  // namespace pmpr::gen

@@ -1,0 +1,49 @@
+// The seven dataset surrogates (paper Table 1 / Fig. 4).
+//
+// The paper's datasets come from SNAP / Network Repository / DIMACS; this
+// offline reproduction regenerates each as a synthetic temporal edge set
+// matching the published shape: scaled event count, power-law topology, the
+// dataset's time range and its temporal arrival profile, plus the sliding
+// offset / window size grids of Table 1 (see DESIGN.md §2 for the
+// substitution rationale).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gen/temporal_profile.hpp"
+#include "gen/topology.hpp"
+#include "graph/edge_list.hpp"
+
+namespace pmpr::gen {
+
+struct DatasetSpec {
+  std::string name;
+  std::size_t paper_events = 0;  ///< |Events| reported in Table 1.
+  std::size_t events = 0;        ///< Surrogate default (laptop-scaled).
+  RmatParams topology;
+  Timestamp t_begin = 0;
+  Timestamp t_end = 0;
+  TemporalProfile profile;
+  /// Table 1 parameter grids (seconds).
+  std::vector<Timestamp> sliding_offsets;
+  std::vector<Timestamp> window_sizes;
+};
+
+/// All seven surrogates in paper order.
+const std::vector<DatasetSpec>& dataset_catalog();
+
+/// Lookup by name; throws std::invalid_argument for unknown names.
+const DatasetSpec& dataset_by_name(std::string_view name);
+
+/// Returns a copy with the event count (and vertex-space scale, roughly
+/// logarithmically) multiplied by `factor`.
+DatasetSpec scaled(const DatasetSpec& spec, double factor);
+
+/// Generates the surrogate's temporal edge list (sorted by time).
+/// Deterministic in (spec, seed).
+TemporalEdgeList generate(const DatasetSpec& spec, std::uint64_t seed = 42);
+
+}  // namespace pmpr::gen

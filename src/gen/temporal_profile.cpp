@@ -1,0 +1,143 @@
+#include "gen/temporal_profile.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace pmpr::gen {
+
+std::string_view to_string(ProfileShape s) {
+  switch (s) {
+    case ProfileShape::kUniform:
+      return "uniform";
+    case ProfileShape::kSpike:
+      return "spike";
+    case ProfileShape::kBurst:
+      return "burst";
+    case ProfileShape::kGrowth:
+      return "growth";
+    case ProfileShape::kSteadyBursty:
+      return "steady-bursty";
+    case ProfileShape::kIrregular:
+      return "irregular";
+  }
+  return "?";
+}
+
+std::vector<double> profile_weights(const TemporalProfile& profile,
+                                    std::size_t buckets, Xoshiro256& rng) {
+  assert(buckets > 0);
+  std::vector<double> w(buckets, 1.0);
+  auto frac = [buckets](std::size_t b) {
+    return (static_cast<double>(b) + 0.5) / static_cast<double>(buckets);
+  };
+
+  switch (profile.shape) {
+    case ProfileShape::kUniform:
+      break;
+    case ProfileShape::kSpike: {
+      const double center = profile.p1;
+      const double width = std::max(profile.p2, 1e-3);
+      for (std::size_t b = 0; b < buckets; ++b) {
+        const double z = (frac(b) - center) / width;
+        w[b] = 0.1 + 20.0 * std::exp(-z * z);
+      }
+      break;
+    }
+    case ProfileShape::kBurst: {
+      const double center = profile.p1;
+      const double width = std::max(profile.p2, 1e-3);
+      for (std::size_t b = 0; b < buckets; ++b) {
+        const double z = (frac(b) - center) / width;
+        // Asymmetric: sharp rise, slower decay after the peak.
+        const double tail = frac(b) > center ? 0.5 : 1.0;
+        w[b] = 0.05 + 40.0 * std::exp(-z * z * tail);
+      }
+      break;
+    }
+    case ProfileShape::kGrowth: {
+      const double g = std::max(profile.p1, 0.1);
+      for (std::size_t b = 0; b < buckets; ++b) {
+        w[b] = 0.02 + std::pow(frac(b), g);
+      }
+      break;
+    }
+    case ProfileShape::kSteadyBursty: {
+      const double amplitude = std::max(profile.p1, 0.0);
+      const double frequency = std::clamp(profile.p2, 0.0, 1.0);
+      for (std::size_t b = 0; b < buckets; ++b) {
+        w[b] = 1.0;
+        if (rng.uniform() < frequency) {
+          w[b] += amplitude * (0.5 + rng.uniform());
+        }
+      }
+      break;
+    }
+    case ProfileShape::kIrregular: {
+      const double variance = std::max(profile.p1, 0.1);
+      std::size_t b = 0;
+      while (b < buckets) {
+        // Random-length segment at a random level.
+        const std::size_t len =
+            1 + static_cast<std::size_t>(rng.bounded(buckets / 8 + 1));
+        const double level = 0.2 + variance * rng.uniform() * rng.uniform();
+        for (std::size_t i = 0; i < len && b < buckets; ++i, ++b) {
+          w[b] = level;
+        }
+      }
+      break;
+    }
+  }
+  return w;
+}
+
+std::vector<Timestamp> sample_timestamps(const TemporalProfile& profile,
+                                         std::size_t count, Timestamp t_begin,
+                                         Timestamp t_end, Xoshiro256& rng,
+                                         std::size_t buckets) {
+  assert(t_end >= t_begin);
+  buckets = std::min(buckets, std::max<std::size_t>(count, 1));
+  const std::vector<double> w = profile_weights(profile, buckets, rng);
+  const double total_w = std::accumulate(w.begin(), w.end(), 0.0);
+
+  // Largest-remainder allocation of `count` events to buckets.
+  std::vector<std::size_t> alloc(buckets, 0);
+  std::vector<std::pair<double, std::size_t>> remainders(buckets);
+  std::size_t assigned = 0;
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const double exact =
+        static_cast<double>(count) * w[b] / total_w;
+    alloc[b] = static_cast<std::size_t>(exact);
+    assigned += alloc[b];
+    remainders[b] = {exact - std::floor(exact), b};
+  }
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (std::size_t i = 0; assigned < count && i < buckets; ++i, ++assigned) {
+    ++alloc[remainders[i].second];
+  }
+
+  // Emit uniform timestamps inside each bucket, sorted within the bucket;
+  // buckets are visited in order so the whole output is sorted.
+  const double span = static_cast<double>(t_end - t_begin) + 1.0;
+  const double bucket_span = span / static_cast<double>(buckets);
+  std::vector<Timestamp> out;
+  out.reserve(count);
+  std::vector<Timestamp> bucket_times;
+  for (std::size_t b = 0; b < buckets; ++b) {
+    bucket_times.clear();
+    const double lo = static_cast<double>(t_begin) +
+                      static_cast<double>(b) * bucket_span;
+    for (std::size_t i = 0; i < alloc[b]; ++i) {
+      const double t = lo + rng.uniform() * bucket_span;
+      bucket_times.push_back(std::min(
+          t_end, static_cast<Timestamp>(t)));
+    }
+    std::sort(bucket_times.begin(), bucket_times.end());
+    out.insert(out.end(), bucket_times.begin(), bucket_times.end());
+  }
+  return out;
+}
+
+}  // namespace pmpr::gen

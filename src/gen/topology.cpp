@@ -1,0 +1,34 @@
+#include "gen/topology.hpp"
+
+namespace pmpr::gen {
+
+std::pair<VertexId, VertexId> RmatSampler::sample(Xoshiro256& rng) const {
+  VertexId src = 0;
+  VertexId dst = 0;
+  for (int level = 0; level < p_.scale; ++level) {
+    // Jitter the quadrant probabilities per level (Graph500-style noise).
+    const double na = p_.a * (1.0 + p_.noise * (rng.uniform() - 0.5));
+    const double nb = p_.b * (1.0 + p_.noise * (rng.uniform() - 0.5));
+    const double nc = p_.c * (1.0 + p_.noise * (rng.uniform() - 0.5));
+    const double nd =
+        (1.0 - p_.a - p_.b - p_.c) * (1.0 + p_.noise * (rng.uniform() - 0.5));
+    const double total = na + nb + nc + nd;
+    const double r = rng.uniform() * total;
+
+    src <<= 1;
+    dst <<= 1;
+    if (r < na) {
+      // top-left: no bits set
+    } else if (r < na + nb) {
+      dst |= 1;
+    } else if (r < na + nb + nc) {
+      src |= 1;
+    } else {
+      src |= 1;
+      dst |= 1;
+    }
+  }
+  return {src, dst};
+}
+
+}  // namespace pmpr::gen

@@ -1,0 +1,43 @@
+// Edge-endpoint topology sampler.
+//
+// The paper evaluates on real social/collaboration/communication networks
+// whose degree distributions are heavily skewed ("social graphs have power
+// law edge distribution", §6.3.2). Our surrogates draw endpoints from an
+// R-MAT distribution (Chakrabarti et al.), the standard synthetic model
+// with that property; per-level parameter noise avoids the artificial
+// self-similarity of plain R-MAT.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "graph/types.hpp"
+#include "util/rng.hpp"
+
+namespace pmpr::gen {
+
+struct RmatParams {
+  int scale = 14;  ///< Vertex space is [0, 2^scale).
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;  ///< d = 1 - a - b - c.
+  double noise = 0.1;  ///< Per-level multiplicative jitter on (a,b,c,d).
+};
+
+class RmatSampler {
+ public:
+  explicit RmatSampler(RmatParams params) : p_(params) {}
+
+  [[nodiscard]] VertexId num_vertices() const {
+    return VertexId{1} << p_.scale;
+  }
+
+  /// Draws one (src, dst) pair. Self-loops are possible and kept (PageRank
+  /// and the window graphs handle them).
+  std::pair<VertexId, VertexId> sample(Xoshiro256& rng) const;
+
+ private:
+  RmatParams p_;
+};
+
+}  // namespace pmpr::gen

@@ -1,0 +1,80 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pmpr {
+
+Csr Csr::from_pairs(std::span<const std::pair<VertexId, VertexId>> edges,
+                    VertexId num_vertices, bool dedup) {
+  Csr g;
+  g.row_ptr_.assign(static_cast<std::size_t>(num_vertices) + 1, 0);
+  for (const auto& [src, dst] : edges) {
+    assert(src < num_vertices && dst < num_vertices);
+    ++g.row_ptr_[src + 1];
+  }
+  for (std::size_t v = 0; v < num_vertices; ++v) {
+    g.row_ptr_[v + 1] += g.row_ptr_[v];
+  }
+  g.col_.resize(edges.size());
+  std::vector<std::size_t> cursor(g.row_ptr_.begin(), g.row_ptr_.end() - 1);
+  for (const auto& [src, dst] : edges) {
+    g.col_[cursor[src]++] = dst;
+  }
+  // Sort each row; optionally drop duplicates and compact.
+  for (std::size_t v = 0; v < num_vertices; ++v) {
+    std::sort(g.col_.begin() + static_cast<std::ptrdiff_t>(g.row_ptr_[v]),
+              g.col_.begin() + static_cast<std::ptrdiff_t>(g.row_ptr_[v + 1]));
+  }
+  if (dedup) {
+    std::size_t write = 0;
+    std::size_t row_start = 0;
+    for (std::size_t v = 0; v < num_vertices; ++v) {
+      const std::size_t row_end = g.row_ptr_[v + 1];
+      std::size_t read = row_start;
+      while (read < row_end) {
+        const VertexId u = g.col_[read];
+        g.col_[write++] = u;
+        while (read < row_end && g.col_[read] == u) ++read;
+      }
+      row_start = row_end;
+      g.row_ptr_[v + 1] = write;
+    }
+    g.col_.resize(write);
+  }
+  return g;
+}
+
+WindowGraph build_window_graph(std::span<const TemporalEdge> events,
+                               VertexId num_vertices) {
+  WindowGraph w;
+  w.num_vertices = num_vertices;
+  w.is_active.assign(num_vertices, 0);
+
+  // Deduplicate (src, dst) pairs: sort then unique.
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  pairs.reserve(events.size());
+  for (const auto& e : events) pairs.emplace_back(e.src, e.dst);
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  w.num_edges = pairs.size();
+
+  w.out_degree.assign(num_vertices, 0);
+  std::vector<std::pair<VertexId, VertexId>> reversed;
+  reversed.reserve(pairs.size());
+  for (const auto& [src, dst] : pairs) {
+    ++w.out_degree[src];
+    w.is_active[src] = 1;
+    w.is_active[dst] = 1;
+    reversed.emplace_back(dst, src);
+  }
+  w.in = Csr::from_pairs(reversed, num_vertices, /*dedup=*/false);
+
+  w.num_active = 0;
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    w.num_active += w.is_active[v];
+  }
+  return w;
+}
+
+}  // namespace pmpr

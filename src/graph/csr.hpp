@@ -1,0 +1,67 @@
+// Static CSR graph and the per-window graph bundle used by the offline
+// execution model (paper §3.3.1) and as the ground truth in tests.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace pmpr {
+
+/// Plain compressed-sparse-row adjacency over a fixed vertex space [0, n).
+class Csr {
+ public:
+  Csr() = default;
+
+  /// Builds from (src, dst) pairs. If `dedup`, parallel edges collapse to
+  /// one (the per-window graphs are simple graphs, paper §2.1).
+  static Csr from_pairs(std::span<const std::pair<VertexId, VertexId>> edges,
+                        VertexId num_vertices, bool dedup);
+
+  [[nodiscard]] VertexId num_vertices() const {
+    return row_ptr_.empty() ? 0 : static_cast<VertexId>(row_ptr_.size() - 1);
+  }
+  [[nodiscard]] std::size_t num_edges() const { return col_.size(); }
+
+  [[nodiscard]] std::span<const VertexId> neighbors(VertexId v) const {
+    return {col_.data() + row_ptr_[v], col_.data() + row_ptr_[v + 1]};
+  }
+  [[nodiscard]] std::uint32_t degree(VertexId v) const {
+    return static_cast<std::uint32_t>(row_ptr_[v + 1] - row_ptr_[v]);
+  }
+
+  [[nodiscard]] const std::vector<std::size_t>& row_ptr() const {
+    return row_ptr_;
+  }
+  [[nodiscard]] const std::vector<VertexId>& col() const { return col_; }
+
+ private:
+  std::vector<std::size_t> row_ptr_;  // n + 1 entries
+  std::vector<VertexId> col_;
+};
+
+/// One window's graph in the global vertex space, shaped for a pull-style
+/// PageRank: in-adjacency + distinct out-degrees + the active vertex set
+/// (a vertex is active iff it has at least one incident edge in the window;
+/// |V_i| in the paper's Eq. 1 is the active count).
+struct WindowGraph {
+  VertexId num_vertices = 0;            ///< Global vertex-space size.
+  Csr in;                               ///< Deduplicated in-adjacency.
+  std::vector<std::uint32_t> out_degree;  ///< Distinct out-neighbors.
+  std::vector<std::uint8_t> is_active;  ///< 1 iff vertex active this window.
+  std::size_t num_active = 0;
+  std::size_t num_edges = 0;  ///< Distinct directed edges in the window.
+};
+
+/// Builds the window graph from the events of that window (any order,
+/// duplicates allowed). This is the per-window reconstruction cost the
+/// offline model pays (paper: "the cost of the application will be driven
+/// by the cost of building the graphs").
+WindowGraph build_window_graph(std::span<const TemporalEdge> events,
+                               VertexId num_vertices);
+
+}  // namespace pmpr

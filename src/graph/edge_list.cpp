@@ -1,0 +1,138 @@
+#include "graph/edge_list.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/parallel_sort.hpp"
+
+namespace pmpr {
+
+TemporalEdgeList::TemporalEdgeList(std::vector<TemporalEdge> edges)
+    : edges_(std::move(edges)) {
+  for (const auto& e : edges_) {
+    num_vertices_ = std::max({num_vertices_, e.src + 1, e.dst + 1});
+  }
+}
+
+void TemporalEdgeList::add(VertexId src, VertexId dst, Timestamp time) {
+  edges_.push_back({src, dst, time});
+  num_vertices_ = std::max({num_vertices_, src + 1, dst + 1});
+}
+
+void TemporalEdgeList::ensure_vertices(VertexId n) {
+  num_vertices_ = std::max(num_vertices_, n);
+}
+
+bool TemporalEdgeList::is_sorted_by_time() const {
+  return std::is_sorted(
+      edges_.begin(), edges_.end(),
+      [](const TemporalEdge& a, const TemporalEdge& b) { return a.time < b.time; });
+}
+
+void TemporalEdgeList::sort_by_time() {
+  // Parallel stable merge sort above its sequential cutoff; plain
+  // stable_sort below it (see util/parallel_sort.hpp).
+  parallel_sort(edges_, [](const TemporalEdge& a, const TemporalEdge& b) {
+    return a.time < b.time;
+  });
+}
+
+Timestamp TemporalEdgeList::min_time() const {
+  assert(!edges_.empty());
+  return edges_.front().time;
+}
+
+Timestamp TemporalEdgeList::max_time() const {
+  assert(!edges_.empty());
+  return edges_.back().time;
+}
+
+std::span<const TemporalEdge> TemporalEdgeList::slice(Timestamp ts,
+                                                      Timestamp te) const {
+  assert(is_sorted_by_time());
+  const auto lo = std::lower_bound(
+      edges_.begin(), edges_.end(), ts,
+      [](const TemporalEdge& e, Timestamp t) { return e.time < t; });
+  const auto hi = std::upper_bound(
+      lo, edges_.end(), te,
+      [](Timestamp t, const TemporalEdge& e) { return t < e.time; });
+  return {std::to_address(lo), static_cast<std::size_t>(hi - lo)};
+}
+
+TemporalEdgeList TemporalEdgeList::load_text(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  TemporalEdgeList list;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    std::uint64_t u = 0;
+    std::uint64_t v = 0;
+    Timestamp t = 0;
+    if (!(ss >> u >> v >> t)) {
+      throw std::runtime_error(path + ":" + std::to_string(lineno) +
+                               ": malformed event line: '" + line + "'");
+    }
+    list.add(static_cast<VertexId>(u), static_cast<VertexId>(v), t);
+  }
+  return list;
+}
+
+void TemporalEdgeList::save_text(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  out << "# pmpr temporal edge list: src dst time\n";
+  for (const auto& e : edges_) {
+    out << e.src << ' ' << e.dst << ' ' << e.time << '\n';
+  }
+  if (!out) throw std::runtime_error("write failure on " + path);
+}
+
+namespace {
+constexpr char kMagic[8] = {'P', 'M', 'P', 'R', 'E', 'L', '0', '1'};
+}
+
+TemporalEdgeList TemporalEdgeList::load_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error(path + ": not a pmpr edge-list file");
+  }
+  std::uint64_t count = 0;
+  std::uint64_t vertices = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  in.read(reinterpret_cast<char*>(&vertices), sizeof(vertices));
+  if (!in) throw std::runtime_error(path + ": truncated header");
+  std::vector<TemporalEdge> edges(count);
+  in.read(reinterpret_cast<char*>(edges.data()),
+          static_cast<std::streamsize>(count * sizeof(TemporalEdge)));
+  if (!in) throw std::runtime_error(path + ": truncated payload");
+  TemporalEdgeList list(std::move(edges));
+  list.ensure_vertices(static_cast<VertexId>(vertices));
+  return list;
+}
+
+void TemporalEdgeList::save_binary(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  out.write(kMagic, sizeof(kMagic));
+  const std::uint64_t count = edges_.size();
+  const std::uint64_t vertices = num_vertices_;
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  out.write(reinterpret_cast<const char*>(&vertices), sizeof(vertices));
+  out.write(reinterpret_cast<const char*>(edges_.data()),
+            static_cast<std::streamsize>(count * sizeof(TemporalEdge)));
+  if (!out) throw std::runtime_error("write failure on " + path);
+}
+
+}  // namespace pmpr

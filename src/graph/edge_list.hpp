@@ -1,0 +1,67 @@
+// Temporal edge set (paper §2.1): the postmortem input — the full event
+// database ⟨u, v, t⟩, known in advance and sorted by non-decreasing time.
+//
+// Provides construction, validation, text/binary IO, and the time-range
+// queries the execution models are built on (events of one window / one
+// multi-window span are a contiguous slice of the sorted list).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace pmpr {
+
+class TemporalEdgeList {
+ public:
+  TemporalEdgeList() = default;
+  explicit TemporalEdgeList(std::vector<TemporalEdge> edges);
+
+  /// Appends an event. Invalidates sortedness if out of order.
+  void add(VertexId src, VertexId dst, Timestamp time);
+
+  [[nodiscard]] std::size_t size() const { return edges_.size(); }
+  [[nodiscard]] bool empty() const { return edges_.empty(); }
+  [[nodiscard]] std::span<const TemporalEdge> events() const { return edges_; }
+  [[nodiscard]] const TemporalEdge& operator[](std::size_t i) const {
+    return edges_[i];
+  }
+
+  /// Number of vertices = max endpoint id + 1 (0 if empty). O(1); maintained
+  /// incrementally.
+  [[nodiscard]] VertexId num_vertices() const { return num_vertices_; }
+
+  /// Raises the vertex-space size (ids are global even if some never occur).
+  void ensure_vertices(VertexId n);
+
+  [[nodiscard]] bool is_sorted_by_time() const;
+
+  /// Stable-sorts events by timestamp (postmortem precondition).
+  void sort_by_time();
+
+  /// Earliest / latest event time. Requires a non-empty, time-sorted list.
+  [[nodiscard]] Timestamp min_time() const;
+  [[nodiscard]] Timestamp max_time() const;
+
+  /// Contiguous slice of events with ts <= t <= te. Requires time-sorted.
+  [[nodiscard]] std::span<const TemporalEdge> slice(Timestamp ts,
+                                                    Timestamp te) const;
+
+  /// Text IO: one "src dst time" triple per line; '#' starts a comment.
+  /// Throws std::runtime_error on malformed input or IO failure.
+  static TemporalEdgeList load_text(const std::string& path);
+  void save_text(const std::string& path) const;
+
+  /// Binary IO (little-endian, magic-tagged). Throws on failure.
+  static TemporalEdgeList load_binary(const std::string& path);
+  void save_binary(const std::string& path) const;
+
+ private:
+  std::vector<TemporalEdge> edges_;
+  VertexId num_vertices_ = 0;
+};
+
+}  // namespace pmpr

@@ -1,0 +1,43 @@
+#include "graph/relabel.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace pmpr {
+
+Relabeling relabel_by_activity(const TemporalEdgeList& events) {
+  const VertexId n = events.num_vertices();
+  std::vector<std::uint64_t> activity(n, 0);
+  for (const auto& e : events.events()) {
+    ++activity[e.src];
+    ++activity[e.dst];
+  }
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](VertexId a, VertexId b) {
+                     return activity[a] > activity[b];
+                   });
+  Relabeling r;
+  r.inverse = std::move(order);
+  r.forward.resize(n);
+  for (VertexId new_id = 0; new_id < n; ++new_id) {
+    r.forward[r.inverse[new_id]] = new_id;
+  }
+  return r;
+}
+
+TemporalEdgeList apply_relabeling(const TemporalEdgeList& events,
+                                  const Relabeling& relabeling) {
+  std::vector<TemporalEdge> out;
+  out.reserve(events.size());
+  for (const auto& e : events.events()) {
+    out.push_back({relabeling.to_new(e.src), relabeling.to_new(e.dst),
+                   e.time});
+  }
+  TemporalEdgeList list(std::move(out));
+  list.ensure_vertices(events.num_vertices());
+  return list;
+}
+
+}  // namespace pmpr

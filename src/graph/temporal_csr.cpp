@@ -1,0 +1,77 @@
+#include "graph/temporal_csr.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "par/parallel_for.hpp"
+
+namespace pmpr {
+
+TemporalCsr TemporalCsr::build(std::span<const TemporalEdge> events,
+                               VertexId num_vertices, bool reverse) {
+  TemporalCsr g;
+  g.row_ptr_.assign(static_cast<std::size_t>(num_vertices) + 1, 0);
+
+  auto row_of = [reverse](const TemporalEdge& e) {
+    return reverse ? e.dst : e.src;
+  };
+  auto col_of = [reverse](const TemporalEdge& e) {
+    return reverse ? e.src : e.dst;
+  };
+
+  for (const auto& e : events) {
+    assert(e.src < num_vertices && e.dst < num_vertices);
+    ++g.row_ptr_[row_of(e) + 1];
+  }
+  for (std::size_t v = 0; v < num_vertices; ++v) {
+    g.row_ptr_[v + 1] += g.row_ptr_[v];
+  }
+
+  g.col_.resize(events.size());
+  g.time_.resize(events.size());
+  {
+    std::vector<std::size_t> cursor(g.row_ptr_.begin(), g.row_ptr_.end() - 1);
+    for (const auto& e : events) {
+      const std::size_t at = cursor[row_of(e)]++;
+      g.col_[at] = col_of(e);
+      g.time_[at] = e.time;
+    }
+  }
+
+  // Sort every row by <neighbor, time> so events between the same pair form
+  // a consecutive, time-ascending run. Rows are independent -> parallel.
+  par::parallel_for_range(
+      0, num_vertices, {},
+      [&g](std::size_t lo_v, std::size_t hi_v) {
+        std::vector<std::uint32_t> order;
+        std::vector<VertexId> tmp_col;
+        std::vector<Timestamp> tmp_time;
+        for (std::size_t v = lo_v; v < hi_v; ++v) {
+          const std::size_t lo = g.row_ptr_[v];
+          const std::size_t hi = g.row_ptr_[v + 1];
+          const std::size_t len = hi - lo;
+          if (len < 2) continue;
+          order.resize(len);
+          std::iota(order.begin(), order.end(), 0u);
+          std::sort(order.begin(), order.end(),
+                    [&](std::uint32_t a, std::uint32_t b) {
+                      const VertexId ca = g.col_[lo + a];
+                      const VertexId cb = g.col_[lo + b];
+                      if (ca != cb) return ca < cb;
+                      return g.time_[lo + a] < g.time_[lo + b];
+                    });
+          tmp_col.resize(len);
+          tmp_time.resize(len);
+          for (std::size_t k = 0; k < len; ++k) {
+            tmp_col[k] = g.col_[lo + order[k]];
+            tmp_time[k] = g.time_[lo + order[k]];
+          }
+          std::copy(tmp_col.begin(), tmp_col.end(), g.col_.begin() + lo);
+          std::copy(tmp_time.begin(), tmp_time.end(), g.time_.begin() + lo);
+        }
+      });
+  return g;
+}
+
+}  // namespace pmpr

@@ -1,0 +1,35 @@
+// Core value types shared across the library.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace pmpr {
+
+/// Vertex identifier. 32 bits: every dataset in the paper (and every
+/// surrogate we generate) has far fewer than 4B vertices.
+using VertexId = std::uint32_t;
+
+/// Event timestamp in arbitrary integer time units (the surrogates use
+/// seconds since epoch, matching the sliding offsets the paper quotes:
+/// 43200 = 12 hours, 86400 = 1 day, ...).
+using Timestamp = std::int64_t;
+
+/// One temporal event ⟨u, v, t⟩: a directed relation from `src` to `dst`
+/// observed at time `time` (paper §2.1).
+struct TemporalEdge {
+  VertexId src = 0;
+  VertexId dst = 0;
+  Timestamp time = 0;
+
+  friend auto operator<=>(const TemporalEdge&, const TemporalEdge&) = default;
+};
+
+/// Common time constants for readable experiment definitions.
+namespace duration {
+inline constexpr Timestamp kHour = 3600;
+inline constexpr Timestamp kDay = 24 * kHour;
+inline constexpr Timestamp kYear = 365 * kDay;
+}  // namespace duration
+
+}  // namespace pmpr

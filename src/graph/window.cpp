@@ -1,0 +1,48 @@
+#include "graph/window.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pmpr {
+
+std::pair<std::size_t, std::size_t> WindowSpec::windows_containing(
+    Timestamp t) const {
+  assert(sw > 0);
+  // Need: t0 + i*sw <= t <= t0 + i*sw + delta
+  //   <=> (t - delta - t0) / sw <= i <= (t - t0) / sw
+  const Timestamp rel = t - t0;
+  if (rel < 0) return {0, 0};
+  const auto hi_idx = static_cast<std::size_t>(rel / sw);  // floor, rel >= 0
+  const Timestamp lo_num = rel - delta;
+  std::size_t lo_idx = 0;
+  if (lo_num > 0) {
+    // ceil(lo_num / sw) for positive operands.
+    lo_idx = static_cast<std::size_t>((lo_num + sw - 1) / sw);
+  }
+  const std::size_t lo = std::min(lo_idx, count);
+  const std::size_t hi = std::min(hi_idx + 1, count);
+  return {std::min(lo, hi), hi};
+}
+
+WindowSpec WindowSpec::cover(Timestamp t_min, Timestamp t_max, Timestamp delta,
+                             Timestamp sw) {
+  assert(sw > 0);
+  assert(delta >= 0);
+  WindowSpec spec;
+  spec.t0 = t_min;
+  spec.delta = delta;
+  spec.sw = sw;
+  if (t_max < t_min) t_max = t_min;
+  spec.count = static_cast<std::size_t>((t_max - t_min) / sw) + 1;
+  return spec;
+}
+
+WindowSpec WindowSpec::cover_capped(Timestamp t_min, Timestamp t_max,
+                                    Timestamp delta, Timestamp sw,
+                                    std::size_t max_windows) {
+  WindowSpec spec = cover(t_min, t_max, delta, sw);
+  spec.count = std::max<std::size_t>(1, std::min(spec.count, max_windows));
+  return spec;
+}
+
+}  // namespace pmpr

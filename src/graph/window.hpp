@@ -1,0 +1,51 @@
+// Sliding-window model (paper §2.1, Fig. 1).
+//
+// A WindowSpec defines the analyzed graph sequence G_0..G_{m-1}:
+//   G_i = G(T_i, T_i + delta),  T_i = t0 + i * sw,
+// where an event ⟨u,v,t⟩ belongs to G_i iff T_i <= t <= T_i + delta
+// (both bounds inclusive, as in the paper).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+#include "graph/types.hpp"
+
+namespace pmpr {
+
+struct WindowSpec {
+  Timestamp t0 = 0;     ///< Start of the first window (paper: dataset start).
+  Timestamp delta = 0;  ///< Window size δ.
+  Timestamp sw = 1;     ///< Sliding offset between consecutive windows.
+  std::size_t count = 0;  ///< Number of windows m.
+
+  /// Inclusive start of window i.
+  [[nodiscard]] Timestamp start(std::size_t i) const {
+    return t0 + static_cast<Timestamp>(i) * sw;
+  }
+  /// Inclusive end of window i.
+  [[nodiscard]] Timestamp end(std::size_t i) const { return start(i) + delta; }
+
+  [[nodiscard]] bool contains(std::size_t i, Timestamp t) const {
+    return t >= start(i) && t <= end(i);
+  }
+
+  /// Half-open range [lo, hi) of window indices whose interval contains `t`,
+  /// clamped to [0, count). Empty range if no window contains `t`.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> windows_containing(
+      Timestamp t) const;
+
+  /// Spec covering [t_min, t_max]: t0 = t_min, and enough windows that the
+  /// last window starts at or before t_max (so every event lands in at least
+  /// one window when sw <= delta + 1). Always at least one window.
+  static WindowSpec cover(Timestamp t_min, Timestamp t_max, Timestamp delta,
+                          Timestamp sw);
+
+  /// Same as cover() but with the window count capped at `max_windows`
+  /// (used to reproduce the paper's fixed window counts of 6/256/1024).
+  static WindowSpec cover_capped(Timestamp t_min, Timestamp t_max,
+                                 Timestamp delta, Timestamp sw,
+                                 std::size_t max_windows);
+};
+
+}  // namespace pmpr

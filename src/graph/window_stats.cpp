@@ -1,0 +1,27 @@
+#include "graph/window_stats.hpp"
+
+#include "graph/csr.hpp"
+
+namespace pmpr {
+
+std::vector<std::size_t> window_event_counts(const TemporalEdgeList& events,
+                                             const WindowSpec& spec) {
+  std::vector<std::size_t> counts(spec.count, 0);
+  for (std::size_t w = 0; w < spec.count; ++w) {
+    counts[w] = events.slice(spec.start(w), spec.end(w)).size();
+  }
+  return counts;
+}
+
+std::vector<std::size_t> window_edge_counts(const TemporalEdgeList& events,
+                                            const WindowSpec& spec) {
+  std::vector<std::size_t> counts(spec.count, 0);
+  for (std::size_t w = 0; w < spec.count; ++w) {
+    counts[w] = build_window_graph(events.slice(spec.start(w), spec.end(w)),
+                                   events.num_vertices())
+                    .num_edges;
+  }
+  return counts;
+}
+
+}  // namespace pmpr

@@ -1,0 +1,26 @@
+// Per-window workload statistics.
+//
+// The §6.3.6 parameter rules ("look at the load balance in edges of
+// different time windows") and the Fig. 4 edge-distribution series both
+// need per-window sizes. Event counts come from two binary searches per
+// window on the sorted list — O(m log |Events|) total; distinct-edge
+// counts require building each window graph and are proportionally more
+// expensive, so both variants are provided.
+#pragma once
+
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "graph/window.hpp"
+
+namespace pmpr {
+
+/// Events (with multiplicity) per window.
+std::vector<std::size_t> window_event_counts(const TemporalEdgeList& events,
+                                             const WindowSpec& spec);
+
+/// Distinct directed edges per window (dedup cost per window).
+std::vector<std::size_t> window_edge_counts(const TemporalEdgeList& events,
+                                            const WindowSpec& spec);
+
+}  // namespace pmpr

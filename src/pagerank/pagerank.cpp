@@ -1,0 +1,101 @@
+#include "pagerank/pagerank.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+namespace pmpr {
+
+void full_init(std::span<const std::uint8_t> active, std::size_t num_active,
+               std::span<double> x) {
+  assert(active.size() == x.size());
+  const double value =
+      num_active > 0 ? 1.0 / static_cast<double>(num_active) : 0.0;
+  for (std::size_t v = 0; v < x.size(); ++v) {
+    x[v] = active[v] != 0 ? value : 0.0;
+  }
+}
+
+namespace {
+
+/// One pull iteration over rows [lo, hi). Returns the partial L1 change.
+double sweep_rows(const WindowGraph& g, std::span<const double> x,
+                  std::span<double> x_next, double base, double one_minus_alpha,
+                  std::size_t lo, std::size_t hi) {
+  double diff = 0.0;
+  for (std::size_t v = lo; v < hi; ++v) {
+    if (g.is_active[v] == 0) {
+      x_next[v] = 0.0;
+      continue;
+    }
+    double sum = 0.0;
+    for (const VertexId u : g.in.neighbors(static_cast<VertexId>(v))) {
+      // Any in-neighbor has out-degree >= 1 by construction.
+      sum += x[u] / static_cast<double>(g.out_degree[u]);
+    }
+    const double next = base + one_minus_alpha * sum;
+    diff += std::abs(next - x[v]);
+    x_next[v] = next;
+  }
+  return diff;
+}
+
+}  // namespace
+
+PagerankStats pagerank(const WindowGraph& g, std::span<double> x,
+                       std::span<double> scratch,
+                       const PagerankParams& params,
+                       const par::ForOptions* parallel) {
+  assert(x.size() == g.num_vertices);
+  assert(scratch.size() == g.num_vertices);
+  PagerankStats stats;
+  if (g.num_active == 0) {
+    for (auto& v : x) v = 0.0;
+    return stats;
+  }
+  const auto n_active = static_cast<double>(g.num_active);
+  const double one_minus_alpha = 1.0 - params.alpha;
+
+  double* cur = x.data();
+  double* next = scratch.data();
+  const std::size_t n = g.num_vertices;
+
+  for (int iter = 0; iter < params.max_iters; ++iter) {
+    // Dangling mass from the *current* vector, before the sweep.
+    double dangling = 0.0;
+    if (params.redistribute_dangling) {
+      for (std::size_t v = 0; v < n; ++v) {
+        if (g.is_active[v] != 0 && g.out_degree[v] == 0) dangling += cur[v];
+      }
+    }
+    const double base =
+        (params.alpha + one_minus_alpha * dangling) / n_active;
+
+    std::span<const double> cur_span(cur, n);
+    std::span<double> next_span(next, n);
+    double diff = 0.0;
+    if (parallel != nullptr) {
+      diff = par::parallel_reduce(
+          0, n, 0.0, *parallel,
+          [&](std::size_t lo, std::size_t hi) {
+            return sweep_rows(g, cur_span, next_span, base, one_minus_alpha,
+                              lo, hi);
+          },
+          [](double a, double b) { return a + b; });
+    } else {
+      diff = sweep_rows(g, cur_span, next_span, base, one_minus_alpha, 0, n);
+    }
+
+    std::swap(cur, next);
+    stats.iterations = iter + 1;
+    stats.final_residual = diff;
+    if (diff < params.tol) break;
+  }
+
+  if (cur != x.data()) {
+    std::copy(cur, cur + n, x.data());
+  }
+  return stats;
+}
+
+}  // namespace pmpr

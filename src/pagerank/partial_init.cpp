@@ -1,0 +1,49 @@
+#include "pagerank/partial_init.hpp"
+
+#include <cassert>
+
+#include "pagerank/pagerank.hpp"
+
+namespace pmpr {
+
+void partial_init(std::span<const double> prev_x,
+                  std::span<const std::uint8_t> prev_active,
+                  std::span<const std::uint8_t> cur_active,
+                  std::size_t cur_num_active, std::span<double> out) {
+  const std::size_t n = out.size();
+  assert(prev_x.size() == n && prev_active.size() == n &&
+         cur_active.size() == n);
+  if (cur_num_active == 0) {
+    for (auto& v : out) v = 0.0;
+    return;
+  }
+
+  std::size_t shared = 0;
+  double shared_mass = 0.0;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (prev_active[v] != 0 && cur_active[v] != 0) {
+      ++shared;
+      shared_mass += prev_x[v];
+    }
+  }
+  if (shared == 0 || shared_mass <= 0.0) {
+    full_init(cur_active, cur_num_active, out);
+    return;
+  }
+
+  const double uniform = 1.0 / static_cast<double>(cur_num_active);
+  const double scale = (static_cast<double>(shared) /
+                        static_cast<double>(cur_num_active)) /
+                       shared_mass;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (cur_active[v] == 0) {
+      out[v] = 0.0;
+    } else if (prev_active[v] != 0) {
+      out[v] = prev_x[v] * scale;
+    } else {
+      out[v] = uniform;
+    }
+  }
+}
+
+}  // namespace pmpr

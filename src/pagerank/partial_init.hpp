@@ -1,0 +1,31 @@
+// Partial initialization (paper §4.2, Eq. 4).
+//
+// Two consecutive sliding windows share most vertices and edges, so the
+// previous window's converged PageRank is a much better starting point than
+// the uniform vector. For u ∈ V_i ∩ V_{i-1}:
+//
+//   PR_i[u] = (|V_i ∩ V_{i-1}| / |V_i|) · PR_{i-1}[u] / Σ_{v ∈ V_i ∩ V_{i-1}} PR_{i-1}[v]
+//
+// i.e. the shared vertices are rescaled to carry |shared|/|V_i| of the total
+// mass; vertices new to V_i receive the uniform 1/|V_i|, so the initial
+// vector is a distribution. Falls back to full initialization when the
+// windows share nothing. Only applied within one multi-window graph — the
+// local vertex spaces of different parts differ, and the paper skips
+// cross-part initialization for the same reason.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace pmpr {
+
+/// `prev_x` / `prev_active`: the previous window's result and active set.
+/// `cur_active` / `cur_num_active`: the new window's active set.
+/// Writes the initial guess for the new window into `out` (may alias
+/// prev_x). All spans share one local vertex space.
+void partial_init(std::span<const double> prev_x,
+                  std::span<const std::uint8_t> prev_active,
+                  std::span<const std::uint8_t> cur_active,
+                  std::size_t cur_num_active, std::span<double> out);
+
+}  // namespace pmpr

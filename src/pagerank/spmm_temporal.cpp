@@ -1,0 +1,162 @@
+#include "pagerank/spmm_temporal.hpp"
+
+#include <array>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <mutex>
+#include <utility>
+
+namespace pmpr {
+
+namespace {
+
+constexpr std::size_t kMaxLanes = 64;
+using LaneDoubles = std::array<double, kMaxLanes>;
+
+/// One shared sweep over rows [lo, hi) advancing all lanes in `live_mask`.
+/// Accumulates the per-lane L1 change into `diff`.
+void sweep_rows(const MultiWindowGraph& part, const WindowSpec& spec,
+                const SpmmBatch& batch, const SpmmWindowState& state,
+                std::span<const double> x, std::span<double> x_next,
+                const LaneDoubles& base, double one_minus_alpha,
+                std::uint64_t live_mask, LaneDoubles& diff, std::size_t lo,
+                std::size_t hi) {
+  const std::size_t lanes = batch.lanes;
+  LaneDoubles acc;
+  for (std::size_t v = lo; v < hi; ++v) {
+    const std::uint64_t v_active = state.active_mask[v];
+    const std::uint64_t v_update = v_active & live_mask;
+    // Frozen (converged) and inactive lanes keep their current value so the
+    // buffers can be swapped; accumulate only for live active lanes.
+    for (std::size_t k = 0; k < lanes; ++k) {
+      acc[k] = base[k];
+    }
+
+    if (v_update != 0) {
+      const auto cols = part.in.row_cols(static_cast<VertexId>(v));
+      const auto times = part.in.row_times(static_cast<VertexId>(v));
+      std::size_t i = 0;
+      while (i < cols.size()) {
+        const VertexId u = cols[i];
+        std::uint64_t run_mask = 0;
+        while (i < cols.size() && cols[i] == u) {
+          run_mask |= lanes_containing(spec, batch, times[i]);
+          ++i;
+        }
+        std::uint64_t m = run_mask & v_update;
+        while (m != 0) {
+          const auto k = static_cast<std::size_t>(__builtin_ctzll(m));
+          m &= m - 1;
+          acc[k] += one_minus_alpha *
+                    (x[u * lanes + k] /
+                     static_cast<double>(state.out_degree[u * lanes + k]));
+        }
+      }
+    }
+
+    for (std::size_t k = 0; k < lanes; ++k) {
+      const std::uint64_t bit = 1ULL << k;
+      const double cur = x[v * lanes + k];
+      if ((v_active & bit) == 0) {
+        x_next[v * lanes + k] = 0.0;
+      } else if ((live_mask & bit) == 0) {
+        x_next[v * lanes + k] = cur;  // frozen lane
+      } else {
+        const double next = acc[k];
+        diff[k] += std::abs(next - cur);
+        x_next[v * lanes + k] = next;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+SpmmStats pagerank_spmm(const MultiWindowGraph& part, const WindowSpec& spec,
+                        const SpmmBatch& batch, const SpmmWindowState& state,
+                        std::span<double> x, std::span<double> scratch,
+                        const PagerankParams& params,
+                        const par::ForOptions* parallel) {
+  const std::size_t n = part.num_local();
+  const std::size_t lanes = batch.lanes;
+  assert(lanes >= 1 && lanes <= kMaxLanes);
+  assert(x.size() == n * lanes && scratch.size() == n * lanes);
+  assert(state.lanes == lanes);
+
+  SpmmStats stats;
+  stats.lane_stats.assign(lanes, PagerankStats{});
+
+  std::uint64_t live_mask = 0;
+  for (std::size_t k = 0; k < lanes; ++k) {
+    if (state.num_active[k] > 0) {
+      live_mask |= 1ULL << k;
+    } else {
+      // Empty window: zero the lane and mark it converged immediately.
+      for (std::size_t v = 0; v < n; ++v) x[v * lanes + k] = 0.0;
+    }
+  }
+
+  const double one_minus_alpha = 1.0 - params.alpha;
+  double* cur = x.data();
+  double* next = scratch.data();
+
+  for (int iter = 0; iter < params.max_iters && live_mask != 0; ++iter) {
+    // Per-lane dangling mass from the current vectors.
+    LaneDoubles base{};
+    LaneDoubles dangling{};
+    if (params.redistribute_dangling) {
+      for (std::size_t v = 0; v < n; ++v) {
+        std::uint64_t m = state.active_mask[v] & live_mask;
+        while (m != 0) {
+          const auto k = static_cast<std::size_t>(__builtin_ctzll(m));
+          m &= m - 1;
+          if (state.out_degree[v * lanes + k] == 0) {
+            dangling[k] += cur[v * lanes + k];
+          }
+        }
+      }
+    }
+    for (std::size_t k = 0; k < lanes; ++k) {
+      base[k] = state.num_active[k] > 0
+                    ? (params.alpha + one_minus_alpha * dangling[k]) /
+                          static_cast<double>(state.num_active[k])
+                    : 0.0;
+    }
+
+    std::span<const double> cur_span(cur, n * lanes);
+    std::span<double> next_span(next, n * lanes);
+    LaneDoubles diff{};
+    if (parallel != nullptr) {
+      std::mutex diff_mutex;
+      par::parallel_for_range(
+          0, n, *parallel, [&](std::size_t lo, std::size_t hi) {
+            LaneDoubles local{};
+            sweep_rows(part, spec, batch, state, cur_span, next_span, base,
+                       one_minus_alpha, live_mask, local, lo, hi);
+            std::lock_guard<std::mutex> lock(diff_mutex);
+            for (std::size_t k = 0; k < lanes; ++k) diff[k] += local[k];
+          });
+    } else {
+      sweep_rows(part, spec, batch, state, cur_span, next_span, base,
+                 one_minus_alpha, live_mask, diff, 0, n);
+    }
+
+    std::swap(cur, next);
+    stats.iterations = iter + 1;
+    for (std::size_t k = 0; k < lanes; ++k) {
+      const std::uint64_t bit = 1ULL << k;
+      if ((live_mask & bit) == 0) continue;
+      stats.lane_stats[k].iterations = iter + 1;
+      stats.lane_stats[k].final_residual = diff[k];
+      if (diff[k] < params.tol) live_mask &= ~bit;
+    }
+  }
+
+  if (cur != x.data()) {
+    std::memcpy(x.data(), cur, n * lanes * sizeof(double));
+  }
+  return stats;
+}
+
+}  // namespace pmpr

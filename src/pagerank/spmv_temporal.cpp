@@ -1,0 +1,96 @@
+#include "pagerank/spmv_temporal.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+namespace pmpr {
+
+namespace {
+
+double sweep_rows(const MultiWindowGraph& part, Timestamp ts, Timestamp te,
+                  const WindowState& state, std::span<const double> x,
+                  std::span<double> x_next, double base,
+                  double one_minus_alpha, std::size_t lo, std::size_t hi) {
+  double diff = 0.0;
+  for (std::size_t v = lo; v < hi; ++v) {
+    if (state.active[v] == 0) {
+      x_next[v] = 0.0;
+      continue;
+    }
+    double sum = 0.0;
+    part.in.for_each_active_neighbor(
+        static_cast<VertexId>(v), ts, te, [&](VertexId u) {
+          sum += x[u] / static_cast<double>(state.out_degree[u]);
+        });
+    const double next = base + one_minus_alpha * sum;
+    diff += std::abs(next - x[v]);
+    x_next[v] = next;
+  }
+  return diff;
+}
+
+double dangling_mass(const WindowState& state, std::span<const double> x) {
+  double dangling = 0.0;
+  for (std::size_t v = 0; v < x.size(); ++v) {
+    if (state.active[v] != 0 && state.out_degree[v] == 0) dangling += x[v];
+  }
+  return dangling;
+}
+
+}  // namespace
+
+PagerankStats pagerank_window_spmv(const MultiWindowGraph& part, Timestamp ts,
+                                   Timestamp te, const WindowState& state,
+                                   std::span<double> x,
+                                   std::span<double> scratch,
+                                   const PagerankParams& params,
+                                   const par::ForOptions* parallel) {
+  const std::size_t n = part.num_local();
+  assert(x.size() == n && scratch.size() == n);
+  PagerankStats stats;
+  if (state.num_active == 0) {
+    for (auto& v : x) v = 0.0;
+    return stats;
+  }
+  const auto n_active = static_cast<double>(state.num_active);
+  const double one_minus_alpha = 1.0 - params.alpha;
+
+  double* cur = x.data();
+  double* next = scratch.data();
+
+  for (int iter = 0; iter < params.max_iters; ++iter) {
+    std::span<const double> cur_span(cur, n);
+    std::span<double> next_span(next, n);
+    const double dangling = params.redistribute_dangling
+                                ? dangling_mass(state, cur_span)
+                                : 0.0;
+    const double base = (params.alpha + one_minus_alpha * dangling) / n_active;
+
+    double diff = 0.0;
+    if (parallel != nullptr) {
+      diff = par::parallel_reduce(
+          0, n, 0.0, *parallel,
+          [&](std::size_t lo, std::size_t hi) {
+            return sweep_rows(part, ts, te, state, cur_span, next_span, base,
+                              one_minus_alpha, lo, hi);
+          },
+          [](double a, double b) { return a + b; });
+    } else {
+      diff = sweep_rows(part, ts, te, state, cur_span, next_span, base,
+                        one_minus_alpha, 0, n);
+    }
+
+    std::swap(cur, next);
+    stats.iterations = iter + 1;
+    stats.final_residual = diff;
+    if (diff < params.tol) break;
+  }
+
+  if (cur != x.data()) {
+    std::copy(cur, cur + n, x.data());
+  }
+  return stats;
+}
+
+}  // namespace pmpr

@@ -1,0 +1,28 @@
+// SpMV-style postmortem PageRank kernel (paper §4.1/§4.3): one window of a
+// multi-window graph at a time, pulling over the time-filtered reverse
+// temporal CSR. The traversal visits every stored event of the part once
+// per iteration — Θ(|E_w|) — which is why the multi-window partitioning
+// matters (Fig. 8).
+#pragma once
+
+#include <span>
+
+#include "graph/multi_window.hpp"
+#include "pagerank/pagerank.hpp"
+#include "pagerank/window_state.hpp"
+
+namespace pmpr {
+
+/// Runs PageRank for window [ts, te] of `part`. `x` (size = part locals)
+/// holds the initial guess on entry and the result on exit; `scratch`
+/// matches x. `state` must have been computed for the same window.
+/// Non-null `parallel` runs each sweep as a parallel_for (this is the
+/// paper's "application/PR-level" parallelism inside the kernel).
+PagerankStats pagerank_window_spmv(const MultiWindowGraph& part, Timestamp ts,
+                                   Timestamp te, const WindowState& state,
+                                   std::span<double> x,
+                                   std::span<double> scratch,
+                                   const PagerankParams& params,
+                                   const par::ForOptions* parallel = nullptr);
+
+}  // namespace pmpr

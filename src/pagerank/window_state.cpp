@@ -1,0 +1,170 @@
+#include "pagerank/window_state.hpp"
+
+#include <atomic>
+#include <cassert>
+
+namespace pmpr {
+
+namespace {
+
+/// Scatter pass over rows [lo, hi): every active in-edge (u -> v) marks both
+/// endpoints active and bumps u's distinct out-degree. `Atomic` selects
+/// std::atomic_ref increments for the parallel path.
+template <bool Atomic>
+void scatter_window_rows(const MultiWindowGraph& part, Timestamp ts,
+                         Timestamp te, WindowState& out, std::size_t lo,
+                         std::size_t hi) {
+  for (std::size_t v = lo; v < hi; ++v) {
+    bool v_active = false;
+    part.in.for_each_active_neighbor(
+        static_cast<VertexId>(v), ts, te, [&](VertexId u) {
+          v_active = true;
+          if constexpr (Atomic) {
+            std::atomic_ref<std::uint32_t> deg(out.out_degree[u]);
+            deg.fetch_add(1, std::memory_order_relaxed);
+            std::atomic_ref<std::uint8_t> act(out.active[u]);
+            act.store(1, std::memory_order_relaxed);
+          } else {
+            ++out.out_degree[u];
+            out.active[u] = 1;
+          }
+        });
+    if (v_active) {
+      if constexpr (Atomic) {
+        std::atomic_ref<std::uint8_t> act(out.active[v]);
+        act.store(1, std::memory_order_relaxed);
+      } else {
+        out.active[v] = 1;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void compute_window_state(const MultiWindowGraph& part, Timestamp ts,
+                          Timestamp te, WindowState& out,
+                          const par::ForOptions* parallel) {
+  const std::size_t n = part.num_local();
+  out.resize(n);
+  if (parallel != nullptr) {
+    par::parallel_for_range(0, n, *parallel,
+                            [&](std::size_t lo, std::size_t hi) {
+                              scatter_window_rows<true>(part, ts, te, out, lo,
+                                                        hi);
+                            });
+    out.num_active = par::parallel_reduce(
+        0, n, std::size_t{0}, *parallel,
+        [&](std::size_t lo, std::size_t hi) {
+          std::size_t c = 0;
+          for (std::size_t v = lo; v < hi; ++v) c += out.active[v];
+          return c;
+        },
+        [](std::size_t a, std::size_t b) { return a + b; });
+  } else {
+    scatter_window_rows<false>(part, ts, te, out, 0, n);
+    out.num_active = 0;
+    for (std::size_t v = 0; v < n; ++v) out.num_active += out.active[v];
+  }
+}
+
+std::uint64_t lanes_containing(const WindowSpec& spec, const SpmmBatch& batch,
+                               Timestamp t) {
+  assert(batch.lanes <= 64);
+  const auto [wlo, whi] = spec.windows_containing(t);  // [wlo, whi)
+  if (wlo >= whi) return 0;
+  // Lane k holds window first_window + k*stride; find k range intersecting
+  // [wlo, whi).
+  const auto first = static_cast<std::int64_t>(batch.first_window);
+  const auto stride = static_cast<std::int64_t>(batch.window_stride);
+  const auto lo_num = static_cast<std::int64_t>(wlo) - first;
+  const auto hi_num = static_cast<std::int64_t>(whi) - 1 - first;
+  if (hi_num < 0) return 0;
+  std::int64_t k_lo = lo_num <= 0 ? 0 : (lo_num + stride - 1) / stride;
+  std::int64_t k_hi = hi_num / stride;
+  k_hi = std::min<std::int64_t>(k_hi, static_cast<std::int64_t>(batch.lanes) - 1);
+  if (k_lo > k_hi) return 0;
+  const std::uint64_t width = static_cast<std::uint64_t>(k_hi - k_lo + 1);
+  const std::uint64_t run =
+      width >= 64 ? ~0ULL : ((1ULL << width) - 1ULL);
+  return run << k_lo;
+}
+
+namespace {
+
+template <bool Atomic>
+void scatter_spmm_rows(const MultiWindowGraph& part, const WindowSpec& spec,
+                       const SpmmBatch& batch, SpmmWindowState& out,
+                       std::size_t lo, std::size_t hi) {
+  const std::size_t lanes = batch.lanes;
+  for (std::size_t v = lo; v < hi; ++v) {
+    const auto cols = part.in.row_cols(static_cast<VertexId>(v));
+    const auto times = part.in.row_times(static_cast<VertexId>(v));
+    std::uint64_t v_mask = 0;
+    std::size_t i = 0;
+    while (i < cols.size()) {
+      const VertexId u = cols[i];
+      std::uint64_t run_mask = 0;
+      while (i < cols.size() && cols[i] == u) {
+        run_mask |= lanes_containing(spec, batch, times[i]);
+        ++i;
+      }
+      if (run_mask == 0) continue;
+      v_mask |= run_mask;
+      // u gains one distinct out-neighbor in every lane of run_mask.
+      std::uint64_t m = run_mask;
+      while (m != 0) {
+        const unsigned k = static_cast<unsigned>(__builtin_ctzll(m));
+        m &= m - 1;
+        if constexpr (Atomic) {
+          std::atomic_ref<std::uint32_t> deg(out.out_degree[u * lanes + k]);
+          deg.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          ++out.out_degree[u * lanes + k];
+        }
+      }
+      if constexpr (Atomic) {
+        std::atomic_ref<std::uint64_t> mask(out.active_mask[u]);
+        mask.fetch_or(run_mask, std::memory_order_relaxed);
+      } else {
+        out.active_mask[u] |= run_mask;
+      }
+    }
+    if (v_mask != 0) {
+      if constexpr (Atomic) {
+        std::atomic_ref<std::uint64_t> mask(out.active_mask[v]);
+        mask.fetch_or(v_mask, std::memory_order_relaxed);
+      } else {
+        out.active_mask[v] |= v_mask;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void compute_spmm_state(const MultiWindowGraph& part, const WindowSpec& spec,
+                        const SpmmBatch& batch, SpmmWindowState& out,
+                        const par::ForOptions* parallel) {
+  assert(batch.lanes >= 1 && batch.lanes <= 64);
+  const std::size_t n = part.num_local();
+  out.resize(n, batch.lanes);
+  if (parallel != nullptr) {
+    par::parallel_for_range(
+        0, n, *parallel, [&](std::size_t lo, std::size_t hi) {
+          scatter_spmm_rows<true>(part, spec, batch, out, lo, hi);
+        });
+  } else {
+    scatter_spmm_rows<false>(part, spec, batch, out, 0, n);
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    std::uint64_t m = out.active_mask[v];
+    while (m != 0) {
+      const unsigned k = static_cast<unsigned>(__builtin_ctzll(m));
+      m &= m - 1;
+      ++out.num_active[k];
+    }
+  }
+}
+
+}  // namespace pmpr

@@ -1,0 +1,74 @@
+// Per-window derived state over a multi-window graph's local vertex space:
+// distinct out-degrees and the active vertex set, computed by one scatter
+// pass over the reverse temporal CSR. Computed once per window (or once per
+// SpMM batch for all lanes together) and reused across power iterations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/multi_window.hpp"
+#include "graph/window.hpp"
+#include "par/parallel_for.hpp"
+
+namespace pmpr {
+
+/// State of one window (SpMV path).
+struct WindowState {
+  std::vector<std::uint32_t> out_degree;  ///< Distinct out-neighbors, local.
+  std::vector<std::uint8_t> active;  ///< 1 iff vertex has an edge in window.
+  std::size_t num_active = 0;
+
+  void resize(std::size_t n) {
+    out_degree.assign(n, 0);
+    active.assign(n, 0);
+    num_active = 0;
+  }
+};
+
+/// Computes degrees/activity for window [ts, te] of `part`. If `parallel`
+/// is non-null the scatter runs as a parallel_for (atomic increments).
+void compute_window_state(const MultiWindowGraph& part, Timestamp ts,
+                          Timestamp te, WindowState& out,
+                          const par::ForOptions* parallel = nullptr);
+
+/// State of an SpMM batch: `lanes` windows processed simultaneously.
+/// Lane k corresponds to global window `first_window + k * window_stride`
+/// (the strided pick of §4.4 that preserves partial initialization).
+struct SpmmBatch {
+  std::size_t lanes = 0;
+  std::size_t first_window = 0;
+  std::size_t window_stride = 1;
+
+  [[nodiscard]] std::size_t window_of_lane(std::size_t k) const {
+    return first_window + k * window_stride;
+  }
+};
+
+/// Lane-interleaved degrees (deg[v*lanes + k]) plus per-vertex activity
+/// bitmasks (bit k of active_mask[v] = active in lane k's window).
+struct SpmmWindowState {
+  std::size_t lanes = 0;
+  std::vector<std::uint32_t> out_degree;   ///< n * lanes, lane-interleaved.
+  std::vector<std::uint64_t> active_mask;  ///< n entries.
+  std::vector<std::size_t> num_active;     ///< per lane.
+
+  void resize(std::size_t n, std::size_t num_lanes) {
+    lanes = num_lanes;
+    out_degree.assign(n * num_lanes, 0);
+    active_mask.assign(n, 0);
+    num_active.assign(num_lanes, 0);
+  }
+};
+
+/// Computes degrees/activity for all lanes of `batch` in one pass over the
+/// part's temporal CSR (this shared pass is the SpMM saving).
+void compute_spmm_state(const MultiWindowGraph& part, const WindowSpec& spec,
+                        const SpmmBatch& batch, SpmmWindowState& out,
+                        const par::ForOptions* parallel = nullptr);
+
+/// Bitmask of lanes whose window contains timestamp `t`. Exposed for tests.
+std::uint64_t lanes_containing(const WindowSpec& spec, const SpmmBatch& batch,
+                               Timestamp t);
+
+}  // namespace pmpr

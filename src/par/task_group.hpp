@@ -1,0 +1,50 @@
+// Structured task spawning (analogous to tbb::task_group).
+//
+// Used where the unit of parallelism is not an index range — e.g. the
+// nested postmortem driver spawns one task per multi-window graph, each of
+// which runs its own parallel loops.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "par/thread_pool.hpp"
+
+namespace pmpr::par {
+
+class TaskGroup {
+ public:
+  /// Tasks run on `pool` (nullptr = global pool).
+  explicit TaskGroup(ThreadPool* pool = nullptr)
+      : pool_(pool != nullptr ? *pool : ThreadPool::global()) {}
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Destruction waits for all spawned tasks (structured concurrency).
+  /// A task exception surfaces from an explicit wait(); if the group is
+  /// destroyed without one, the exception is dropped here rather than
+  /// thrown from a destructor.
+  ~TaskGroup() {
+    try {
+      wait();
+    } catch (...) {  // NOLINT(bugprone-empty-catch)
+    }
+  }
+
+  template <typename Fn>
+  void run(Fn&& fn) {
+    wg_.add(1);
+    pool_.submit(std::function<void()>(std::forward<Fn>(fn)), wg_);
+  }
+
+  /// Blocks until every task spawned so far has finished, helping the pool
+  /// while waiting. May be called repeatedly.
+  void wait() { pool_.wait(wg_); }
+
+ private:
+  ThreadPool& pool_;
+  WaitGroup wg_;
+};
+
+}  // namespace pmpr::par

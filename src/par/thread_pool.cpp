@@ -1,0 +1,171 @@
+#include "par/thread_pool.hpp"
+
+#include <chrono>
+#include <cstdlib>
+
+#include "util/rng.hpp"
+
+namespace pmpr::par {
+
+namespace {
+
+/// Identifies the pool/worker the current thread belongs to, so that
+/// submit() can route tasks to the local deque and steals can skip self.
+struct TlsWorker {
+  ThreadPool* pool = nullptr;
+  int index = -1;
+};
+thread_local TlsWorker tls_worker;
+
+std::size_t env_thread_count() {
+  if (const char* env = std::getenv("PMPR_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  deques_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    deques_.push_back(std::make_unique<WsDeque<Task>>());
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  stop_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    sleep_cv_.notify_all();
+  }
+  for (auto& t : workers_) t.join();
+  // Drain any tasks that were never executed (should not happen in correct
+  // usage, but avoids leaks if a user abandons a WaitGroup).
+  for (auto& dq : deques_) {
+    while (Task* t = dq->pop()) delete t;
+  }
+  for (Task* t : injected_) delete t;
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(env_thread_count());
+  return pool;
+}
+
+int ThreadPool::current_worker_index() {
+  return tls_worker.pool != nullptr ? tls_worker.index : -1;
+}
+
+void ThreadPool::notify() {
+  work_epoch_.fetch_add(1, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(sleep_mutex_);
+  sleep_cv_.notify_one();
+}
+
+void ThreadPool::submit(std::function<void()> fn, WaitGroup& wg) {
+  auto* task = new Task{std::move(fn), &wg};
+  if (tls_worker.pool == this && tls_worker.index >= 0) {
+    deques_[static_cast<std::size_t>(tls_worker.index)]->push(task);
+  } else {
+    std::lock_guard<std::mutex> lock(inject_mutex_);
+    injected_.push_back(task);
+  }
+  notify();
+}
+
+ThreadPool::Task* ThreadPool::try_pop_injected() {
+  std::lock_guard<std::mutex> lock(inject_mutex_);
+  if (injected_.empty()) return nullptr;
+  Task* t = injected_.front();
+  injected_.pop_front();
+  return t;
+}
+
+ThreadPool::Task* ThreadPool::try_pop_or_steal(std::size_t self_index) {
+  // 1. Own deque (workers only; the external helper passes
+  //    self_index == num_threads and has no deque).
+  if (self_index < deques_.size()) {
+    if (Task* t = deques_[self_index]->pop()) return t;
+  }
+  // 2. Injection queue (cheap check before stealing).
+  if (Task* t = try_pop_injected()) return t;
+  // 3. Random-victim stealing, two sweeps over the other deques.
+  thread_local Xoshiro256 rng(0x7e1d00d5ULL + self_index * 0x9e3779b9ULL);
+  const std::size_t n = deques_.size();
+  if (n == 0) return nullptr;
+  const std::size_t start = rng.bounded(n);
+  for (std::size_t sweep = 0; sweep < 2; ++sweep) {
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t victim = (start + k) % n;
+      if (victim == self_index) continue;
+      if (Task* t = deques_[victim]->steal()) return t;
+    }
+  }
+  return nullptr;
+}
+
+bool ThreadPool::try_run_one(std::size_t self_index) {
+  Task* task = try_pop_or_steal(self_index);
+  if (task == nullptr) return false;
+  try {
+    task->fn();
+  } catch (...) {
+    task->wg->capture_exception(std::current_exception());
+  }
+  task->wg->done();
+  delete task;
+  return true;
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  tls_worker.pool = this;
+  tls_worker.index = static_cast<int>(index);
+  int idle_spins = 0;
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (try_run_one(index)) {
+      idle_spins = 0;
+      continue;
+    }
+    if (++idle_spins < 64) {
+      std::this_thread::yield();
+      continue;
+    }
+    // Sleep until new work is submitted. The epoch check avoids a lost
+    // wakeup between the last failed scan and the wait; the timeout is a
+    // belt-and-braces fallback against missed steals.
+    const std::uint64_t seen = work_epoch_.load(std::memory_order_acquire);
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    if (stop_.load(std::memory_order_acquire)) break;
+    if (work_epoch_.load(std::memory_order_acquire) == seen) {
+      sleep_cv_.wait_for(lock, std::chrono::milliseconds(1));
+    }
+    idle_spins = 0;
+  }
+  tls_worker.pool = nullptr;
+  tls_worker.index = -1;
+}
+
+void ThreadPool::wait(WaitGroup& wg) {
+  // Workers help from their own deque slot; external threads help via the
+  // virtual slot num_threads (steal-only).
+  const std::size_t self =
+      (tls_worker.pool == this && tls_worker.index >= 0)
+          ? static_cast<std::size_t>(tls_worker.index)
+          : deques_.size();
+  while (!wg.finished()) {
+    if (!try_run_one(self)) {
+      std::this_thread::yield();
+    }
+  }
+  wg.rethrow_if_failed();
+}
+
+}  // namespace pmpr::par

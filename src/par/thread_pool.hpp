@@ -1,0 +1,125 @@
+// Work-stealing thread pool — the pmpr scheduler.
+//
+// Replaces Intel TBB in this reproduction (see DESIGN.md §2). Provides:
+//   * per-worker Chase–Lev deques with random-victim stealing,
+//   * an injection queue for tasks submitted from non-pool threads,
+//   * blocking waits that *help* (execute queued tasks) instead of idling,
+//     which makes nested parallelism (the paper's "nested parallelization")
+//     deadlock-free even on a single thread.
+//
+// Thread count: `ThreadPool::global()` reads the PMPR_THREADS environment
+// variable, falling back to std::thread::hardware_concurrency().
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "par/ws_deque.hpp"
+
+namespace pmpr::par {
+
+/// Completion counter shared by a batch of tasks. `wait()` on the pool
+/// blocks (helping) until the count returns to zero.
+///
+/// If a task throws, the first exception is captured here and rethrown
+/// from the `ThreadPool::wait()` call (after all tasks of the group have
+/// completed), so parallel loops have the same exception semantics as
+/// their sequential counterparts.
+class WaitGroup {
+ public:
+  void add(std::size_t n = 1) {
+    pending_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void done() { pending_.fetch_sub(1, std::memory_order_acq_rel); }
+  [[nodiscard]] bool finished() const {
+    return pending_.load(std::memory_order_acquire) == 0;
+  }
+
+  /// Records the first exception thrown by a task of this group.
+  void capture_exception(std::exception_ptr ep) {
+    bool expected = false;
+    if (has_exception_.compare_exchange_strong(expected, true,
+                                               std::memory_order_acq_rel)) {
+      exception_ = std::move(ep);
+    }
+  }
+
+  /// Rethrows the captured exception, if any. Called by wait() once the
+  /// group has drained; safe to call repeatedly (rethrows each time).
+  void rethrow_if_failed() {
+    if (has_exception_.load(std::memory_order_acquire) && exception_) {
+      std::rethrow_exception(exception_);
+    }
+  }
+
+ private:
+  std::atomic<std::size_t> pending_{0};
+  std::atomic<bool> has_exception_{false};
+  std::exception_ptr exception_;
+};
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (>=1). The calling thread is
+  /// not a worker but helps while waiting.
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Process-wide pool, sized from PMPR_THREADS or hardware concurrency.
+  static ThreadPool& global();
+
+  /// Total worker threads (parallelism available to parallel_for).
+  [[nodiscard]] std::size_t num_threads() const { return workers_.size(); }
+
+  /// Submits `fn` for asynchronous execution. `wg.add(1)` must have been
+  /// called by the submitter beforehand; the pool calls `wg.done()` after
+  /// `fn` returns. If called from a worker thread the task goes to that
+  /// worker's own deque (LIFO, preserving locality); otherwise it goes to
+  /// the injection queue.
+  void submit(std::function<void()> fn, WaitGroup& wg);
+
+  /// Blocks until `wg.finished()`, executing queued tasks while waiting.
+  /// Rethrows the first exception any task of the group raised.
+  void wait(WaitGroup& wg);
+
+  /// Index of the current thread within this pool: [0, num_threads) for
+  /// workers, num_threads for the (helping) external thread slot, or -1 if
+  /// the thread has never interacted with this pool.
+  [[nodiscard]] static int current_worker_index();
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+    WaitGroup* wg;
+  };
+
+  void worker_loop(std::size_t index);
+  /// Attempts to find and run one task. Returns true if a task was run.
+  bool try_run_one(std::size_t self_index);
+  Task* try_pop_or_steal(std::size_t self_index);
+  Task* try_pop_injected();
+  void notify();
+
+  std::vector<std::unique_ptr<WsDeque<Task>>> deques_;
+  std::vector<std::thread> workers_;
+
+  std::mutex inject_mutex_;
+  std::deque<Task*> injected_;
+
+  std::mutex sleep_mutex_;
+  std::condition_variable sleep_cv_;
+  std::atomic<std::uint64_t> work_epoch_{0};
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace pmpr::par

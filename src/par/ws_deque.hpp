@@ -1,0 +1,144 @@
+// Chase–Lev work-stealing deque.
+//
+// This is the per-worker task queue of the pmpr scheduler (see
+// par/thread_pool.hpp). The owner pushes and pops at the bottom; any other
+// thread may steal from the top. The implementation follows the C11 version
+// in Lê, Pop, Cohen & Zappa Nardelli, "Correct and Efficient Work-Stealing
+// for Weak Memory Models" (PPoPP 2013), including its memory-order
+// annotations.
+//
+// The paper this repo reproduces uses Intel TBB's work-stealing scheduler;
+// the key property it relies on — threads start with contiguous chunks of
+// the iteration space and chunks are only broken up when another thread runs
+// dry — is a direct consequence of LIFO owner access + FIFO stealing, which
+// this deque provides.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace pmpr::par {
+
+/// Lock-free single-owner deque of `T*` (T* must be a plain pointer type).
+/// Grows geometrically; retired buffers are kept until destruction because
+/// concurrent thieves may still hold references into them.
+template <typename T>
+class WsDeque {
+ public:
+  explicit WsDeque(std::size_t initial_capacity = 256)
+      : buffer_(new Buffer(round_up(initial_capacity))) {}
+
+  WsDeque(const WsDeque&) = delete;
+  WsDeque& operator=(const WsDeque&) = delete;
+
+  ~WsDeque() {
+    delete buffer_.load(std::memory_order_relaxed);
+    for (Buffer* b : retired_) delete b;
+  }
+
+  /// Owner-only: push a task at the bottom.
+  void push(T* task) {
+    std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    if (b - t > static_cast<std::int64_t>(buf->capacity) - 1) {
+      buf = grow(buf, t, b);
+    }
+    buf->put(b, task);
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+
+  /// Owner-only: pop the most recently pushed task, or nullptr if empty.
+  T* pop() {
+    std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    T* task = nullptr;
+    if (t <= b) {
+      task = buf->get(b);
+      if (t == b) {
+        // Last element: race against thieves via CAS on top.
+        if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                          std::memory_order_relaxed)) {
+          task = nullptr;
+        }
+        bottom_.store(b + 1, std::memory_order_relaxed);
+      }
+    } else {
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return task;
+  }
+
+  /// Any thread: steal the oldest task, or nullptr if empty / lost a race.
+  /// A nullptr return does not guarantee the deque is empty (a concurrent
+  /// CAS may have failed); callers treat it as "try elsewhere".
+  T* steal() {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t b = bottom_.load(std::memory_order_acquire);
+    T* task = nullptr;
+    if (t < b) {
+      Buffer* buf = buffer_.load(std::memory_order_acquire);
+      task = buf->get(t);
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        return nullptr;
+      }
+    }
+    return task;
+  }
+
+  /// Approximate size (owner or monitor use only; racy by nature).
+  [[nodiscard]] std::size_t size_approx() const {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+ private:
+  struct Buffer {
+    explicit Buffer(std::size_t cap)
+        : capacity(cap), mask(cap - 1), slots(cap) {}
+
+    T* get(std::int64_t i) const {
+      return slots[static_cast<std::size_t>(i) & mask].load(
+          std::memory_order_relaxed);
+    }
+    void put(std::int64_t i, T* task) {
+      slots[static_cast<std::size_t>(i) & mask].store(
+          task, std::memory_order_relaxed);
+    }
+
+    std::size_t capacity;
+    std::size_t mask;
+    std::vector<std::atomic<T*>> slots;
+  };
+
+  static std::size_t round_up(std::size_t v) {
+    std::size_t p = 16;
+    while (p < v) p <<= 1;
+    return p;
+  }
+
+  Buffer* grow(Buffer* old, std::int64_t t, std::int64_t b) {
+    auto* bigger = new Buffer(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i) bigger->put(i, old->get(i));
+    retired_.push_back(old);
+    buffer_.store(bigger, std::memory_order_release);
+    return bigger;
+  }
+
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+  alignas(64) std::atomic<Buffer*> buffer_;
+  std::vector<Buffer*> retired_;  // owner-only
+};
+
+}  // namespace pmpr::par

@@ -1,0 +1,187 @@
+#include "streaming/delta_pagerank.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "pagerank/partial_init.hpp"
+
+namespace pmpr::streaming {
+
+DeltaPagerank::DeltaPagerank(const DynamicGraph& graph, PagerankParams params)
+    : graph_(graph),
+      params_(params),
+      x_(graph.num_vertices(), 0.0),
+      scratch_(graph.num_vertices(), 0.0),
+      prev_active_(graph.num_vertices(), 0),
+      queued_epoch_(graph.num_vertices(), 0) {}
+
+double DeltaPagerank::evaluate(VertexId v, double base) const {
+  double sum = 0.0;
+  graph_.for_each_in(v, [&](VertexId u, std::uint32_t /*weight*/) {
+    sum += x_[u] / static_cast<double>(graph_.out_degree(u));
+  });
+  return base + (1.0 - params_.alpha) * sum;
+}
+
+void DeltaPagerank::seed_frontier(std::span<const TemporalEdge> batch) {
+  auto enqueue = [this](VertexId v) {
+    if (queued_epoch_[v] != epoch_ && graph_.is_active(v)) {
+      queued_epoch_[v] = epoch_;
+      frontier_.push_back(v);
+    }
+  };
+  for (const auto& e : batch) {
+    // The destination's pull sum changed directly; the source's out-degree
+    // changed, which perturbs every one of its current out-neighbors.
+    enqueue(e.dst);
+    graph_.for_each_out(e.src,
+                        [&](VertexId w, std::uint32_t) { enqueue(w); });
+  }
+}
+
+DeltaPagerankStats DeltaPagerank::converge_full() {
+  // Full power iterations from the current vector until the L1 criterion —
+  // identical math to IncrementalPagerank's loop; also certifies the
+  // frontier phase's result.
+  DeltaPagerankStats stats;
+  const std::size_t n = x_.size();
+  const auto n_active = static_cast<double>(graph_.num_active());
+  const double d = 1.0 - params_.alpha;
+  double* cur = x_.data();
+  double* next = scratch_.data();
+  for (int iter = 0; iter < params_.max_iters; ++iter) {
+    double dangling = 0.0;
+    if (params_.redistribute_dangling) {
+      for (std::size_t v = 0; v < n; ++v) {
+        if (graph_.is_active(static_cast<VertexId>(v)) &&
+            graph_.out_degree(static_cast<VertexId>(v)) == 0) {
+          dangling += cur[v];
+        }
+      }
+    }
+    const double base = (params_.alpha + d * dangling) / n_active;
+    double diff = 0.0;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!graph_.is_active(static_cast<VertexId>(v))) {
+        next[v] = 0.0;
+        continue;
+      }
+      double sum = 0.0;
+      graph_.for_each_in(static_cast<VertexId>(v),
+                         [&](VertexId u, std::uint32_t) {
+                           sum += cur[u] /
+                                  static_cast<double>(graph_.out_degree(u));
+                         });
+      const double value = base + d * sum;
+      diff += std::abs(value - cur[v]);
+      next[v] = value;
+    }
+    std::swap(cur, next);
+    stats.pagerank.iterations = iter + 1;
+    stats.pagerank.final_residual = diff;
+    if (diff < params_.tol) break;
+  }
+  if (cur != x_.data()) {
+    std::memcpy(x_.data(), cur, n * sizeof(double));
+  }
+  return stats;
+}
+
+DeltaPagerankStats DeltaPagerank::update(
+    std::span<const TemporalEdge> inserted,
+    std::span<const TemporalEdge> removed) {
+  DeltaPagerankStats stats;
+  const std::size_t n = x_.size();
+  if (graph_.num_active() == 0) {
+    std::fill(x_.begin(), x_.end(), 0.0);
+    has_previous_ = false;
+    return stats;
+  }
+
+  // Carry the previous solution onto the new active set.
+  std::vector<std::uint8_t> cur_active(n, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    cur_active[v] = graph_.is_active(static_cast<VertexId>(v)) ? 1 : 0;
+  }
+  if (has_previous_) {
+    partial_init(x_, prev_active_, cur_active, graph_.num_active(), x_);
+  } else {
+    full_init(cur_active, graph_.num_active(), x_);
+  }
+  prev_active_ = std::move(cur_active);
+
+  if (has_previous_) {
+    // ---- Localized ∆-push phase (Eq. 3's restricted propagation) -------
+    const auto n_active = static_cast<double>(graph_.num_active());
+    const double d = 1.0 - params_.alpha;
+    // Push threshold: tight enough that the certification sweeps converge
+    // in a couple of iterations, loose enough to keep the frontier local.
+    const double theta = params_.tol / (8.0 * n_active);
+
+    ++epoch_;
+    frontier_.clear();
+    seed_frontier(inserted);
+    seed_frontier(removed);
+
+    // Base frozen across the phase; the certification sweeps repair the
+    // teleport/dangling coupling afterwards.
+    double dangling = 0.0;
+    if (params_.redistribute_dangling) {
+      for (std::size_t v = 0; v < n; ++v) {
+        if (prev_active_[v] != 0 &&
+            graph_.out_degree(static_cast<VertexId>(v)) == 0) {
+          dangling += x_[v];
+        }
+      }
+    }
+    const double base = (params_.alpha + d * dangling) / n_active;
+
+    const std::size_t max_rounds = 64;
+    std::vector<VertexId> next_frontier;
+    for (std::size_t round = 0;
+         round < max_rounds && !frontier_.empty() &&
+         stats.frontier_visits < 4 * n;
+         ++round) {
+      ++stats.frontier_rounds;
+      next_frontier.clear();
+      ++epoch_;
+      for (const VertexId v : frontier_) {
+        ++stats.frontier_visits;
+        const double value = evaluate(v, base);
+        const double change = std::abs(value - x_[v]);
+        x_[v] = value;
+        if (change > theta) {
+          graph_.for_each_out(v, [&](VertexId w, std::uint32_t) {
+            if (queued_epoch_[w] != epoch_ && graph_.is_active(w)) {
+              queued_epoch_[w] = epoch_;
+              next_frontier.push_back(w);
+            }
+          });
+        }
+      }
+      frontier_.swap(next_frontier);
+    }
+
+    // The localized updates do not preserve total probability mass, and a
+    // mass error can only decay at the slow damping rate d per sweep —
+    // which would erase the phase's benefit. Project back onto the mass-1
+    // manifold before certifying.
+    double mass = 0.0;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (prev_active_[v] != 0) mass += x_[v];
+    }
+    if (mass > 0.0) {
+      const double inv = 1.0 / mass;
+      for (std::size_t v = 0; v < n; ++v) x_[v] *= inv;
+    }
+  }
+
+  // ---- Certification: full sweeps to the shared tolerance --------------
+  const DeltaPagerankStats full = converge_full();
+  stats.pagerank = full.pagerank;
+  has_previous_ = true;
+  return stats;
+}
+
+}  // namespace pmpr::streaming

@@ -1,0 +1,43 @@
+#include "streaming/dynamic_graph.hpp"
+
+namespace pmpr::streaming {
+
+DynamicGraph::DynamicGraph(VertexId num_vertices)
+    : vertices_(num_vertices) {}
+
+void DynamicGraph::track_activity(VertexId v, bool was_active) {
+  const bool now_active = is_active(v);
+  if (was_active && !now_active) {
+    --num_active_;
+  } else if (!was_active && now_active) {
+    ++num_active_;
+  }
+}
+
+void DynamicGraph::insert_event(VertexId u, VertexId v) {
+  const bool u_was = is_active(u);
+  const bool v_was = u == v ? u_was : is_active(v);
+  if (vertices_[u].out.insert(v, pool_)) ++num_edges_;
+  vertices_[v].in.insert(u, pool_);
+  track_activity(u, u_was);
+  if (v != u) track_activity(v, v_was);
+}
+
+void DynamicGraph::remove_event(VertexId u, VertexId v) {
+  const bool u_was = is_active(u);
+  const bool v_was = u == v ? u_was : is_active(v);
+  if (vertices_[u].out.remove(v, pool_) != 0) --num_edges_;
+  vertices_[v].in.remove(u, pool_);
+  track_activity(u, u_was);
+  if (v != u) track_activity(v, v_was);
+}
+
+void DynamicGraph::insert_batch(std::span<const TemporalEdge> events) {
+  for (const auto& e : events) insert_event(e.src, e.dst);
+}
+
+void DynamicGraph::remove_batch(std::span<const TemporalEdge> events) {
+  for (const auto& e : events) remove_event(e.src, e.dst);
+}
+
+}  // namespace pmpr::streaming

@@ -1,0 +1,81 @@
+// The streaming execution model's graph: a mutable directed multigraph over
+// a fixed vertex space, maintaining both adjacency directions as edge-block
+// chains (STINGER stores both too; the pull-style PageRank reads in-edges
+// and out-degrees).
+//
+// The streaming runner drives it window by window: events arriving in the
+// new window are inserted, events that slid out are removed. Unlike the
+// postmortem representation, only the *current* graph exists — which is
+// precisely why the streaming model cannot parallelize across windows
+// (paper §3.3.2).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "streaming/edge_blocks.hpp"
+
+namespace pmpr::streaming {
+
+class DynamicGraph {
+ public:
+  explicit DynamicGraph(VertexId num_vertices);
+
+  [[nodiscard]] VertexId num_vertices() const {
+    return static_cast<VertexId>(vertices_.size());
+  }
+
+  /// One event ⟨u,v⟩ enters the window.
+  void insert_event(VertexId u, VertexId v);
+  /// One previously inserted event ⟨u,v⟩ expires from the window.
+  void remove_event(VertexId u, VertexId v);
+
+  /// Batch forms used by the streaming runner (counts update bookkeeping).
+  void insert_batch(std::span<const TemporalEdge> events);
+  void remove_batch(std::span<const TemporalEdge> events);
+
+  [[nodiscard]] std::uint32_t out_degree(VertexId u) const {
+    return vertices_[u].out.degree();
+  }
+  [[nodiscard]] std::uint32_t in_degree(VertexId v) const {
+    return vertices_[v].in.degree();
+  }
+  [[nodiscard]] bool is_active(VertexId v) const {
+    return !vertices_[v].out.empty() || !vertices_[v].in.empty();
+  }
+  [[nodiscard]] std::size_t num_active() const { return num_active_; }
+
+  /// Distinct directed edges currently in the graph.
+  [[nodiscard]] std::size_t num_edges() const { return num_edges_; }
+
+  template <typename Fn>
+  void for_each_out(VertexId u, Fn&& fn) const {
+    vertices_[u].out.for_each(fn);
+  }
+  template <typename Fn>
+  void for_each_in(VertexId v, Fn&& fn) const {
+    vertices_[v].in.for_each(fn);
+  }
+
+  [[nodiscard]] std::size_t blocks_allocated() const {
+    return pool_.blocks_allocated();
+  }
+
+ private:
+  struct VertexRecord {
+    BlockChain out;
+    BlockChain in;
+  };
+
+  void track_activity(VertexId v, bool was_active);
+
+  std::vector<VertexRecord> vertices_;
+  BlockPool pool_;
+  std::size_t num_active_ = 0;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace pmpr::streaming

@@ -1,0 +1,70 @@
+#include "streaming/edge_blocks.hpp"
+
+#include <cassert>
+
+namespace pmpr::streaming {
+
+bool BlockChain::insert(VertexId nbr, BlockPool& pool) {
+  // Scan the chain for an existing slot (merge) while remembering the last
+  // block with spare capacity.
+  EdgeBlock* spare = nullptr;
+  EdgeBlock* last = nullptr;
+  for (EdgeBlock* b = head_; b != nullptr; b = b->next) {
+    for (std::uint32_t i = 0; i < b->count; ++i) {
+      if (b->slots[i].nbr == nbr) {
+        ++b->slots[i].weight;
+        return false;
+      }
+    }
+    if (b->count < kEdgeBlockCapacity) spare = b;
+    last = b;
+  }
+  if (spare == nullptr) {
+    EdgeBlock* fresh = pool.acquire();
+    if (last != nullptr) {
+      last->next = fresh;
+    } else {
+      head_ = fresh;
+    }
+    spare = fresh;
+  }
+  spare->slots[spare->count++] = EdgeSlot{nbr, 1};
+  ++degree_;
+  return true;
+}
+
+int BlockChain::remove(VertexId nbr, BlockPool& pool) {
+  EdgeBlock* prev = nullptr;
+  for (EdgeBlock* b = head_; b != nullptr; prev = b, b = b->next) {
+    for (std::uint32_t i = 0; i < b->count; ++i) {
+      if (b->slots[i].nbr != nbr) continue;
+      if (--b->slots[i].weight > 0) return 0;
+      // Slot emptied: fill the hole with the block's last slot.
+      b->slots[i] = b->slots[b->count - 1];
+      --b->count;
+      --degree_;
+      if (b->count == 0) {
+        if (prev != nullptr) {
+          prev->next = b->next;
+        } else {
+          head_ = b->next;
+        }
+        pool.release(b);
+      }
+      return 1;
+    }
+  }
+  assert(false && "remove of an event that was never inserted");
+  return 0;
+}
+
+void BlockChain::clear(BlockPool& pool) {
+  while (head_ != nullptr) {
+    EdgeBlock* next = head_->next;
+    pool.release(head_);
+    head_ = next;
+  }
+  degree_ = 0;
+}
+
+}  // namespace pmpr::streaming

@@ -1,0 +1,111 @@
+#include "streaming/incremental_pagerank.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "pagerank/partial_init.hpp"
+
+namespace pmpr::streaming {
+
+IncrementalPagerank::IncrementalPagerank(const DynamicGraph& graph,
+                                         PagerankParams params)
+    : graph_(graph),
+      params_(params),
+      x_(graph.num_vertices(), 0.0),
+      scratch_(graph.num_vertices(), 0.0),
+      prev_active_(graph.num_vertices(), 0) {}
+
+void IncrementalPagerank::reset() { has_previous_ = false; }
+
+void IncrementalPagerank::build_initial_vector() {
+  const std::size_t n = x_.size();
+  std::vector<std::uint8_t> cur_active(n, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    cur_active[v] = graph_.is_active(static_cast<VertexId>(v)) ? 1 : 0;
+  }
+  if (has_previous_) {
+    // Carry the previous solution onto the new active set (same rescaling
+    // as the postmortem partial initialization, Eq. 4).
+    partial_init(x_, prev_active_, cur_active, graph_.num_active(), x_);
+  } else {
+    full_init(cur_active, graph_.num_active(), x_);
+  }
+  prev_active_ = std::move(cur_active);
+}
+
+PagerankStats IncrementalPagerank::update(const par::ForOptions* parallel) {
+  const std::size_t n = x_.size();
+  PagerankStats stats;
+  if (graph_.num_active() == 0) {
+    std::fill(x_.begin(), x_.end(), 0.0);
+    has_previous_ = false;
+    return stats;
+  }
+  build_initial_vector();
+
+  const auto n_active = static_cast<double>(graph_.num_active());
+  const double one_minus_alpha = 1.0 - params_.alpha;
+  double* cur = x_.data();
+  double* next = scratch_.data();
+
+  auto sweep = [&](const double* from, double* to, double base,
+                   std::size_t lo, std::size_t hi) {
+    double diff = 0.0;
+    for (std::size_t v = lo; v < hi; ++v) {
+      if (!graph_.is_active(static_cast<VertexId>(v))) {
+        to[v] = 0.0;
+        continue;
+      }
+      double sum = 0.0;
+      graph_.for_each_in(static_cast<VertexId>(v),
+                         [&](VertexId u, std::uint32_t /*weight*/) {
+                           sum += from[u] /
+                                  static_cast<double>(graph_.out_degree(u));
+                         });
+      const double value = base + one_minus_alpha * sum;
+      diff += std::abs(value - from[v]);
+      to[v] = value;
+    }
+    return diff;
+  };
+
+  for (int iter = 0; iter < params_.max_iters; ++iter) {
+    double dangling = 0.0;
+    if (params_.redistribute_dangling) {
+      for (std::size_t v = 0; v < n; ++v) {
+        if (graph_.is_active(static_cast<VertexId>(v)) &&
+            graph_.out_degree(static_cast<VertexId>(v)) == 0) {
+          dangling += cur[v];
+        }
+      }
+    }
+    const double base =
+        (params_.alpha + one_minus_alpha * dangling) / n_active;
+
+    double diff = 0.0;
+    if (parallel != nullptr) {
+      diff = par::parallel_reduce(
+          0, n, 0.0, *parallel,
+          [&](std::size_t lo, std::size_t hi) {
+            return sweep(cur, next, base, lo, hi);
+          },
+          [](double a, double b) { return a + b; });
+    } else {
+      diff = sweep(cur, next, base, 0, n);
+    }
+
+    std::swap(cur, next);
+    stats.iterations = iter + 1;
+    stats.final_residual = diff;
+    if (diff < params_.tol) break;
+  }
+
+  if (cur != x_.data()) {
+    std::memcpy(x_.data(), cur, n * sizeof(double));
+  }
+  has_previous_ = true;
+  return stats;
+}
+
+}  // namespace pmpr::streaming

@@ -1,0 +1,82 @@
+#include "util/date.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+namespace pmpr {
+
+// Howard Hinnant's days_from_civil / civil_from_days (public-domain
+// algorithms, http://howardhinnant.github.io/date_algorithms.html).
+std::int64_t days_from_civil(const CivilDate& date) {
+  const int y = date.year - (date.month <= 2 ? 1 : 0);
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const auto yoe = static_cast<unsigned>(y - era * 400);  // [0, 399]
+  const unsigned doy =
+      (153 * (date.month + (date.month > 2 ? -3 : 9)) + 2) / 5 + date.day - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+CivilDate civil_from_days(std::int64_t days) {
+  days += 719468;
+  const std::int64_t era = (days >= 0 ? days : days - 146096) / 146097;
+  const auto doe = static_cast<unsigned>(days - era * 146097);  // [0,146096]
+  const unsigned yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;  // [0, 399]
+  const std::int64_t y = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);  // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                       // [0, 11]
+  CivilDate out;
+  out.day = doy - (153 * mp + 2) / 5 + 1;
+  out.month = mp + (mp < 10 ? 3 : -9);
+  out.year = static_cast<int>(y + (out.month <= 2 ? 1 : 0));
+  return out;
+}
+
+Timestamp timestamp_from_date(const CivilDate& date) {
+  return days_from_civil(date) * duration::kDay;
+}
+
+std::optional<CivilDate> parse_date(std::string_view text) {
+  auto parse_int = [](std::string_view s, int& out) {
+    const auto [ptr, ec] =
+        std::from_chars(s.data(), s.data() + s.size(), out);
+    return ec == std::errc() && ptr == s.data() + s.size();
+  };
+  const char sep = text.find('/') != std::string_view::npos ? '/' : '-';
+  // Split on the separator *after* the (possibly signed) year.
+  const std::size_t first = text.find(sep, 1);
+  if (first == std::string_view::npos) return std::nullopt;
+  const std::size_t second = text.find(sep, first + 1);
+  if (second == std::string_view::npos) return std::nullopt;
+
+  int year = 0;
+  int month = 0;
+  int day = 0;
+  if (!parse_int(text.substr(0, first), year) ||
+      !parse_int(text.substr(first + 1, second - first - 1), month) ||
+      !parse_int(text.substr(second + 1), day)) {
+    return std::nullopt;
+  }
+  if (month < 1 || month > 12 || day < 1 || day > 31) return std::nullopt;
+  CivilDate date{year, static_cast<unsigned>(month),
+                 static_cast<unsigned>(day)};
+  // Round-trip check rejects impossible dates like Feb 30.
+  if (civil_from_days(days_from_civil(date)).day != date.day) {
+    return std::nullopt;
+  }
+  return date;
+}
+
+std::string format_date(Timestamp t) {
+  // Floor toward the containing civil day for negative times.
+  std::int64_t days = t / duration::kDay;
+  if (t < 0 && t % duration::kDay != 0) --days;
+  const CivilDate date = civil_from_days(days);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02u-%02u", date.year, date.month,
+                date.day);
+  return buf;
+}
+
+}  // namespace pmpr

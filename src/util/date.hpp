@@ -1,0 +1,40 @@
+// Calendar-date helpers.
+//
+// Real temporal datasets (and the paper's own examples, Fig. 2) speak in
+// dates; the library speaks in integer seconds. These convert "YYYY-MM-DD"
+// to/from epoch seconds (UTC, proleptic Gregorian — the civil-day algorithm
+// of Howard Hinnant's date library) without locale or timezone surprises.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "graph/types.hpp"
+
+namespace pmpr {
+
+struct CivilDate {
+  int year = 1970;
+  unsigned month = 1;  ///< 1..12
+  unsigned day = 1;    ///< 1..31
+};
+
+/// Days since 1970-01-01 for a civil date (valid for any Gregorian date).
+std::int64_t days_from_civil(const CivilDate& date);
+
+/// Inverse of days_from_civil.
+CivilDate civil_from_days(std::int64_t days);
+
+/// Epoch seconds at midnight UTC of the date.
+Timestamp timestamp_from_date(const CivilDate& date);
+
+/// Parses "YYYY-MM-DD" (also accepts "YYYY/MM/DD"); nullopt on malformed
+/// or out-of-range input.
+std::optional<CivilDate> parse_date(std::string_view text);
+
+/// Formats epoch seconds as "YYYY-MM-DD" (UTC midnight-floor).
+std::string format_date(Timestamp t);
+
+}  // namespace pmpr

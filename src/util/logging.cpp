@@ -1,0 +1,56 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+
+namespace pmpr {
+
+namespace detail {
+
+LogLevel& log_threshold() {
+  static LogLevel level = LogLevel::kInfo;
+  return level;
+}
+
+std::mutex& log_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+namespace {
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?????";
+}
+}  // namespace
+
+void emit(LogLevel level, std::string_view msg) {
+  std::lock_guard<std::mutex> lock(log_mutex());
+  std::fprintf(stderr, "[pmpr %s] %.*s\n", level_tag(level),
+               static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace detail
+
+LogLevel set_log_level(LogLevel level) {
+  LogLevel prev = detail::log_threshold();
+  detail::log_threshold() = level;
+  return prev;
+}
+
+LogLevel parse_log_level(std::string_view name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  return LogLevel::kInfo;
+}
+
+}  // namespace pmpr

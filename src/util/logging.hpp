@@ -1,0 +1,59 @@
+// Minimal leveled logging for the library.
+//
+// The runners and benchmark harnesses use this to report progress without
+// polluting the machine-readable tables they print on stdout: log output
+// always goes to stderr. Thread-safe (a single global mutex serialises
+// message emission; formatting happens outside the lock).
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace pmpr {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+namespace detail {
+/// Global mutable logging state. Kept behind accessors so tests can lower
+/// the threshold and capture output.
+LogLevel& log_threshold();
+std::mutex& log_mutex();
+void emit(LogLevel level, std::string_view msg);
+}  // namespace detail
+
+/// Sets the minimum level that will be emitted. Returns the previous level.
+LogLevel set_log_level(LogLevel level);
+
+/// Parses "debug"/"info"/"warn"/"error"; unknown strings map to kInfo.
+LogLevel parse_log_level(std::string_view name);
+
+/// Stream-style log statement: `PMPR_LOG(kInfo) << "built " << n << " windows";`
+/// The message is assembled in a local ostringstream and emitted on
+/// destruction, so the global lock is held only for the write itself.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { detail::emit(level_, out_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    out_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream out_;
+};
+
+}  // namespace pmpr
+
+#define PMPR_LOG(level)                                         \
+  if (static_cast<int>(::pmpr::LogLevel::level) <               \
+      static_cast<int>(::pmpr::detail::log_threshold())) {      \
+  } else                                                        \
+    ::pmpr::LogLine(::pmpr::LogLevel::level)

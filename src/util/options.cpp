@@ -1,0 +1,167 @@
+#include "util/options.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+
+namespace pmpr {
+
+Options::Options(std::string program_summary)
+    : summary_(std::move(program_summary)) {}
+
+Options& Options::add(const std::string& name, std::string* target,
+                      const std::string& help) {
+  Opt o;
+  o.name = name;
+  o.help = help;
+  o.default_repr = *target;
+  o.set = [target](const std::string& v) {
+    *target = v;
+    return true;
+  };
+  opts_.push_back(std::move(o));
+  return *this;
+}
+
+Options& Options::add(const std::string& name, std::int64_t* target,
+                      const std::string& help) {
+  Opt o;
+  o.name = name;
+  o.help = help;
+  o.default_repr = std::to_string(*target);
+  o.set = [target](const std::string& v) {
+    std::int64_t parsed = 0;
+    auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), parsed);
+    if (ec != std::errc() || ptr != v.data() + v.size()) return false;
+    *target = parsed;
+    return true;
+  };
+  opts_.push_back(std::move(o));
+  return *this;
+}
+
+Options& Options::add(const std::string& name, double* target,
+                      const std::string& help) {
+  Opt o;
+  o.name = name;
+  o.help = help;
+  o.default_repr = std::to_string(*target);
+  o.set = [target](const std::string& v) {
+    char* end = nullptr;
+    const double parsed = std::strtod(v.c_str(), &end);
+    if (end != v.c_str() + v.size() || v.empty()) return false;
+    *target = parsed;
+    return true;
+  };
+  opts_.push_back(std::move(o));
+  return *this;
+}
+
+Options& Options::add(const std::string& name, bool* target,
+                      const std::string& help) {
+  Opt o;
+  o.name = name;
+  o.help = help;
+  o.default_repr = *target ? "true" : "false";
+  o.is_flag = true;
+  o.set = [target](const std::string& v) {
+    if (v == "true" || v == "1" || v.empty()) {
+      *target = true;
+    } else if (v == "false" || v == "0") {
+      *target = false;
+    } else {
+      return false;
+    }
+    return true;
+  };
+  opts_.push_back(std::move(o));
+  return *this;
+}
+
+const Options::Opt* Options::find(const std::string& name) const {
+  for (const auto& o : opts_) {
+    if (o.name == name) return &o;
+  }
+  return nullptr;
+}
+
+void Options::print_help(const char* argv0) const {
+  std::printf("%s\n\nUsage: %s [options]\n\nOptions:\n", summary_.c_str(),
+              argv0);
+  for (const auto& o : opts_) {
+    std::printf("  --%-24s %s (default: %s)\n",
+                (o.name + (o.is_flag ? "" : " <value>")).c_str(),
+                o.help.c_str(), o.default_repr.c_str());
+  }
+  std::printf("  --%-24s print this help\n", "help");
+}
+
+bool Options::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      saw_help_ = true;
+      print_help(argv[0]);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string body = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = body.find('='); eq != std::string::npos) {
+      value = body.substr(eq + 1);
+      body = body.substr(0, eq);
+      has_value = true;
+    }
+
+    const Opt* opt = find(body);
+    bool negated = false;
+    if (opt == nullptr && body.rfind("no-", 0) == 0) {
+      opt = find(body.substr(3));
+      if (opt != nullptr && opt->is_flag) {
+        negated = true;
+      } else {
+        opt = nullptr;
+      }
+    }
+    if (opt == nullptr) {
+      std::fprintf(stderr, "error: unknown option --%s (try --help)\n",
+                   body.c_str());
+      return false;
+    }
+
+    if (opt->is_flag) {
+      if (negated) {
+        opt->set("false");
+      } else if (has_value) {
+        if (!opt->set(value)) {
+          std::fprintf(stderr, "error: bad boolean for --%s: '%s'\n",
+                       body.c_str(), value.c_str());
+          return false;
+        }
+      } else {
+        opt->set("true");
+      }
+      continue;
+    }
+
+    if (!has_value) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --%s expects a value\n", body.c_str());
+        return false;
+      }
+      value = argv[++i];
+    }
+    if (!opt->set(value)) {
+      std::fprintf(stderr, "error: cannot parse value for --%s: '%s'\n",
+                   body.c_str(), value.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace pmpr

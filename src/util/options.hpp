@@ -1,0 +1,63 @@
+// Tiny declarative command-line parser for the examples and benchmark
+// binaries. Supports `--name value`, `--name=value`, and boolean flags
+// (`--flag` / `--no-flag`), plus auto-generated `--help` text.
+//
+// Deliberately dependency-free; not intended as a general-purpose CLI
+// library, just enough for reproducible experiment drivers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace pmpr {
+
+class Options {
+ public:
+  /// `program_summary` is printed at the top of --help output.
+  explicit Options(std::string program_summary);
+
+  /// Registers a typed option bound to `*target`, whose current value is the
+  /// default. `help` appears in --help. Returns *this for chaining.
+  Options& add(const std::string& name, std::string* target,
+               const std::string& help);
+  Options& add(const std::string& name, std::int64_t* target,
+               const std::string& help);
+  Options& add(const std::string& name, double* target,
+               const std::string& help);
+  Options& add(const std::string& name, bool* target, const std::string& help);
+
+  /// Parses argv. On `--help`, prints usage to stdout and returns false
+  /// (callers should exit 0). On a parse error, prints the problem to stderr
+  /// and returns false (callers should exit nonzero after checking
+  /// `saw_help()`). Unknown options are errors.
+  bool parse(int argc, char** argv);
+
+  [[nodiscard]] bool saw_help() const { return saw_help_; }
+
+  /// Positional (non-option) arguments encountered during parse.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+ private:
+  struct Opt {
+    std::string name;
+    std::string help;
+    std::string default_repr;
+    bool is_flag = false;
+    // Returns false if the value cannot be parsed.
+    std::function<bool(const std::string&)> set;
+  };
+
+  void print_help(const char* argv0) const;
+  const Opt* find(const std::string& name) const;
+
+  std::string summary_;
+  std::vector<Opt> opts_;
+  std::vector<std::string> positional_;
+  bool saw_help_ = false;
+};
+
+}  // namespace pmpr

@@ -1,0 +1,62 @@
+// Parallel merge sort on the work-stealing pool.
+//
+// Sorting the event database by time is the postmortem model's single
+// upfront pass over all data; for multi-million-event lists a parallel
+// sort keeps the representation-build phase proportional to the rest of
+// the pipeline. Stable (ties keep input order, matching
+// TemporalEdgeList::sort_by_time's contract).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "par/task_group.hpp"
+
+namespace pmpr {
+
+namespace detail {
+
+template <typename T, typename Less>
+void merge_sort_rec(T* data, T* buffer, std::size_t lo, std::size_t hi,
+                    const Less& less, std::size_t cutoff,
+                    par::ThreadPool& pool) {
+  const std::size_t n = hi - lo;
+  if (n <= cutoff) {
+    std::stable_sort(data + lo, data + hi, less);
+    return;
+  }
+  const std::size_t mid = lo + n / 2;
+  {
+    par::TaskGroup group(&pool);
+    group.run([&] { merge_sort_rec(data, buffer, lo, mid, less, cutoff, pool); });
+    merge_sort_rec(data, buffer, mid, hi, less, cutoff, pool);
+    group.wait();
+  }
+  // Merge into the buffer, then move back. Stability: on ties take left.
+  std::merge(std::make_move_iterator(data + lo),
+             std::make_move_iterator(data + mid),
+             std::make_move_iterator(data + mid),
+             std::make_move_iterator(data + hi), buffer + lo, less);
+  std::move(buffer + lo, buffer + hi, data + lo);
+}
+
+}  // namespace detail
+
+/// Stable parallel sort of `v` with comparator `less`. `pool` = nullptr
+/// uses the global pool. Sequential cutoff defaults to ~16k elements.
+template <typename T, typename Less = std::less<T>>
+void parallel_sort(std::vector<T>& v, Less less = Less{},
+                   par::ThreadPool* pool = nullptr,
+                   std::size_t cutoff = 1 << 14) {
+  if (v.size() <= cutoff) {
+    std::stable_sort(v.begin(), v.end(), less);
+    return;
+  }
+  par::ThreadPool& p = pool != nullptr ? *pool : par::ThreadPool::global();
+  std::vector<T> buffer(v.size());
+  detail::merge_sort_rec(v.data(), buffer.data(), 0, v.size(), less,
+                         std::max<std::size_t>(cutoff, 1), p);
+}
+
+}  // namespace pmpr

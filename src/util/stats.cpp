@@ -1,0 +1,58 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pmpr {
+
+double mean(std::span<const double> sample) {
+  if (sample.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : sample) s += v;
+  return s / static_cast<double>(sample.size());
+}
+
+double percentile(std::span<const double> sample, double q) {
+  if (sample.empty()) return 0.0;
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double median(std::span<const double> sample) {
+  return percentile(sample, 0.5);
+}
+
+double geomean(std::span<const double> sample) {
+  if (sample.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double v : sample) {
+    if (v <= 0.0) return 0.0;
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(sample.size()));
+}
+
+Summary summarize(std::span<const double> sample) {
+  Summary s;
+  s.count = sample.size();
+  if (sample.empty()) return s;
+  s.mean = mean(sample);
+  s.min = *std::min_element(sample.begin(), sample.end());
+  s.max = *std::max_element(sample.begin(), sample.end());
+  double sq = 0.0;
+  for (double v : sample) sq += (v - s.mean) * (v - s.mean);
+  s.stddev = sample.size() > 1
+                 ? std::sqrt(sq / static_cast<double>(sample.size() - 1))
+                 : 0.0;
+  s.median = median(sample);
+  s.p95 = percentile(sample, 0.95);
+  return s;
+}
+
+}  // namespace pmpr

@@ -1,0 +1,62 @@
+// Small descriptive-statistics helpers used by the benchmark harnesses
+// (median-of-repeats timing) and by the dataset generators' self-checks
+// (degree-distribution sanity).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace pmpr {
+
+/// Summary of a sample of doubles.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< Sample standard deviation (n-1 denominator).
+  double median = 0.0;
+  double p95 = 0.0;
+};
+
+/// Computes a full summary of `sample`. An empty sample yields all zeros.
+Summary summarize(std::span<const double> sample);
+
+/// Arithmetic mean; 0 for an empty sample.
+double mean(std::span<const double> sample);
+
+/// Linear-interpolation percentile, q in [0, 1]. 0 for an empty sample.
+double percentile(std::span<const double> sample, double q);
+
+/// Median (= percentile 0.5).
+double median(std::span<const double> sample);
+
+/// Geometric mean; 0 if any element is <= 0 or the sample is empty.
+/// Used to aggregate speedups across configurations (Fig. 11 summaries).
+double geomean(std::span<const double> sample);
+
+/// Runs `fn` `repeats` times and returns the elapsed seconds of each run.
+/// The first `warmup` runs are executed but not recorded.
+template <typename Fn>
+std::vector<double> time_repeats(Fn&& fn, int repeats, int warmup = 0);
+
+}  // namespace pmpr
+
+#include "util/timer.hpp"
+
+namespace pmpr {
+
+template <typename Fn>
+std::vector<double> time_repeats(Fn&& fn, int repeats, int warmup) {
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(repeats));
+  for (int i = 0; i < warmup + repeats; ++i) {
+    Timer t;
+    fn();
+    if (i >= warmup) out.push_back(t.seconds());
+  }
+  return out;
+}
+
+}  // namespace pmpr

@@ -1,0 +1,43 @@
+// Aligned-text and CSV table emitters.
+//
+// Every benchmark binary prints the rows/series of the paper figure it
+// reproduces. The text form is human-readable (aligned columns); the same
+// Table can also be dumped as CSV for plotting.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pmpr {
+
+class Table {
+ public:
+  /// `title` is printed above the table (and as a CSV comment line).
+  explicit Table(std::string title, std::vector<std::string> columns);
+
+  /// Appends a row. The number of cells must equal the number of columns.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience cell formatters.
+  static std::string fmt(double v, int precision = 3);
+  static std::string fmt(std::int64_t v);
+  static std::string fmt(std::uint64_t v);
+
+  /// Writes aligned text to `os`.
+  void print_text(std::ostream& os) const;
+
+  /// Writes RFC-4180-ish CSV to `os` (title as a leading `#` comment).
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+  [[nodiscard]] const std::string& title() const { return title_; }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pmpr

@@ -1,0 +1,60 @@
+// Wall-clock timing utilities used by the benchmark harnesses and the
+// execution-model runners to report per-phase times (graph build, PageRank,
+// total), mirroring the measurements reported in the paper's Section 6.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace pmpr {
+
+/// Monotonic wall-clock stopwatch.
+///
+/// Construction starts the clock; `seconds()` / `millis()` read the elapsed
+/// time without stopping, `reset()` restarts from zero.
+class Timer {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/reset, in seconds.
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time since construction/reset, in milliseconds.
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+  /// Elapsed time since construction/reset, in nanoseconds.
+  [[nodiscard]] std::int64_t nanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  Clock::time_point start_;
+};
+
+/// Accumulates elapsed time across multiple start/stop intervals.
+///
+/// Used where a phase is interleaved with others (e.g. the streaming runner
+/// separates "graph mutation" time from "PageRank" time within one window
+/// advance).
+class AccumTimer {
+ public:
+  void start() { t_.reset(); }
+  void stop() { total_ += t_.seconds(); }
+
+  [[nodiscard]] double seconds() const { return total_; }
+  void clear() { total_ = 0.0; }
+
+ private:
+  Timer t_;
+  double total_ = 0.0;
+};
+
+}  // namespace pmpr

@@ -1,0 +1,182 @@
+#include "analysis/betweenness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <queue>
+#include <set>
+
+#include "test_helpers.hpp"
+
+namespace pmpr::analysis {
+namespace {
+
+/// Brute-force exact betweenness (global ids): Brandes with std containers.
+std::map<VertexId, double> brute_betweenness(const TemporalEdgeList& events,
+                                             Timestamp ts, Timestamp te) {
+  std::map<VertexId, std::set<VertexId>> adj;
+  for (const auto& [u, v] : test::brute_window_edges(events, ts, te)) {
+    if (u != v) {
+      adj[u].insert(v);
+      adj[v].insert(u);
+    }
+  }
+  std::map<VertexId, double> score;
+  for (const auto& [v, nbrs] : adj) score[v] = 0.0;
+  for (const auto& [s, s_nbrs] : adj) {
+    std::map<VertexId, int> dist;
+    std::map<VertexId, double> sigma;
+    std::map<VertexId, double> delta;
+    std::vector<VertexId> order;
+    dist[s] = 0;
+    sigma[s] = 1.0;
+    std::queue<VertexId> q;
+    q.push(s);
+    while (!q.empty()) {
+      const VertexId v = q.front();
+      q.pop();
+      order.push_back(v);
+      for (const VertexId u : adj[v]) {
+        if (dist.count(u) == 0) {
+          dist[u] = dist[v] + 1;
+          q.push(u);
+        }
+        if (dist[u] == dist[v] + 1) sigma[u] += sigma[v];
+      }
+    }
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const VertexId u = *it;
+      for (const VertexId v : adj[u]) {
+        if (dist[v] == dist[u] - 1) {
+          delta[v] += (sigma[v] / sigma[u]) * (1.0 + delta[u]);
+        }
+      }
+      if (u != s) score[u] += delta[u];
+    }
+  }
+  for (auto& [v, x] : score) x *= 0.5;
+  return score;
+}
+
+TEST(Betweenness, ExactMatchesBruteForce) {
+  const TemporalEdgeList events = test::random_events(5, 25, 300, 10000);
+  const WindowSpec spec = WindowSpec::cover(0, 10000, 3000, 2500);
+  const MultiWindowSet set = MultiWindowSet::build(events, spec, 2);
+  for (std::size_t w = 0; w < spec.count; ++w) {
+    const auto& part = set.part_for_window(w);
+    const BetweennessResult got = betweenness_window(
+        part, spec.start(w), spec.end(w), BetweennessParams{});
+    const auto ref = brute_betweenness(events, spec.start(w), spec.end(w));
+    for (const auto& [v, score] : ref) {
+      const VertexId local = part.local_of(v);
+      ASSERT_NE(local, kInvalidVertex);
+      ASSERT_NEAR(got.score[local], score, 1e-9)
+          << "w=" << w << " v=" << v;
+    }
+  }
+}
+
+TEST(Betweenness, PathGraphClosedForm) {
+  // Path 0-1-2-3-4: betweenness of vertex i (endpoints excluded) is the
+  // number of pairs it separates: 1: 3, 2: 4, 3: 3 (pairs counted once).
+  TemporalEdgeList events;
+  for (VertexId v = 0; v + 1 < 5; ++v) events.add(v, v + 1, 0);
+  const WindowSpec spec{.t0 = 0, .delta = 1, .sw = 1, .count = 1};
+  const MultiWindowSet set = MultiWindowSet::build(events, spec, 1);
+  const BetweennessResult r =
+      betweenness_window(set.part(0), 0, 1, BetweennessParams{});
+  EXPECT_NEAR(r.score[0], 0.0, 1e-12);
+  EXPECT_NEAR(r.score[1], 3.0, 1e-12);
+  EXPECT_NEAR(r.score[2], 4.0, 1e-12);
+  EXPECT_NEAR(r.score[3], 3.0, 1e-12);
+  EXPECT_NEAR(r.score[4], 0.0, 1e-12);
+}
+
+TEST(Betweenness, StarHubTakesAll) {
+  // Star with k leaves: hub separates C(k,2) pairs; leaves none.
+  const VertexId k = 6;
+  TemporalEdgeList events;
+  for (VertexId v = 1; v <= k; ++v) events.add(0, v, 0);
+  const WindowSpec spec{.t0 = 0, .delta = 1, .sw = 1, .count = 1};
+  const MultiWindowSet set = MultiWindowSet::build(events, spec, 1);
+  const BetweennessResult r =
+      betweenness_window(set.part(0), 0, 1, BetweennessParams{});
+  const VertexId hub = set.part(0).local_of(0);
+  EXPECT_NEAR(r.score[hub], k * (k - 1) / 2.0, 1e-12);
+  for (VertexId v = 0; v < set.part(0).num_local(); ++v) {
+    if (v != hub) EXPECT_NEAR(r.score[v], 0.0, 1e-12);
+  }
+}
+
+TEST(Betweenness, SamplingAllSourcesEqualsExact) {
+  const TemporalEdgeList events = test::random_events(9, 20, 250, 5000);
+  const WindowSpec spec{.t0 = 0, .delta = 5000, .sw = 1, .count = 1};
+  const MultiWindowSet set = MultiWindowSet::build(events, spec, 1);
+  const BetweennessResult exact =
+      betweenness_window(set.part(0), 0, 5000, BetweennessParams{});
+  BetweennessParams all;
+  all.sample_sources = 10000;  // >= actives -> exact path
+  const BetweennessResult sampled =
+      betweenness_window(set.part(0), 0, 5000, all);
+  for (std::size_t v = 0; v < exact.score.size(); ++v) {
+    ASSERT_DOUBLE_EQ(exact.score[v], sampled.score[v]);
+  }
+}
+
+TEST(Betweenness, SamplingUnbiasedOnAverage) {
+  // Averaging estimates over many seeds approaches the exact values.
+  const TemporalEdgeList events = test::random_events(11, 30, 400, 5000);
+  const WindowSpec spec{.t0 = 0, .delta = 5000, .sw = 1, .count = 1};
+  const MultiWindowSet set = MultiWindowSet::build(events, spec, 1);
+  const BetweennessResult exact =
+      betweenness_window(set.part(0), 0, 5000, BetweennessParams{});
+
+  std::vector<double> avg(exact.score.size(), 0.0);
+  const int kSeeds = 40;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    BetweennessParams p;
+    p.sample_sources = 8;
+    p.seed = static_cast<std::uint64_t>(seed);
+    const BetweennessResult est =
+        betweenness_window(set.part(0), 0, 5000, p);
+    for (std::size_t v = 0; v < avg.size(); ++v) avg[v] += est.score[v];
+  }
+  double exact_total = 0.0;
+  double avg_total = 0.0;
+  for (std::size_t v = 0; v < avg.size(); ++v) {
+    avg[v] /= kSeeds;
+    exact_total += exact.score[v];
+    avg_total += avg[v];
+  }
+  // Total dependency mass is an unbiased estimate.
+  EXPECT_NEAR(avg_total, exact_total, exact_total * 0.15);
+}
+
+TEST(Betweenness, TinyWindowsScoreZero) {
+  TemporalEdgeList events;
+  events.add(0, 1, 5);  // 2 vertices: nobody is "between"
+  const WindowSpec spec{.t0 = 0, .delta = 10, .sw = 1, .count = 1};
+  const MultiWindowSet set = MultiWindowSet::build(events, spec, 1);
+  const BetweennessResult r =
+      betweenness_window(set.part(0), 0, 10, BetweennessParams{});
+  for (const double s : r.score) EXPECT_EQ(s, 0.0);
+  EXPECT_EQ(r.passes, 0u);
+}
+
+TEST(Betweenness, OverWindowsFindsLeaders) {
+  const TemporalEdgeList events = test::random_events(13, 40, 1200, 20000);
+  const WindowSpec spec = WindowSpec::cover(0, 20000, 5000, 2500);
+  const MultiWindowSet set = MultiWindowSet::build(events, spec, 2);
+  BetweennessParams p;
+  p.sample_sources = 10;
+  const auto summaries = betweenness_over_windows(set, p);
+  ASSERT_EQ(summaries.size(), spec.count);
+  for (const auto& s : summaries) {
+    if (s.num_active >= 10) {
+      EXPECT_NE(s.top_vertex, kInvalidVertex) << "window " << s.window;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pmpr::analysis

@@ -1,0 +1,178 @@
+#include "analysis/closeness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <queue>
+#include <set>
+
+#include "test_helpers.hpp"
+
+namespace pmpr::analysis {
+namespace {
+
+/// Brute-force exact closeness on the undirected window graph (global ids).
+std::map<VertexId, double> brute_closeness(const TemporalEdgeList& events,
+                                           Timestamp ts, Timestamp te) {
+  std::map<VertexId, std::set<VertexId>> adj;
+  std::set<VertexId> active;
+  for (const auto& [u, v] : test::brute_window_edges(events, ts, te)) {
+    active.insert(u);
+    active.insert(v);
+    if (u != v) {
+      adj[u].insert(v);
+      adj[v].insert(u);
+    }
+  }
+  std::map<VertexId, double> out;
+  if (active.size() < 2) return out;
+  const double n_minus_1 = static_cast<double>(active.size() - 1);
+  for (const VertexId s : active) {
+    // BFS from s.
+    std::map<VertexId, std::uint32_t> dist;
+    std::queue<VertexId> q;
+    dist[s] = 0;
+    q.push(s);
+    std::uint64_t total = 0;
+    std::size_t reached = 0;
+    while (!q.empty()) {
+      const VertexId v = q.front();
+      q.pop();
+      total += dist[v];
+      ++reached;
+      for (const VertexId u : adj[v]) {
+        if (dist.count(u) == 0) {
+          dist[u] = dist[v] + 1;
+          q.push(u);
+        }
+      }
+    }
+    if (reached < 2) {
+      out[s] = 0.0;
+      continue;
+    }
+    const double r_minus_1 = static_cast<double>(reached - 1);
+    out[s] = (r_minus_1 / static_cast<double>(total)) * (r_minus_1 / n_minus_1);
+  }
+  return out;
+}
+
+TEST(Closeness, ExactMatchesBruteForce) {
+  const TemporalEdgeList events = test::random_events(5, 30, 400, 10000);
+  const WindowSpec spec = WindowSpec::cover(0, 10000, 3000, 2500);
+  const MultiWindowSet set = MultiWindowSet::build(events, spec, 2);
+  for (std::size_t w = 0; w < spec.count; ++w) {
+    const auto& part = set.part_for_window(w);
+    const ClosenessResult got = closeness_window(
+        part, spec.start(w), spec.end(w), ClosenessParams{});
+    const auto ref = brute_closeness(events, spec.start(w), spec.end(w));
+    EXPECT_EQ(got.num_active, ref.size()) << "w=" << w;
+    for (const auto& [v, c] : ref) {
+      const VertexId local = part.local_of(v);
+      ASSERT_NE(local, kInvalidVertex);
+      ASSERT_NEAR(got.score[local], c, 1e-12) << "w=" << w << " v=" << v;
+    }
+  }
+}
+
+TEST(Closeness, StarCenterIsMostCentral) {
+  TemporalEdgeList events;
+  for (VertexId v = 1; v <= 6; ++v) events.add(0, v, 5);
+  const WindowSpec spec{.t0 = 0, .delta = 10, .sw = 1, .count = 1};
+  const MultiWindowSet set = MultiWindowSet::build(events, spec, 1);
+  const ClosenessResult r =
+      closeness_window(set.part(0), 0, 10, ClosenessParams{});
+  const VertexId center = set.part(0).local_of(0);
+  for (VertexId v = 0; v < set.part(0).num_local(); ++v) {
+    if (v != center) EXPECT_GT(r.score[center], r.score[v]);
+  }
+}
+
+TEST(Closeness, PathMiddleBeatsEnds) {
+  TemporalEdgeList events;
+  for (VertexId v = 0; v + 1 < 7; ++v) events.add(v, v + 1, 0);
+  const WindowSpec spec{.t0 = 0, .delta = 1, .sw = 1, .count = 1};
+  const MultiWindowSet set = MultiWindowSet::build(events, spec, 1);
+  const ClosenessResult r =
+      closeness_window(set.part(0), 0, 1, ClosenessParams{});
+  EXPECT_GT(r.score[3], r.score[0]);
+  EXPECT_GT(r.score[3], r.score[6]);
+}
+
+TEST(Closeness, SamplingAllSourcesEqualsExact) {
+  const TemporalEdgeList events = test::random_events(9, 25, 300, 5000);
+  const WindowSpec spec{.t0 = 0, .delta = 5000, .sw = 1, .count = 1};
+  const MultiWindowSet set = MultiWindowSet::build(events, spec, 1);
+  const ClosenessResult exact =
+      closeness_window(set.part(0), 0, 5000, ClosenessParams{});
+  ClosenessParams all;
+  all.sample_sources = exact.num_active;  // >= active -> exact path
+  const ClosenessResult sampled =
+      closeness_window(set.part(0), 0, 5000, all);
+  for (std::size_t v = 0; v < exact.score.size(); ++v) {
+    ASSERT_DOUBLE_EQ(exact.score[v], sampled.score[v]);
+  }
+}
+
+TEST(Closeness, SamplingApproximatesExactOrdering) {
+  const TemporalEdgeList events = test::random_events(11, 60, 2500, 5000);
+  const WindowSpec spec{.t0 = 0, .delta = 5000, .sw = 1, .count = 1};
+  const MultiWindowSet set = MultiWindowSet::build(events, spec, 1);
+  const ClosenessResult exact =
+      closeness_window(set.part(0), 0, 5000, ClosenessParams{});
+  ClosenessParams p;
+  p.sample_sources = 20;
+  const ClosenessResult approx = closeness_window(set.part(0), 0, 5000, p);
+  EXPECT_EQ(approx.bfs_performed, 20u);
+  // The exact top vertex should land near the top of the estimate.
+  std::size_t exact_top = 0;
+  for (std::size_t v = 1; v < exact.score.size(); ++v) {
+    if (exact.score[v] > exact.score[exact_top]) exact_top = v;
+  }
+  std::size_t better = 0;
+  for (std::size_t v = 0; v < approx.score.size(); ++v) {
+    if (approx.score[v] > approx.score[exact_top]) ++better;
+  }
+  EXPECT_LT(better, exact.num_active / 4);
+}
+
+TEST(Closeness, FewerBfsWhenSampling) {
+  const TemporalEdgeList events = test::random_events(13, 80, 2000, 5000);
+  const WindowSpec spec{.t0 = 0, .delta = 5000, .sw = 1, .count = 1};
+  const MultiWindowSet set = MultiWindowSet::build(events, spec, 1);
+  const ClosenessResult exact =
+      closeness_window(set.part(0), 0, 5000, ClosenessParams{});
+  ClosenessParams p;
+  p.sample_sources = 10;
+  const ClosenessResult approx = closeness_window(set.part(0), 0, 5000, p);
+  EXPECT_LT(approx.bfs_performed, exact.bfs_performed);
+}
+
+TEST(Closeness, EmptyAndSingletonWindows) {
+  TemporalEdgeList events;
+  events.add(0, 0, 5);  // self loop only
+  const WindowSpec spec{.t0 = 0, .delta = 10, .sw = 1, .count = 1};
+  const MultiWindowSet set = MultiWindowSet::build(events, spec, 1);
+  const ClosenessResult r =
+      closeness_window(set.part(0), 0, 10, ClosenessParams{});
+  EXPECT_EQ(r.num_active, 1u);
+  for (const double s : r.score) EXPECT_EQ(s, 0.0);
+}
+
+TEST(Closeness, OverWindowsReportsLeaders) {
+  const TemporalEdgeList events = test::random_events(17, 40, 1500, 20000);
+  const WindowSpec spec = WindowSpec::cover(0, 20000, 5000, 2500);
+  const MultiWindowSet set = MultiWindowSet::build(events, spec, 2);
+  const auto summaries =
+      closeness_over_windows(set, ClosenessParams{});
+  ASSERT_EQ(summaries.size(), spec.count);
+  for (const auto& s : summaries) {
+    if (s.num_active >= 2) {
+      EXPECT_NE(s.top_vertex, kInvalidVertex);
+      EXPECT_GT(s.top_score, 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pmpr::analysis

@@ -1,0 +1,144 @@
+#include "analysis/connected_components.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <map>
+#include <numeric>
+
+#include "test_helpers.hpp"
+
+namespace pmpr::analysis {
+namespace {
+
+/// Union-find reference for weak components of a window.
+struct BruteWcc {
+  std::size_t num_components = 0;
+  std::size_t largest = 0;
+  std::size_t num_active = 0;
+  std::vector<VertexId> root;  // global space; kInvalidVertex if inactive
+
+  static BruteWcc compute(const TemporalEdgeList& events, Timestamp ts,
+                          Timestamp te, VertexId n) {
+    std::vector<VertexId> parent(n);
+    std::iota(parent.begin(), parent.end(), 0u);
+    std::vector<std::uint8_t> active(n, 0);
+    std::function<VertexId(VertexId)> find = [&](VertexId v) {
+      while (parent[v] != v) {
+        parent[v] = parent[parent[v]];
+        v = parent[v];
+      }
+      return v;
+    };
+    for (const auto& [u, v] :
+         test::brute_window_edges(events, ts, te)) {
+      active[u] = active[v] = 1;
+      const VertexId ru = find(u);
+      const VertexId rv = find(v);
+      if (ru != rv) parent[std::max(ru, rv)] = std::min(ru, rv);
+    }
+    BruteWcc out;
+    out.root.assign(n, kInvalidVertex);
+    std::map<VertexId, std::size_t> sizes;
+    for (VertexId v = 0; v < n; ++v) {
+      if (active[v] == 0) continue;
+      ++out.num_active;
+      out.root[v] = find(v);
+      ++sizes[out.root[v]];
+    }
+    out.num_components = sizes.size();
+    for (const auto& [r, s] : sizes) out.largest = std::max(out.largest, s);
+    return out;
+  }
+};
+
+TEST(Wcc, MatchesUnionFindAcrossWindows) {
+  const TemporalEdgeList events = test::random_events(9, 60, 1200, 20000);
+  const WindowSpec spec = WindowSpec::cover(0, 20000, 4000, 1500);
+  const MultiWindowSet set = MultiWindowSet::build(events, spec, 3);
+
+  for (std::size_t w = 0; w < spec.count; ++w) {
+    const auto& part = set.part_for_window(w);
+    const WccResult got =
+        wcc_window(part, spec.start(w), spec.end(w));
+    const BruteWcc ref = BruteWcc::compute(events, spec.start(w), spec.end(w),
+                                           events.num_vertices());
+    ASSERT_EQ(got.num_components, ref.num_components) << "window " << w;
+    ASSERT_EQ(got.largest_component, ref.largest) << "window " << w;
+    ASSERT_EQ(got.num_active, ref.num_active) << "window " << w;
+
+    // Same partition: two active vertices share a label iff they share a
+    // union-find root.
+    for (VertexId a = 0; a < part.num_local(); ++a) {
+      if (got.label[a] == kInvalidVertex) continue;
+      for (VertexId b = a + 1; b < part.num_local(); ++b) {
+        if (got.label[b] == kInvalidVertex) continue;
+        const bool same_got = got.label[a] == got.label[b];
+        const bool same_ref =
+            ref.root[part.global_of(a)] == ref.root[part.global_of(b)];
+        ASSERT_EQ(same_got, same_ref)
+            << "w=" << w << " a=" << part.global_of(a)
+            << " b=" << part.global_of(b);
+      }
+    }
+  }
+}
+
+TEST(Wcc, EmptyWindowNoComponents) {
+  TemporalEdgeList events;
+  events.add(0, 1, 1000);
+  events.ensure_vertices(4);
+  const WindowSpec spec{.t0 = 0, .delta = 10, .sw = 1, .count = 1};
+  const MultiWindowSet set = MultiWindowSet::build(events, spec, 1);
+  const WccResult r = wcc_window(set.part(0), 0, 10);
+  EXPECT_EQ(r.num_components, 0u);
+  EXPECT_EQ(r.num_active, 0u);
+}
+
+TEST(Wcc, DirectionIgnored) {
+  // 0 -> 1 and 2 -> 1: weakly connected as one component of size 3.
+  TemporalEdgeList events;
+  events.add(0, 1, 5);
+  events.add(2, 1, 6);
+  const WindowSpec spec{.t0 = 0, .delta = 10, .sw = 1, .count = 1};
+  const MultiWindowSet set = MultiWindowSet::build(events, spec, 1);
+  const WccResult r = wcc_window(set.part(0), 0, 10);
+  EXPECT_EQ(r.num_components, 1u);
+  EXPECT_EQ(r.largest_component, 3u);
+}
+
+TEST(Wcc, OverWindowsSequentialEqualsParallel) {
+  const TemporalEdgeList events = test::random_events(21, 50, 2000, 30000);
+  const WindowSpec spec = WindowSpec::cover(0, 30000, 5000, 2000);
+  const MultiWindowSet set = MultiWindowSet::build(events, spec, 4);
+  const auto seq = wcc_over_windows(set);
+  par::ForOptions opts{par::Partitioner::kAuto, 1, nullptr};
+  const auto parl = wcc_over_windows(set, &opts);
+  ASSERT_EQ(seq.size(), parl.size());
+  for (std::size_t w = 0; w < seq.size(); ++w) {
+    EXPECT_EQ(seq[w].num_components, parl[w].num_components);
+    EXPECT_EQ(seq[w].largest_component, parl[w].largest_component);
+    EXPECT_EQ(seq[w].num_active, parl[w].num_active);
+  }
+}
+
+TEST(Wcc, ComponentsMergeAsWindowGrows) {
+  // A chain appearing over time: larger windows see more of the chain and
+  // thus fewer, larger components.
+  TemporalEdgeList events;
+  for (VertexId v = 0; v + 1 < 10; ++v) {
+    events.add(v, v + 1, static_cast<Timestamp>(v * 10));
+  }
+  const MultiWindowSet small = MultiWindowSet::build(
+      events, WindowSpec{.t0 = 0, .delta = 25, .sw = 1, .count = 1}, 1);
+  const MultiWindowSet big = MultiWindowSet::build(
+      events, WindowSpec{.t0 = 0, .delta = 90, .sw = 1, .count = 1}, 1);
+  const WccResult rs = wcc_window(small.part(0), 0, 25);
+  const WccResult rb = wcc_window(big.part(0), 0, 90);
+  EXPECT_EQ(rb.num_components, 1u);
+  EXPECT_EQ(rb.largest_component, 10u);
+  EXPECT_EQ(rs.largest_component, 4u);  // edges at t=0,10,20 -> 0..3
+}
+
+}  // namespace
+}  // namespace pmpr::analysis

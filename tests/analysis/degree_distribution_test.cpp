@@ -1,0 +1,124 @@
+#include "analysis/degree_distribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "gen/surrogates.hpp"
+#include "test_helpers.hpp"
+
+namespace pmpr::analysis {
+namespace {
+
+TEST(DegreeDistribution, MatchesBruteForce) {
+  const TemporalEdgeList events = test::random_events(3, 40, 1200, 10000);
+  const WindowSpec spec = WindowSpec::cover(0, 10000, 3000, 2000);
+  const MultiWindowSet set = MultiWindowSet::build(events, spec, 2);
+  for (std::size_t w = 0; w < spec.count; ++w) {
+    const auto& part = set.part_for_window(w);
+    const DegreeDistribution got = degree_distribution_window(
+        part, spec.start(w), spec.end(w));
+
+    std::map<VertexId, std::set<VertexId>> und;
+    std::set<VertexId> active;
+    for (const auto& [u, v] :
+         test::brute_window_edges(events, spec.start(w), spec.end(w))) {
+      active.insert(u);
+      active.insert(v);
+      if (u != v) {
+        und[u].insert(v);
+        und[v].insert(u);
+      }
+    }
+    EXPECT_EQ(got.num_active, active.size()) << "w=" << w;
+    std::map<std::size_t, std::size_t> hist;
+    std::size_t degree_sum = 0;
+    std::uint32_t max_deg = 0;
+    for (const VertexId v : active) {
+      const std::size_t d = und[v].size();
+      ++hist[d];
+      degree_sum += d;
+      max_deg = std::max<std::uint32_t>(max_deg,
+                                        static_cast<std::uint32_t>(d));
+    }
+    EXPECT_EQ(got.max_degree, max_deg) << "w=" << w;
+    if (!active.empty()) {
+      EXPECT_NEAR(got.mean_degree,
+                  static_cast<double>(degree_sum) /
+                      static_cast<double>(active.size()),
+                  1e-12);
+    }
+    for (const auto& [d, count] : hist) {
+      ASSERT_LT(d, got.histogram.size());
+      ASSERT_EQ(got.histogram[d], count) << "w=" << w << " d=" << d;
+    }
+  }
+}
+
+TEST(DegreeDistribution, TopShareRegularGraphIsProportional) {
+  // Directed cycle -> undirected 2-regular: top 10% holds ~10% of mass.
+  TemporalEdgeList events;
+  const VertexId n = 100;
+  for (VertexId v = 0; v < n; ++v) events.add(v, (v + 1) % n, 0);
+  const WindowSpec spec{.t0 = 0, .delta = 1, .sw = 1, .count = 1};
+  const MultiWindowSet set = MultiWindowSet::build(events, spec, 1);
+  const DegreeDistribution d = degree_distribution_window(set.part(0), 0, 1);
+  EXPECT_NEAR(d.top_share(0.1), 0.1, 1e-9);
+  EXPECT_NEAR(d.mean_degree, 2.0, 1e-12);
+}
+
+TEST(DegreeDistribution, TopShareStarIsConcentrated) {
+  TemporalEdgeList events;
+  for (VertexId v = 1; v <= 50; ++v) events.add(v, 0, 0);
+  const WindowSpec spec{.t0 = 0, .delta = 1, .sw = 1, .count = 1};
+  const MultiWindowSet set = MultiWindowSet::build(events, spec, 1);
+  const DegreeDistribution d = degree_distribution_window(set.part(0), 0, 1);
+  // The hub (top ~2%) holds half the degree mass.
+  EXPECT_NEAR(d.top_share(0.02), 0.5, 1e-9);
+  EXPECT_EQ(d.max_degree, 50u);
+}
+
+TEST(DegreeDistribution, SurrogatesAreSkewed) {
+  // The R-MAT surrogates must show power-law-ish concentration: top 1% of
+  // vertices holding far more than 1% of degree mass.
+  gen::DatasetSpec spec = gen::dataset_by_name("wiki-talk");
+  spec.events = 30000;
+  const TemporalEdgeList events = gen::generate(spec, 7);
+  const WindowSpec windows{.t0 = events.min_time(),
+                           .delta = events.max_time() - events.min_time(),
+                           .sw = 1,
+                           .count = 1};
+  const MultiWindowSet set = MultiWindowSet::build(events, windows, 1);
+  const DegreeDistribution d = degree_distribution_window(
+      set.part(0), windows.start(0), windows.end(0));
+  EXPECT_GT(d.top_share(0.01), 0.05);
+}
+
+TEST(DegreeDistribution, EmptyWindow) {
+  TemporalEdgeList events;
+  events.add(0, 1, 100);
+  const WindowSpec spec{.t0 = 0, .delta = 10, .sw = 1, .count = 1};
+  const MultiWindowSet set = MultiWindowSet::build(events, spec, 1);
+  const DegreeDistribution d = degree_distribution_window(set.part(0), 0, 10);
+  EXPECT_EQ(d.num_active, 0u);
+  EXPECT_EQ(d.top_share(0.5), 0.0);
+}
+
+TEST(DegreeDistribution, OverWindowsParallelMatchesSequential) {
+  const TemporalEdgeList events = test::random_events(21, 50, 2000, 20000);
+  const WindowSpec spec = WindowSpec::cover(0, 20000, 4000, 1500);
+  const MultiWindowSet set = MultiWindowSet::build(events, spec, 3);
+  const auto seq = degree_over_windows(set);
+  par::ForOptions opts{par::Partitioner::kAuto, 1, nullptr};
+  const auto parl = degree_over_windows(set, &opts);
+  ASSERT_EQ(seq.size(), parl.size());
+  for (std::size_t w = 0; w < seq.size(); ++w) {
+    EXPECT_EQ(seq[w].max_degree, parl[w].max_degree);
+    EXPECT_DOUBLE_EQ(seq[w].mean_degree, parl[w].mean_degree);
+    EXPECT_DOUBLE_EQ(seq[w].top1pct_share, parl[w].top1pct_share);
+  }
+}
+
+}  // namespace
+}  // namespace pmpr::analysis

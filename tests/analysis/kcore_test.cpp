@@ -1,0 +1,158 @@
+#include "analysis/kcore.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "test_helpers.hpp"
+
+namespace pmpr::analysis {
+namespace {
+
+/// Naive reference: repeatedly strip vertices with undirected degree < k.
+std::map<VertexId, std::uint32_t> brute_kcore(const TemporalEdgeList& events,
+                                              Timestamp ts, Timestamp te) {
+  std::set<std::pair<VertexId, VertexId>> und;
+  std::set<VertexId> active;
+  for (const auto& [u, v] : test::brute_window_edges(events, ts, te)) {
+    active.insert(u);
+    active.insert(v);
+    if (u != v) und.emplace(std::min(u, v), std::max(u, v));
+  }
+  std::map<VertexId, std::uint32_t> core;
+  for (const VertexId v : active) core[v] = 0;
+
+  for (std::uint32_t k = 1;; ++k) {
+    // Peel to the k-core: iterate until every remaining vertex has deg >= k.
+    std::set<std::pair<VertexId, VertexId>> edges = und;
+    std::set<VertexId> alive;
+    for (const auto& [u, v] : edges) {
+      alive.insert(u);
+      alive.insert(v);
+    }
+    bool shrunk = true;
+    while (shrunk) {
+      shrunk = false;
+      std::map<VertexId, std::uint32_t> deg;
+      for (const auto& [u, v] : edges) {
+        ++deg[u];
+        ++deg[v];
+      }
+      for (auto it = alive.begin(); it != alive.end();) {
+        if (deg[*it] < k) {
+          for (auto e = edges.begin(); e != edges.end();) {
+            if (e->first == *it || e->second == *it) {
+              e = edges.erase(e);
+            } else {
+              ++e;
+            }
+          }
+          it = alive.erase(it);
+          shrunk = true;
+        } else {
+          ++it;
+        }
+      }
+    }
+    if (alive.empty()) break;
+    for (const VertexId v : alive) core[v] = k;
+    und = edges;
+  }
+  return core;
+}
+
+TEST(Kcore, MatchesBruteForceOnRandomWindows) {
+  const TemporalEdgeList events = test::random_events(7, 30, 600, 10000);
+  const WindowSpec spec = WindowSpec::cover(0, 10000, 3000, 2000);
+  const MultiWindowSet set = MultiWindowSet::build(events, spec, 2);
+  for (std::size_t w = 0; w < spec.count; ++w) {
+    const auto& part = set.part_for_window(w);
+    const KcoreResult got =
+        kcore_window(part, spec.start(w), spec.end(w));
+    const auto ref = brute_kcore(events, spec.start(w), spec.end(w));
+    std::uint32_t ref_max = 0;
+    for (const auto& [v, k] : ref) {
+      const VertexId local = part.local_of(v);
+      ASSERT_NE(local, kInvalidVertex);
+      ASSERT_EQ(got.core[local], k) << "w=" << w << " v=" << v;
+      ref_max = std::max(ref_max, k);
+    }
+    EXPECT_EQ(got.max_core, ref_max) << "w=" << w;
+    EXPECT_EQ(got.num_active, ref.size()) << "w=" << w;
+  }
+}
+
+TEST(Kcore, CliqueCoreNumbers) {
+  // K5 inserted at t=0: every vertex has core number 4.
+  TemporalEdgeList events;
+  for (VertexId u = 0; u < 5; ++u) {
+    for (VertexId v = u + 1; v < 5; ++v) events.add(u, v, 0);
+  }
+  const WindowSpec spec{.t0 = 0, .delta = 1, .sw = 1, .count = 1};
+  const MultiWindowSet set = MultiWindowSet::build(events, spec, 1);
+  const KcoreResult r = kcore_window(set.part(0), 0, 1);
+  EXPECT_EQ(r.max_core, 4u);
+  EXPECT_EQ(r.innermost_size, 5u);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(r.core[v], 4u);
+}
+
+TEST(Kcore, ChainIsOneCore) {
+  TemporalEdgeList events;
+  for (VertexId v = 0; v + 1 < 6; ++v) events.add(v, v + 1, 0);
+  const WindowSpec spec{.t0 = 0, .delta = 1, .sw = 1, .count = 1};
+  const MultiWindowSet set = MultiWindowSet::build(events, spec, 1);
+  const KcoreResult r = kcore_window(set.part(0), 0, 1);
+  EXPECT_EQ(r.max_core, 1u);
+  for (VertexId v = 0; v < 6; ++v) EXPECT_EQ(r.core[v], 1u);
+}
+
+TEST(Kcore, SelfLoopOnlyVertexHasCoreZero) {
+  TemporalEdgeList events;
+  events.add(0, 0, 5);
+  events.add(1, 2, 5);
+  const WindowSpec spec{.t0 = 0, .delta = 10, .sw = 1, .count = 1};
+  const MultiWindowSet set = MultiWindowSet::build(events, spec, 1);
+  const KcoreResult r = kcore_window(set.part(0), 0, 10);
+  const VertexId local0 = set.part(0).local_of(0);
+  EXPECT_EQ(r.core[local0], 0u);
+  EXPECT_EQ(r.num_active, 3u);
+}
+
+TEST(Kcore, DuplicateAndBidirectionalEdgesCountOnce) {
+  TemporalEdgeList events;
+  events.add(0, 1, 1);
+  events.add(0, 1, 2);
+  events.add(1, 0, 3);
+  const WindowSpec spec{.t0 = 0, .delta = 10, .sw = 1, .count = 1};
+  const MultiWindowSet set = MultiWindowSet::build(events, spec, 1);
+  const KcoreResult r = kcore_window(set.part(0), 0, 10);
+  EXPECT_EQ(r.max_core, 1u);
+}
+
+TEST(Kcore, EmptyWindow) {
+  TemporalEdgeList events;
+  events.add(0, 1, 100);
+  const WindowSpec spec{.t0 = 0, .delta = 10, .sw = 1, .count = 1};
+  const MultiWindowSet set = MultiWindowSet::build(events, spec, 1);
+  const KcoreResult r = kcore_window(set.part(0), 0, 10);
+  EXPECT_EQ(r.num_active, 0u);
+  EXPECT_EQ(r.max_core, 0u);
+}
+
+TEST(Kcore, OverWindowsParallelMatchesSequential) {
+  const TemporalEdgeList events = test::random_events(31, 40, 2000, 20000);
+  const WindowSpec spec = WindowSpec::cover(0, 20000, 4000, 1500);
+  const MultiWindowSet set = MultiWindowSet::build(events, spec, 3);
+  const auto seq = kcore_over_windows(set);
+  par::ForOptions opts{par::Partitioner::kSimple, 2, nullptr};
+  const auto parl = kcore_over_windows(set, &opts);
+  ASSERT_EQ(seq.size(), parl.size());
+  for (std::size_t w = 0; w < seq.size(); ++w) {
+    EXPECT_EQ(seq[w].max_core, parl[w].max_core);
+    EXPECT_EQ(seq[w].innermost_size, parl[w].innermost_size);
+  }
+}
+
+}  // namespace
+}  // namespace pmpr::analysis

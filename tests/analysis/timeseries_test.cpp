@@ -1,0 +1,114 @@
+#include "analysis/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pmpr::analysis {
+namespace {
+
+/// Builds a sink with explicit per-window scores.
+StoreAllSink make_sink(
+    const std::vector<std::vector<std::pair<VertexId, double>>>& windows) {
+  StoreAllSink sink(windows.size());
+  for (std::size_t w = 0; w < windows.size(); ++w) {
+    std::vector<VertexId> ids;
+    std::vector<double> pr;
+    for (const auto& [v, s] : windows[w]) {
+      ids.push_back(v);
+      pr.push_back(s);
+    }
+    sink.consume_mapped(w, ids, pr);
+  }
+  return sink;
+}
+
+TEST(Timeseries, TopKOrdersByScoreThenId) {
+  const StoreAllSink sink =
+      make_sink({{{3, 0.5}, {1, 0.2}, {2, 0.5}, {4, 0.1}}});
+  const auto top = top_k(sink, 0, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].first, 2u);  // tie with 3, lower id first
+  EXPECT_EQ(top[1].first, 3u);
+  EXPECT_EQ(top[2].first, 1u);
+}
+
+TEST(Timeseries, TopKClampsToAvailable) {
+  const StoreAllSink sink = make_sink({{{0, 1.0}}});
+  EXPECT_EQ(top_k(sink, 0, 10).size(), 1u);
+  const StoreAllSink empty = make_sink({{}});
+  EXPECT_TRUE(top_k(empty, 0, 10).empty());
+}
+
+TEST(Timeseries, RankOfPresentAndAbsent) {
+  const StoreAllSink sink = make_sink({{{5, 0.6}, {7, 0.4}}});
+  EXPECT_EQ(rank_of(sink, 0, 5), 1u);
+  EXPECT_EQ(rank_of(sink, 0, 7), 2u);
+  EXPECT_EQ(rank_of(sink, 0, 9), 0u);
+}
+
+TEST(Timeseries, RankTrajectory) {
+  const StoreAllSink sink = make_sink({{{1, 0.9}, {2, 0.1}},
+                                       {{1, 0.1}, {2, 0.9}},
+                                       {{2, 1.0}}});
+  const auto traj = rank_trajectory(sink, 1);
+  ASSERT_EQ(traj.size(), 3u);
+  EXPECT_EQ(traj[0], 1u);
+  EXPECT_EQ(traj[1], 2u);
+  EXPECT_EQ(traj[2], 0u);  // absent
+}
+
+TEST(Timeseries, JaccardIdenticalAndDisjoint) {
+  const StoreAllSink sink = make_sink({{{1, 0.5}, {2, 0.5}},
+                                       {{1, 0.6}, {2, 0.4}},
+                                       {{8, 0.5}, {9, 0.5}}});
+  EXPECT_DOUBLE_EQ(topk_jaccard(sink, 0, 1, 2), 1.0);
+  EXPECT_DOUBLE_EQ(topk_jaccard(sink, 0, 2, 2), 0.0);
+}
+
+TEST(Timeseries, JaccardPartialOverlap) {
+  const StoreAllSink sink = make_sink({{{1, 0.5}, {2, 0.4}, {3, 0.1}},
+                                       {{2, 0.5}, {4, 0.4}, {5, 0.1}}});
+  // top-2 sets {1,2} and {2,4}: |∩|=1, |∪|=3.
+  EXPECT_NEAR(topk_jaccard(sink, 0, 1, 2), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Timeseries, JaccardBothEmptyIsOne) {
+  const StoreAllSink sink = make_sink({{}, {}});
+  EXPECT_DOUBLE_EQ(topk_jaccard(sink, 0, 1, 5), 1.0);
+}
+
+TEST(Timeseries, SpearmanPerfectAndReversed) {
+  const StoreAllSink sink = make_sink(
+      {{{1, 0.5}, {2, 0.3}, {3, 0.2}, {4, 0.1}},
+       {{1, 0.6}, {2, 0.25}, {3, 0.1}, {4, 0.05}},
+       {{1, 0.05}, {2, 0.1}, {3, 0.25}, {4, 0.6}}});
+  EXPECT_NEAR(spearman(sink, 0, 1), 1.0, 1e-12);
+  EXPECT_NEAR(spearman(sink, 0, 2), -1.0, 1e-12);
+}
+
+TEST(Timeseries, SpearmanIgnoresNonShared) {
+  const StoreAllSink sink = make_sink({{{1, 0.5}, {2, 0.3}, {9, 0.2}},
+                                       {{1, 0.7}, {2, 0.2}, {8, 0.1}}});
+  // Shared = {1, 2}, same order -> 1.
+  EXPECT_NEAR(spearman(sink, 0, 1), 1.0, 1e-12);
+}
+
+TEST(Timeseries, SpearmanTooFewShared) {
+  const StoreAllSink sink = make_sink({{{1, 0.5}}, {{1, 0.7}, {2, 0.1}}});
+  EXPECT_EQ(spearman(sink, 0, 1), 0.0);
+}
+
+TEST(Timeseries, ChurnSeriesLength) {
+  const StoreAllSink sink = make_sink({{{1, 1.0}}, {{1, 1.0}}, {{2, 1.0}}});
+  const auto churn = churn_series(sink, 1);
+  ASSERT_EQ(churn.size(), 2u);
+  EXPECT_DOUBLE_EQ(churn[0], 1.0);
+  EXPECT_DOUBLE_EQ(churn[1], 0.0);
+}
+
+TEST(Timeseries, ChurnOfSingleWindowEmpty) {
+  const StoreAllSink sink = make_sink({{{1, 1.0}}});
+  EXPECT_TRUE(churn_series(sink, 3).empty());
+}
+
+}  // namespace
+}  // namespace pmpr::analysis

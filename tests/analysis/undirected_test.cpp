@@ -1,0 +1,89 @@
+#include "analysis/undirected.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "test_helpers.hpp"
+
+namespace pmpr::analysis {
+namespace {
+
+TEST(UndirectedWindow, MatchesBruteForceSymmetrization) {
+  const TemporalEdgeList events = test::random_events(5, 30, 1500, 10000);
+  const WindowSpec spec = WindowSpec::cover(0, 10000, 2500, 2000);
+  const MultiWindowSet set = MultiWindowSet::build(events, spec, 1);
+  const auto& part = set.part(0);
+
+  for (std::size_t w = 0; w < spec.count; ++w) {
+    const UndirectedWindow g =
+        build_undirected_window(part, spec.start(w), spec.end(w));
+
+    std::set<std::pair<VertexId, VertexId>> expect;
+    for (const auto& [u, v] :
+         test::brute_window_edges(events, spec.start(w), spec.end(w))) {
+      if (u == v) continue;
+      const VertexId gu = part.local_of(u);
+      const VertexId gv = part.local_of(v);
+      expect.emplace(std::min(gu, gv), std::max(gu, gv));
+    }
+    EXPECT_EQ(g.num_edges, expect.size()) << "w=" << w;
+
+    std::set<std::pair<VertexId, VertexId>> got;
+    for (VertexId v = 0; v < part.num_local(); ++v) {
+      for (const VertexId u : g.neighbors(v)) {
+        got.emplace(std::min(u, v), std::max(u, v));
+      }
+    }
+    ASSERT_EQ(got, expect) << "w=" << w;
+  }
+}
+
+TEST(UndirectedWindow, AdjacencyIsSymmetric) {
+  const TemporalEdgeList events = test::random_events(7, 20, 600, 1000);
+  const WindowSpec spec{.t0 = 0, .delta = 1000, .sw = 1, .count = 1};
+  const MultiWindowSet set = MultiWindowSet::build(events, spec, 1);
+  const UndirectedWindow g =
+      build_undirected_window(set.part(0), 0, 1000);
+  for (VertexId v = 0; v < set.part(0).num_local(); ++v) {
+    for (const VertexId u : g.neighbors(v)) {
+      const auto back = g.neighbors(u);
+      EXPECT_TRUE(std::find(back.begin(), back.end(), v) != back.end())
+          << u << " -> " << v;
+    }
+  }
+}
+
+TEST(UndirectedWindow, SelfLoopsDropped) {
+  TemporalEdgeList events;
+  events.add(0, 0, 5);
+  events.add(0, 1, 5);
+  const WindowSpec spec{.t0 = 0, .delta = 10, .sw = 1, .count = 1};
+  const MultiWindowSet set = MultiWindowSet::build(events, spec, 1);
+  const UndirectedWindow g = build_undirected_window(set.part(0), 0, 10);
+  EXPECT_EQ(g.num_edges, 1u);
+  EXPECT_EQ(g.degree[set.part(0).local_of(0)], 1u);
+}
+
+TEST(UndirectedWindow, BidirectionalPairIsOneEdge) {
+  TemporalEdgeList events;
+  events.add(0, 1, 5);
+  events.add(1, 0, 6);
+  const WindowSpec spec{.t0 = 0, .delta = 10, .sw = 1, .count = 1};
+  const MultiWindowSet set = MultiWindowSet::build(events, spec, 1);
+  const UndirectedWindow g = build_undirected_window(set.part(0), 0, 10);
+  EXPECT_EQ(g.num_edges, 1u);
+}
+
+TEST(UndirectedWindow, DegreesConsistentWithRows) {
+  const TemporalEdgeList events = test::random_events(9, 40, 800, 1000);
+  const WindowSpec spec{.t0 = 0, .delta = 1000, .sw = 1, .count = 1};
+  const MultiWindowSet set = MultiWindowSet::build(events, spec, 1);
+  const UndirectedWindow g = build_undirected_window(set.part(0), 0, 1000);
+  for (VertexId v = 0; v < set.part(0).num_local(); ++v) {
+    EXPECT_EQ(g.degree[v], g.neighbors(v).size());
+  }
+}
+
+}  // namespace
+}  // namespace pmpr::analysis

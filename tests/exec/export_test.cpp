@@ -1,0 +1,135 @@
+#include "exec/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "exec/postmortem_runner.hpp"
+#include "test_helpers.hpp"
+
+namespace pmpr {
+namespace {
+
+class TempDir {
+ public:
+  TempDir() {
+    path_ = std::filesystem::temp_directory_path() /
+            ("pmpr_export_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter_++));
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  [[nodiscard]] std::string file(const std::string& name) const {
+    return (path_ / name).string();
+  }
+
+ private:
+  static inline int counter_ = 0;
+  std::filesystem::path path_;
+};
+
+StoreAllSink computed_series() {
+  const TemporalEdgeList events = test::random_events(3, 40, 1500, 8000);
+  const WindowSpec spec = WindowSpec::cover(0, 8000, 2000, 700);
+  StoreAllSink sink(spec.count);
+  PostmortemConfig cfg;
+  run_postmortem(events, spec, sink, cfg);
+  return sink;
+}
+
+void expect_equal(const StoreAllSink& a, const StoreAllSink& b,
+                  double tol = 0.0) {
+  ASSERT_EQ(a.num_windows(), b.num_windows());
+  for (std::size_t w = 0; w < a.num_windows(); ++w) {
+    const auto& ra = a.window(w);
+    const auto& rb = b.window(w);
+    ASSERT_EQ(ra.size(), rb.size()) << "window " << w;
+    for (std::size_t i = 0; i < ra.size(); ++i) {
+      EXPECT_EQ(ra[i].first, rb[i].first);
+      if (tol == 0.0) {
+        EXPECT_EQ(ra[i].second, rb[i].second);
+      } else {
+        EXPECT_NEAR(ra[i].second, rb[i].second, tol);
+      }
+    }
+  }
+}
+
+TEST(Export, BinaryRoundTripExact) {
+  TempDir dir;
+  const StoreAllSink sink = computed_series();
+  save_series_binary(sink, dir.file("series.bin"));
+  const StoreAllSink loaded = load_series_binary(dir.file("series.bin"));
+  expect_equal(sink, loaded);
+}
+
+TEST(Export, CsvRoundTripExact) {
+  TempDir dir;
+  const StoreAllSink sink = computed_series();
+  save_series_csv(sink, dir.file("series.csv"));
+  const StoreAllSink loaded = load_series_csv(dir.file("series.csv"));
+  // %.17g preserves doubles exactly.
+  expect_equal(sink, loaded);
+}
+
+TEST(Export, CsvHasHeaderAndRows) {
+  TempDir dir;
+  const StoreAllSink sink = computed_series();
+  save_series_csv(sink, dir.file("s.csv"));
+  std::ifstream in(dir.file("s.csv"));
+  std::string header;
+  ASSERT_TRUE(std::getline(in, header));
+  EXPECT_EQ(header, "window,vertex,score");
+  std::string row;
+  ASSERT_TRUE(std::getline(in, row));
+  EXPECT_NE(row.find(','), std::string::npos);
+}
+
+TEST(Export, CsvRejectsBadHeader) {
+  TempDir dir;
+  {
+    std::ofstream out(dir.file("bad.csv"));
+    out << "nope\n1,2,3\n";
+  }
+  EXPECT_THROW(load_series_csv(dir.file("bad.csv")), std::runtime_error);
+}
+
+TEST(Export, CsvRejectsMalformedRow) {
+  TempDir dir;
+  {
+    std::ofstream out(dir.file("bad.csv"));
+    out << "window,vertex,score\n1,notanumber\n";
+  }
+  EXPECT_THROW(load_series_csv(dir.file("bad.csv")), std::runtime_error);
+}
+
+TEST(Export, BinaryRejectsWrongMagic) {
+  TempDir dir;
+  {
+    std::ofstream out(dir.file("junk.bin"), std::ios::binary);
+    out << "not a pmpr time series, definitely";
+  }
+  EXPECT_THROW(load_series_binary(dir.file("junk.bin")), std::runtime_error);
+}
+
+TEST(Export, BinaryRejectsTruncation) {
+  TempDir dir;
+  const StoreAllSink sink = computed_series();
+  save_series_binary(sink, dir.file("t.bin"));
+  const auto size = std::filesystem::file_size(dir.file("t.bin"));
+  std::filesystem::resize_file(dir.file("t.bin"), size - 5);
+  EXPECT_THROW(load_series_binary(dir.file("t.bin")), std::runtime_error);
+}
+
+TEST(Export, EmptyWindowsSurvive) {
+  TempDir dir;
+  StoreAllSink sink(3);  // nothing consumed: three empty windows
+  save_series_binary(sink, dir.file("e.bin"));
+  const StoreAllSink loaded = load_series_binary(dir.file("e.bin"));
+  EXPECT_EQ(loaded.num_windows(), 3u);
+  for (std::size_t w = 0; w < 3; ++w) EXPECT_TRUE(loaded.window(w).empty());
+}
+
+}  // namespace
+}  // namespace pmpr

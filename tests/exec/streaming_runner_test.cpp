@@ -1,0 +1,85 @@
+#include "exec/streaming_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace pmpr {
+namespace {
+
+TEST(StreamingRunner, EveryWindowMatchesBruteForce) {
+  const TemporalEdgeList events = test::random_events(13, 40, 1500, 8000);
+  const WindowSpec spec = WindowSpec::cover(0, 8000, 2000, 700);
+  StoreAllSink sink(spec.count);
+  StreamingOptions opts;
+  opts.pr.tol = 1e-12;
+  opts.pr.max_iters = 500;
+  const RunResult r = run_streaming(events, spec, sink, opts);
+  EXPECT_EQ(r.num_windows, spec.count);
+
+  for (std::size_t w = 0; w < spec.count; ++w) {
+    const auto got = sink.dense(w, events.num_vertices());
+    const auto ref = test::brute_pagerank(
+        test::brute_window_edges(events, spec.start(w), spec.end(w)),
+        events.num_vertices(), 0.15, 1e-12, 500);
+    ASSERT_LT(test::linf_diff(got, ref), 1e-9) << "window " << w;
+  }
+}
+
+TEST(StreamingRunner, DisjointWindowsHandled) {
+  // sw > delta: the runner takes the drop-all/insert-all path.
+  const TemporalEdgeList events = test::random_events(15, 30, 1200, 10000);
+  const WindowSpec spec{.t0 = 0, .delta = 500, .sw = 2000, .count = 5};
+  StoreAllSink sink(spec.count);
+  StreamingOptions opts;
+  opts.pr.tol = 1e-12;
+  opts.pr.max_iters = 500;
+  run_streaming(events, spec, sink, opts);
+  for (std::size_t w = 0; w < spec.count; ++w) {
+    const auto got = sink.dense(w, events.num_vertices());
+    const auto ref = test::brute_pagerank(
+        test::brute_window_edges(events, spec.start(w), spec.end(w)),
+        events.num_vertices(), 0.15, 1e-12, 500);
+    ASSERT_LT(test::linf_diff(got, ref), 1e-9) << "window " << w;
+  }
+}
+
+TEST(StreamingRunner, IncrementalReducesIterations) {
+  const TemporalEdgeList events = test::random_events(17, 50, 4000, 10000);
+  const WindowSpec spec = WindowSpec::cover(0, 10000, 4000, 250);
+  NullSink sink;
+  StreamingOptions warm;
+  warm.incremental = true;
+  StreamingOptions cold;
+  cold.incremental = false;
+  const RunResult rw = run_streaming(events, spec, sink, warm);
+  const RunResult rc = run_streaming(events, spec, sink, cold);
+  EXPECT_LT(rw.total_iterations, rc.total_iterations);
+}
+
+TEST(StreamingRunner, MutationTimeAccounted) {
+  const TemporalEdgeList events = test::random_events(19, 40, 3000, 8000);
+  const WindowSpec spec = WindowSpec::cover(0, 8000, 2000, 500);
+  NullSink sink;
+  StreamingOptions opts;
+  const RunResult r = run_streaming(events, spec, sink, opts);
+  EXPECT_GT(r.build_seconds, 0.0);
+  EXPECT_GT(r.compute_seconds, 0.0);
+}
+
+TEST(StreamingRunner, SingleWindow) {
+  const TemporalEdgeList events = test::random_events(21, 20, 300, 1000);
+  const WindowSpec spec{.t0 = 0, .delta = 1000, .sw = 1, .count = 1};
+  StoreAllSink sink(1);
+  StreamingOptions opts;
+  opts.pr.tol = 1e-12;
+  run_streaming(events, spec, sink, opts);
+  const auto got = sink.dense(0, events.num_vertices());
+  const auto ref = test::brute_pagerank(
+      test::brute_window_edges(events, 0, 1000), events.num_vertices(), 0.15,
+      1e-12, 500);
+  EXPECT_LT(test::linf_diff(got, ref), 1e-9);
+}
+
+}  // namespace
+}  // namespace pmpr

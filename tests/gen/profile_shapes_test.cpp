@@ -1,0 +1,115 @@
+// Statistical shape checks per surrogate: each dataset's generated event
+// stream must exhibit the Fig. 4 property its real counterpart has, since
+// those shapes drive the paper's parallelization conclusions (§6.1).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "gen/surrogates.hpp"
+
+namespace pmpr::gen {
+namespace {
+
+/// Bucketed event counts over the dataset's own time range.
+std::vector<std::size_t> histogram(const TemporalEdgeList& events,
+                                   std::size_t buckets) {
+  std::vector<std::size_t> h(buckets, 0);
+  const Timestamp t0 = events.min_time();
+  const double span =
+      static_cast<double>(events.max_time() - t0) + 1.0;
+  for (const auto& e : events.events()) {
+    auto b = static_cast<std::size_t>(
+        static_cast<double>(e.time - t0) / span *
+        static_cast<double>(buckets));
+    if (b >= buckets) b = buckets - 1;
+    ++h[b];
+  }
+  return h;
+}
+
+TemporalEdgeList make(const char* name) {
+  DatasetSpec spec = dataset_by_name(name);
+  spec.events = 40000;
+  return generate(spec, 99);
+}
+
+double late_half_share(const std::vector<std::size_t>& h) {
+  std::size_t late = 0;
+  std::size_t total = 0;
+  for (std::size_t b = 0; b < h.size(); ++b) {
+    total += h[b];
+    if (b >= h.size() / 2) late += h[b];
+  }
+  return static_cast<double>(late) / static_cast<double>(total);
+}
+
+class GrowthDatasets : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(GrowthDatasets, MostEventsArriveLate) {
+  const auto h = histogram(make(GetParam()), 32);
+  EXPECT_GT(late_half_share(h), 0.6) << GetParam();
+  // And the last quarter is busier than the first quarter.
+  std::size_t first = 0;
+  std::size_t last = 0;
+  for (std::size_t b = 0; b < 8; ++b) first += h[b];
+  for (std::size_t b = 24; b < 32; ++b) last += h[b];
+  EXPECT_GT(last, 3 * first) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Growth, GrowthDatasets,
+                         ::testing::Values("wiki-talk", "stackoverflow",
+                                           "askubuntu"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& ch : n) {
+                             if (ch == '-') ch = '_';
+                           }
+                           return n;
+                         });
+
+TEST(ProfileShapesSuite, EnronSpikeDominates) {
+  const auto h = histogram(make("ia-enron-email"), 32);
+  const std::size_t peak = *std::max_element(h.begin(), h.end());
+  const std::size_t total =
+      std::accumulate(h.begin(), h.end(), std::size_t{0});
+  const double mean = static_cast<double>(total) / 32.0;
+  // The scandal spike towers over the average bucket.
+  EXPECT_GT(static_cast<double>(peak), 5.0 * mean);
+  // And it sits in the late portion of the range (the 2001 scandal is near
+  // the end of 1997-2003).
+  const auto peak_at = static_cast<std::size_t>(
+      std::max_element(h.begin(), h.end()) - h.begin());
+  EXPECT_GT(peak_at, 16u);
+}
+
+TEST(ProfileShapesSuite, EpinionsBurstIsEarlyAndHeavy) {
+  const auto h = histogram(make("epinions-user-ratings"), 32);
+  const auto peak_at = static_cast<std::size_t>(
+      std::max_element(h.begin(), h.end()) - h.begin());
+  EXPECT_LT(peak_at, 16u);  // burst at ~35% of the range
+  EXPECT_LT(late_half_share(h), 0.4);
+}
+
+TEST(ProfileShapesSuite, YoutubeSteadyWithBursts) {
+  const auto h = histogram(make("youtube-growth"), 64);
+  // Steady base: no bucket is empty.
+  for (const std::size_t c : h) EXPECT_GT(c, 0u);
+  // Bursty: max bucket well above median bucket.
+  std::vector<std::size_t> sorted = h;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_GT(static_cast<double>(sorted.back()),
+            1.5 * static_cast<double>(sorted[sorted.size() / 2]));
+}
+
+TEST(ProfileShapesSuite, HepThIrregularHasLevelChanges) {
+  const auto h = histogram(make("ca-cit-HepTh"), 32);
+  // Piecewise-random levels: wide dynamic range across buckets.
+  const std::size_t mx = *std::max_element(h.begin(), h.end());
+  const std::size_t mn = *std::min_element(h.begin(), h.end());
+  EXPECT_GT(mx, 3 * std::max<std::size_t>(mn, 1));
+}
+
+}  // namespace
+}  // namespace pmpr::gen

@@ -1,0 +1,129 @@
+#include "gen/surrogates.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace pmpr::gen {
+namespace {
+
+TEST(Surrogates, CatalogHasSevenDatasets) {
+  EXPECT_EQ(dataset_catalog().size(), 7u);
+}
+
+TEST(Surrogates, CatalogMatchesPaperTable1) {
+  // Paper event counts, Table 1.
+  EXPECT_EQ(dataset_by_name("ca-cit-HepTh").paper_events, 2'673'133u);
+  EXPECT_EQ(dataset_by_name("stackoverflow").paper_events, 47'903'266u);
+  EXPECT_EQ(dataset_by_name("askubuntu").paper_events, 726'661u);
+  EXPECT_EQ(dataset_by_name("youtube-growth").paper_events, 12'223'774u);
+  EXPECT_EQ(dataset_by_name("epinions-user-ratings").paper_events,
+            13'668'281u);
+  EXPECT_EQ(dataset_by_name("ia-enron-email").paper_events, 1'134'990u);
+  EXPECT_EQ(dataset_by_name("wiki-talk").paper_events, 6'100'538u);
+}
+
+TEST(Surrogates, UnknownNameThrows) {
+  EXPECT_THROW(dataset_by_name("no-such-dataset"), std::invalid_argument);
+}
+
+TEST(Surrogates, EveryDatasetHasParameterGrids) {
+  for (const auto& d : dataset_catalog()) {
+    EXPECT_FALSE(d.sliding_offsets.empty()) << d.name;
+    EXPECT_FALSE(d.window_sizes.empty()) << d.name;
+    EXPECT_LT(d.t_begin, d.t_end) << d.name;
+    EXPECT_GT(d.events, 0u) << d.name;
+    EXPECT_LT(d.events, d.paper_events) << d.name << " should be scaled down";
+  }
+}
+
+class SurrogateGeneration : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SurrogateGeneration, GeneratesRequestedShape) {
+  DatasetSpec spec = dataset_by_name(GetParam());
+  spec.events = 20000;  // keep the test fast
+  const TemporalEdgeList list = generate(spec, 1);
+  EXPECT_EQ(list.size(), 20000u);
+  EXPECT_TRUE(list.is_sorted_by_time());
+  EXPECT_GE(list.min_time(), spec.t_begin);
+  EXPECT_LE(list.max_time(), spec.t_end);
+  EXPECT_EQ(list.num_vertices(), VertexId{1} << spec.topology.scale);
+}
+
+TEST_P(SurrogateGeneration, DeterministicForSeed) {
+  DatasetSpec spec = dataset_by_name(GetParam());
+  spec.events = 5000;
+  const TemporalEdgeList a = generate(spec, 3);
+  const TemporalEdgeList b = generate(spec, 3);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], b[i]);
+}
+
+TEST_P(SurrogateGeneration, DifferentSeedsDiffer) {
+  DatasetSpec spec = dataset_by_name(GetParam());
+  spec.events = 5000;
+  const TemporalEdgeList a = generate(spec, 3);
+  const TemporalEdgeList b = generate(spec, 4);
+  std::size_t same = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == b[i]) ++same;
+  }
+  EXPECT_LT(same, a.size() / 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDatasets, SurrogateGeneration,
+    ::testing::Values("ca-cit-HepTh", "stackoverflow", "askubuntu",
+                      "youtube-growth", "epinions-user-ratings",
+                      "ia-enron-email", "wiki-talk"),
+    [](const auto& info) {
+      std::string name = info.param;
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+TEST(Surrogates, ScaledAdjustsEventsAndVertexSpace) {
+  const DatasetSpec& base = dataset_by_name("wiki-talk");
+  const DatasetSpec half = scaled(base, 0.25);
+  EXPECT_EQ(half.events, base.events / 4);
+  EXPECT_EQ(half.topology.scale, base.topology.scale - 2);
+  const DatasetSpec big = scaled(base, 4.0);
+  EXPECT_EQ(big.events, base.events * 4);
+  EXPECT_EQ(big.topology.scale, base.topology.scale + 2);
+}
+
+TEST(Surrogates, ScaledNeverDropsBelowFloor) {
+  const DatasetSpec& base = dataset_by_name("askubuntu");
+  const DatasetSpec tiny = scaled(base, 1e-9);
+  EXPECT_GE(tiny.events, 1000u);
+  EXPECT_GE(tiny.topology.scale, 8);
+}
+
+TEST(Surrogates, ScaledNonPositiveFactorIsIdentity) {
+  const DatasetSpec& base = dataset_by_name("askubuntu");
+  const DatasetSpec same = scaled(base, 0.0);
+  EXPECT_EQ(same.events, base.events);
+}
+
+TEST(Surrogates, DifferentDatasetsProduceDifferentStreams) {
+  DatasetSpec a = dataset_by_name("wiki-talk");
+  DatasetSpec b = dataset_by_name("stackoverflow");
+  a.events = b.events = 2000;
+  // Force identical time ranges so only the name-hash differs.
+  b.t_begin = a.t_begin;
+  b.t_end = a.t_end;
+  b.topology = a.topology;
+  b.profile = a.profile;
+  const TemporalEdgeList ea = generate(a, 1);
+  const TemporalEdgeList eb = generate(b, 1);
+  std::size_t same = 0;
+  for (std::size_t i = 0; i < ea.size(); ++i) {
+    if (ea[i] == eb[i]) ++same;
+  }
+  EXPECT_LT(same, ea.size() / 10);
+}
+
+}  // namespace
+}  // namespace pmpr::gen

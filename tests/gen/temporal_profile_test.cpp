@@ -1,0 +1,118 @@
+#include "gen/temporal_profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+namespace pmpr::gen {
+namespace {
+
+class ProfileShapes : public ::testing::TestWithParam<ProfileShape> {};
+
+TEST_P(ProfileShapes, WeightsArePositive) {
+  Xoshiro256 rng(1);
+  TemporalProfile p{GetParam(), 0.5, 0.1};
+  const auto w = profile_weights(p, 256, rng);
+  ASSERT_EQ(w.size(), 256u);
+  for (const double x : w) EXPECT_GT(x, 0.0);
+}
+
+TEST_P(ProfileShapes, SampleCountExact) {
+  Xoshiro256 rng(2);
+  TemporalProfile p{GetParam(), 0.5, 0.1};
+  for (const std::size_t count : {0u, 1u, 17u, 1000u, 12345u}) {
+    Xoshiro256 local(3);
+    const auto ts = sample_timestamps(p, count, 100, 10000, local);
+    EXPECT_EQ(ts.size(), count);
+  }
+}
+
+TEST_P(ProfileShapes, SamplesSortedAndInRange) {
+  TemporalProfile p{GetParam(), 0.3, 0.05};
+  Xoshiro256 rng(4);
+  const auto ts = sample_timestamps(p, 5000, 500, 99999, rng);
+  EXPECT_TRUE(std::is_sorted(ts.begin(), ts.end()));
+  EXPECT_GE(ts.front(), 500);
+  EXPECT_LE(ts.back(), 99999);
+}
+
+TEST_P(ProfileShapes, DeterministicForSeed) {
+  TemporalProfile p{GetParam(), 0.3, 0.05};
+  Xoshiro256 a(9);
+  Xoshiro256 b(9);
+  const auto ta = sample_timestamps(p, 1000, 0, 5000, a);
+  const auto tb = sample_timestamps(p, 1000, 0, 5000, b);
+  EXPECT_EQ(ta, tb);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllShapes, ProfileShapes,
+    ::testing::Values(ProfileShape::kUniform, ProfileShape::kSpike,
+                      ProfileShape::kBurst, ProfileShape::kGrowth,
+                      ProfileShape::kSteadyBursty, ProfileShape::kIrregular),
+    [](const auto& info) {
+      std::string name(to_string(info.param));
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+TEST(TemporalProfile, SpikeConcentratesMassAtPeak) {
+  Xoshiro256 rng(5);
+  TemporalProfile p{ProfileShape::kSpike, 0.5, 0.05};
+  const auto w = profile_weights(p, 100, rng);
+  const double center = w[50];
+  const double edge = w[2];
+  EXPECT_GT(center, 10.0 * edge);
+}
+
+TEST(TemporalProfile, GrowthIsMonotonic) {
+  Xoshiro256 rng(6);
+  TemporalProfile p{ProfileShape::kGrowth, 2.0, 0.0};
+  const auto w = profile_weights(p, 64, rng);
+  for (std::size_t i = 1; i < w.size(); ++i) {
+    EXPECT_GE(w[i], w[i - 1]);
+  }
+}
+
+TEST(TemporalProfile, GrowthShiftsSamplesLate) {
+  Xoshiro256 rng(7);
+  TemporalProfile p{ProfileShape::kGrowth, 2.5, 0.0};
+  const auto ts = sample_timestamps(p, 20000, 0, 1000, rng);
+  const double mean =
+      std::accumulate(ts.begin(), ts.end(), 0.0) / static_cast<double>(ts.size());
+  EXPECT_GT(mean, 600.0);  // uniform would give ~500
+}
+
+TEST(TemporalProfile, BurstSkewsEarlyWhenPeakEarly) {
+  Xoshiro256 rng(8);
+  TemporalProfile p{ProfileShape::kBurst, 0.2, 0.05};
+  const auto ts = sample_timestamps(p, 20000, 0, 1000, rng);
+  const double mean =
+      std::accumulate(ts.begin(), ts.end(), 0.0) / static_cast<double>(ts.size());
+  EXPECT_LT(mean, 450.0);
+}
+
+TEST(TemporalProfile, UniformHistogramIsFlat) {
+  Xoshiro256 rng(10);
+  TemporalProfile p{ProfileShape::kUniform, 0.0, 0.0};
+  const auto ts = sample_timestamps(p, 100000, 0, 9999, rng);
+  std::vector<int> hist(10, 0);
+  for (const Timestamp t : ts) ++hist[static_cast<std::size_t>(t / 1000)];
+  for (const int h : hist) {
+    EXPECT_NEAR(static_cast<double>(h) / 100000.0, 0.1, 0.02);
+  }
+}
+
+TEST(TemporalProfile, SingleBucketDegenerate) {
+  Xoshiro256 rng(11);
+  TemporalProfile p{ProfileShape::kUniform, 0.0, 0.0};
+  const auto ts = sample_timestamps(p, 10, 42, 42, rng, 1);
+  ASSERT_EQ(ts.size(), 10u);
+  for (const Timestamp t : ts) EXPECT_EQ(t, 42);
+}
+
+}  // namespace
+}  // namespace pmpr::gen

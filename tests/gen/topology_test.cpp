@@ -1,0 +1,75 @@
+#include "gen/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace pmpr::gen {
+namespace {
+
+TEST(RmatSampler, VertexSpaceIsPowerOfTwo) {
+  RmatSampler s({.scale = 10});
+  EXPECT_EQ(s.num_vertices(), 1024u);
+}
+
+TEST(RmatSampler, SamplesInRange) {
+  RmatSampler s({.scale = 12});
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const auto [u, v] = s.sample(rng);
+    EXPECT_LT(u, 4096u);
+    EXPECT_LT(v, 4096u);
+  }
+}
+
+TEST(RmatSampler, DeterministicForSeed) {
+  RmatSampler s({.scale = 10});
+  Xoshiro256 a(5);
+  Xoshiro256 b(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(s.sample(a), s.sample(b));
+  }
+}
+
+TEST(RmatSampler, SkewedParamsProduceSkewedDegrees) {
+  RmatSampler s({.scale = 12, .a = 0.6, .b = 0.18, .c = 0.18, .noise = 0.05});
+  Xoshiro256 rng(7);
+  std::map<VertexId, int> out_deg;
+  const int kEdges = 60000;
+  for (int i = 0; i < kEdges; ++i) {
+    const auto [u, v] = s.sample(rng);
+    ++out_deg[u];
+  }
+  std::vector<int> degs;
+  degs.reserve(out_deg.size());
+  for (const auto& [v, d] : out_deg) degs.push_back(d);
+  std::sort(degs.rbegin(), degs.rend());
+  // Power-law-ish: the top 1% of present vertices should carry far more
+  // than 1% of edges.
+  const std::size_t top = std::max<std::size_t>(1, degs.size() / 100);
+  long top_sum = 0;
+  for (std::size_t i = 0; i < top; ++i) top_sum += degs[i];
+  EXPECT_GT(static_cast<double>(top_sum) / kEdges, 0.05);
+  // And the max degree dwarfs the mean.
+  const double mean_deg = static_cast<double>(kEdges) /
+                          static_cast<double>(degs.size());
+  EXPECT_GT(degs.front(), 10 * mean_deg);
+}
+
+TEST(RmatSampler, UniformParamsRoughlyBalanced) {
+  RmatSampler s({.scale = 8, .a = 0.25, .b = 0.25, .c = 0.25, .noise = 0.0});
+  Xoshiro256 rng(9);
+  std::vector<int> counts(256, 0);
+  for (int i = 0; i < 100000; ++i) {
+    const auto [u, v] = s.sample(rng);
+    ++counts[u];
+  }
+  const auto [mn, mx] = std::minmax_element(counts.begin(), counts.end());
+  // Uniform quadrants -> near-uniform marginals.
+  EXPECT_LT(*mx, 3 * (*mn + 1));
+}
+
+}  // namespace
+}  // namespace pmpr::gen

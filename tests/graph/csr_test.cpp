@@ -1,0 +1,125 @@
+#include "graph/csr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "test_helpers.hpp"
+
+namespace pmpr {
+namespace {
+
+TEST(Csr, EmptyGraph) {
+  const Csr g = Csr::from_pairs({}, 4, false);
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  for (VertexId v = 0; v < 4; ++v) {
+    EXPECT_TRUE(g.neighbors(v).empty());
+    EXPECT_EQ(g.degree(v), 0u);
+  }
+}
+
+TEST(Csr, BasicAdjacency) {
+  const std::vector<std::pair<VertexId, VertexId>> edges{
+      {0, 1}, {0, 2}, {1, 2}, {2, 0}};
+  const Csr g = Csr::from_pairs(edges, 3, false);
+  EXPECT_EQ(g.num_edges(), 4u);
+  ASSERT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.neighbors(0)[0], 1u);
+  EXPECT_EQ(g.neighbors(0)[1], 2u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.degree(2), 1u);
+}
+
+TEST(Csr, RowsAreSorted) {
+  const std::vector<std::pair<VertexId, VertexId>> edges{
+      {0, 5}, {0, 1}, {0, 3}, {0, 2}};
+  const Csr g = Csr::from_pairs(edges, 6, false);
+  const auto nbrs = g.neighbors(0);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+}
+
+TEST(Csr, DedupCollapsesParallelEdges) {
+  const std::vector<std::pair<VertexId, VertexId>> edges{
+      {0, 1}, {0, 1}, {0, 1}, {1, 2}, {1, 2}, {2, 2}};
+  const Csr g = Csr::from_pairs(edges, 3, true);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.degree(2), 1u);  // self loop kept once
+}
+
+TEST(Csr, DedupPreservesDistinctNeighbors) {
+  const std::vector<std::pair<VertexId, VertexId>> edges{
+      {1, 0}, {1, 2}, {1, 0}, {1, 3}, {1, 2}};
+  const Csr g = Csr::from_pairs(edges, 4, true);
+  const auto nbrs = g.neighbors(1);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_EQ(nbrs[0], 0u);
+  EXPECT_EQ(nbrs[1], 2u);
+  EXPECT_EQ(nbrs[2], 3u);
+}
+
+TEST(Csr, IsolatedTrailingVertices) {
+  const std::vector<std::pair<VertexId, VertexId>> edges{{0, 1}};
+  const Csr g = Csr::from_pairs(edges, 10, false);
+  EXPECT_EQ(g.num_vertices(), 10u);
+  for (VertexId v = 1; v < 10; ++v) EXPECT_EQ(g.degree(v), 0u);
+}
+
+TEST(WindowGraph, BuildMatchesBruteForce) {
+  const TemporalEdgeList events = test::random_events(3, 40, 1500, 5000);
+  for (const auto [ts, te] : std::vector<std::pair<Timestamp, Timestamp>>{
+           {0, 5000}, {1000, 2000}, {4900, 5000}, {2000, 1000}}) {
+    const WindowGraph g =
+        build_window_graph(events.slice(ts, te), events.num_vertices());
+    const auto brute = test::brute_window_edges(events, ts, te);
+    EXPECT_EQ(g.num_edges, brute.size());
+
+    std::vector<std::uint32_t> expect_outdeg(events.num_vertices(), 0);
+    std::vector<std::uint8_t> expect_active(events.num_vertices(), 0);
+    for (const auto& [u, v] : brute) {
+      ++expect_outdeg[u];
+      expect_active[u] = 1;
+      expect_active[v] = 1;
+    }
+    std::size_t expect_num_active = 0;
+    for (const auto a : expect_active) expect_num_active += a;
+
+    EXPECT_EQ(g.num_active, expect_num_active);
+    for (VertexId v = 0; v < events.num_vertices(); ++v) {
+      ASSERT_EQ(g.out_degree[v], expect_outdeg[v]) << "v=" << v;
+      ASSERT_EQ(g.is_active[v], expect_active[v]) << "v=" << v;
+    }
+
+    // In-adjacency: for each edge (u,v), u must appear in in.neighbors(v).
+    for (const auto& [u, v] : brute) {
+      const auto nbrs = g.in.neighbors(v);
+      EXPECT_TRUE(std::find(nbrs.begin(), nbrs.end(), u) != nbrs.end());
+    }
+  }
+}
+
+TEST(WindowGraph, EmptyWindow) {
+  const TemporalEdgeList events = test::paper_example_directed();
+  const WindowGraph g = build_window_graph(events.slice(0, 10), 7);
+  EXPECT_EQ(g.num_active, 0u);
+  EXPECT_EQ(g.num_edges, 0u);
+}
+
+TEST(WindowGraph, PaperExampleFirstInterval) {
+  // Fig. 2b: interval T1 (6/1-9/15) contains edges 1-2, 3-5, 4-6, 2-3, 2-4,
+  // 5-6 (1-indexed) = (0,1),(2,4),(3,5),(1,2),(1,3),(4,5) 0-indexed.
+  const TemporalEdgeList events = test::paper_example_directed();
+  const WindowGraph g = build_window_graph(
+      events.slice(test::PaperIntervals::t1_start,
+                   test::PaperIntervals::t1_end),
+      7);
+  EXPECT_EQ(g.num_edges, 6u);
+  // Vertex 6 (paper's 7) is not yet active in T1.
+  EXPECT_EQ(g.is_active[6], 0);
+  EXPECT_EQ(g.num_active, 6u);
+}
+
+}  // namespace
+}  // namespace pmpr

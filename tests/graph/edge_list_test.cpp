@@ -1,0 +1,183 @@
+#include "graph/edge_list.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "test_helpers.hpp"
+
+namespace pmpr {
+namespace {
+
+class TempDir {
+ public:
+  TempDir() {
+    path_ = std::filesystem::temp_directory_path() /
+            ("pmpr_test_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter_++));
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  [[nodiscard]] std::string file(const std::string& name) const {
+    return (path_ / name).string();
+  }
+
+ private:
+  static inline int counter_ = 0;
+  std::filesystem::path path_;
+};
+
+TEST(TemporalEdgeList, EmptyBasics) {
+  TemporalEdgeList list;
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.size(), 0u);
+  EXPECT_EQ(list.num_vertices(), 0u);
+  EXPECT_TRUE(list.is_sorted_by_time());
+}
+
+TEST(TemporalEdgeList, AddTracksVertexCount) {
+  TemporalEdgeList list;
+  list.add(3, 9, 100);
+  EXPECT_EQ(list.num_vertices(), 10u);
+  list.add(20, 1, 50);
+  EXPECT_EQ(list.num_vertices(), 21u);
+  EXPECT_EQ(list.size(), 2u);
+}
+
+TEST(TemporalEdgeList, EnsureVerticesOnlyGrows) {
+  TemporalEdgeList list;
+  list.add(0, 1, 0);
+  list.ensure_vertices(100);
+  EXPECT_EQ(list.num_vertices(), 100u);
+  list.ensure_vertices(5);
+  EXPECT_EQ(list.num_vertices(), 100u);
+}
+
+TEST(TemporalEdgeList, SortByTimeIsStable) {
+  TemporalEdgeList list;
+  list.add(1, 2, 10);
+  list.add(3, 4, 5);
+  list.add(5, 6, 10);
+  EXPECT_FALSE(list.is_sorted_by_time());
+  list.sort_by_time();
+  ASSERT_TRUE(list.is_sorted_by_time());
+  EXPECT_EQ(list[0].time, 5);
+  // Ties keep insertion order (stable sort).
+  EXPECT_EQ(list[1].src, 1u);
+  EXPECT_EQ(list[2].src, 5u);
+}
+
+TEST(TemporalEdgeList, MinMaxTime) {
+  TemporalEdgeList list = test::paper_example_directed();
+  EXPECT_EQ(list.min_time(), 171);
+  EXPECT_EQ(list.max_time(), 315);
+}
+
+TEST(TemporalEdgeList, SliceMatchesBruteForce) {
+  const TemporalEdgeList list = test::random_events(1, 50, 2000, 10000);
+  for (const auto [ts, te] : std::vector<std::pair<Timestamp, Timestamp>>{
+           {0, 10000}, {500, 700}, {0, 0}, {9999, 10000}, {5000, 4000}}) {
+    const auto slice = list.slice(ts, te);
+    std::size_t expected = 0;
+    for (const auto& e : list.events()) {
+      if (e.time >= ts && e.time <= te) ++expected;
+    }
+    EXPECT_EQ(slice.size(), expected) << ts << ".." << te;
+    for (const auto& e : slice) {
+      EXPECT_GE(e.time, ts);
+      EXPECT_LE(e.time, te);
+    }
+  }
+}
+
+TEST(TemporalEdgeList, SliceEmptyRangeOutsideData) {
+  const TemporalEdgeList list = test::paper_example_directed();
+  EXPECT_TRUE(list.slice(0, 100).empty());
+  EXPECT_TRUE(list.slice(400, 500).empty());
+}
+
+TEST(TemporalEdgeList, TextRoundTrip) {
+  TempDir dir;
+  const TemporalEdgeList orig = test::paper_example_directed();
+  orig.save_text(dir.file("events.txt"));
+  const TemporalEdgeList loaded =
+      TemporalEdgeList::load_text(dir.file("events.txt"));
+  ASSERT_EQ(loaded.size(), orig.size());
+  for (std::size_t i = 0; i < orig.size(); ++i) {
+    EXPECT_EQ(loaded[i], orig[i]);
+  }
+}
+
+TEST(TemporalEdgeList, TextLoadSkipsCommentsAndBlankLines) {
+  TempDir dir;
+  {
+    std::ofstream out(dir.file("in.txt"));
+    out << "# comment\n\n1 2 3\n# another\n4 5 6\n";
+  }
+  const TemporalEdgeList list = TemporalEdgeList::load_text(dir.file("in.txt"));
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list[0], (TemporalEdge{1, 2, 3}));
+  EXPECT_EQ(list[1], (TemporalEdge{4, 5, 6}));
+}
+
+TEST(TemporalEdgeList, TextLoadRejectsMalformedLine) {
+  TempDir dir;
+  {
+    std::ofstream out(dir.file("bad.txt"));
+    out << "1 2 3\nnot numbers\n";
+  }
+  EXPECT_THROW(TemporalEdgeList::load_text(dir.file("bad.txt")),
+               std::runtime_error);
+}
+
+TEST(TemporalEdgeList, TextLoadMissingFileThrows) {
+  EXPECT_THROW(TemporalEdgeList::load_text("/nonexistent/path/x.txt"),
+               std::runtime_error);
+}
+
+TEST(TemporalEdgeList, BinaryRoundTrip) {
+  TempDir dir;
+  TemporalEdgeList orig = test::random_events(7, 100, 5000, 1 << 20);
+  orig.ensure_vertices(123);
+  orig.save_binary(dir.file("events.bin"));
+  const TemporalEdgeList loaded =
+      TemporalEdgeList::load_binary(dir.file("events.bin"));
+  ASSERT_EQ(loaded.size(), orig.size());
+  EXPECT_EQ(loaded.num_vertices(), orig.num_vertices());
+  for (std::size_t i = 0; i < orig.size(); ++i) {
+    ASSERT_EQ(loaded[i], orig[i]);
+  }
+}
+
+TEST(TemporalEdgeList, BinaryRejectsWrongMagic) {
+  TempDir dir;
+  {
+    std::ofstream out(dir.file("junk.bin"), std::ios::binary);
+    out << "definitely not a pmpr file at all";
+  }
+  EXPECT_THROW(TemporalEdgeList::load_binary(dir.file("junk.bin")),
+               std::runtime_error);
+}
+
+TEST(TemporalEdgeList, BinaryRejectsTruncatedPayload) {
+  TempDir dir;
+  TemporalEdgeList orig = test::paper_example_directed();
+  orig.save_binary(dir.file("t.bin"));
+  const auto size = std::filesystem::file_size(dir.file("t.bin"));
+  std::filesystem::resize_file(dir.file("t.bin"), size - 8);
+  EXPECT_THROW(TemporalEdgeList::load_binary(dir.file("t.bin")),
+               std::runtime_error);
+}
+
+TEST(TemporalEdgeList, ConstructFromVectorComputesVertices) {
+  std::vector<TemporalEdge> edges{{5, 2, 1}, {0, 9, 2}};
+  const TemporalEdgeList list(std::move(edges));
+  EXPECT_EQ(list.num_vertices(), 10u);
+  EXPECT_EQ(list.size(), 2u);
+}
+
+}  // namespace
+}  // namespace pmpr

@@ -1,0 +1,159 @@
+#include "graph/multi_window.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "test_helpers.hpp"
+
+namespace pmpr {
+namespace {
+
+/// Parameterized over the number of multi-window parts (the paper's Y).
+class MultiWindowParam : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MultiWindowParam, PartsCoverAllWindowsExactlyOnce) {
+  const std::size_t parts = GetParam();
+  const TemporalEdgeList events = test::random_events(17, 60, 4000, 100000);
+  const WindowSpec spec = WindowSpec::cover(0, 100000, 12000, 2000);
+  const MultiWindowSet set = MultiWindowSet::build(events, spec, parts);
+
+  std::set<std::size_t> covered;
+  for (std::size_t p = 0; p < set.num_parts(); ++p) {
+    const auto& part = set.part(p);
+    for (std::size_t i = 0; i < part.num_windows; ++i) {
+      const bool inserted = covered.insert(part.first_window + i).second;
+      EXPECT_TRUE(inserted) << "window held by two parts";
+    }
+  }
+  EXPECT_EQ(covered.size(), spec.count);
+}
+
+TEST_P(MultiWindowParam, PartForWindowIsConsistent) {
+  const std::size_t parts = GetParam();
+  const TemporalEdgeList events = test::random_events(17, 60, 4000, 100000);
+  const WindowSpec spec = WindowSpec::cover(0, 100000, 12000, 2000);
+  const MultiWindowSet set = MultiWindowSet::build(events, spec, parts);
+  for (std::size_t w = 0; w < spec.count; ++w) {
+    const auto& part = set.part_for_window(w);
+    EXPECT_GE(w, part.first_window);
+    EXPECT_LT(w, part.first_window + part.num_windows);
+  }
+}
+
+TEST_P(MultiWindowParam, PartEventsMatchSpan) {
+  const std::size_t parts = GetParam();
+  const TemporalEdgeList events = test::random_events(23, 60, 4000, 100000);
+  const WindowSpec spec = WindowSpec::cover(0, 100000, 12000, 2000);
+  const MultiWindowSet set = MultiWindowSet::build(events, spec, parts);
+  for (std::size_t p = 0; p < set.num_parts(); ++p) {
+    const auto& part = set.part(p);
+    EXPECT_EQ(part.span_start, spec.start(part.first_window));
+    EXPECT_EQ(part.span_end,
+              spec.end(part.first_window + part.num_windows - 1));
+    EXPECT_EQ(part.num_events,
+              events.slice(part.span_start, part.span_end).size());
+  }
+}
+
+TEST_P(MultiWindowParam, WindowEdgesMatchBruteForceThroughParts) {
+  const std::size_t parts = GetParam();
+  const TemporalEdgeList events = test::random_events(31, 40, 3000, 50000);
+  const WindowSpec spec = WindowSpec::cover(0, 50000, 8000, 1500);
+  const MultiWindowSet set = MultiWindowSet::build(events, spec, parts);
+
+  for (std::size_t w = 0; w < spec.count; w += 3) {
+    const auto& part = set.part_for_window(w);
+    const auto brute =
+        test::brute_window_edges(events, spec.start(w), spec.end(w));
+    // Collect edges from the part's reverse temporal CSR (global ids).
+    std::set<std::pair<VertexId, VertexId>> got;
+    for (VertexId v = 0; v < part.num_local(); ++v) {
+      part.in.for_each_active_neighbor(
+          v, spec.start(w), spec.end(w), [&](VertexId u) {
+            got.emplace(part.global_of(u), part.global_of(v));
+          });
+    }
+    ASSERT_EQ(got, brute) << "window " << w << " parts=" << parts;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PartCounts, MultiWindowParam,
+                         ::testing::Values(1, 2, 3, 6, 17, 1000),
+                         [](const auto& info) {
+                           return "Y" + std::to_string(info.param);
+                         });
+
+TEST(MultiWindow, LocalGlobalMappingRoundTrips) {
+  const TemporalEdgeList events = test::random_events(3, 100, 2000, 10000);
+  const WindowSpec spec = WindowSpec::cover(0, 10000, 2000, 500);
+  const MultiWindowSet set = MultiWindowSet::build(events, spec, 4);
+  for (std::size_t p = 0; p < set.num_parts(); ++p) {
+    const auto& part = set.part(p);
+    for (VertexId local = 0; local < part.num_local(); ++local) {
+      EXPECT_EQ(part.local_of(part.global_of(local)), local);
+    }
+  }
+}
+
+TEST(MultiWindow, LocalOfAbsentVertexIsInvalid) {
+  TemporalEdgeList events;
+  events.add(0, 5, 10);
+  events.ensure_vertices(100);
+  const WindowSpec spec = WindowSpec::cover(0, 10, 10, 5);
+  const MultiWindowSet set = MultiWindowSet::build(events, spec, 1);
+  const auto& part = set.part(0);
+  EXPECT_EQ(part.num_local(), 2u);
+  EXPECT_EQ(part.local_of(3), kInvalidVertex);
+  EXPECT_EQ(part.local_of(99), kInvalidVertex);
+  EXPECT_NE(part.local_of(0), kInvalidVertex);
+  EXPECT_NE(part.local_of(5), kInvalidVertex);
+}
+
+TEST(MultiWindow, MorePartsNeverLosesEvents) {
+  // Σ_w |E_w| >= |Events| (boundary duplication), and with one part per
+  // dataset-covering span, equality when windows tile the data.
+  const TemporalEdgeList events = test::random_events(41, 50, 3000, 60000);
+  const WindowSpec spec = WindowSpec::cover(0, 60000, 9000, 3000);
+  const std::size_t covered =
+      events.slice(spec.start(0), spec.end(spec.count - 1)).size();
+  for (const std::size_t parts : {1u, 2u, 5u, 10u}) {
+    const MultiWindowSet set = MultiWindowSet::build(events, spec, parts);
+    EXPECT_GE(set.total_events(), covered) << parts;
+  }
+}
+
+TEST(MultiWindow, PartCountClampedToWindows) {
+  const TemporalEdgeList events = test::random_events(5, 20, 500, 1000);
+  const WindowSpec spec = WindowSpec::cover(0, 1000, 300, 200);
+  const MultiWindowSet set = MultiWindowSet::build(events, spec, 500);
+  EXPECT_LE(set.num_parts(), spec.count);
+  EXPECT_GE(set.num_parts(), 1u);
+}
+
+TEST(MultiWindow, EmptySpanPartsStillValid) {
+  // Events concentrated at the start; later windows are empty but their
+  // parts must still exist and answer queries.
+  TemporalEdgeList events;
+  events.add(0, 1, 0);
+  events.add(1, 2, 1);
+  events.ensure_vertices(3);
+  const WindowSpec spec{.t0 = 0, .delta = 10, .sw = 100, .count = 5};
+  const MultiWindowSet set = MultiWindowSet::build(events, spec, 5);
+  EXPECT_EQ(set.num_parts(), 5u);
+  for (std::size_t w = 1; w < 5; ++w) {
+    const auto& part = set.part_for_window(w);
+    EXPECT_EQ(part.num_events, 0u);
+    EXPECT_EQ(part.num_local(), 0u);
+  }
+}
+
+TEST(MultiWindow, MemoryBytesReported) {
+  const TemporalEdgeList events = test::random_events(7, 50, 2000, 10000);
+  const WindowSpec spec = WindowSpec::cover(0, 10000, 2000, 1000);
+  const MultiWindowSet set = MultiWindowSet::build(events, spec, 3);
+  EXPECT_GT(set.memory_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace pmpr

@@ -1,0 +1,118 @@
+// Tests for the balanced-events multi-window decomposition (the paper's
+// future-work alternative to uniform window counts).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/multi_window.hpp"
+#include "test_helpers.hpp"
+
+namespace pmpr {
+namespace {
+
+/// Events concentrated in a spike so uniform window counts produce heavily
+/// imbalanced parts.
+TemporalEdgeList spiky_events() {
+  TemporalEdgeList events;
+  Xoshiro256 rng(9);
+  // Sparse background over [0, 100000).
+  for (int i = 0; i < 500; ++i) {
+    events.add(static_cast<VertexId>(rng.bounded(50)),
+               static_cast<VertexId>(rng.bounded(50)),
+               static_cast<Timestamp>(rng.bounded(100000)));
+  }
+  // Dense spike spread over [30000, 70000) — wide enough to span several
+  // parts' worth of windows, so the decomposition can actually split it.
+  for (int i = 0; i < 5000; ++i) {
+    events.add(static_cast<VertexId>(rng.bounded(50)),
+               static_cast<VertexId>(rng.bounded(50)),
+               static_cast<Timestamp>(30000 + rng.bounded(40000)));
+  }
+  events.sort_by_time();
+  return events;
+}
+
+TEST(PartitionPolicy, ToString) {
+  EXPECT_EQ(to_string(PartitionPolicy::kUniformWindows), "uniform-windows");
+  EXPECT_EQ(to_string(PartitionPolicy::kBalancedEvents), "balanced-events");
+}
+
+TEST(PartitionPolicy, BalancedCoversAllWindowsExactlyOnce) {
+  const TemporalEdgeList events = spiky_events();
+  const WindowSpec spec = WindowSpec::cover(0, 100000, 5000, 1000);
+  const MultiWindowSet set = MultiWindowSet::build(
+      events, spec, 8, PartitionPolicy::kBalancedEvents);
+  std::set<std::size_t> covered;
+  for (std::size_t p = 0; p < set.num_parts(); ++p) {
+    const auto& part = set.part(p);
+    EXPECT_GT(part.num_windows, 0u);
+    for (std::size_t i = 0; i < part.num_windows; ++i) {
+      EXPECT_TRUE(covered.insert(part.first_window + i).second);
+    }
+  }
+  EXPECT_EQ(covered.size(), spec.count);
+}
+
+TEST(PartitionPolicy, BalancedReducesEventImbalance) {
+  const TemporalEdgeList events = spiky_events();
+  const WindowSpec spec = WindowSpec::cover(0, 100000, 5000, 1000);
+
+  auto max_part_events = [](const MultiWindowSet& set) {
+    std::size_t mx = 0;
+    for (std::size_t p = 0; p < set.num_parts(); ++p) {
+      mx = std::max(mx, set.part(p).num_events);
+    }
+    return mx;
+  };
+
+  const MultiWindowSet uniform = MultiWindowSet::build(
+      events, spec, 8, PartitionPolicy::kUniformWindows);
+  const MultiWindowSet balanced = MultiWindowSet::build(
+      events, spec, 8, PartitionPolicy::kBalancedEvents);
+  EXPECT_LT(max_part_events(balanced), max_part_events(uniform));
+}
+
+TEST(PartitionPolicy, BalancedQueriesStillCorrect) {
+  const TemporalEdgeList events = spiky_events();
+  const WindowSpec spec = WindowSpec::cover(0, 100000, 5000, 2500);
+  const MultiWindowSet set = MultiWindowSet::build(
+      events, spec, 5, PartitionPolicy::kBalancedEvents);
+  for (std::size_t w = 0; w < spec.count; w += 4) {
+    const auto& part = set.part_for_window(w);
+    std::set<std::pair<VertexId, VertexId>> got;
+    for (VertexId v = 0; v < part.num_local(); ++v) {
+      part.in.for_each_active_neighbor(
+          v, spec.start(w), spec.end(w), [&](VertexId u) {
+            got.emplace(part.global_of(u), part.global_of(v));
+          });
+    }
+    ASSERT_EQ(got, test::brute_window_edges(events, spec.start(w),
+                                            spec.end(w)))
+        << "window " << w;
+  }
+}
+
+TEST(PartitionPolicy, BalancedOnUniformDataResemblesUniform) {
+  const TemporalEdgeList events = test::random_events(3, 40, 4000, 100000);
+  const WindowSpec spec = WindowSpec::cover(0, 100000, 5000, 2000);
+  const MultiWindowSet balanced = MultiWindowSet::build(
+      events, spec, 5, PartitionPolicy::kBalancedEvents);
+  ASSERT_EQ(balanced.num_parts(), 5u);
+  for (std::size_t p = 0; p < 5; ++p) {
+    // Window counts within 2x of the uniform share.
+    EXPECT_GT(balanced.part(p).num_windows, spec.count / 10);
+    EXPECT_LT(balanced.part(p).num_windows, spec.count * 2 / 5);
+  }
+}
+
+TEST(PartitionPolicy, SinglePartDegenerate) {
+  const TemporalEdgeList events = spiky_events();
+  const WindowSpec spec = WindowSpec::cover(0, 100000, 5000, 20000);
+  const MultiWindowSet set = MultiWindowSet::build(
+      events, spec, 1, PartitionPolicy::kBalancedEvents);
+  EXPECT_EQ(set.num_parts(), 1u);
+  EXPECT_EQ(set.part(0).num_windows, spec.count);
+}
+
+}  // namespace
+}  // namespace pmpr

@@ -1,0 +1,90 @@
+#include "graph/relabel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exec/postmortem_runner.hpp"
+#include "test_helpers.hpp"
+
+namespace pmpr {
+namespace {
+
+TEST(Relabel, PermutationIsBijective) {
+  const TemporalEdgeList events = test::random_events(3, 100, 3000, 10000);
+  const Relabeling r = relabel_by_activity(events);
+  ASSERT_EQ(r.forward.size(), events.num_vertices());
+  ASSERT_EQ(r.inverse.size(), events.num_vertices());
+  std::vector<bool> seen(events.num_vertices(), false);
+  for (VertexId old_id = 0; old_id < events.num_vertices(); ++old_id) {
+    const VertexId new_id = r.to_new(old_id);
+    ASSERT_LT(new_id, events.num_vertices());
+    ASSERT_FALSE(seen[new_id]);
+    seen[new_id] = true;
+    ASSERT_EQ(r.to_old(new_id), old_id);
+  }
+}
+
+TEST(Relabel, HotVerticesGetSmallIds) {
+  TemporalEdgeList events;
+  // Vertex 9 is the hub; vertex 0 appears once.
+  for (int i = 0; i < 20; ++i) {
+    events.add(9, static_cast<VertexId>(1 + i % 8), i);
+  }
+  events.add(0, 1, 100);
+  const Relabeling r = relabel_by_activity(events);
+  EXPECT_EQ(r.to_new(9), 0u);
+  EXPECT_GT(r.to_new(0), r.to_new(1));
+}
+
+TEST(Relabel, DeterministicTieBreaking) {
+  TemporalEdgeList events;
+  events.add(3, 7, 1);  // both endpoints have activity 1
+  events.ensure_vertices(10);
+  const Relabeling r = relabel_by_activity(events);
+  // Equal activity: stable order keeps ascending old ids.
+  EXPECT_LT(r.to_new(3), r.to_new(7));
+  // Inactive vertices follow, in old-id order.
+  EXPECT_LT(r.to_new(0), r.to_new(1));
+}
+
+TEST(Relabel, ApplyPreservesTimesAndStructure) {
+  const TemporalEdgeList events = test::random_events(7, 40, 1000, 5000);
+  const Relabeling r = relabel_by_activity(events);
+  const TemporalEdgeList relabeled = apply_relabeling(events, r);
+  ASSERT_EQ(relabeled.size(), events.size());
+  EXPECT_TRUE(relabeled.is_sorted_by_time());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(relabeled[i].time, events[i].time);
+    EXPECT_EQ(relabeled[i].src, r.to_new(events[i].src));
+    EXPECT_EQ(relabeled[i].dst, r.to_new(events[i].dst));
+  }
+}
+
+TEST(Relabel, PagerankInvariantUnderRelabeling) {
+  // The defining property: running the analysis on relabeled events and
+  // mapping back through the permutation gives the original results.
+  const TemporalEdgeList events = test::random_events(11, 50, 2500, 20000);
+  const WindowSpec spec = WindowSpec::cover(0, 20000, 5000, 1200);
+  PostmortemConfig cfg;
+  cfg.pr.tol = 1e-12;
+  cfg.pr.max_iters = 500;
+
+  StoreAllSink original(spec.count);
+  run_postmortem(events, spec, original, cfg);
+
+  const Relabeling r = relabel_by_activity(events);
+  const TemporalEdgeList relabeled = apply_relabeling(events, r);
+  StoreAllSink permuted(spec.count);
+  run_postmortem(relabeled, spec, permuted, cfg);
+
+  for (std::size_t w = 0; w < spec.count; ++w) {
+    const auto a = original.dense(w, events.num_vertices());
+    const auto b = permuted.dense(w, events.num_vertices());
+    for (VertexId v = 0; v < events.num_vertices(); ++v) {
+      ASSERT_NEAR(a[v], b[r.to_new(v)], 1e-9)
+          << "window " << w << " vertex " << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pmpr

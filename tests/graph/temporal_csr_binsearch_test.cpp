@@ -1,0 +1,69 @@
+// The binary-search time-scan variant must be observationally identical to
+// the linear run scan for every window.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/temporal_csr.hpp"
+#include "test_helpers.hpp"
+
+namespace pmpr {
+namespace {
+
+TEST(TemporalCsrBinsearch, MatchesLinearScanOnRandomData) {
+  const TemporalEdgeList events = test::random_events(15, 25, 3000, 1000);
+  const TemporalCsr g =
+      TemporalCsr::build(events.events(), events.num_vertices(), false);
+  Xoshiro256 rng(3);
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto ts = static_cast<Timestamp>(rng.bounded(1100));
+    const auto te = ts + static_cast<Timestamp>(rng.bounded(300));
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      std::set<VertexId> linear;
+      std::set<VertexId> bin;
+      g.for_each_active_neighbor(v, ts, te,
+                                 [&](VertexId u) { linear.insert(u); });
+      g.for_each_active_neighbor_binsearch(
+          v, ts, te, [&](VertexId u) { bin.insert(u); });
+      ASSERT_EQ(linear, bin) << "v=" << v << " [" << ts << "," << te << "]";
+    }
+  }
+}
+
+TEST(TemporalCsrBinsearch, LongRunsHandled) {
+  // One vertex pair with many events: the binary search has something to
+  // skip.
+  TemporalEdgeList events;
+  for (Timestamp t = 0; t < 1000; t += 2) events.add(0, 1, t);
+  events.add(0, 2, 500);
+  const TemporalCsr g = TemporalCsr::build(events.events(), 3, false);
+
+  std::set<VertexId> got;
+  g.for_each_active_neighbor_binsearch(0, 499, 501,
+                                       [&](VertexId u) { got.insert(u); });
+  EXPECT_EQ(got, (std::set<VertexId>{1, 2}));
+
+  got.clear();
+  g.for_each_active_neighbor_binsearch(0, 999, 1500,
+                                       [&](VertexId u) { got.insert(u); });
+  // Events are at even times 0..998; 999..1500 contains none.
+  EXPECT_TRUE(got.empty());
+}
+
+TEST(TemporalCsrBinsearch, BoundaryTimesInclusive) {
+  TemporalEdgeList events;
+  events.add(0, 1, 100);
+  const TemporalCsr g = TemporalCsr::build(events.events(), 2, false);
+  int hits = 0;
+  g.for_each_active_neighbor_binsearch(0, 100, 100,
+                                       [&](VertexId) { ++hits; });
+  EXPECT_EQ(hits, 1);
+  g.for_each_active_neighbor_binsearch(0, 101, 200,
+                                       [&](VertexId) { ++hits; });
+  EXPECT_EQ(hits, 1);
+  g.for_each_active_neighbor_binsearch(0, 0, 99, [&](VertexId) { ++hits; });
+  EXPECT_EQ(hits, 1);
+}
+
+}  // namespace
+}  // namespace pmpr

@@ -1,0 +1,147 @@
+#include "graph/temporal_csr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "test_helpers.hpp"
+
+namespace pmpr {
+namespace {
+
+TEST(TemporalCsr, StoresEveryEvent) {
+  const TemporalEdgeList events = test::paper_example_symmetric();
+  const TemporalCsr g =
+      TemporalCsr::build(events.events(), events.num_vertices(), false);
+  // Fig. 3: 28 entries for the symmetrized example.
+  EXPECT_EQ(g.num_entries(), 28u);
+  EXPECT_EQ(g.num_vertices(), 7u);
+}
+
+TEST(TemporalCsr, RowsSortedByNeighborThenTime) {
+  const TemporalEdgeList events = test::random_events(11, 30, 3000, 2000);
+  const TemporalCsr g =
+      TemporalCsr::build(events.events(), events.num_vertices(), false);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto cols = g.row_cols(v);
+    const auto times = g.row_times(v);
+    for (std::size_t i = 1; i < cols.size(); ++i) {
+      const bool ordered =
+          cols[i - 1] < cols[i] ||
+          (cols[i - 1] == cols[i] && times[i - 1] <= times[i]);
+      ASSERT_TRUE(ordered) << "row " << v << " entry " << i;
+    }
+  }
+}
+
+TEST(TemporalCsr, ForwardRowHoldsOutEvents) {
+  TemporalEdgeList events;
+  events.add(0, 1, 10);
+  events.add(0, 2, 20);
+  events.add(1, 0, 30);
+  const TemporalCsr g = TemporalCsr::build(events.events(), 3, false);
+  EXPECT_EQ(g.row_cols(0).size(), 2u);
+  EXPECT_EQ(g.row_cols(1).size(), 1u);
+  EXPECT_EQ(g.row_cols(2).size(), 0u);
+}
+
+TEST(TemporalCsr, ReverseRowHoldsInEvents) {
+  TemporalEdgeList events;
+  events.add(0, 1, 10);
+  events.add(0, 2, 20);
+  events.add(1, 0, 30);
+  const TemporalCsr g = TemporalCsr::build(events.events(), 3, true);
+  EXPECT_EQ(g.row_cols(0).size(), 1u);  // in-edge from 1
+  EXPECT_EQ(g.row_cols(0)[0], 1u);
+  EXPECT_EQ(g.row_cols(1).size(), 1u);
+  EXPECT_EQ(g.row_cols(2).size(), 1u);
+}
+
+/// Property: for_each_active_neighbor over random events matches a
+/// brute-force filter over many random windows.
+TEST(TemporalCsr, ActiveNeighborsMatchBruteForce) {
+  const TemporalEdgeList events = test::random_events(5, 25, 2000, 1000);
+  const TemporalCsr g =
+      TemporalCsr::build(events.events(), events.num_vertices(), false);
+  Xoshiro256 rng(77);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto ts = static_cast<Timestamp>(rng.bounded(1100));
+    const auto te = ts + static_cast<Timestamp>(rng.bounded(400));
+    // Brute force: distinct out-neighbors per source in [ts, te].
+    std::map<VertexId, std::set<VertexId>> expect;
+    for (const auto& e : events.events()) {
+      if (e.time >= ts && e.time <= te) expect[e.src].insert(e.dst);
+    }
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      std::set<VertexId> got;
+      g.for_each_active_neighbor(v, ts, te, [&](VertexId u) {
+        const bool inserted = got.insert(u).second;
+        EXPECT_TRUE(inserted) << "duplicate neighbor " << u << " of " << v;
+      });
+      ASSERT_EQ(got, expect[v]) << "v=" << v << " [" << ts << "," << te << "]";
+    }
+  }
+}
+
+TEST(TemporalCsr, DuplicateEventsReportedOnce) {
+  TemporalEdgeList events;
+  events.add(0, 1, 10);
+  events.add(0, 1, 15);
+  events.add(0, 1, 20);
+  const TemporalCsr g = TemporalCsr::build(events.events(), 2, false);
+  int count = 0;
+  g.for_each_active_neighbor(0, 0, 100, [&](VertexId u) {
+    EXPECT_EQ(u, 1u);
+    ++count;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(TemporalCsr, WindowExcludesOutOfRangeRuns) {
+  TemporalEdgeList events;
+  events.add(0, 1, 10);
+  events.add(0, 2, 50);
+  const TemporalCsr g = TemporalCsr::build(events.events(), 3, false);
+  int count = 0;
+  VertexId seen = 99;
+  g.for_each_active_neighbor(0, 40, 60, [&](VertexId u) {
+    seen = u;
+    ++count;
+  });
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(seen, 2u);
+}
+
+TEST(TemporalCsr, EmptyWindowNoNeighbors) {
+  const TemporalEdgeList events = test::paper_example_directed();
+  const TemporalCsr g = TemporalCsr::build(events.events(), 7, false);
+  for (VertexId v = 0; v < 7; ++v) {
+    g.for_each_active_neighbor(
+        v, 0, 100, [&](VertexId) { FAIL() << "no events before day 100"; });
+  }
+}
+
+TEST(TemporalCsr, PaperExampleWindowT1) {
+  // In interval T1, vertex 1 (paper's 2) has distinct neighbors
+  // {0 (via 6/21 event? no—that's 0->1), 2, 3} in the directed version:
+  // out-edges of vertex 1 in T1: (1,2)@212, (1,3)@222.
+  const TemporalEdgeList events = test::paper_example_directed();
+  const TemporalCsr g = TemporalCsr::build(events.events(), 7, false);
+  std::set<VertexId> got;
+  g.for_each_active_neighbor(1, test::PaperIntervals::t1_start,
+                             test::PaperIntervals::t1_end,
+                             [&](VertexId u) { got.insert(u); });
+  EXPECT_EQ(got, (std::set<VertexId>{2, 3}));
+}
+
+TEST(TemporalCsr, MemoryBytesGrowsWithEvents) {
+  const TemporalEdgeList small = test::random_events(2, 20, 100, 100);
+  const TemporalEdgeList big = test::random_events(2, 20, 10000, 100);
+  const TemporalCsr gs = TemporalCsr::build(small.events(), 20, false);
+  const TemporalCsr gb = TemporalCsr::build(big.events(), 20, false);
+  EXPECT_LT(gs.memory_bytes(), gb.memory_bytes());
+}
+
+}  // namespace
+}  // namespace pmpr

@@ -1,0 +1,74 @@
+#include "graph/window_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exec/config.hpp"
+#include "test_helpers.hpp"
+
+namespace pmpr {
+namespace {
+
+TEST(WindowStats, EventCountsMatchBruteForce) {
+  const TemporalEdgeList events = test::random_events(3, 30, 2000, 10000);
+  const WindowSpec spec = WindowSpec::cover(0, 10000, 1500, 600);
+  const auto counts = window_event_counts(events, spec);
+  ASSERT_EQ(counts.size(), spec.count);
+  for (std::size_t w = 0; w < spec.count; ++w) {
+    std::size_t expected = 0;
+    for (const auto& e : events.events()) {
+      if (spec.contains(w, e.time)) ++expected;
+    }
+    ASSERT_EQ(counts[w], expected) << "window " << w;
+  }
+}
+
+TEST(WindowStats, EdgeCountsAreDeduplicated) {
+  TemporalEdgeList events;
+  events.add(0, 1, 10);
+  events.add(0, 1, 20);  // same pair -> one edge
+  events.add(1, 0, 30);  // reverse direction -> separate directed edge
+  const WindowSpec spec{.t0 = 0, .delta = 100, .sw = 1, .count = 1};
+  EXPECT_EQ(window_event_counts(events, spec)[0], 3u);
+  EXPECT_EQ(window_edge_counts(events, spec)[0], 2u);
+}
+
+TEST(WindowStats, EdgeCountsMatchBruteForce) {
+  const TemporalEdgeList events = test::random_events(7, 25, 1500, 8000);
+  const WindowSpec spec = WindowSpec::cover(0, 8000, 2000, 1200);
+  const auto counts = window_edge_counts(events, spec);
+  for (std::size_t w = 0; w < spec.count; ++w) {
+    ASSERT_EQ(counts[w],
+              test::brute_window_edges(events, spec.start(w), spec.end(w))
+                  .size())
+        << "window " << w;
+  }
+}
+
+TEST(WindowStats, SuggestConfigForRuns) {
+  const TemporalEdgeList events = test::random_events(9, 40, 3000, 20000);
+  const WindowSpec spec = WindowSpec::cover(0, 20000, 4000, 500);
+  const PostmortemConfig cfg = suggest_config_for(events, spec, 4);
+  EXPECT_EQ(cfg.kernel, KernelKind::kSpmm);
+  EXPECT_LE(cfg.grain, 4u);
+  // Uniform random events, many windows -> nested.
+  EXPECT_EQ(cfg.mode, ParallelMode::kNested);
+}
+
+TEST(WindowStats, SuggestConfigForDetectsSpike) {
+  // Everything in one window's interval.
+  TemporalEdgeList events;
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    events.add(static_cast<VertexId>(rng.bounded(30)),
+               static_cast<VertexId>(rng.bounded(30)),
+               static_cast<Timestamp>(5000 + rng.bounded(100)));
+  }
+  events.add(0, 1, 0);  // one early event so t0 = 0
+  events.sort_by_time();
+  const WindowSpec spec = WindowSpec::cover(0, 10000, 200, 200);
+  const PostmortemConfig cfg = suggest_config_for(events, spec, 4);
+  EXPECT_EQ(cfg.mode, ParallelMode::kPagerank);
+}
+
+}  // namespace
+}  // namespace pmpr

@@ -1,0 +1,136 @@
+#include "graph/window.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace pmpr {
+namespace {
+
+TEST(WindowSpec, StartEndArithmetic) {
+  WindowSpec spec{.t0 = 100, .delta = 50, .sw = 10, .count = 5};
+  EXPECT_EQ(spec.start(0), 100);
+  EXPECT_EQ(spec.end(0), 150);
+  EXPECT_EQ(spec.start(3), 130);
+  EXPECT_EQ(spec.end(3), 180);
+}
+
+TEST(WindowSpec, ContainsInclusiveBothEnds) {
+  WindowSpec spec{.t0 = 100, .delta = 50, .sw = 10, .count = 5};
+  EXPECT_TRUE(spec.contains(0, 100));
+  EXPECT_TRUE(spec.contains(0, 150));
+  EXPECT_FALSE(spec.contains(0, 99));
+  EXPECT_FALSE(spec.contains(0, 151));
+}
+
+TEST(WindowSpec, CoverSpansDataRange) {
+  const WindowSpec spec = WindowSpec::cover(0, 100, 20, 10);
+  EXPECT_EQ(spec.t0, 0);
+  EXPECT_EQ(spec.count, 11u);           // starts at 0,10,...,100
+  EXPECT_LE(spec.start(spec.count - 1), 100);
+  // One more window would start past t_max.
+  EXPECT_GT(spec.start(spec.count), 100);
+}
+
+TEST(WindowSpec, CoverDegenerateRange) {
+  const WindowSpec spec = WindowSpec::cover(50, 50, 10, 5);
+  EXPECT_EQ(spec.count, 1u);
+  const WindowSpec inverted = WindowSpec::cover(50, 10, 10, 5);
+  EXPECT_EQ(inverted.count, 1u);
+}
+
+TEST(WindowSpec, CoverCappedLimitsCount) {
+  const WindowSpec spec = WindowSpec::cover_capped(0, 1000000, 10, 1, 256);
+  EXPECT_EQ(spec.count, 256u);
+  const WindowSpec small = WindowSpec::cover_capped(0, 5, 10, 1, 256);
+  EXPECT_EQ(small.count, 6u);
+}
+
+TEST(WindowSpec, WindowsContainingMatchesContainsBruteForce) {
+  Xoshiro256 rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    WindowSpec spec;
+    spec.t0 = static_cast<Timestamp>(rng.bounded(100));
+    spec.delta = static_cast<Timestamp>(rng.bounded(200));
+    spec.sw = 1 + static_cast<Timestamp>(rng.bounded(50));
+    spec.count = 1 + rng.bounded(40);
+    for (int probe = 0; probe < 60; ++probe) {
+      const auto t = static_cast<Timestamp>(rng.bounded(1500));
+      const auto [lo, hi] = spec.windows_containing(t);
+      for (std::size_t w = 0; w < spec.count; ++w) {
+        const bool in_range = w >= lo && w < hi;
+        EXPECT_EQ(spec.contains(w, t), in_range)
+            << "t=" << t << " w=" << w << " t0=" << spec.t0
+            << " delta=" << spec.delta << " sw=" << spec.sw;
+      }
+    }
+  }
+}
+
+TEST(WindowSpec, WindowsContainingBeforeStartIsEmpty) {
+  WindowSpec spec{.t0 = 1000, .delta = 10, .sw = 5, .count = 3};
+  const auto [lo, hi] = spec.windows_containing(999);
+  EXPECT_GE(lo, hi);
+}
+
+TEST(WindowSpec, WindowsContainingAfterLastWindow) {
+  WindowSpec spec{.t0 = 0, .delta = 10, .sw = 5, .count = 3};
+  // Last window covers [10, 20]; t=21 is past everything.
+  const auto [lo, hi] = spec.windows_containing(21);
+  EXPECT_GE(lo, hi);
+}
+
+TEST(WindowSpec, OverlappingWindowsShareTimes) {
+  // delta=30, sw=10: time 25 belongs to windows starting at 0,10,20.
+  WindowSpec spec{.t0 = 0, .delta = 30, .sw = 10, .count = 10};
+  const auto [lo, hi] = spec.windows_containing(25);
+  EXPECT_EQ(lo, 0u);
+  EXPECT_EQ(hi, 3u);
+}
+
+TEST(WindowSpec, NegativeTimestampsSupported) {
+  // Timestamps are signed; datasets may use epochs before 1970 or relative
+  // offsets. Everything must work for t0 < 0.
+  const WindowSpec spec = WindowSpec::cover(-1000, 1000, 300, 100);
+  EXPECT_EQ(spec.t0, -1000);
+  EXPECT_EQ(spec.count, 21u);
+  EXPECT_TRUE(spec.contains(0, -800));
+  EXPECT_FALSE(spec.contains(0, -1001));
+  const auto [lo, hi] = spec.windows_containing(-500);
+  EXPECT_LT(lo, hi);
+  for (std::size_t w = lo; w < hi; ++w) {
+    EXPECT_TRUE(spec.contains(w, -500));
+  }
+}
+
+TEST(WindowSpec, NegativeTimeBruteForceSweep) {
+  Xoshiro256 rng(123);
+  for (int trial = 0; trial < 30; ++trial) {
+    WindowSpec spec;
+    spec.t0 = -static_cast<Timestamp>(rng.bounded(500));
+    spec.delta = static_cast<Timestamp>(rng.bounded(100));
+    spec.sw = 1 + static_cast<Timestamp>(rng.bounded(40));
+    spec.count = 1 + rng.bounded(30);
+    for (int probe = 0; probe < 50; ++probe) {
+      const auto t =
+          static_cast<Timestamp>(rng.bounded(2000)) - 1000;
+      const auto [lo, hi] = spec.windows_containing(t);
+      for (std::size_t w = 0; w < spec.count; ++w) {
+        ASSERT_EQ(spec.contains(w, t), w >= lo && w < hi)
+            << "t=" << t << " w=" << w << " t0=" << spec.t0;
+      }
+    }
+  }
+}
+
+TEST(WindowSpec, DisjointWindowsSingleOwner) {
+  // sw > delta: each time in at most one window.
+  WindowSpec spec{.t0 = 0, .delta = 5, .sw = 10, .count = 10};
+  for (Timestamp t = 0; t <= 100; ++t) {
+    const auto [lo, hi] = spec.windows_containing(t);
+    EXPECT_LE(hi - lo, 1u) << "t=" << t;
+  }
+}
+
+}  // namespace
+}  // namespace pmpr

@@ -1,0 +1,228 @@
+#include "pagerank/pagerank.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "test_helpers.hpp"
+
+namespace pmpr {
+namespace {
+
+WindowGraph graph_from_pairs(
+    const std::vector<std::pair<VertexId, VertexId>>& pairs, VertexId n) {
+  std::vector<TemporalEdge> events;
+  events.reserve(pairs.size());
+  for (const auto& [u, v] : pairs) events.push_back({u, v, 0});
+  return build_window_graph(events, n);
+}
+
+PagerankParams default_params() {
+  PagerankParams p;
+  p.tol = 1e-12;
+  p.max_iters = 500;
+  return p;
+}
+
+std::vector<double> run(const WindowGraph& g, const PagerankParams& p,
+                        const par::ForOptions* parallel = nullptr) {
+  std::vector<double> x(g.num_vertices);
+  std::vector<double> scratch(g.num_vertices);
+  full_init(g.is_active, g.num_active, x);
+  pagerank(g, x, scratch, p, parallel);
+  return x;
+}
+
+double sum(const std::vector<double>& x) {
+  return std::accumulate(x.begin(), x.end(), 0.0);
+}
+
+TEST(FullInit, UniformOverActive) {
+  std::vector<std::uint8_t> active{1, 0, 1, 1, 0};
+  std::vector<double> x(5);
+  full_init(active, 3, x);
+  EXPECT_DOUBLE_EQ(x[0], 1.0 / 3);
+  EXPECT_DOUBLE_EQ(x[1], 0.0);
+  EXPECT_DOUBLE_EQ(x[2], 1.0 / 3);
+  EXPECT_NEAR(sum(x), 1.0, 1e-15);
+}
+
+TEST(FullInit, NoActiveVerticesAllZero) {
+  std::vector<std::uint8_t> active{0, 0};
+  std::vector<double> x(2, 5.0);
+  full_init(active, 0, x);
+  EXPECT_EQ(x[0], 0.0);
+  EXPECT_EQ(x[1], 0.0);
+}
+
+TEST(Pagerank, DirectedCycleIsUniform) {
+  // In a cycle every vertex is symmetric: PR = 1/n each.
+  const VertexId n = 8;
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  for (VertexId v = 0; v < n; ++v) pairs.emplace_back(v, (v + 1) % n);
+  const WindowGraph g = graph_from_pairs(pairs, n);
+  const auto x = run(g, default_params());
+  for (VertexId v = 0; v < n; ++v) EXPECT_NEAR(x[v], 1.0 / n, 1e-10);
+}
+
+TEST(Pagerank, CompleteGraphIsUniform) {
+  const VertexId n = 6;
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = 0; v < n; ++v) {
+      if (u != v) pairs.emplace_back(u, v);
+    }
+  }
+  const WindowGraph g = graph_from_pairs(pairs, n);
+  const auto x = run(g, default_params());
+  for (VertexId v = 0; v < n; ++v) EXPECT_NEAR(x[v], 1.0 / n, 1e-10);
+}
+
+TEST(Pagerank, StarGraphClosedForm) {
+  // Leaves 1..k each point to hub 0; hub dangles (redistributed).
+  // With alpha as teleport and dangling redistribution:
+  //   leaf = (alpha + (1-alpha)*hub)/n
+  //   hub  = leaf + (1-alpha)*k*leaf  (hub gets every leaf's mass)
+  const VertexId k = 4;
+  const VertexId n = k + 1;
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  for (VertexId v = 1; v <= k; ++v) pairs.emplace_back(v, 0);
+  const WindowGraph g = graph_from_pairs(pairs, n);
+  const PagerankParams p = default_params();
+  const auto x = run(g, p);
+  EXPECT_NEAR(sum(x), 1.0, 1e-9);
+  // Verify the fixed point directly.
+  const double base = (p.alpha + (1 - p.alpha) * x[0]) / n;
+  for (VertexId v = 1; v <= k; ++v) EXPECT_NEAR(x[v], base, 1e-9);
+  EXPECT_NEAR(x[0], base + (1 - p.alpha) * k * x[1], 1e-9);
+  EXPECT_GT(x[0], x[1]);
+}
+
+TEST(Pagerank, SumsToOneOnRandomGraphs) {
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL, 4ULL}) {
+    const TemporalEdgeList events = test::random_events(seed, 64, 800, 100);
+    const WindowGraph g =
+        build_window_graph(events.events(), events.num_vertices());
+    const auto x = run(g, default_params());
+    EXPECT_NEAR(sum(x), 1.0, 1e-9) << "seed " << seed;
+    for (const double v : x) EXPECT_GE(v, 0.0);
+  }
+}
+
+TEST(Pagerank, MatchesBruteForceReference) {
+  const TemporalEdgeList events = test::random_events(9, 50, 600, 100);
+  const WindowGraph g =
+      build_window_graph(events.events(), events.num_vertices());
+  const auto x = run(g, default_params());
+  const auto ref = test::brute_pagerank(
+      test::brute_window_edges(events, 0, 100), events.num_vertices(), 0.15,
+      1e-12, 500);
+  EXPECT_LT(test::linf_diff(x, ref), 1e-9);
+}
+
+TEST(Pagerank, InactiveVerticesStayZero) {
+  const WindowGraph g = graph_from_pairs({{0, 1}, {1, 0}}, 5);
+  const auto x = run(g, default_params());
+  EXPECT_EQ(x[2], 0.0);
+  EXPECT_EQ(x[3], 0.0);
+  EXPECT_EQ(x[4], 0.0);
+  EXPECT_NEAR(sum(x), 1.0, 1e-12);
+}
+
+TEST(Pagerank, EmptyGraphAllZero) {
+  const WindowGraph g = graph_from_pairs({}, 4);
+  std::vector<double> x(4, 1.0);
+  std::vector<double> scratch(4);
+  const PagerankStats stats = pagerank(g, x, scratch, default_params());
+  EXPECT_EQ(stats.iterations, 0);
+  for (const double v : x) EXPECT_EQ(v, 0.0);
+}
+
+TEST(Pagerank, SingleSelfLoopVertex) {
+  const WindowGraph g = graph_from_pairs({{0, 0}}, 1);
+  const auto x = run(g, default_params());
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+}
+
+TEST(Pagerank, ConvergesWithinMaxIters) {
+  const TemporalEdgeList events = test::random_events(12, 100, 2000, 100);
+  const WindowGraph g =
+      build_window_graph(events.events(), events.num_vertices());
+  std::vector<double> x(g.num_vertices);
+  std::vector<double> scratch(g.num_vertices);
+  full_init(g.is_active, g.num_active, x);
+  PagerankParams p;
+  p.tol = 1e-9;
+  p.max_iters = 200;
+  const PagerankStats stats = pagerank(g, x, scratch, p);
+  EXPECT_TRUE(stats.converged(p));
+  EXPECT_LT(stats.iterations, 200);
+  EXPECT_GT(stats.iterations, 1);
+}
+
+TEST(Pagerank, MaxItersCapRespected) {
+  const TemporalEdgeList events = test::random_events(12, 100, 2000, 100);
+  const WindowGraph g =
+      build_window_graph(events.events(), events.num_vertices());
+  std::vector<double> x(g.num_vertices);
+  std::vector<double> scratch(g.num_vertices);
+  full_init(g.is_active, g.num_active, x);
+  PagerankParams p;
+  p.tol = 0.0;  // never converges
+  p.max_iters = 7;
+  const PagerankStats stats = pagerank(g, x, scratch, p);
+  EXPECT_EQ(stats.iterations, 7);
+}
+
+TEST(Pagerank, ParallelMatchesSequential) {
+  const TemporalEdgeList events = test::random_events(21, 128, 3000, 100);
+  const WindowGraph g =
+      build_window_graph(events.events(), events.num_vertices());
+  const auto seq = run(g, default_params());
+  for (const auto partitioner :
+       {par::Partitioner::kAuto, par::Partitioner::kSimple,
+        par::Partitioner::kStatic}) {
+    par::ForOptions opts{partitioner, 8, nullptr};
+    const auto parl = run(g, default_params(), &opts);
+    EXPECT_LT(test::linf_diff(seq, parl), 1e-12) << to_string(partitioner);
+  }
+}
+
+TEST(Pagerank, WithoutDanglingRedistributionMassLeaks) {
+  // 0 -> 1, vertex 1 dangles. Without redistribution total mass < 1.
+  const WindowGraph g = graph_from_pairs({{0, 1}}, 2);
+  PagerankParams p = default_params();
+  p.redistribute_dangling = false;
+  const auto x = run(g, p);
+  EXPECT_LT(sum(x), 1.0);
+  p.redistribute_dangling = true;
+  const auto y = run(g, p);
+  EXPECT_NEAR(sum(y), 1.0, 1e-9);
+}
+
+TEST(Pagerank, HigherAlphaFlattensRanking) {
+  // More teleport -> closer to uniform.
+  const TemporalEdgeList events = test::random_events(31, 40, 500, 100);
+  const WindowGraph g =
+      build_window_graph(events.events(), events.num_vertices());
+  PagerankParams low = default_params();
+  low.alpha = 0.05;
+  PagerankParams high = default_params();
+  high.alpha = 0.9;
+  const auto xl = run(g, low);
+  const auto xh = run(g, high);
+  auto spread = [&](const std::vector<double>& x) {
+    double mx = 0.0;
+    double mn = 1.0;
+    for (std::size_t v = 0; v < x.size(); ++v) {
+      if (g.is_active[v] == 0) continue;
+      mx = std::max(mx, x[v]);
+      mn = std::min(mn, x[v]);
+    }
+    return mx - mn;
+  };
+  EXPECT_LT(spread(xh), spread(xl));
+}
+
+}  // namespace
+}  // namespace pmpr

@@ -1,0 +1,145 @@
+#include "pagerank/partial_init.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "pagerank/pagerank.hpp"
+#include "util/rng.hpp"
+
+namespace pmpr {
+namespace {
+
+double sum(const std::vector<double>& x) {
+  return std::accumulate(x.begin(), x.end(), 0.0);
+}
+
+TEST(PartialInit, IdenticalActiveSetPreservesValues) {
+  // V_i == V_{i-1}: shared/|V_i| = 1 and the previous vector sums to 1, so
+  // Eq. 4 is the identity.
+  const std::vector<double> prev{0.5, 0.3, 0.2};
+  const std::vector<std::uint8_t> active{1, 1, 1};
+  std::vector<double> out(3);
+  partial_init(prev, active, active, 3, out);
+  EXPECT_NEAR(out[0], 0.5, 1e-15);
+  EXPECT_NEAR(out[1], 0.3, 1e-15);
+  EXPECT_NEAR(out[2], 0.2, 1e-15);
+}
+
+TEST(PartialInit, OutputIsAlwaysDistribution) {
+  Xoshiro256 rng(1);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t n = 1 + rng.bounded(50);
+    std::vector<std::uint8_t> prev_active(n);
+    std::vector<std::uint8_t> cur_active(n);
+    std::vector<double> prev(n, 0.0);
+    std::size_t prev_count = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      prev_active[v] = rng.uniform() < 0.6 ? 1 : 0;
+      cur_active[v] = rng.uniform() < 0.6 ? 1 : 0;
+      prev_count += prev_active[v];
+    }
+    // Previous vector: random distribution over prev_active.
+    double mass = 0.0;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (prev_active[v]) {
+        prev[v] = rng.uniform() + 0.01;
+        mass += prev[v];
+      }
+    }
+    for (auto& p : prev) p /= (mass > 0 ? mass : 1.0);
+
+    std::size_t cur_count = 0;
+    for (const auto a : cur_active) cur_count += a;
+
+    std::vector<double> out(n);
+    partial_init(prev, prev_active, cur_active, cur_count, out);
+
+    if (cur_count == 0) {
+      EXPECT_EQ(sum(out), 0.0);
+      continue;
+    }
+    EXPECT_NEAR(sum(out), 1.0, 1e-12) << "trial " << trial;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (cur_active[v] == 0) {
+        ASSERT_EQ(out[v], 0.0);
+      } else {
+        ASSERT_GE(out[v], 0.0);
+      }
+    }
+  }
+}
+
+TEST(PartialInit, NewVerticesGetUniformShare) {
+  // prev active {0,1}, cur active {0,1,2,3}. New vertices 2,3 get 1/4.
+  const std::vector<double> prev{0.6, 0.4, 0.0, 0.0};
+  const std::vector<std::uint8_t> prev_active{1, 1, 0, 0};
+  const std::vector<std::uint8_t> cur_active{1, 1, 1, 1};
+  std::vector<double> out(4);
+  partial_init(prev, prev_active, cur_active, 4, out);
+  EXPECT_DOUBLE_EQ(out[2], 0.25);
+  EXPECT_DOUBLE_EQ(out[3], 0.25);
+  // Shared vertices keep their ratio and carry |shared|/|V_i| = 1/2 mass.
+  EXPECT_NEAR(out[0] + out[1], 0.5, 1e-12);
+  EXPECT_NEAR(out[0] / out[1], 0.6 / 0.4, 1e-12);
+}
+
+TEST(PartialInit, DisjointActiveSetsFallBackToFullInit) {
+  const std::vector<double> prev{1.0, 0.0, 0.0, 0.0};
+  const std::vector<std::uint8_t> prev_active{1, 0, 0, 0};
+  const std::vector<std::uint8_t> cur_active{0, 1, 1, 0};
+  std::vector<double> out(4);
+  partial_init(prev, prev_active, cur_active, 2, out);
+  EXPECT_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1], 0.5);
+  EXPECT_DOUBLE_EQ(out[2], 0.5);
+}
+
+TEST(PartialInit, ZeroSharedMassFallsBackToFullInit) {
+  // Vertices overlap but the previous vector carries no mass there.
+  const std::vector<double> prev{0.0, 1.0};
+  const std::vector<std::uint8_t> prev_active{1, 1};
+  const std::vector<std::uint8_t> cur_active{1, 0};
+  std::vector<double> out(2);
+  partial_init(prev, prev_active, cur_active, 1, out);
+  EXPECT_DOUBLE_EQ(out[0], 1.0);
+  EXPECT_EQ(out[1], 0.0);
+}
+
+TEST(PartialInit, EmptyCurrentWindowAllZero) {
+  const std::vector<double> prev{0.5, 0.5};
+  const std::vector<std::uint8_t> prev_active{1, 1};
+  const std::vector<std::uint8_t> cur_active{0, 0};
+  std::vector<double> out(2, 9.0);
+  partial_init(prev, prev_active, cur_active, 0, out);
+  EXPECT_EQ(out[0], 0.0);
+  EXPECT_EQ(out[1], 0.0);
+}
+
+TEST(PartialInit, AliasingPrevAndOutIsSafe) {
+  std::vector<double> x{0.6, 0.4, 0.0};
+  const std::vector<std::uint8_t> prev_active{1, 1, 0};
+  const std::vector<std::uint8_t> cur_active{1, 1, 1};
+  partial_init(x, prev_active, cur_active, 3, x);
+  EXPECT_NEAR(sum(x), 1.0, 1e-12);
+  EXPECT_NEAR(x[2], 1.0 / 3, 1e-12);
+}
+
+TEST(PartialInit, Eq4ScaleFactorExact) {
+  // 4 current-active vertices, 2 shared with prev. Shared mass in prev =
+  // 0.8. Scale = (2/4)/0.8 = 0.625.
+  const std::vector<double> prev{0.5, 0.3, 0.2, 0.0};
+  const std::vector<std::uint8_t> prev_active{1, 1, 1, 0};
+  const std::vector<std::uint8_t> cur_active{1, 1, 0, 1};
+  std::vector<double> out(4);
+  partial_init(prev, prev_active, cur_active, 3, out);
+  const double scale = (2.0 / 3.0) / 0.8;
+  EXPECT_NEAR(out[0], 0.5 * scale, 1e-12);
+  EXPECT_NEAR(out[1], 0.3 * scale, 1e-12);
+  EXPECT_EQ(out[2], 0.0);
+  EXPECT_NEAR(out[3], 1.0 / 3, 1e-12);
+  EXPECT_NEAR(sum(out), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace pmpr

@@ -1,0 +1,130 @@
+#include "par/ws_deque.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace pmpr::par {
+namespace {
+
+TEST(WsDeque, PopFromEmptyReturnsNull) {
+  WsDeque<int> dq;
+  EXPECT_EQ(dq.pop(), nullptr);
+}
+
+TEST(WsDeque, StealFromEmptyReturnsNull) {
+  WsDeque<int> dq;
+  EXPECT_EQ(dq.steal(), nullptr);
+}
+
+TEST(WsDeque, PushPopIsLifo) {
+  WsDeque<int> dq;
+  int a = 1;
+  int b = 2;
+  int c = 3;
+  dq.push(&a);
+  dq.push(&b);
+  dq.push(&c);
+  EXPECT_EQ(dq.pop(), &c);
+  EXPECT_EQ(dq.pop(), &b);
+  EXPECT_EQ(dq.pop(), &a);
+  EXPECT_EQ(dq.pop(), nullptr);
+}
+
+TEST(WsDeque, StealIsFifo) {
+  WsDeque<int> dq;
+  int a = 1;
+  int b = 2;
+  dq.push(&a);
+  dq.push(&b);
+  EXPECT_EQ(dq.steal(), &a);
+  EXPECT_EQ(dq.steal(), &b);
+  EXPECT_EQ(dq.steal(), nullptr);
+}
+
+TEST(WsDeque, MixedPopAndSteal) {
+  WsDeque<int> dq;
+  int vals[4] = {0, 1, 2, 3};
+  for (auto& v : vals) dq.push(&v);
+  EXPECT_EQ(dq.steal(), &vals[0]);  // oldest
+  EXPECT_EQ(dq.pop(), &vals[3]);    // newest
+  EXPECT_EQ(dq.steal(), &vals[1]);
+  EXPECT_EQ(dq.pop(), &vals[2]);
+  EXPECT_EQ(dq.pop(), nullptr);
+}
+
+TEST(WsDeque, GrowsPastInitialCapacity) {
+  WsDeque<int> dq(16);
+  std::vector<int> vals(1000);
+  std::iota(vals.begin(), vals.end(), 0);
+  for (auto& v : vals) dq.push(&v);
+  EXPECT_EQ(dq.size_approx(), 1000u);
+  for (int i = 999; i >= 0; --i) {
+    ASSERT_EQ(dq.pop(), &vals[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(WsDeque, SizeApprox) {
+  WsDeque<int> dq;
+  int v = 0;
+  EXPECT_EQ(dq.size_approx(), 0u);
+  dq.push(&v);
+  EXPECT_EQ(dq.size_approx(), 1u);
+  dq.pop();
+  EXPECT_EQ(dq.size_approx(), 0u);
+}
+
+// Concurrency: one owner pushing/popping, several thieves stealing. Every
+// task must be executed exactly once. (On a single-core box this still
+// exercises interleavings via preemption.)
+TEST(WsDeque, ConcurrentStealDeliversEachTaskOnce) {
+  constexpr int kTasks = 20000;
+  constexpr int kThieves = 3;
+  WsDeque<int> dq;
+  std::vector<int> tasks(kTasks);
+  std::vector<std::atomic<int>> hits(kTasks);
+  for (auto& h : hits) h.store(0);
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> thieves;
+  thieves.reserve(kThieves);
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        if (int* task = dq.steal()) {
+          hits[static_cast<std::size_t>(task - tasks.data())].fetch_add(1);
+        }
+      }
+      // Final drain.
+      while (int* task = dq.steal()) {
+        hits[static_cast<std::size_t>(task - tasks.data())].fetch_add(1);
+      }
+    });
+  }
+
+  // Owner: push everything, then pop what's left.
+  for (int i = 0; i < kTasks; ++i) {
+    dq.push(&tasks[static_cast<std::size_t>(i)]);
+    if (i % 7 == 0) {
+      if (int* task = dq.pop()) {
+        hits[static_cast<std::size_t>(task - tasks.data())].fetch_add(1);
+      }
+    }
+  }
+  while (int* task = dq.pop()) {
+    hits[static_cast<std::size_t>(task - tasks.data())].fetch_add(1);
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& t : thieves) t.join();
+
+  for (int i = 0; i < kTasks; ++i) {
+    ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1)
+        << "task " << i << " executed wrong number of times";
+  }
+}
+
+}  // namespace
+}  // namespace pmpr::par

@@ -1,0 +1,132 @@
+#include "streaming/dynamic_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "test_helpers.hpp"
+
+namespace pmpr::streaming {
+namespace {
+
+TEST(DynamicGraph, EmptyGraphBasics) {
+  DynamicGraph g(5);
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_active(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  for (VertexId v = 0; v < 5; ++v) {
+    EXPECT_FALSE(g.is_active(v));
+    EXPECT_EQ(g.out_degree(v), 0u);
+    EXPECT_EQ(g.in_degree(v), 0u);
+  }
+}
+
+TEST(DynamicGraph, InsertUpdatesBothDirections) {
+  DynamicGraph g(4);
+  g.insert_event(0, 2);
+  EXPECT_EQ(g.out_degree(0), 1u);
+  EXPECT_EQ(g.in_degree(2), 1u);
+  EXPECT_EQ(g.out_degree(2), 0u);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_TRUE(g.is_active(0));
+  EXPECT_TRUE(g.is_active(2));
+  EXPECT_FALSE(g.is_active(1));
+  EXPECT_EQ(g.num_active(), 2u);
+}
+
+TEST(DynamicGraph, DuplicateEventKeepsOneEdge) {
+  DynamicGraph g(3);
+  g.insert_event(0, 1);
+  g.insert_event(0, 1);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.out_degree(0), 1u);
+  g.remove_event(0, 1);
+  EXPECT_EQ(g.num_edges(), 1u);  // one event remains
+  EXPECT_EQ(g.out_degree(0), 1u);
+  g.remove_event(0, 1);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.num_active(), 0u);
+}
+
+TEST(DynamicGraph, SelfLoopHandled) {
+  DynamicGraph g(2);
+  g.insert_event(1, 1);
+  EXPECT_TRUE(g.is_active(1));
+  EXPECT_EQ(g.num_active(), 1u);
+  EXPECT_EQ(g.out_degree(1), 1u);
+  EXPECT_EQ(g.in_degree(1), 1u);
+  g.remove_event(1, 1);
+  EXPECT_EQ(g.num_active(), 0u);
+}
+
+TEST(DynamicGraph, ActivityTracksInsertionsAndRemovals) {
+  DynamicGraph g(10);
+  g.insert_event(0, 1);
+  g.insert_event(1, 2);
+  EXPECT_EQ(g.num_active(), 3u);
+  g.remove_event(0, 1);
+  // Vertex 0 inactive; 1 still active (out-edge to 2); 2 active.
+  EXPECT_EQ(g.num_active(), 2u);
+  EXPECT_FALSE(g.is_active(0));
+  g.remove_event(1, 2);
+  EXPECT_EQ(g.num_active(), 0u);
+}
+
+TEST(DynamicGraph, ForEachOutVisitsDistinctNeighbors) {
+  DynamicGraph g(5);
+  g.insert_event(0, 1);
+  g.insert_event(0, 2);
+  g.insert_event(0, 1);
+  std::set<VertexId> seen;
+  g.for_each_out(0, [&](VertexId nbr, std::uint32_t) { seen.insert(nbr); });
+  EXPECT_EQ(seen, (std::set<VertexId>{1, 2}));
+}
+
+/// Sliding-window equivalence: after any sequence of batch inserts/removes
+/// corresponding to a window slide, the dynamic graph's edge set equals the
+/// brute-force window filter.
+TEST(DynamicGraph, WindowSlidesMatchBruteForce) {
+  const TemporalEdgeList events = test::random_events(55, 30, 2000, 10000);
+  const WindowSpec spec = WindowSpec::cover(0, 10000, 2500, 800);
+  DynamicGraph g(events.num_vertices());
+
+  for (std::size_t w = 0; w < spec.count; ++w) {
+    if (w == 0) {
+      g.insert_batch(events.slice(spec.start(0), spec.end(0)));
+    } else {
+      g.remove_batch(events.slice(spec.start(w - 1), spec.start(w) - 1));
+      g.insert_batch(events.slice(spec.end(w - 1) + 1, spec.end(w)));
+    }
+    const auto brute =
+        test::brute_window_edges(events, spec.start(w), spec.end(w));
+    ASSERT_EQ(g.num_edges(), brute.size()) << "window " << w;
+    std::set<std::pair<VertexId, VertexId>> got;
+    for (VertexId u = 0; u < g.num_vertices(); ++u) {
+      g.for_each_out(u, [&](VertexId v, std::uint32_t) { got.emplace(u, v); });
+    }
+    ASSERT_EQ(got, brute) << "window " << w;
+
+    // In-direction mirrors out-direction.
+    std::set<std::pair<VertexId, VertexId>> got_in;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      g.for_each_in(v, [&](VertexId u, std::uint32_t) { got_in.emplace(u, v); });
+    }
+    ASSERT_EQ(got_in, brute) << "window " << w;
+  }
+}
+
+TEST(DynamicGraph, BlocksAllocatedGrowsWithDegree) {
+  DynamicGraph g(2);
+  for (VertexId i = 0; i < 100; ++i) {
+    g.insert_event(0, 1);  // merged: no growth beyond the first block pair
+  }
+  const std::size_t merged_blocks = g.blocks_allocated();
+  DynamicGraph g2(200);
+  for (VertexId i = 0; i < 100; ++i) {
+    g2.insert_event(0, i + 1);  // distinct neighbors: chains must grow
+  }
+  EXPECT_GT(g2.blocks_allocated(), merged_blocks);
+}
+
+}  // namespace
+}  // namespace pmpr::streaming

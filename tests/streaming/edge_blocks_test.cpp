@@ -1,0 +1,143 @@
+#include "streaming/edge_blocks.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace pmpr::streaming {
+namespace {
+
+TEST(BlockPool, AcquireReleaseRecycles) {
+  BlockPool pool;
+  EdgeBlock* a = pool.acquire();
+  EXPECT_EQ(pool.blocks_allocated(), 1u);
+  pool.release(a);
+  EdgeBlock* b = pool.acquire();
+  EXPECT_EQ(b, a);  // recycled, not re-allocated
+  EXPECT_EQ(pool.blocks_allocated(), 1u);
+}
+
+TEST(BlockPool, RecycledBlockIsClean) {
+  BlockPool pool;
+  EdgeBlock* a = pool.acquire();
+  a->count = 5;
+  a->next = a;
+  pool.release(a);
+  EdgeBlock* b = pool.acquire();
+  EXPECT_EQ(b->count, 0u);
+  EXPECT_EQ(b->next, nullptr);
+}
+
+TEST(BlockChain, InsertCreatesDistinctNeighbor) {
+  BlockPool pool;
+  BlockChain chain;
+  EXPECT_TRUE(chain.insert(3, pool));
+  EXPECT_EQ(chain.degree(), 1u);
+  EXPECT_FALSE(chain.empty());
+}
+
+TEST(BlockChain, DuplicateInsertMergesWeight) {
+  BlockPool pool;
+  BlockChain chain;
+  EXPECT_TRUE(chain.insert(3, pool));
+  EXPECT_FALSE(chain.insert(3, pool));
+  EXPECT_EQ(chain.degree(), 1u);
+  std::uint32_t weight = 0;
+  chain.for_each([&](VertexId nbr, std::uint32_t w) {
+    EXPECT_EQ(nbr, 3u);
+    weight = w;
+  });
+  EXPECT_EQ(weight, 2u);
+}
+
+TEST(BlockChain, RemoveDecrementsWeightThenErases) {
+  BlockPool pool;
+  BlockChain chain;
+  chain.insert(7, pool);
+  chain.insert(7, pool);
+  EXPECT_EQ(chain.remove(7, pool), 0);  // weight 2 -> 1
+  EXPECT_EQ(chain.degree(), 1u);
+  EXPECT_EQ(chain.remove(7, pool), 1);  // slot erased
+  EXPECT_EQ(chain.degree(), 0u);
+  EXPECT_TRUE(chain.empty());
+}
+
+TEST(BlockChain, SpillsAcrossBlocks) {
+  BlockPool pool;
+  BlockChain chain;
+  const std::size_t n = kEdgeBlockCapacity * 3 + 5;
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(chain.insert(static_cast<VertexId>(i), pool));
+  }
+  EXPECT_EQ(chain.degree(), n);
+  EXPECT_GE(pool.blocks_allocated(), 4u);
+
+  std::set<VertexId> seen;
+  chain.for_each([&](VertexId nbr, std::uint32_t w) {
+    EXPECT_EQ(w, 1u);
+    seen.insert(nbr);
+  });
+  EXPECT_EQ(seen.size(), n);
+}
+
+TEST(BlockChain, EmptyBlocksReturnToPool) {
+  BlockPool pool;
+  BlockChain chain;
+  const std::size_t n = kEdgeBlockCapacity * 2;
+  for (std::size_t i = 0; i < n; ++i) {
+    chain.insert(static_cast<VertexId>(i), pool);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    chain.remove(static_cast<VertexId>(i), pool);
+  }
+  EXPECT_TRUE(chain.empty());
+  // All blocks back on the free list: acquiring that many allocates nothing.
+  const std::size_t before = pool.blocks_allocated();
+  EdgeBlock* a = pool.acquire();
+  EdgeBlock* b = pool.acquire();
+  EXPECT_EQ(pool.blocks_allocated(), before);
+  pool.release(a);
+  pool.release(b);
+}
+
+TEST(BlockChain, ClearReleasesEverything) {
+  BlockPool pool;
+  BlockChain chain;
+  for (VertexId v = 0; v < 40; ++v) chain.insert(v, pool);
+  chain.clear(pool);
+  EXPECT_TRUE(chain.empty());
+  EXPECT_EQ(chain.degree(), 0u);
+  int visits = 0;
+  chain.for_each([&](VertexId, std::uint32_t) { ++visits; });
+  EXPECT_EQ(visits, 0);
+}
+
+/// Randomized insert/remove against a std::map reference model.
+TEST(BlockChain, RandomOpsMatchReferenceModel) {
+  BlockPool pool;
+  BlockChain chain;
+  std::map<VertexId, std::uint32_t> model;
+  Xoshiro256 rng(42);
+  for (int op = 0; op < 20000; ++op) {
+    const auto v = static_cast<VertexId>(rng.bounded(30));
+    if (rng.uniform() < 0.55) {
+      chain.insert(v, pool);
+      ++model[v];
+    } else if (model.count(v) != 0) {
+      chain.remove(v, pool);
+      if (--model[v] == 0) model.erase(v);
+    }
+    if (op % 500 == 0) {
+      std::map<VertexId, std::uint32_t> got;
+      chain.for_each([&](VertexId nbr, std::uint32_t w) { got[nbr] = w; });
+      ASSERT_EQ(got, model) << "op " << op;
+      ASSERT_EQ(chain.degree(), model.size());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pmpr::streaming

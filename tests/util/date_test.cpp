@@ -1,0 +1,91 @@
+#include "util/date.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace pmpr {
+namespace {
+
+TEST(Date, EpochIsDayZero) {
+  EXPECT_EQ(days_from_civil({1970, 1, 1}), 0);
+  EXPECT_EQ(timestamp_from_date({1970, 1, 1}), 0);
+}
+
+TEST(Date, KnownDates) {
+  EXPECT_EQ(days_from_civil({1970, 1, 2}), 1);
+  EXPECT_EQ(days_from_civil({1969, 12, 31}), -1);
+  EXPECT_EQ(days_from_civil({2000, 3, 1}), 11017);
+  // The paper's example range: 2021-06-21.
+  EXPECT_EQ(days_from_civil({2021, 6, 21}), 18799);
+}
+
+TEST(Date, LeapYearsHandled) {
+  EXPECT_EQ(days_from_civil({2000, 2, 29}) + 1, days_from_civil({2000, 3, 1}));
+  EXPECT_EQ(days_from_civil({1900, 2, 28}) + 1,
+            days_from_civil({1900, 3, 1}));  // 1900 is not a leap year
+  EXPECT_EQ(days_from_civil({2004, 2, 29}) + 1, days_from_civil({2004, 3, 1}));
+}
+
+TEST(Date, RoundTripRandomDays) {
+  Xoshiro256 rng(1);
+  for (int trial = 0; trial < 5000; ++trial) {
+    const auto days =
+        static_cast<std::int64_t>(rng.bounded(200000)) - 100000;
+    const CivilDate date = civil_from_days(days);
+    ASSERT_EQ(days_from_civil(date), days) << days;
+    ASSERT_GE(date.month, 1u);
+    ASSERT_LE(date.month, 12u);
+    ASSERT_GE(date.day, 1u);
+    ASSERT_LE(date.day, 31u);
+  }
+}
+
+TEST(Date, ParseIsoForm) {
+  const auto date = parse_date("2021-06-21");
+  ASSERT_TRUE(date.has_value());
+  EXPECT_EQ(date->year, 2021);
+  EXPECT_EQ(date->month, 6u);
+  EXPECT_EQ(date->day, 21u);
+}
+
+TEST(Date, ParseSlashForm) {
+  const auto date = parse_date("2021/11/05");
+  ASSERT_TRUE(date.has_value());
+  EXPECT_EQ(date->month, 11u);
+  EXPECT_EQ(date->day, 5u);
+}
+
+TEST(Date, ParseRejectsGarbage) {
+  EXPECT_FALSE(parse_date("").has_value());
+  EXPECT_FALSE(parse_date("yesterday").has_value());
+  EXPECT_FALSE(parse_date("2021-13-01").has_value());
+  EXPECT_FALSE(parse_date("2021-00-01").has_value());
+  EXPECT_FALSE(parse_date("2021-02-30").has_value());
+  EXPECT_FALSE(parse_date("2021-06").has_value());
+  EXPECT_FALSE(parse_date("2021-06-xx").has_value());
+}
+
+TEST(Date, FormatBasics) {
+  EXPECT_EQ(format_date(0), "1970-01-01");
+  EXPECT_EQ(format_date(timestamp_from_date({2021, 6, 21})), "2021-06-21");
+  // Mid-day floors to the same date.
+  EXPECT_EQ(format_date(timestamp_from_date({2021, 6, 21}) + 12 * 3600),
+            "2021-06-21");
+  // Negative times floor toward the earlier day.
+  EXPECT_EQ(format_date(-1), "1969-12-31");
+}
+
+TEST(Date, ParseFormatRoundTrip) {
+  Xoshiro256 rng(3);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const auto days = static_cast<std::int64_t>(rng.bounded(60000));
+    const std::string text = format_date(days * duration::kDay);
+    const auto parsed = parse_date(text);
+    ASSERT_TRUE(parsed.has_value()) << text;
+    ASSERT_EQ(days_from_civil(*parsed), days) << text;
+  }
+}
+
+}  // namespace
+}  // namespace pmpr

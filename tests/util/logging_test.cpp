@@ -1,0 +1,50 @@
+#include "util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pmpr {
+namespace {
+
+TEST(Logging, SetLogLevelReturnsPrevious) {
+  const LogLevel prev = set_log_level(LogLevel::kError);
+  EXPECT_EQ(set_log_level(prev), LogLevel::kError);
+}
+
+TEST(Logging, ParseKnownLevels) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+}
+
+TEST(Logging, UnknownLevelDefaultsToInfo) {
+  EXPECT_EQ(parse_log_level("chatty"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level(""), LogLevel::kInfo);
+}
+
+TEST(Logging, MacroBelowThresholdDoesNotEvaluate) {
+  const LogLevel prev = set_log_level(LogLevel::kError);
+  int evaluations = 0;
+  auto observe = [&] {
+    ++evaluations;
+    return 1;
+  };
+  PMPR_LOG(kDebug) << "never " << observe();
+  EXPECT_EQ(evaluations, 0);
+  PMPR_LOG(kError) << "emitted " << observe();
+  EXPECT_EQ(evaluations, 1);
+  set_log_level(prev);
+}
+
+TEST(Logging, MacroStreamsMultipleTypes) {
+  // Smoke: must compile and run for mixed operands at every level.
+  const LogLevel prev = set_log_level(LogLevel::kDebug);
+  PMPR_LOG(kDebug) << "n=" << 42 << " f=" << 1.5 << " s=" << std::string("x");
+  PMPR_LOG(kInfo) << "info line";
+  PMPR_LOG(kWarn) << "warn line";
+  PMPR_LOG(kError) << "error line";
+  set_log_level(prev);
+}
+
+}  // namespace
+}  // namespace pmpr

@@ -1,0 +1,150 @@
+#include "util/options.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pmpr {
+namespace {
+
+/// Builds a mutable argv from string literals.
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : store_(std::move(args)) {
+    ptrs_.push_back(prog_);
+    for (auto& s : store_) ptrs_.push_back(s.data());
+  }
+  int argc() { return static_cast<int>(ptrs_.size()); }
+  char** argv() { return ptrs_.data(); }
+
+ private:
+  char prog_[5] = "test";
+  std::vector<std::string> store_;
+  std::vector<char*> ptrs_;
+};
+
+TEST(Options, ParsesStringSpaceForm) {
+  std::string name = "default";
+  Options opts("t");
+  opts.add("name", &name, "a name");
+  Argv a({"--name", "hello"});
+  EXPECT_TRUE(opts.parse(a.argc(), a.argv()));
+  EXPECT_EQ(name, "hello");
+}
+
+TEST(Options, ParsesStringEqualsForm) {
+  std::string name = "default";
+  Options opts("t");
+  opts.add("name", &name, "a name");
+  Argv a({"--name=world"});
+  EXPECT_TRUE(opts.parse(a.argc(), a.argv()));
+  EXPECT_EQ(name, "world");
+}
+
+TEST(Options, ParsesInt) {
+  std::int64_t n = 0;
+  Options opts("t");
+  opts.add("n", &n, "count");
+  Argv a({"--n", "-42"});
+  EXPECT_TRUE(opts.parse(a.argc(), a.argv()));
+  EXPECT_EQ(n, -42);
+}
+
+TEST(Options, RejectsBadInt) {
+  std::int64_t n = 0;
+  Options opts("t");
+  opts.add("n", &n, "count");
+  Argv a({"--n", "12abc"});
+  EXPECT_FALSE(opts.parse(a.argc(), a.argv()));
+  EXPECT_FALSE(opts.saw_help());
+}
+
+TEST(Options, ParsesDouble) {
+  double x = 0.0;
+  Options opts("t");
+  opts.add("x", &x, "value");
+  Argv a({"--x", "2.5"});
+  EXPECT_TRUE(opts.parse(a.argc(), a.argv()));
+  EXPECT_DOUBLE_EQ(x, 2.5);
+}
+
+TEST(Options, FlagDefaultsAndSets) {
+  bool flag = false;
+  Options opts("t");
+  opts.add("verbose", &flag, "flag");
+  Argv a({"--verbose"});
+  EXPECT_TRUE(opts.parse(a.argc(), a.argv()));
+  EXPECT_TRUE(flag);
+}
+
+TEST(Options, FlagNegation) {
+  bool flag = true;
+  Options opts("t");
+  opts.add("verbose", &flag, "flag");
+  Argv a({"--no-verbose"});
+  EXPECT_TRUE(opts.parse(a.argc(), a.argv()));
+  EXPECT_FALSE(flag);
+}
+
+TEST(Options, FlagEqualsValueForms) {
+  bool flag = false;
+  Options opts("t");
+  opts.add("f", &flag, "flag");
+  Argv on({"--f=true"});
+  EXPECT_TRUE(opts.parse(on.argc(), on.argv()));
+  EXPECT_TRUE(flag);
+  Argv off({"--f=0"});
+  EXPECT_TRUE(opts.parse(off.argc(), off.argv()));
+  EXPECT_FALSE(flag);
+}
+
+TEST(Options, UnknownOptionFails) {
+  Options opts("t");
+  Argv a({"--mystery", "1"});
+  EXPECT_FALSE(opts.parse(a.argc(), a.argv()));
+}
+
+TEST(Options, MissingValueFails) {
+  std::int64_t n = 0;
+  Options opts("t");
+  opts.add("n", &n, "count");
+  Argv a({"--n"});
+  EXPECT_FALSE(opts.parse(a.argc(), a.argv()));
+}
+
+TEST(Options, HelpReturnsFalseAndSetsFlag) {
+  Options opts("t");
+  Argv a({"--help"});
+  EXPECT_FALSE(opts.parse(a.argc(), a.argv()));
+  EXPECT_TRUE(opts.saw_help());
+}
+
+TEST(Options, PositionalArgsCollected) {
+  std::int64_t n = 0;
+  Options opts("t");
+  opts.add("n", &n, "count");
+  Argv a({"file1", "--n", "3", "file2"});
+  EXPECT_TRUE(opts.parse(a.argc(), a.argv()));
+  ASSERT_EQ(opts.positional().size(), 2u);
+  EXPECT_EQ(opts.positional()[0], "file1");
+  EXPECT_EQ(opts.positional()[1], "file2");
+  EXPECT_EQ(n, 3);
+}
+
+TEST(Options, MultipleOptionsChained) {
+  std::string s = "";
+  std::int64_t n = 0;
+  double x = 0.0;
+  bool b = false;
+  Options opts("t");
+  opts.add("s", &s, "").add("n", &n, "").add("x", &x, "").add("b", &b, "");
+  Argv a({"--s=abc", "--n", "7", "--x=1.5", "--b"});
+  EXPECT_TRUE(opts.parse(a.argc(), a.argv()));
+  EXPECT_EQ(s, "abc");
+  EXPECT_EQ(n, 7);
+  EXPECT_DOUBLE_EQ(x, 1.5);
+  EXPECT_TRUE(b);
+}
+
+}  // namespace
+}  // namespace pmpr

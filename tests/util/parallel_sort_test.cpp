@@ -1,0 +1,92 @@
+#include "util/parallel_sort.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace pmpr {
+namespace {
+
+TEST(ParallelSort, SortsLargeRandomVector) {
+  Xoshiro256 rng(1);
+  std::vector<std::uint64_t> v(200'000);
+  for (auto& x : v) x = rng();
+  std::vector<std::uint64_t> expected = v;
+  std::sort(expected.begin(), expected.end());
+  parallel_sort(v);
+  EXPECT_EQ(v, expected);
+}
+
+TEST(ParallelSort, SmallVectorsUseSequentialPath) {
+  std::vector<int> v{5, 3, 1, 4, 2};
+  parallel_sort(v);
+  EXPECT_EQ(v, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(ParallelSort, EmptyAndSingle) {
+  std::vector<int> empty;
+  parallel_sort(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{7};
+  parallel_sort(one);
+  EXPECT_EQ(one[0], 7);
+}
+
+TEST(ParallelSort, CustomComparator) {
+  Xoshiro256 rng(3);
+  std::vector<int> v(100'000);
+  for (auto& x : v) x = static_cast<int>(rng.bounded(1000));
+  parallel_sort(v, std::greater<int>{});
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end(), std::greater<int>{}));
+}
+
+TEST(ParallelSort, StabilityPreserved) {
+  // Sort pairs by first only; second must keep input order within ties.
+  struct Item {
+    int key;
+    int seq;
+  };
+  Xoshiro256 rng(5);
+  std::vector<Item> v(100'000);
+  for (int i = 0; i < static_cast<int>(v.size()); ++i) {
+    v[static_cast<std::size_t>(i)] = {static_cast<int>(rng.bounded(50)), i};
+  }
+  parallel_sort(v, [](const Item& a, const Item& b) { return a.key < b.key; },
+                nullptr, 1 << 10);
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    ASSERT_LE(v[i - 1].key, v[i].key);
+    if (v[i - 1].key == v[i].key) {
+      ASSERT_LT(v[i - 1].seq, v[i].seq) << "stability violated at " << i;
+    }
+  }
+}
+
+TEST(ParallelSort, TinyCutoffForcesParallelPath) {
+  Xoshiro256 rng(7);
+  std::vector<std::uint32_t> v(50'000);
+  for (auto& x : v) x = static_cast<std::uint32_t>(rng());
+  std::vector<std::uint32_t> expected = v;
+  std::stable_sort(expected.begin(), expected.end());
+  par::ThreadPool pool(3);
+  parallel_sort(v, std::less<std::uint32_t>{}, &pool, 64);
+  EXPECT_EQ(v, expected);
+}
+
+TEST(ParallelSort, AlreadySortedAndReversed) {
+  std::vector<int> sorted(100'000);
+  std::iota(sorted.begin(), sorted.end(), 0);
+  std::vector<int> v = sorted;
+  parallel_sort(v, std::less<int>{}, nullptr, 1 << 10);
+  EXPECT_EQ(v, sorted);
+
+  std::vector<int> reversed(sorted.rbegin(), sorted.rend());
+  parallel_sort(reversed, std::less<int>{}, nullptr, 1 << 10);
+  EXPECT_EQ(reversed, sorted);
+}
+
+}  // namespace
+}  // namespace pmpr

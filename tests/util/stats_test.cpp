@@ -1,0 +1,89 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pmpr {
+namespace {
+
+TEST(Stats, MeanOfEmptyIsZero) {
+  EXPECT_EQ(mean({}), 0.0);
+}
+
+TEST(Stats, MeanSimple) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+}
+
+TEST(Stats, MedianOddAndEven) {
+  const std::vector<double> odd{3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(odd), 2.0);
+  const std::vector<double> even{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+}
+
+TEST(Stats, PercentileEndpoints) {
+  const std::vector<double> v{10.0, 20.0, 30.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 30.0);
+}
+
+TEST(Stats, PercentileClampsQ) {
+  const std::vector<double> v{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(v, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 2.0), 2.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 2.5);
+}
+
+TEST(Stats, GeomeanSimple) {
+  const std::vector<double> v{1.0, 4.0};
+  EXPECT_DOUBLE_EQ(geomean(v), 2.0);
+}
+
+TEST(Stats, GeomeanRejectsNonPositive) {
+  const std::vector<double> v{1.0, 0.0};
+  EXPECT_EQ(geomean(v), 0.0);
+  const std::vector<double> neg{1.0, -2.0};
+  EXPECT_EQ(geomean(neg), 0.0);
+}
+
+TEST(Stats, SummaryKnownSample) {
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  // Sample stddev with n-1 = sqrt(32/7).
+  EXPECT_NEAR(s.stddev, 2.138, 1e-3);
+}
+
+TEST(Stats, SummaryEmpty) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(Stats, SummarySingleElementHasZeroStddev) {
+  const std::vector<double> v{3.0};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.stddev, 0.0);
+  EXPECT_EQ(s.median, 3.0);
+}
+
+TEST(Stats, TimeRepeatsCountsAndSkipsWarmup) {
+  int calls = 0;
+  const auto times = time_repeats([&] { ++calls; }, 3, 2);
+  EXPECT_EQ(times.size(), 3u);
+  EXPECT_EQ(calls, 5);
+  for (const double t : times) EXPECT_GE(t, 0.0);
+}
+
+}  // namespace
+}  // namespace pmpr

@@ -1,0 +1,65 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace pmpr {
+namespace {
+
+TEST(Table, TextOutputContainsTitleHeaderAndRows) {
+  Table t("My Table", {"a", "bb"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  std::ostringstream os;
+  t.print_text(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("My Table"), std::string::npos);
+  EXPECT_NE(out.find("a"), std::string::npos);
+  EXPECT_NE(out.find("333"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, CsvOutputHasHeaderAndRows) {
+  Table t("csv", {"x", "y"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("# csv\n"), std::string::npos);
+  EXPECT_NE(out.find("x,y\n"), std::string::npos);
+  EXPECT_NE(out.find("1,2\n"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t("esc", {"c"});
+  t.add_row({"va\"l,ue"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("\"va\"\"l,ue\""), std::string::npos);
+}
+
+TEST(Table, FmtDouble) {
+  EXPECT_EQ(Table::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::fmt(1.0, 0), "1");
+}
+
+TEST(Table, FmtIntegers) {
+  EXPECT_EQ(Table::fmt(std::int64_t{-5}), "-5");
+  EXPECT_EQ(Table::fmt(std::uint64_t{18446744073709551615ULL}),
+            "18446744073709551615");
+}
+
+TEST(Table, TextColumnsAligned) {
+  Table t("align", {"col", "c"});
+  t.add_row({"x", "yyyy"});
+  std::ostringstream os;
+  t.print_text(os);
+  // Header row should pad "col" to at least its own width; every data line
+  // should start at column 0 with the cell value.
+  const std::string out = os.str();
+  EXPECT_NE(out.find("col  c"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pmpr
