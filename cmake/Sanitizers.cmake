@@ -1,0 +1,45 @@
+# Sanitizer wiring for the whole tree (library, tests, benches, examples).
+#
+#   -DPMPR_SANITIZE=address      AddressSanitizer
+#   -DPMPR_SANITIZE=undefined    UndefinedBehaviorSanitizer
+#   -DPMPR_SANITIZE=asan+ubsan   both in one build (the CI default; ASan and
+#                                UBSan compose, TSan does not)
+#   -DPMPR_SANITIZE=thread       ThreadSanitizer — gates the concurrency
+#                                layer (tests/par, tests/streaming)
+#
+# Flags are applied directory-wide so every target — including the gtest
+# binaries that exercise the work-stealing pool — is instrumented
+# consistently; mixing instrumented and uninstrumented translation units
+# yields false negatives (ASan) or false positives (TSan).
+# ci/sanitize.sh drives the full matrix.
+
+set(PMPR_SANITIZE "" CACHE STRING
+    "Sanitizer mode: address, undefined, asan+ubsan, or thread (empty = off)")
+set_property(CACHE PMPR_SANITIZE PROPERTY STRINGS
+             "" address undefined asan+ubsan thread)
+
+if(PMPR_SANITIZE)
+  if(PMPR_SANITIZE STREQUAL "address")
+    set(_pmpr_sanitize_arg "address")
+  elseif(PMPR_SANITIZE STREQUAL "undefined")
+    set(_pmpr_sanitize_arg "undefined")
+  elseif(PMPR_SANITIZE STREQUAL "asan+ubsan"
+         OR PMPR_SANITIZE STREQUAL "address,undefined")
+    set(_pmpr_sanitize_arg "address,undefined")
+  elseif(PMPR_SANITIZE STREQUAL "thread")
+    set(_pmpr_sanitize_arg "thread")
+  else()
+    message(FATAL_ERROR
+            "PMPR_SANITIZE='${PMPR_SANITIZE}' is not a known mode "
+            "(address | undefined | asan+ubsan | thread)")
+  endif()
+
+  # -fno-sanitize-recover turns every UBSan diagnostic into a hard failure
+  # so ctest actually fails; frame pointers keep the reports readable.
+  add_compile_options(-fsanitize=${_pmpr_sanitize_arg}
+                      -fno-omit-frame-pointer
+                      -fno-sanitize-recover=all
+                      -g)
+  add_link_options(-fsanitize=${_pmpr_sanitize_arg})
+  message(STATUS "pmpr: building with -fsanitize=${_pmpr_sanitize_arg}")
+endif()

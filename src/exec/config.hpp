@@ -43,6 +43,10 @@ struct PostmortemConfig {
   /// SpMM lanes ("vector length"; paper uses 8 or 16).
   std::size_t vector_length = 16;
   bool partial_init = true;
+  /// Run MultiWindowSet::validate() on the representation before computing
+  /// (throws pmpr::InvariantError on a structural violation). O(V + E)
+  /// once per run — cheap insurance for debugging and sanitizer CI.
+  bool validate = false;
   /// Pool override for tests; nullptr = global pool.
   par::ThreadPool* pool = nullptr;
 };

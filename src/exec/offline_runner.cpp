@@ -2,6 +2,7 @@
 
 #include <atomic>
 
+#include "util/check.hpp"
 #include "util/timer.hpp"
 
 namespace pmpr {
@@ -19,6 +20,7 @@ int solve_window(const TemporalEdgeList& events, const WindowSpec& spec,
   const auto slice = events.slice(spec.start(w), spec.end(w));
   const WindowGraph g = build_window_graph(slice, events.num_vertices());
   build_seconds = build_timer.seconds();
+  if (opts.validate) g.validate();
 
   Timer compute_timer;
   x.resize(g.num_vertices);
@@ -33,6 +35,10 @@ int solve_window(const TemporalEdgeList& events, const WindowSpec& spec,
 
 RunResult run_offline(const TemporalEdgeList& events, const WindowSpec& spec,
                       ResultSink& sink, const OfflineOptions& opts) {
+  spec.validate();
+  PMPR_CHECK_MSG(events.is_sorted_by_time(),
+                 "run_offline slices events per window and requires them "
+                 "time-sorted; call sort_by_time() first");
   RunResult result;
   result.num_windows = spec.count;
   result.iterations_per_window.assign(spec.count, 0);

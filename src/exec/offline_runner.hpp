@@ -23,6 +23,9 @@ struct OfflineOptions {
   bool parallel_windows = false;
   par::Partitioner partitioner = par::Partitioner::kAuto;
   std::size_t grain = 1;
+  /// Run WindowGraph::validate() on every rebuilt window graph (throws
+  /// pmpr::InvariantError on a structural violation).
+  bool validate = false;
   par::ThreadPool* pool = nullptr;
 };
 

@@ -300,6 +300,7 @@ class PostmortemDriver {
 
 RunResult run_postmortem_prebuilt(const MultiWindowSet& set, ResultSink& sink,
                                   const PostmortemConfig& config) {
+  if (config.validate) set.validate();
   RunResult result;
   Timer timer;
   PostmortemDriver driver(set, sink, config, result);

@@ -5,6 +5,7 @@
 #include "streaming/delta_pagerank.hpp"
 #include "streaming/dynamic_graph.hpp"
 #include "streaming/incremental_pagerank.hpp"
+#include "util/check.hpp"
 #include "util/timer.hpp"
 
 namespace pmpr {
@@ -61,6 +62,10 @@ WindowBatches advance_graph(streaming::DynamicGraph& graph,
 
 RunResult run_streaming(const TemporalEdgeList& events, const WindowSpec& spec,
                         ResultSink& sink, const StreamingOptions& opts) {
+  spec.validate();
+  PMPR_CHECK_MSG(events.is_sorted_by_time(),
+                 "run_streaming replays events as the edge stream and "
+                 "requires them time-sorted; call sort_by_time() first");
   RunResult result;
   result.num_windows = spec.count;
   result.iterations_per_window.assign(spec.count, 0);
@@ -79,6 +84,7 @@ RunResult run_streaming(const TemporalEdgeList& events, const WindowSpec& spec,
     Timer mutate_timer;
     const WindowBatches batches = advance_graph(graph, events, spec, w);
     result.build_seconds += mutate_timer.seconds();
+    if (opts.validate) graph.validate();
 
     Timer compute_timer;
     PagerankStats stats;

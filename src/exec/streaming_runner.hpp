@@ -36,6 +36,10 @@ struct StreamingOptions {
   bool parallel_kernel = true;
   par::Partitioner partitioner = par::Partitioner::kAuto;
   std::size_t grain = 1;
+  /// Run DynamicGraph::validate() after every window's batch mutation
+  /// (throws pmpr::InvariantError on a structural violation). O(V + E) per
+  /// window — debugging / sanitizer-CI aid, not for benchmarking.
+  bool validate = false;
   par::ThreadPool* pool = nullptr;
 };
 

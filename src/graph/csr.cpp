@@ -1,7 +1,8 @@
 #include "graph/csr.hpp"
 
 #include <algorithm>
-#include <cassert>
+
+#include "util/check.hpp"
 
 namespace pmpr {
 
@@ -10,7 +11,10 @@ Csr Csr::from_pairs(std::span<const std::pair<VertexId, VertexId>> edges,
   Csr g;
   g.row_ptr_.assign(static_cast<std::size_t>(num_vertices) + 1, 0);
   for (const auto& [src, dst] : edges) {
-    assert(src < num_vertices && dst < num_vertices);
+    PMPR_CHECK_MSG(src < num_vertices && dst < num_vertices,
+                   "edge <" << src << ", " << dst << "> has an endpoint "
+                            << "outside the vertex space [0, " << num_vertices
+                            << ")");
     ++g.row_ptr_[src + 1];
   }
   for (std::size_t v = 0; v < num_vertices; ++v) {
@@ -43,6 +47,65 @@ Csr Csr::from_pairs(std::span<const std::pair<VertexId, VertexId>> edges,
     g.col_.resize(write);
   }
   return g;
+}
+
+void Csr::validate() const {
+  if (row_ptr_.empty()) {
+    PMPR_CHECK_MSG(col_.empty(), "default-constructed Csr holds entries");
+    return;
+  }
+  const std::size_t n = row_ptr_.size() - 1;
+  PMPR_CHECK_MSG(row_ptr_.front() == 0,
+                 "row_ptr[0] = " << row_ptr_.front() << ", expected 0");
+  for (std::size_t v = 0; v < n; ++v) {
+    PMPR_CHECK_MSG(row_ptr_[v] <= row_ptr_[v + 1],
+                   "row_ptr not monotone at vertex " << v);
+  }
+  PMPR_CHECK_MSG(row_ptr_.back() == col_.size(),
+                 "row_ptr.back() = " << row_ptr_.back() << " but col holds "
+                                     << col_.size() << " entries");
+  for (std::size_t v = 0; v < n; ++v) {
+    for (std::size_t i = row_ptr_[v]; i < row_ptr_[v + 1]; ++i) {
+      PMPR_CHECK_MSG(col_[i] < n, "row " << v << " references vertex "
+                                         << col_[i] << " outside [0, " << n
+                                         << ")");
+      PMPR_CHECK_MSG(i == row_ptr_[v] || col_[i - 1] <= col_[i],
+                     "row " << v << " not sorted at entry " << i);
+    }
+  }
+}
+
+void WindowGraph::validate() const {
+  PMPR_CHECK_MSG(out_degree.size() == num_vertices &&
+                     is_active.size() == num_vertices,
+                 "per-vertex arrays sized " << out_degree.size() << "/"
+                     << is_active.size() << " for a vertex space of "
+                     << num_vertices);
+  PMPR_CHECK_MSG(in.num_vertices() == num_vertices ||
+                     (num_vertices == 0 && in.num_edges() == 0),
+                 "in-CSR covers " << in.num_vertices()
+                                  << " vertices, window graph has "
+                                  << num_vertices);
+  in.validate();
+  PMPR_CHECK_MSG(in.num_edges() == num_edges,
+                 "in-CSR stores " << in.num_edges()
+                                  << " edges, cached count is " << num_edges);
+  std::size_t active = 0;
+  std::size_t degree_sum = 0;
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    active += is_active[v] != 0 ? 1 : 0;
+    degree_sum += out_degree[v];
+    PMPR_CHECK_MSG(is_active[v] != 0 || (out_degree[v] == 0 &&
+                                         in.neighbors(v).empty()),
+                   "vertex " << v << " marked inactive but has incident "
+                             << "edges");
+  }
+  PMPR_CHECK_MSG(active == num_active,
+                 "recount finds " << active << " active vertices, cached "
+                                  << "count is " << num_active);
+  PMPR_CHECK_MSG(degree_sum == num_edges,
+                 "out-degrees sum to " << degree_sum << ", edge count is "
+                                       << num_edges);
 }
 
 WindowGraph build_window_graph(std::span<const TemporalEdge> events,

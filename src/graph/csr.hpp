@@ -18,9 +18,15 @@ class Csr {
   Csr() = default;
 
   /// Builds from (src, dst) pairs. If `dedup`, parallel edges collapse to
-  /// one (the per-window graphs are simple graphs, paper §2.1).
+  /// one (the per-window graphs are simple graphs, paper §2.1). Throws
+  /// pmpr::InvariantError (also in release builds) if any endpoint is
+  /// >= num_vertices — a bad endpoint would otherwise write out of bounds.
   static Csr from_pairs(std::span<const std::pair<VertexId, VertexId>> edges,
                         VertexId num_vertices, bool dedup);
+
+  /// Structural audit: row_ptr monotone and consistent with col, every
+  /// column id in range, rows sorted. Throws pmpr::InvariantError.
+  void validate() const;
 
   [[nodiscard]] VertexId num_vertices() const {
     return row_ptr_.empty() ? 0 : static_cast<VertexId>(row_ptr_.size() - 1);
@@ -55,6 +61,12 @@ struct WindowGraph {
   std::vector<std::uint8_t> is_active;  ///< 1 iff vertex active this window.
   std::size_t num_active = 0;
   std::size_t num_edges = 0;  ///< Distinct directed edges in the window.
+
+  /// Deep structural audit: array sizes match the vertex space, the CSR is
+  /// well-formed, cached num_active/num_edges match recounts, out-degrees
+  /// sum to the edge count, and activity agrees with incident edges.
+  /// Throws pmpr::InvariantError.
+  void validate() const;
 };
 
 /// Builds the window graph from the events of that window (any order,

@@ -1,25 +1,33 @@
 #include "graph/edge_list.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 
+#include "util/check.hpp"
 #include "util/parallel_sort.hpp"
 
 namespace pmpr {
 
 TemporalEdgeList::TemporalEdgeList(std::vector<TemporalEdge> edges)
     : edges_(std::move(edges)) {
-  for (const auto& e : edges_) {
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    const TemporalEdge& e = edges_[i];
+    PMPR_CHECK_MSG(e.src != kInvalidVertex && e.dst != kInvalidVertex,
+                   "event " << i << " uses the reserved vertex id "
+                            << kInvalidVertex);
     num_vertices_ = std::max({num_vertices_, e.src + 1, e.dst + 1});
   }
 }
 
 void TemporalEdgeList::add(VertexId src, VertexId dst, Timestamp time) {
+  PMPR_CHECK_MSG(src != kInvalidVertex && dst != kInvalidVertex,
+                 "event <" << src << ", " << dst
+                           << "> uses the reserved vertex id "
+                           << kInvalidVertex);
   edges_.push_back({src, dst, time});
   num_vertices_ = std::max({num_vertices_, src + 1, dst + 1});
 }
@@ -43,18 +51,20 @@ void TemporalEdgeList::sort_by_time() {
 }
 
 Timestamp TemporalEdgeList::min_time() const {
-  assert(!edges_.empty());
+  PMPR_CHECK_MSG(!edges_.empty(), "min_time() of an empty event list");
   return edges_.front().time;
 }
 
 Timestamp TemporalEdgeList::max_time() const {
-  assert(!edges_.empty());
+  PMPR_CHECK_MSG(!edges_.empty(), "max_time() of an empty event list");
   return edges_.back().time;
 }
 
 std::span<const TemporalEdge> TemporalEdgeList::slice(Timestamp ts,
                                                       Timestamp te) const {
-  assert(is_sorted_by_time());
+  // Sortedness is a precondition; the O(E) scan is debug-only because
+  // slice() runs once per window.
+  PMPR_DCHECK(is_sorted_by_time());
   const auto lo = std::lower_bound(
       edges_.begin(), edges_.end(), ts,
       [](const TemporalEdge& e, Timestamp t) { return e.time < t; });
@@ -80,6 +90,12 @@ TemporalEdgeList TemporalEdgeList::load_text(const std::string& path) {
     if (!(ss >> u >> v >> t)) {
       throw std::runtime_error(path + ":" + std::to_string(lineno) +
                                ": malformed event line: '" + line + "'");
+    }
+    // Reject ids that would wrap when narrowed to VertexId instead of
+    // silently aliasing distinct vertices (kInvalidVertex is reserved).
+    if (u >= kInvalidVertex || v >= kInvalidVertex) {
+      throw std::runtime_error(path + ":" + std::to_string(lineno) +
+                               ": vertex id out of range: '" + line + "'");
     }
     list.add(static_cast<VertexId>(u), static_cast<VertexId>(v), t);
   }
@@ -113,10 +129,32 @@ TemporalEdgeList TemporalEdgeList::load_binary(const std::string& path) {
   in.read(reinterpret_cast<char*>(&count), sizeof(count));
   in.read(reinterpret_cast<char*>(&vertices), sizeof(vertices));
   if (!in) throw std::runtime_error(path + ": truncated header");
+  if (vertices > kInvalidVertex) {
+    throw std::runtime_error(path + ": vertex count " +
+                             std::to_string(vertices) +
+                             " exceeds the 32-bit vertex space");
+  }
+  // Check the declared payload against the real file size before the
+  // allocation: a corrupt count must neither truncate silently nor drive a
+  // multi-GB resize.
+  const std::streamoff payload_begin = in.tellg();
+  in.seekg(0, std::ios::end);
+  const std::streamoff file_end = in.tellg();
+  const auto available =
+      static_cast<std::uint64_t>(file_end - payload_begin);
+  if (count != available / sizeof(TemporalEdge) ||
+      available % sizeof(TemporalEdge) != 0) {
+    throw std::runtime_error(
+        path + ": header declares " + std::to_string(count) +
+        " events but the payload holds " + std::to_string(available) +
+        " bytes (truncated or corrupt)");
+  }
+  in.seekg(payload_begin);
   std::vector<TemporalEdge> edges(count);
   in.read(reinterpret_cast<char*>(edges.data()),
           static_cast<std::streamsize>(count * sizeof(TemporalEdge)));
   if (!in) throw std::runtime_error(path + ": truncated payload");
+  // The constructor rejects reserved vertex ids in the payload.
   TemporalEdgeList list(std::move(edges));
   list.ensure_vertices(static_cast<VertexId>(vertices));
   return list;

@@ -18,9 +18,12 @@ namespace pmpr {
 class TemporalEdgeList {
  public:
   TemporalEdgeList() = default;
+  /// Adopts `edges`. Throws pmpr::InvariantError if any endpoint uses the
+  /// reserved id kInvalidVertex (which would overflow num_vertices()).
   explicit TemporalEdgeList(std::vector<TemporalEdge> edges);
 
-  /// Appends an event. Invalidates sortedness if out of order.
+  /// Appends an event. Invalidates sortedness if out of order. Throws
+  /// pmpr::InvariantError on a reserved endpoint id.
   void add(VertexId src, VertexId dst, Timestamp time);
 
   [[nodiscard]] std::size_t size() const { return edges_.size(); }

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "par/task_group.hpp"
+#include "util/check.hpp"
 
 namespace pmpr {
 
@@ -112,7 +113,12 @@ MultiWindowSet MultiWindowSet::build(const TemporalEdgeList& events,
                                      const WindowSpec& spec,
                                      std::size_t num_parts,
                                      PartitionPolicy policy) {
-  assert(events.is_sorted_by_time());
+  spec.validate();
+  PMPR_CHECK_MSG(spec.count >= 1,
+                 "MultiWindowSet::build needs at least one window");
+  PMPR_CHECK_MSG(events.is_sorted_by_time(),
+                 "MultiWindowSet::build requires time-sorted events; call "
+                 "sort_by_time() first");
   MultiWindowSet set;
   set.spec_ = spec;
   set.num_global_ = events.num_vertices();
@@ -162,6 +168,63 @@ std::size_t MultiWindowSet::part_index_for_window(std::size_t w) const {
   assert(w >= parts_[lo].first_window &&
          w < parts_[lo].first_window + parts_[lo].num_windows);
   return lo;
+}
+
+void MultiWindowGraph::validate() const {
+  PMPR_CHECK_MSG(num_windows >= 1, "part holds no windows");
+  PMPR_CHECK_MSG(span_start <= span_end,
+                 "part span [" << span_start << ", " << span_end
+                               << "] is inverted");
+  for (std::size_t i = 1; i < local_to_global.size(); ++i) {
+    PMPR_CHECK_MSG(local_to_global[i - 1] < local_to_global[i],
+                   "local_to_global not strictly increasing at index "
+                       << i << ": " << local_to_global[i - 1]
+                       << " >= " << local_to_global[i]);
+  }
+  PMPR_CHECK_MSG(in.num_vertices() == num_local() ||
+                     (num_local() == 0 && in.num_entries() == 0),
+                 "in-CSR covers " << in.num_vertices()
+                                  << " vertices, local space has "
+                                  << num_local());
+  PMPR_CHECK_MSG(in.num_entries() == num_events,
+                 "in-CSR stores " << in.num_entries() << " events, part says "
+                                  << num_events);
+  in.validate();
+  for (VertexId v = 0; v < in.num_vertices(); ++v) {
+    for (const Timestamp t : in.row_times(v)) {
+      PMPR_CHECK_MSG(t >= span_start && t <= span_end,
+                     "row " << v << " stores an event at time " << t
+                            << " outside the part span [" << span_start
+                            << ", " << span_end << "]");
+    }
+  }
+}
+
+void MultiWindowSet::validate() const {
+  spec_.validate();
+  PMPR_CHECK_MSG(!parts_.empty(), "multi-window set holds no parts");
+  std::size_t next_window = 0;
+  for (std::size_t p = 0; p < parts_.size(); ++p) {
+    const MultiWindowGraph& part = parts_[p];
+    part.validate();
+    PMPR_CHECK_MSG(part.first_window == next_window,
+                   "part " << p << " starts at window " << part.first_window
+                           << ", expected " << next_window
+                           << " (gap or overlap in the window coverage)");
+    PMPR_CHECK_MSG(part.span_start == spec_.start(part.first_window) &&
+                       part.span_end == spec_.end(part.first_window +
+                                                  part.num_windows - 1),
+                   "part " << p << " span does not match its window range");
+    for (const VertexId g : part.local_to_global) {
+      PMPR_CHECK_MSG(g < num_global_,
+                     "part " << p << " maps a local vertex to global id " << g
+                             << " outside [0, " << num_global_ << ")");
+    }
+    next_window += part.num_windows;
+  }
+  PMPR_CHECK_MSG(next_window == spec_.count,
+                 "parts cover " << next_window << " windows, spec has "
+                                << spec_.count);
 }
 
 std::size_t MultiWindowSet::total_events() const {

@@ -22,9 +22,6 @@
 
 namespace pmpr {
 
-inline constexpr VertexId kInvalidVertex =
-    std::numeric_limits<VertexId>::max();
-
 /// One multi-window graph: a contiguous run of windows plus the in-adjacency
 /// temporal CSR over the local (compacted) vertex space.
 struct MultiWindowGraph {
@@ -54,6 +51,12 @@ struct MultiWindowGraph {
   [[nodiscard]] std::size_t memory_bytes() const {
     return in.memory_bytes() + local_to_global.size() * sizeof(VertexId);
   }
+
+  /// Deep structural audit: window range non-empty, span ordered,
+  /// local_to_global strictly sorted (the local_of binary search depends on
+  /// it), CSR sized to the local space, stored events within the span, plus
+  /// the CSR's own validate(). Throws pmpr::InvariantError.
+  void validate() const;
 };
 
 /// How the window sequence is split into multi-window parts.
@@ -74,8 +77,10 @@ enum class PartitionPolicy {
 class MultiWindowSet {
  public:
   /// Builds `num_parts` parts (clamped to [1, spec.count]); window-to-part
-  /// assignment follows `policy`. `events` must be time-sorted. Parts
-  /// build in parallel.
+  /// assignment follows `policy`. `events` must be time-sorted and `spec`
+  /// well-formed (sw > 0, delta >= 0, count >= 1) — both are verified up
+  /// front (also in release builds) and violations throw
+  /// pmpr::InvariantError. Parts build in parallel.
   static MultiWindowSet build(
       const TemporalEdgeList& events, const WindowSpec& spec,
       std::size_t num_parts,
@@ -97,6 +102,12 @@ class MultiWindowSet {
   /// Σ_w |E_w| over parts — the duplication-aware event total.
   [[nodiscard]] std::size_t total_events() const;
   [[nodiscard]] std::size_t memory_bytes() const;
+
+  /// Audits the whole set: parts cover the window sequence contiguously
+  /// without gaps or overlap, every part's global ids stay inside the
+  /// global vertex space, spans match the spec, and each part passes its
+  /// own validate(). Throws pmpr::InvariantError.
+  void validate() const;
 
  private:
   WindowSpec spec_;

@@ -1,10 +1,10 @@
 #include "graph/temporal_csr.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <numeric>
 
 #include "par/parallel_for.hpp"
+#include "util/check.hpp"
 
 namespace pmpr {
 
@@ -20,8 +20,12 @@ TemporalCsr TemporalCsr::build(std::span<const TemporalEdge> events,
     return reverse ? e.src : e.dst;
   };
 
-  for (const auto& e : events) {
-    assert(e.src < num_vertices && e.dst < num_vertices);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TemporalEdge& e = events[i];
+    PMPR_CHECK_MSG(e.src < num_vertices && e.dst < num_vertices,
+                   "event " << i << " = <" << e.src << ", " << e.dst << ", "
+                            << e.time << "> has an endpoint outside the "
+                            << "vertex space [0, " << num_vertices << ")");
     ++g.row_ptr_[row_of(e) + 1];
   }
   for (std::size_t v = 0; v < num_vertices; ++v) {
@@ -72,6 +76,46 @@ TemporalCsr TemporalCsr::build(std::span<const TemporalEdge> events,
         }
       });
   return g;
+}
+
+void TemporalCsr::validate() const {
+  if (row_ptr_.empty()) {
+    PMPR_CHECK_MSG(col_.empty() && time_.empty(),
+                   "default-constructed TemporalCsr holds entries");
+    return;
+  }
+  const std::size_t n = row_ptr_.size() - 1;
+  PMPR_CHECK_MSG(row_ptr_.front() == 0,
+                 "row_ptr[0] = " << row_ptr_.front() << ", expected 0");
+  for (std::size_t v = 0; v < n; ++v) {
+    PMPR_CHECK_MSG(row_ptr_[v] <= row_ptr_[v + 1],
+                   "row_ptr not monotone at vertex " << v << ": "
+                       << row_ptr_[v] << " > " << row_ptr_[v + 1]);
+  }
+  PMPR_CHECK_MSG(row_ptr_.back() == col_.size(),
+                 "row_ptr.back() = " << row_ptr_.back() << " but col holds "
+                                     << col_.size() << " entries");
+  PMPR_CHECK_MSG(time_.size() == col_.size(),
+                 "time array holds " << time_.size() << " entries, col holds "
+                                     << col_.size());
+  for (std::size_t v = 0; v < n; ++v) {
+    for (std::size_t i = row_ptr_[v]; i < row_ptr_[v + 1]; ++i) {
+      PMPR_CHECK_MSG(col_[i] < n, "row " << v << " entry " << i
+                                         << " references vertex " << col_[i]
+                                         << " outside [0, " << n << ")");
+      if (i > row_ptr_[v]) {
+        // <neighbor, time> lexicographic order within the row.
+        const bool ordered =
+            col_[i - 1] < col_[i] ||
+            (col_[i - 1] == col_[i] && time_[i - 1] <= time_[i]);
+        PMPR_CHECK_MSG(ordered, "row " << v << " not sorted by <neighbor, "
+                                       << "time> at entry " << i << ": <"
+                                       << col_[i - 1] << ", " << time_[i - 1]
+                                       << "> before <" << col_[i] << ", "
+                                       << time_[i] << ">");
+      }
+    }
+  }
 }
 
 }  // namespace pmpr

@@ -24,8 +24,18 @@ class TemporalCsr {
 
   /// Builds over vertex space [0, n). If `reverse`, rows are destinations
   /// and columns are sources (the layout the pull-style PageRank reads).
+  /// Throws pmpr::InvariantError if any event endpoint is >= num_vertices
+  /// (also in release builds; a bad endpoint would otherwise write out of
+  /// bounds).
   static TemporalCsr build(std::span<const TemporalEdge> events,
                            VertexId num_vertices, bool reverse);
+
+  /// Deep structural audit, O(V + E): row_ptr monotone and consistent with
+  /// the entry arrays, every column id in range, every row sorted by
+  /// ⟨neighbor, time⟩. Throws pmpr::InvariantError naming the first
+  /// violation. Cheap enough for tests and validate-mode runs, not for
+  /// per-query use.
+  void validate() const;
 
   [[nodiscard]] VertexId num_vertices() const {
     return row_ptr_.empty() ? 0 : static_cast<VertexId>(row_ptr_.size() - 1);

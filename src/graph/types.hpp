@@ -3,12 +3,19 @@
 
 #include <compare>
 #include <cstdint>
+#include <limits>
 
 namespace pmpr {
 
 /// Vertex identifier. 32 bits: every dataset in the paper (and every
 /// surrogate we generate) has far fewer than 4B vertices.
 using VertexId = std::uint32_t;
+
+/// Reserved sentinel (used e.g. by MultiWindowGraph::local_of and the
+/// analysis kernels for "no vertex"). Loaders reject events that use it as
+/// an endpoint, which also keeps `max id + 1` from overflowing VertexId.
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
 
 /// Event timestamp in arbitrary integer time units (the surrogates use
 /// seconds since epoch, matching the sliding offsets the paper quotes:

@@ -1,13 +1,20 @@
 #include "graph/window.hpp"
 
 #include <algorithm>
-#include <cassert>
+
+#include "util/check.hpp"
 
 namespace pmpr {
 
+void WindowSpec::validate() const {
+  PMPR_CHECK_MSG(sw > 0, "window slide sw = " << sw << " must be positive");
+  PMPR_CHECK_MSG(delta >= 0,
+                 "window size delta = " << delta << " must be non-negative");
+}
+
 std::pair<std::size_t, std::size_t> WindowSpec::windows_containing(
     Timestamp t) const {
-  assert(sw > 0);
+  PMPR_DCHECK(sw > 0);
   // Need: t0 + i*sw <= t <= t0 + i*sw + delta
   //   <=> (t - delta - t0) / sw <= i <= (t - t0) / sw
   const Timestamp rel = t - t0;
@@ -26,12 +33,12 @@ std::pair<std::size_t, std::size_t> WindowSpec::windows_containing(
 
 WindowSpec WindowSpec::cover(Timestamp t_min, Timestamp t_max, Timestamp delta,
                              Timestamp sw) {
-  assert(sw > 0);
-  assert(delta >= 0);
   WindowSpec spec;
   spec.t0 = t_min;
   spec.delta = delta;
   spec.sw = sw;
+  spec.count = 1;
+  spec.validate();
   if (t_max < t_min) t_max = t_min;
   spec.count = static_cast<std::size_t>((t_max - t_min) / sw) + 1;
   return spec;

@@ -35,9 +35,14 @@ struct WindowSpec {
   [[nodiscard]] std::pair<std::size_t, std::size_t> windows_containing(
       Timestamp t) const;
 
+  /// Verifies the spec is well-formed: sw > 0 (a zero slide loops forever)
+  /// and delta >= 0. Throws pmpr::InvariantError, also in release builds.
+  void validate() const;
+
   /// Spec covering [t_min, t_max]: t0 = t_min, and enough windows that the
   /// last window starts at or before t_max (so every event lands in at least
-  /// one window when sw <= delta + 1). Always at least one window.
+  /// one window when sw <= delta + 1). Always at least one window. Throws
+  /// pmpr::InvariantError on sw <= 0 or delta < 0.
   static WindowSpec cover(Timestamp t_min, Timestamp t_max, Timestamp delta,
                           Timestamp sw);
 

@@ -65,7 +65,16 @@ int ThreadPool::current_worker_index() {
 }
 
 void ThreadPool::notify() {
-  work_epoch_.fetch_add(1, std::memory_order_release);
+  // Publish the new work, then wake a sleeper only if one exists. Both the
+  // epoch bump and the sleeper-count load are seq_cst, as are the worker's
+  // sleeper-count increment and epoch re-check in worker_loop(); in the
+  // single total order either this bump precedes the worker's re-check
+  // (worker sees fresh work and does not sleep) or the worker's increment
+  // precedes our load (we see num_sleepers_ > 0 and take the slow path).
+  // Either way no wakeup is lost, and the saturated-pool common case skips
+  // the mutex entirely.
+  work_epoch_.fetch_add(1, std::memory_order_seq_cst);
+  if (num_sleepers_.load(std::memory_order_seq_cst) == 0) return;
   std::lock_guard<std::mutex> lock(sleep_mutex_);
   sleep_cv_.notify_one();
 }
@@ -138,15 +147,19 @@ void ThreadPool::worker_loop(std::size_t index) {
       std::this_thread::yield();
       continue;
     }
-    // Sleep until new work is submitted. The epoch check avoids a lost
-    // wakeup between the last failed scan and the wait; the timeout is a
-    // belt-and-braces fallback against missed steals.
+    // Sleep until new work is submitted. The sleeper count must rise
+    // before the epoch re-check (both seq_cst, pairing with notify()) so a
+    // submitter either bumps the epoch in time for the re-check to see it
+    // or observes num_sleepers_ > 0 and notifies under the mutex; the
+    // timeout is a belt-and-braces fallback against missed steals.
     const std::uint64_t seen = work_epoch_.load(std::memory_order_acquire);
     std::unique_lock<std::mutex> lock(sleep_mutex_);
     if (stop_.load(std::memory_order_acquire)) break;
-    if (work_epoch_.load(std::memory_order_acquire) == seen) {
+    num_sleepers_.fetch_add(1, std::memory_order_seq_cst);
+    if (work_epoch_.load(std::memory_order_seq_cst) == seen) {
       sleep_cv_.wait_for(lock, std::chrono::milliseconds(1));
     }
+    num_sleepers_.fetch_sub(1, std::memory_order_seq_cst);
     idle_spins = 0;
   }
   tls_worker.pool = nullptr;

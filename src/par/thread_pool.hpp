@@ -119,6 +119,11 @@ class ThreadPool {
   std::mutex sleep_mutex_;
   std::condition_variable sleep_cv_;
   std::atomic<std::uint64_t> work_epoch_{0};
+  /// Workers currently parked (or committing to park) on sleep_cv_.
+  /// notify() skips the mutex + notify entirely while this is zero — the
+  /// common case when the pool is saturated — making submit() lock-free on
+  /// the signalling side. See notify() for the ordering argument.
+  std::atomic<std::uint32_t> num_sleepers_{0};
   std::atomic<bool> stop_{false};
 };
 

@@ -20,7 +20,26 @@
 #include <memory>
 #include <vector>
 
+// ThreadSanitizer does not model std::atomic_thread_fence, so the
+// fence-based orderings below (exactly the PPoPP'13 annotations) make TSan
+// report false races on the task payload handed from push() to steal().
+// Under TSan we strengthen the individual accesses to the fence-free
+// sequentially-consistent variant of the algorithm instead; regular builds
+// keep the cheaper fence form.
+#if defined(__SANITIZE_THREAD__)
+#define PMPR_TSAN_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define PMPR_TSAN_BUILD 1
+#endif
+#endif
+#ifndef PMPR_TSAN_BUILD
+#define PMPR_TSAN_BUILD 0
+#endif
+
 namespace pmpr::par {
+
+inline constexpr bool kTsanBuild = PMPR_TSAN_BUILD != 0;
 
 /// Lock-free single-owner deque of `T*` (T* must be a plain pointer type).
 /// Grows geometrically; retired buffers are kept until destruction because
@@ -48,17 +67,27 @@ class WsDeque {
       buf = grow(buf, t, b);
     }
     buf->put(b, task);
-    std::atomic_thread_fence(std::memory_order_release);
-    bottom_.store(b + 1, std::memory_order_relaxed);
+    if constexpr (kTsanBuild) {
+      bottom_.store(b + 1, std::memory_order_seq_cst);
+    } else {
+      std::atomic_thread_fence(std::memory_order_release);
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
   }
 
   /// Owner-only: pop the most recently pushed task, or nullptr if empty.
   T* pop() {
     std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
     Buffer* buf = buffer_.load(std::memory_order_relaxed);
-    bottom_.store(b, std::memory_order_relaxed);
-    std::atomic_thread_fence(std::memory_order_seq_cst);
-    std::int64_t t = top_.load(std::memory_order_relaxed);
+    std::int64_t t;
+    if constexpr (kTsanBuild) {
+      bottom_.store(b, std::memory_order_seq_cst);
+      t = top_.load(std::memory_order_seq_cst);
+    } else {
+      bottom_.store(b, std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      t = top_.load(std::memory_order_relaxed);
+    }
     T* task = nullptr;
     if (t <= b) {
       task = buf->get(b);
@@ -80,9 +109,16 @@ class WsDeque {
   /// A nullptr return does not guarantee the deque is empty (a concurrent
   /// CAS may have failed); callers treat it as "try elsewhere".
   T* steal() {
-    std::int64_t t = top_.load(std::memory_order_acquire);
-    std::atomic_thread_fence(std::memory_order_seq_cst);
-    std::int64_t b = bottom_.load(std::memory_order_acquire);
+    std::int64_t t;
+    std::int64_t b;
+    if constexpr (kTsanBuild) {
+      t = top_.load(std::memory_order_seq_cst);
+      b = bottom_.load(std::memory_order_seq_cst);
+    } else {
+      t = top_.load(std::memory_order_acquire);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      b = bottom_.load(std::memory_order_acquire);
+    }
     T* task = nullptr;
     if (t < b) {
       Buffer* buf = buffer_.load(std::memory_order_acquire);

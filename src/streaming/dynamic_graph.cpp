@@ -1,6 +1,23 @@
 #include "streaming/dynamic_graph.hpp"
 
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include "util/check.hpp"
+
 namespace pmpr::streaming {
+
+namespace {
+
+/// Shared endpoint validation for the single-event entry points.
+void check_endpoints(VertexId u, VertexId v, VertexId n, const char* op) {
+  PMPR_CHECK_MSG(u < n && v < n, op << " <" << u << ", " << v
+                                    << "> has an endpoint outside the vertex "
+                                    << "space [0, " << n << ")");
+}
+
+}  // namespace
 
 DynamicGraph::DynamicGraph(VertexId num_vertices)
     : vertices_(num_vertices) {}
@@ -15,6 +32,7 @@ void DynamicGraph::track_activity(VertexId v, bool was_active) {
 }
 
 void DynamicGraph::insert_event(VertexId u, VertexId v) {
+  check_endpoints(u, v, num_vertices(), "insert of event");
   const bool u_was = is_active(u);
   const bool v_was = u == v ? u_was : is_active(v);
   if (vertices_[u].out.insert(v, pool_)) ++num_edges_;
@@ -24,6 +42,7 @@ void DynamicGraph::insert_event(VertexId u, VertexId v) {
 }
 
 void DynamicGraph::remove_event(VertexId u, VertexId v) {
+  check_endpoints(u, v, num_vertices(), "remove of event");
   const bool u_was = is_active(u);
   const bool v_was = u == v ? u_was : is_active(v);
   if (vertices_[u].out.remove(v, pool_) != 0) --num_edges_;
@@ -33,11 +52,59 @@ void DynamicGraph::remove_event(VertexId u, VertexId v) {
 }
 
 void DynamicGraph::insert_batch(std::span<const TemporalEdge> events) {
+  check_batch(events, "insert batch");
   for (const auto& e : events) insert_event(e.src, e.dst);
 }
 
 void DynamicGraph::remove_batch(std::span<const TemporalEdge> events) {
+  check_batch(events, "remove batch");
   for (const auto& e : events) remove_event(e.src, e.dst);
+}
+
+void DynamicGraph::check_batch(std::span<const TemporalEdge> events,
+                               const char* op) const {
+  const VertexId n = num_vertices();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TemporalEdge& e = events[i];
+    PMPR_CHECK_MSG(e.src < n && e.dst < n,
+                   op << " event " << i << " = <" << e.src << ", " << e.dst
+                      << ", " << e.time << "> has an endpoint outside the "
+                      << "vertex space [0, " << n << ")");
+  }
+}
+
+void DynamicGraph::validate() const {
+  const VertexId n = num_vertices();
+  std::size_t edges = 0;
+  std::size_t active = 0;
+  // (src, dst, weight) triples from each direction; equal multisets iff the
+  // two adjacency directions describe the same graph.
+  std::vector<std::tuple<VertexId, VertexId, std::uint32_t>> out_edges;
+  std::vector<std::tuple<VertexId, VertexId, std::uint32_t>> in_edges;
+  for (VertexId v = 0; v < n; ++v) {
+    vertices_[v].out.validate(n);
+    vertices_[v].in.validate(n);
+    edges += vertices_[v].out.degree();
+    if (is_active(v)) ++active;
+    vertices_[v].out.for_each([&](VertexId nbr, std::uint32_t w) {
+      out_edges.emplace_back(v, nbr, w);
+    });
+    vertices_[v].in.for_each([&](VertexId nbr, std::uint32_t w) {
+      in_edges.emplace_back(nbr, v, w);
+    });
+  }
+  PMPR_CHECK_MSG(edges == num_edges_,
+                 "chains hold " << edges << " distinct edges but the cached "
+                                << "count is " << num_edges_);
+  PMPR_CHECK_MSG(active == num_active_,
+                 "recount finds " << active << " active vertices but the "
+                                  << "cached count is " << num_active_);
+  std::sort(out_edges.begin(), out_edges.end());
+  std::sort(in_edges.begin(), in_edges.end());
+  PMPR_CHECK_MSG(out_edges == in_edges,
+                 "out- and in-adjacency describe different edge sets ("
+                     << out_edges.size() << " vs " << in_edges.size()
+                     << " slots; directions out of sync)");
 }
 
 }  // namespace pmpr::streaming

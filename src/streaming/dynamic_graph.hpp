@@ -28,12 +28,18 @@ class DynamicGraph {
     return static_cast<VertexId>(vertices_.size());
   }
 
-  /// One event ⟨u,v⟩ enters the window.
+  /// One event ⟨u,v⟩ enters the window. Throws pmpr::InvariantError if an
+  /// endpoint is outside the fixed vertex space (also in release builds —
+  /// the chains would otherwise be indexed out of bounds).
   void insert_event(VertexId u, VertexId v);
-  /// One previously inserted event ⟨u,v⟩ expires from the window.
+  /// One previously inserted event ⟨u,v⟩ expires from the window. Throws
+  /// pmpr::InvariantError on out-of-range endpoints or if the event was
+  /// never inserted.
   void remove_event(VertexId u, VertexId v);
 
   /// Batch forms used by the streaming runner (counts update bookkeeping).
+  /// Endpoints are validated before any mutation, so a malformed batch is
+  /// rejected whole instead of leaving the graph half-updated.
   void insert_batch(std::span<const TemporalEdge> events);
   void remove_batch(std::span<const TemporalEdge> events);
 
@@ -64,6 +70,13 @@ class DynamicGraph {
     return pool_.blocks_allocated();
   }
 
+  /// Deep structural audit, O(V + E): every chain passes its integrity
+  /// check, the out and in directions describe the same weighted edge set,
+  /// and the cached num_edges()/num_active() match a recount. Throws
+  /// pmpr::InvariantError. Invoked per window by the streaming runner when
+  /// StreamingOptions::validate is set.
+  void validate() const;
+
  private:
   struct VertexRecord {
     BlockChain out;
@@ -71,6 +84,8 @@ class DynamicGraph {
   };
 
   void track_activity(VertexId v, bool was_active);
+  /// Validates every endpoint of `events` before any mutation.
+  void check_batch(std::span<const TemporalEdge> events, const char* op) const;
 
   std::vector<VertexRecord> vertices_;
   BlockPool pool_;

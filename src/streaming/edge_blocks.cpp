@@ -1,6 +1,8 @@
 #include "streaming/edge_blocks.hpp"
 
-#include <cassert>
+#include <unordered_set>
+
+#include "util/check.hpp"
 
 namespace pmpr::streaming {
 
@@ -54,8 +56,39 @@ int BlockChain::remove(VertexId nbr, BlockPool& pool) {
       return 1;
     }
   }
-  assert(false && "remove of an event that was never inserted");
+  PMPR_CHECK_MSG(false, "remove of event towards vertex "
+                            << nbr << " that was never inserted (the "
+                            << "expire stream does not match the inserts)");
   return 0;
+}
+
+void BlockChain::validate(VertexId num_vertices) const {
+  std::unordered_set<VertexId> seen;
+  std::uint32_t slots = 0;
+  for (const EdgeBlock* b = head_; b != nullptr; b = b->next) {
+    PMPR_CHECK_MSG(b->count >= 1,
+                   "edge-block chain holds an empty block (should have been "
+                   "released to the pool)");
+    PMPR_CHECK_MSG(b->count <= kEdgeBlockCapacity,
+                   "edge block claims " << b->count << " slots, capacity is "
+                                        << kEdgeBlockCapacity);
+    for (std::uint32_t i = 0; i < b->count; ++i) {
+      const EdgeSlot& s = b->slots[i];
+      PMPR_CHECK_MSG(s.nbr < num_vertices,
+                     "edge slot references vertex " << s.nbr
+                         << " outside [0, " << num_vertices << ")");
+      PMPR_CHECK_MSG(s.weight >= 1,
+                     "edge slot towards " << s.nbr << " has zero weight "
+                         << "(should have been erased)");
+      PMPR_CHECK_MSG(seen.insert(s.nbr).second,
+                     "neighbor " << s.nbr << " appears in two slots of the "
+                         << "same chain");
+      ++slots;
+    }
+  }
+  PMPR_CHECK_MSG(slots == degree_, "chain holds " << slots
+                                       << " slots but cached degree is "
+                                       << degree_);
 }
 
 void BlockChain::clear(BlockPool& pool) {

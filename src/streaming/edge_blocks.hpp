@@ -77,8 +77,9 @@ class BlockChain {
 
   /// Removes one event towards `nbr` (weight--; slot erased at zero).
   /// Returns +1 if a distinct neighbor disappeared, 0 if only the weight
-  /// dropped. Asserts the event exists (the streaming runner only expires
-  /// events it inserted).
+  /// dropped. Throws pmpr::InvariantError if the event was never inserted
+  /// (the streaming runner only expires events it inserted; an unknown
+  /// removal means the caller's stream is inconsistent).
   int remove(VertexId nbr, BlockPool& pool);
 
   [[nodiscard]] std::uint32_t degree() const { return degree_; }
@@ -96,6 +97,12 @@ class BlockChain {
 
   /// Releases every block back to the pool.
   void clear(BlockPool& pool);
+
+  /// Chain-integrity audit: every block non-empty with count <= capacity,
+  /// every slot's weight >= 1 and neighbor < num_vertices, no neighbor
+  /// duplicated across the chain, cached degree == total slot count.
+  /// Throws pmpr::InvariantError naming the first violation.
+  void validate(VertexId num_vertices) const;
 
  private:
   EdgeBlock* head_ = nullptr;

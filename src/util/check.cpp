@@ -1,0 +1,14 @@
+#include "util/check.hpp"
+
+namespace pmpr::detail {
+
+void throw_invariant_failure(const char* file, int line, const char* expr,
+                             const std::string& message) {
+  std::ostringstream out;
+  out << "invariant violation at " << file << ":" << line << ": CHECK("
+      << expr << ") failed";
+  if (!message.empty()) out << ": " << message;
+  throw InvariantError(out.str());
+}
+
+}  // namespace pmpr::detail

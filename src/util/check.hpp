@@ -1,0 +1,106 @@
+// Runtime invariant checks (DESIGN.md §6: failure injection / validation).
+//
+// Three tiers, chosen by cost and audience:
+//
+//   PMPR_CHECK(cond)            always on, including -DNDEBUG release
+//   PMPR_CHECK_MSG(cond, ...)   builds. For validating *external* data
+//                               (files, CLI values, user-supplied event
+//                               batches) and structural invariants whose
+//                               violation would otherwise be UB (out-of-
+//                               bounds writes, corrupt chains). Throws
+//                               pmpr::InvariantError with file:line, the
+//                               failed expression, and an optional
+//                               streamed message.
+//
+//   PMPR_DCHECK(cond)           debug-only (compiled out under NDEBUG).
+//   PMPR_DCHECK_MSG(cond, ...)  For hot-path preconditions that are too
+//                               expensive to verify in release (per-element
+//                               checks inside kernels) but cheap insurance
+//                               in sanitizer/debug builds.
+//
+//   validate() methods          deep structural audits (O(V+E)) on
+//                               TemporalCsr, MultiWindowGraph/Set,
+//                               WindowGraph, DynamicGraph. Invoked from
+//                               tests and, behind the `validate` flag of the
+//                               runner configs, after every build/mutation.
+//
+// Policy: a failed PMPR_CHECK means the *input or caller* broke the
+// contract — the exception is recoverable and carries enough context to
+// diagnose. A failed PMPR_DCHECK means *our* code broke an internal
+// invariant — fix the bug, don't catch the error.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pmpr {
+
+/// Thrown by PMPR_CHECK / validate() on a violated invariant or malformed
+/// external input. Derives from std::logic_error: the condition was
+/// checkable before the call.
+class InvariantError : public std::logic_error {
+ public:
+  explicit InvariantError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+/// Builds the exception message and throws. Out-of-line so the cold throw
+/// path costs one call in the checked code.
+[[noreturn]] void throw_invariant_failure(const char* file, int line,
+                                          const char* expr,
+                                          const std::string& message);
+
+/// Stream-collects the optional message of PMPR_CHECK_MSG.
+class CheckMessageBuilder {
+ public:
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+  [[nodiscard]] std::string str() const { return stream_.str(); }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace pmpr
+
+/// Always-on invariant check; throws pmpr::InvariantError when `cond` is
+/// false. Survives -DNDEBUG — use for external input and UB-preventing
+/// structural checks.
+#define PMPR_CHECK(cond)                                                 \
+  do {                                                                   \
+    if (!(cond)) [[unlikely]] {                                          \
+      ::pmpr::detail::throw_invariant_failure(__FILE__, __LINE__, #cond, \
+                                              std::string());            \
+    }                                                                    \
+  } while (false)
+
+/// PMPR_CHECK with a streamed context message:
+///   PMPR_CHECK_MSG(v < n, "vertex " << v << " out of range [0," << n << ")");
+/// The message expression is only evaluated on failure.
+#define PMPR_CHECK_MSG(cond, message)                                  \
+  do {                                                                 \
+    if (!(cond)) [[unlikely]] {                                        \
+      ::pmpr::detail::throw_invariant_failure(                         \
+          __FILE__, __LINE__, #cond,                                   \
+          (::pmpr::detail::CheckMessageBuilder() << message).str());   \
+    }                                                                  \
+  } while (false)
+
+/// Debug-only variants: full checks without NDEBUG, no-ops (arguments
+/// unevaluated) with it. `sizeof` keeps the expressions syntactically
+/// checked in release so they cannot rot.
+#ifndef NDEBUG
+#define PMPR_DCHECK(cond) PMPR_CHECK(cond)
+#define PMPR_DCHECK_MSG(cond, message) PMPR_CHECK_MSG(cond, message)
+#else
+#define PMPR_DCHECK(cond) \
+  static_cast<void>(sizeof(static_cast<bool>(cond) ? 0 : 1))
+#define PMPR_DCHECK_MSG(cond, message) \
+  static_cast<void>(sizeof(static_cast<bool>(cond) ? 0 : 1))
+#endif

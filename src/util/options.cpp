@@ -46,10 +46,13 @@ Options& Options::add(const std::string& name, double* target,
   o.name = name;
   o.help = help;
   o.default_repr = std::to_string(*target);
+  // Same parser discipline as the integer path: from_chars consumes the
+  // whole value with no leading whitespace and no locale dependence, so
+  // "--alpha= 0.85" fails identically to "--iters= 5".
   o.set = [target](const std::string& v) {
-    char* end = nullptr;
-    const double parsed = std::strtod(v.c_str(), &end);
-    if (end != v.c_str() + v.size() || v.empty()) return false;
+    double parsed = 0.0;
+    auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), parsed);
+    if (ec != std::errc() || ptr != v.data() + v.size()) return false;
     *target = parsed;
     return true;
   };

@@ -68,6 +68,19 @@ TEST(Options, ParsesDouble) {
   EXPECT_DOUBLE_EQ(x, 2.5);
 }
 
+TEST(Options, DoubleRejectsNonNumericLikeInt) {
+  // Double parsing uses from_chars, same as the integer path: no leading
+  // whitespace, no trailing junk, no strtod extensions like hex floats.
+  double x = 1.0;
+  Options opts("t");
+  opts.add("x", &x, "value");
+  for (const char* bad : {" 2.5", "2.5 ", "2.5abc", "0x1p3", ""}) {
+    Argv a({"--x", bad});
+    EXPECT_FALSE(opts.parse(a.argc(), a.argv())) << "'" << bad << "'";
+  }
+  EXPECT_DOUBLE_EQ(x, 1.0);
+}
+
 TEST(Options, FlagDefaultsAndSets) {
   bool flag = false;
   Options opts("t");
