@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Formatting gate: checks .clang-format conformance over src/ and tests/
+# (fixtures excluded — they exist to violate lint rules, not style).
+#
+# Degrades gracefully: SKIPs (exit 0) with a message when clang-format is
+# not installed, so GCC-only boxes can still run the suite.
+#
+# Usage: ci/format.sh [--fix]      (--fix rewrites files in place)
+# Registered as ctest target `ci.format` when CMake runs with
+# -DPMPR_ENABLE_FORMAT=ON.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+MODE="${1:-check}"
+
+CLANG_FORMAT="$(command -v clang-format || true)"
+if [[ -z "${CLANG_FORMAT}" ]]; then
+  for v in 21 20 19 18 17 16 15 14; do
+    if command -v "clang-format-${v}" > /dev/null 2>&1; then
+      CLANG_FORMAT="$(command -v "clang-format-${v}")"
+      break
+    fi
+  done
+fi
+if [[ -z "${CLANG_FORMAT}" ]]; then
+  echo "format: SKIP (clang-format not installed)"
+  exit 0
+fi
+
+mapfile -t FILES < <(find "${ROOT}/src" "${ROOT}/tests" \
+  -name '*.cpp' -o -name '*.hpp' | grep -v '/tests/lint/fixtures/' | sort)
+
+if [[ "${MODE}" == "--fix" ]]; then
+  "${CLANG_FORMAT}" -i "${FILES[@]}"
+  echo "format: rewrote ${#FILES[@]} files"
+  exit 0
+fi
+
+FAILED=0
+for f in "${FILES[@]}"; do
+  if ! "${CLANG_FORMAT}" --dry-run -Werror "${f}" > /dev/null 2>&1; then
+    echo "format: ${f#${ROOT}/} needs clang-format"
+    FAILED=1
+  fi
+done
+if [[ "${FAILED}" -ne 0 ]]; then
+  echo "format: run ci/format.sh --fix"
+  exit 1
+fi
+echo "format: all ${#FILES[@]} files conform"

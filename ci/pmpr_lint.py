@@ -1,0 +1,208 @@
+#!/usr/bin/env python3
+"""pmpr-lint: project-specific concurrency/discipline checks.
+
+Enforces invariants that generic tools (clang-tidy, compiler warnings)
+cannot express:
+
+  atomic-order-comment      Every atomic access that names a non-seq_cst
+                            memory order must carry an adjacent
+                            ordering-rationale comment (trailing on the
+                            same line, or a `//` comment within the three
+                            preceding lines). This is the ws_deque.hpp
+                            documentation discipline, made mandatory.
+
+  raw-concurrency-type      std::mutex / std::thread / std::condition_variable
+                            and friends may only appear under src/par/ (the
+                            scheduler) or in src/util/thread_annotations.hpp
+                            (the sanctioned annotated wrappers). Everything
+                            else must use pmpr::Mutex / LockGuard / CondVar
+                            so Clang's Thread Safety Analysis sees it.
+
+  reinterpret-cast-outside-io
+                            reinterpret_cast is confined to the binary-IO
+                            translation units (edge_list.cpp, export.cpp).
+
+  naked-new-delete          No `new` / `delete` expressions outside
+                            ws_deque.hpp (whose lock-free buffer handoff
+                            genuinely needs manual lifetime management).
+                            `= delete`d functions are not flagged.
+
+Usage: pmpr_lint.py [--root REPO_ROOT] PATH [PATH ...]
+
+PATHs may be files or directories (searched recursively for *.hpp/*.cpp).
+Rule allowlists match on the path relative to --root (default: cwd).
+Exit status 1 if any violation is found, 0 otherwise.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+# Files (relative to --root, '/'-separated) where each rule does not apply.
+ALLOW = {
+    "atomic-order-comment": set(),
+    "raw-concurrency-type": {"src/util/thread_annotations.hpp"},
+    "reinterpret-cast-outside-io": {
+        "src/graph/edge_list.cpp",
+        "src/exec/export.cpp",
+    },
+    "naked-new-delete": {"src/par/ws_deque.hpp"},
+}
+# Directory prefixes where a rule does not apply.
+ALLOW_DIRS = {
+    "raw-concurrency-type": ("src/par/",),
+}
+
+RELAXED_ORDER = re.compile(
+    r"memory_order(_|::)(relaxed|acquire|release|acq_rel|consume)\b"
+)
+RAW_PRIMITIVE = re.compile(
+    r"std::(recursive_mutex|shared_mutex|timed_mutex|mutex|"
+    r"condition_variable_any|condition_variable|jthread|thread|"
+    r"lock_guard|unique_lock|scoped_lock|shared_lock)\b"
+)
+REINTERPRET = re.compile(r"\breinterpret_cast\b")
+NAKED_NEW = re.compile(r"(?<![\w.])new\b|(?<![\w.])delete\b(?:\s*\[\])?")
+DELETED_FN = re.compile(r"=\s*(delete|default)\s*[;,)]")
+COMMENT_LOOKBACK = 3
+
+
+def code_part(line):
+    """Strips // and single-line /* */ comments plus string literals."""
+    line = re.sub(r'"(\\.|[^"\\])*"', '""', line)
+    line = re.sub(r"/\*.*?\*/", "", line)
+    idx = line.find("//")
+    return line if idx < 0 else line[:idx]
+
+
+def has_adjacent_comment(lines, i):
+    """True if lines[i] has a trailing comment or one appears within the
+    preceding COMMENT_LOOKBACK lines."""
+    if "//" in lines[i] or "*/" in lines[i]:
+        return True
+    lo = max(0, i - COMMENT_LOOKBACK)
+    return any("//" in ln or "*/" in ln for ln in lines[lo:i])
+
+
+def allowed(rule, rel):
+    if rel in ALLOW.get(rule, ()):
+        return True
+    return any(rel.startswith(d) for d in ALLOW_DIRS.get(rule, ()))
+
+
+def lint_file(path, rel):
+    violations = []
+    try:
+        lines = path.read_text(encoding="utf-8", errors="replace").splitlines()
+    except OSError as e:
+        return [(rel, 0, "io-error", str(e))]
+    in_block_comment = False
+    for i, raw in enumerate(lines):
+        line = raw
+        if in_block_comment:
+            end = line.find("*/")
+            if end < 0:
+                continue
+            line = line[end + 2 :]
+            in_block_comment = False
+        code = code_part(line)
+        if "/*" in code:
+            code = code[: code.index("/*")]
+            in_block_comment = True
+        lineno = i + 1
+
+        if not allowed("atomic-order-comment", rel):
+            if RELAXED_ORDER.search(code) and not has_adjacent_comment(
+                lines, i
+            ):
+                violations.append(
+                    (
+                        rel,
+                        lineno,
+                        "atomic-order-comment",
+                        "non-seq_cst atomic access without an adjacent "
+                        "ordering-rationale comment",
+                    )
+                )
+        if not allowed("raw-concurrency-type", rel):
+            m = RAW_PRIMITIVE.search(code)
+            if m:
+                violations.append(
+                    (
+                        rel,
+                        lineno,
+                        "raw-concurrency-type",
+                        f"raw {m.group(0)} outside src/par/; use "
+                        "pmpr::Mutex/LockGuard/CondVar "
+                        "(util/thread_annotations.hpp)",
+                    )
+                )
+        if not allowed("reinterpret-cast-outside-io", rel):
+            if REINTERPRET.search(code):
+                violations.append(
+                    (
+                        rel,
+                        lineno,
+                        "reinterpret-cast-outside-io",
+                        "reinterpret_cast outside the binary-IO "
+                        "allowlist",
+                    )
+                )
+        if not allowed("naked-new-delete", rel):
+            stripped = DELETED_FN.sub("", code)
+            m = NAKED_NEW.search(stripped)
+            if m:
+                violations.append(
+                    (
+                        rel,
+                        lineno,
+                        "naked-new-delete",
+                        f"naked `{m.group(0).strip()}` outside "
+                        "ws_deque.hpp; use std::unique_ptr / "
+                        "std::make_unique",
+                    )
+                )
+    return violations
+
+
+def collect(paths):
+    for p in paths:
+        p = pathlib.Path(p)
+        if p.is_dir():
+            yield from sorted(
+                q for q in p.rglob("*") if q.suffix in (".hpp", ".cpp", ".h")
+            )
+        else:
+            yield p
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", default=".", help="repo root for allowlists")
+    ap.add_argument("paths", nargs="+")
+    args = ap.parse_args()
+    root = pathlib.Path(args.root).resolve()
+
+    total_files = 0
+    violations = []
+    for f in collect(args.paths):
+        total_files += 1
+        try:
+            rel = f.resolve().relative_to(root).as_posix()
+        except ValueError:
+            rel = f.as_posix()
+        violations.extend(lint_file(f, rel))
+
+    for rel, lineno, rule, msg in violations:
+        print(f"{rel}:{lineno}: [{rule}] {msg}")
+    if violations:
+        print(f"pmpr-lint: {len(violations)} violation(s) in "
+              f"{total_files} file(s)")
+        return 1
+    print(f"pmpr-lint: OK ({total_files} file(s) clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

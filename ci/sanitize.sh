@@ -36,6 +36,7 @@ build_tree() {
     -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS_DEBUG="-O1 -g" \
     -DPMPR_SANITIZE="${sanitize}" \
+    -DPMPR_WERROR=ON \
     -DPMPR_BUILD_BENCH=OFF \
     -DPMPR_BUILD_EXAMPLES=OFF \
     > "${dir}-configure.log" 2>&1 || {

@@ -72,12 +72,17 @@ int main(int argc, char** argv) {
               "components", "largest WCC", "PR top10 churn", "Katz leader");
   for (std::size_t w = 0; w < windows.count; ++w) {
     const auto pr_top = analysis::top_k(pr_sink, w, 1);
+    // += instead of operator+ dodges a GCC 12 -Wrestrict false positive
+    // (PR105651).
+    std::string katz_leader = "-";
+    if (katz[w].top_vertex != kInvalidVertex) {
+      katz_leader = "v";
+      katz_leader += std::to_string(katz[w].top_vertex);
+    }
     std::printf("%-7zu %-11zu %-12zu %-12zu %-14s %s\n", w, wcc[w].num_active,
                 wcc[w].num_components, wcc[w].largest_component,
                 w > 0 ? Table::fmt(churn[w - 1], 2).c_str() : "-",
-                katz[w].top_vertex != kInvalidVertex
-                    ? ("v" + std::to_string(katz[w].top_vertex)).c_str()
-                    : "-");
+                katz_leader.c_str());
   }
 
   // Rank-correlation drift: how similar is the full PageRank ordering of

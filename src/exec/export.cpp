@@ -3,6 +3,7 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -87,6 +88,15 @@ void save_series_binary(const StoreAllSink& sink, const std::string& path) {
 StoreAllSink load_series_binary(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("cannot open " + path);
+  // Header counts are bounded against the file size before any allocation
+  // sized from them, so a corrupt or hostile header cannot trigger a
+  // multi-gigabyte resize (mirrors the edge_list.cpp binary-loader
+  // defense). Each row costs sizeof(VertexId) + sizeof(double) bytes and
+  // each window at least its own 8-byte count field.
+  std::error_code ec;
+  const std::uintmax_t file_size = std::filesystem::file_size(path, ec);
+  if (ec) throw std::runtime_error(path + ": cannot stat file");
+  constexpr std::uint64_t kRowBytes = sizeof(VertexId) + sizeof(double);
   char magic[8];
   in.read(magic, sizeof(magic));
   if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
@@ -95,6 +105,12 @@ StoreAllSink load_series_binary(const std::string& path) {
   std::uint64_t windows = 0;
   in.read(reinterpret_cast<char*>(&windows), sizeof(windows));
   if (!in) throw std::runtime_error(path + ": truncated header");
+  std::uint64_t payload = file_size - sizeof(kMagic) - sizeof(windows);
+  if (windows > payload / sizeof(std::uint64_t)) {
+    throw std::runtime_error(path + ": window count " +
+                             std::to_string(windows) +
+                             " exceeds what the file can hold");
+  }
   StoreAllSink sink(windows);
   std::vector<VertexId> ids;
   std::vector<double> scores;
@@ -102,13 +118,20 @@ StoreAllSink load_series_binary(const std::string& path) {
     std::uint64_t count = 0;
     in.read(reinterpret_cast<char*>(&count), sizeof(count));
     if (!in) throw std::runtime_error(path + ": truncated window header");
+    payload -= sizeof(count);
+    if (count > payload / kRowBytes) {
+      throw std::runtime_error(path + ": window " + std::to_string(w) +
+                               " row count " + std::to_string(count) +
+                               " exceeds what the file can hold");
+    }
+    payload -= count * kRowBytes;
     ids.resize(count);
     scores.resize(count);
     for (std::size_t i = 0; i < count; ++i) {
       in.read(reinterpret_cast<char*>(&ids[i]), sizeof(VertexId));
       in.read(reinterpret_cast<char*>(&scores[i]), sizeof(double));
+      if (!in) throw std::runtime_error(path + ": truncated window payload");
     }
-    if (!in) throw std::runtime_error(path + ": truncated window payload");
     sink.consume_mapped(w, ids, scores);
   }
   return sink;

@@ -61,10 +61,12 @@ RunResult run_offline(const TemporalEdgeList& events, const WindowSpec& spec,
                                      build, compute);
       result.iterations_per_window[w] = iters;
       sink.consume_dense(w, x);
+      // relaxed (both): commutative time totals, read only after the
+      // parallel_for join publishes them.
       build_ns.fetch_add(static_cast<std::int64_t>(build * 1e9),
                          std::memory_order_relaxed);
       compute_ns.fetch_add(static_cast<std::int64_t>(compute * 1e9),
-                           std::memory_order_relaxed);
+                           std::memory_order_relaxed);  // relaxed: as above
     });
     result.build_seconds = static_cast<double>(build_ns.load()) * 1e-9;
     result.compute_seconds = static_cast<double>(compute_ns.load()) * 1e-9;

@@ -4,8 +4,9 @@
 #include <cassert>
 #include <cmath>
 #include <cstring>
-#include <mutex>
 #include <utility>
+
+#include "util/thread_annotations.hpp"
 
 namespace pmpr {
 
@@ -128,13 +129,13 @@ SpmmStats pagerank_spmm(const MultiWindowGraph& part, const WindowSpec& spec,
     std::span<double> next_span(next, n * lanes);
     LaneDoubles diff{};
     if (parallel != nullptr) {
-      std::mutex diff_mutex;
+      Mutex diff_mutex;
       par::parallel_for_range(
           0, n, *parallel, [&](std::size_t lo, std::size_t hi) {
             LaneDoubles local{};
             sweep_rows(part, spec, batch, state, cur_span, next_span, base,
                        one_minus_alpha, live_mask, local, lo, hi);
-            std::lock_guard<std::mutex> lock(diff_mutex);
+            LockGuard lock(diff_mutex);
             for (std::size_t k = 0; k < lanes; ++k) diff[k] += local[k];
           });
     } else {

@@ -21,8 +21,10 @@ void scatter_window_rows(const MultiWindowGraph& part, Timestamp ts,
           v_active = true;
           if constexpr (Atomic) {
             std::atomic_ref<std::uint32_t> deg(out.out_degree[u]);
+            // relaxed: pure commutative count; published by the join.
             deg.fetch_add(1, std::memory_order_relaxed);
             std::atomic_ref<std::uint8_t> act(out.active[u]);
+            // relaxed: idempotent flag; published by the join.
             act.store(1, std::memory_order_relaxed);
           } else {
             ++out.out_degree[u];
@@ -32,6 +34,7 @@ void scatter_window_rows(const MultiWindowGraph& part, Timestamp ts,
     if (v_active) {
       if constexpr (Atomic) {
         std::atomic_ref<std::uint8_t> act(out.active[v]);
+        // relaxed: idempotent flag; published by the join.
         act.store(1, std::memory_order_relaxed);
       } else {
         out.active[v] = 1;
@@ -118,6 +121,7 @@ void scatter_spmm_rows(const MultiWindowGraph& part, const WindowSpec& spec,
         m &= m - 1;
         if constexpr (Atomic) {
           std::atomic_ref<std::uint32_t> deg(out.out_degree[u * lanes + k]);
+          // relaxed: pure commutative count; published by the join.
           deg.fetch_add(1, std::memory_order_relaxed);
         } else {
           ++out.out_degree[u * lanes + k];
@@ -125,6 +129,7 @@ void scatter_spmm_rows(const MultiWindowGraph& part, const WindowSpec& spec,
       }
       if constexpr (Atomic) {
         std::atomic_ref<std::uint64_t> mask(out.active_mask[u]);
+        // relaxed: commutative bit-set; published by the join.
         mask.fetch_or(run_mask, std::memory_order_relaxed);
       } else {
         out.active_mask[u] |= run_mask;
@@ -133,6 +138,7 @@ void scatter_spmm_rows(const MultiWindowGraph& part, const WindowSpec& spec,
     if (v_mask != 0) {
       if constexpr (Atomic) {
         std::atomic_ref<std::uint64_t> mask(out.active_mask[v]);
+        // relaxed: commutative bit-set; published by the join.
         mask.fetch_or(v_mask, std::memory_order_relaxed);
       } else {
         out.active_mask[v] |= v_mask;

@@ -9,11 +9,11 @@
 #pragma once
 
 #include <cstddef>
-#include <mutex>
 #include <utility>
 
 #include "par/partitioner.hpp"
 #include "par/thread_pool.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace pmpr::par {
 
@@ -90,11 +90,11 @@ template <typename T, typename Map, typename Combine>
 T parallel_reduce(std::size_t begin, std::size_t end, T identity,
                   const ForOptions& opts, Map&& map, Combine&& combine) {
   T acc = std::move(identity);
-  std::mutex acc_mutex;
+  Mutex acc_mutex;
   parallel_for_range(begin, end, opts,
                      [&](std::size_t lo, std::size_t hi) {
                        T partial = map(lo, hi);
-                       std::lock_guard<std::mutex> lock(acc_mutex);
+                       LockGuard lock(acc_mutex);
                        acc = combine(std::move(acc), std::move(partial));
                      });
   return acc;

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "par/thread_pool.hpp"
+#include "util/logging.hpp"
 
 namespace pmpr::par {
 
@@ -23,12 +24,18 @@ class TaskGroup {
 
   /// Destruction waits for all spawned tasks (structured concurrency).
   /// A task exception surfaces from an explicit wait(); if the group is
-  /// destroyed without one, the exception is dropped here rather than
-  /// thrown from a destructor.
+  /// destroyed without one, the exception cannot be thrown from a
+  /// destructor, so it is logged instead of vanishing.
   ~TaskGroup() {
     try {
       wait();
-    } catch (...) {  // NOLINT(bugprone-empty-catch)
+    } catch (const std::exception& e) {
+      PMPR_LOG(kWarn) << "TaskGroup destroyed with unobserved task "
+                         "exception: "
+                      << e.what();
+    } catch (...) {
+      PMPR_LOG(kWarn) << "TaskGroup destroyed with unobserved non-std "
+                         "task exception";
     }
   }
 

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cstdlib>
 
+#include "util/logging.hpp"
 #include "util/rng.hpp"
 
 namespace pmpr::par {
@@ -41,18 +42,27 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 }
 
 ThreadPool::~ThreadPool() {
+  // release: workers' acquire loads of stop_ must also see everything the
+  // destroying thread wrote before shutdown.
   stop_.store(true, std::memory_order_release);
   {
-    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    LockGuard lock(sleep_mutex_);
     sleep_cv_.notify_all();
   }
   for (auto& t : workers_) t.join();
   // Drain any tasks that were never executed (should not happen in correct
-  // usage, but avoids leaks if a user abandons a WaitGroup).
+  // usage, but avoids leaks if a user abandons a WaitGroup). Workers are
+  // joined, but the annotated lock is still taken to satisfy the analysis
+  // (and it is uncontended here).
   for (auto& dq : deques_) {
-    while (Task* t = dq->pop()) delete t;
+    while (std::unique_ptr<Task> t{dq->pop()}) {
+    }
   }
-  for (Task* t : injected_) delete t;
+  LockGuard lock(inject_mutex_);
+  while (!injected_.empty()) {
+    std::unique_ptr<Task> t{injected_.front()};
+    injected_.pop_front();
+  }
 }
 
 ThreadPool& ThreadPool::global() {
@@ -75,23 +85,23 @@ void ThreadPool::notify() {
   // the mutex entirely.
   work_epoch_.fetch_add(1, std::memory_order_seq_cst);
   if (num_sleepers_.load(std::memory_order_seq_cst) == 0) return;
-  std::lock_guard<std::mutex> lock(sleep_mutex_);
+  LockGuard lock(sleep_mutex_);
   sleep_cv_.notify_one();
 }
 
 void ThreadPool::submit(std::function<void()> fn, WaitGroup& wg) {
-  auto* task = new Task{std::move(fn), &wg};
+  auto task = std::make_unique<Task>(std::move(fn), &wg);
   if (tls_worker.pool == this && tls_worker.index >= 0) {
-    deques_[static_cast<std::size_t>(tls_worker.index)]->push(task);
+    deques_[static_cast<std::size_t>(tls_worker.index)]->push(task.release());
   } else {
-    std::lock_guard<std::mutex> lock(inject_mutex_);
-    injected_.push_back(task);
+    LockGuard lock(inject_mutex_);
+    injected_.push_back(task.release());
   }
   notify();
 }
 
 ThreadPool::Task* ThreadPool::try_pop_injected() {
-  std::lock_guard<std::mutex> lock(inject_mutex_);
+  LockGuard lock(inject_mutex_);
   if (injected_.empty()) return nullptr;
   Task* t = injected_.front();
   injected_.pop_front();
@@ -122,15 +132,27 @@ ThreadPool::Task* ThreadPool::try_pop_or_steal(std::size_t self_index) {
 }
 
 bool ThreadPool::try_run_one(std::size_t self_index) {
-  Task* task = try_pop_or_steal(self_index);
+  std::unique_ptr<Task> task(try_pop_or_steal(self_index));
   if (task == nullptr) return false;
   try {
     task->fn();
   } catch (...) {
-    task->wg->capture_exception(std::current_exception());
+    if (!task->wg->capture_exception(std::current_exception())) {
+      // The group already failed with an earlier exception; this one will
+      // never be rethrown, so surface it instead of dropping it silently.
+      try {
+        throw;
+      } catch (const std::exception& e) {
+        PMPR_LOG(kWarn) << "pool task exception dropped (group already "
+                           "failed): "
+                        << e.what();
+      } catch (...) {
+        PMPR_LOG(kWarn) << "pool task exception dropped (group already "
+                           "failed): non-std exception";
+      }
+    }
   }
   task->wg->done();
-  delete task;
   return true;
 }
 
@@ -138,6 +160,8 @@ void ThreadPool::worker_loop(std::size_t index) {
   tls_worker.pool = this;
   tls_worker.index = static_cast<int>(index);
   int idle_spins = 0;
+  // acquire: pairs with the destructor's release store so a stopping
+  // worker also observes all pre-shutdown writes.
   while (!stop_.load(std::memory_order_acquire)) {
     if (try_run_one(index)) {
       idle_spins = 0;
@@ -152,8 +176,13 @@ void ThreadPool::worker_loop(std::size_t index) {
     // submitter either bumps the epoch in time for the re-check to see it
     // or observes num_sleepers_ > 0 and notifies under the mutex; the
     // timeout is a belt-and-braces fallback against missed steals.
+    //
+    // acquire on the pre-lock epoch read: a stale `seen` is harmless (the
+    // seq_cst re-check below decides), acquire merely keeps it ordered
+    // before the lock.
     const std::uint64_t seen = work_epoch_.load(std::memory_order_acquire);
-    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    LockGuard lock(sleep_mutex_);
+    // acquire: pairs with the destructor's release store of stop_.
     if (stop_.load(std::memory_order_acquire)) break;
     num_sleepers_.fetch_add(1, std::memory_order_seq_cst);
     if (work_epoch_.load(std::memory_order_seq_cst) == seen) {

@@ -7,21 +7,27 @@
 //     which makes nested parallelism (the paper's "nested parallelization")
 //     deadlock-free even on a single thread.
 //
+// Locking protocol (machine-checked via util/thread_annotations.hpp under
+// Clang -Wthread-safety):
+//   * inject_mutex_ guards injected_ (the external submission queue).
+//   * sleep_mutex_ pairs with sleep_cv_ for the park/wake protocol; the
+//     epoch/sleeper-count atomics let notify() skip it when nobody sleeps.
+//
 // Thread count: `ThreadPool::global()` reads the PMPR_THREADS environment
 // variable, falling back to std::thread::hardware_concurrency().
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "par/ws_deque.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace pmpr::par {
 
@@ -35,25 +41,44 @@ namespace pmpr::par {
 class WaitGroup {
  public:
   void add(std::size_t n = 1) {
+    // relaxed: add() runs strictly before the submit() that makes the task
+    // visible; the deque/injection-queue handoff provides the ordering.
     pending_.fetch_add(n, std::memory_order_relaxed);
   }
-  void done() { pending_.fetch_sub(1, std::memory_order_acq_rel); }
+  void done() {
+    // acq_rel: release publishes the task's side effects (including a
+    // captured exception_) to the waiter whose finished() observes 0;
+    // acquire orders against other tasks' done() in the same group.
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+  }
   [[nodiscard]] bool finished() const {
+    // acquire: pairs with the release half of done() so the waiter sees
+    // every completed task's writes once the count reaches zero.
     return pending_.load(std::memory_order_acquire) == 0;
   }
 
-  /// Records the first exception thrown by a task of this group.
-  void capture_exception(std::exception_ptr ep) {
+  /// Records the first exception thrown by a task of this group. Returns
+  /// true if this call captured it, false if another task got there first
+  /// (the caller should log the dropped exception rather than lose it
+  /// silently).
+  bool capture_exception(std::exception_ptr ep) {
     bool expected = false;
+    // acq_rel: only the CAS winner stores exception_; the store is made
+    // visible to the waiter by done()'s release, not by this flag (the
+    // flag only elects the winner).
     if (has_exception_.compare_exchange_strong(expected, true,
                                                std::memory_order_acq_rel)) {
       exception_ = std::move(ep);
+      return true;
     }
+    return false;
   }
 
   /// Rethrows the captured exception, if any. Called by wait() once the
   /// group has drained; safe to call repeatedly (rethrows each time).
   void rethrow_if_failed() {
+    // acquire: pairs with the CAS release in capture_exception(); by this
+    // point the group has drained, so exception_ is stable.
     if (has_exception_.load(std::memory_order_acquire) && exception_) {
       std::rethrow_exception(exception_);
     }
@@ -106,18 +131,18 @@ class ThreadPool {
   void worker_loop(std::size_t index);
   /// Attempts to find and run one task. Returns true if a task was run.
   bool try_run_one(std::size_t self_index);
-  Task* try_pop_or_steal(std::size_t self_index);
-  Task* try_pop_injected();
-  void notify();
+  Task* try_pop_or_steal(std::size_t self_index) PMPR_EXCLUDES(inject_mutex_);
+  Task* try_pop_injected() PMPR_EXCLUDES(inject_mutex_);
+  void notify() PMPR_EXCLUDES(sleep_mutex_);
 
   std::vector<std::unique_ptr<WsDeque<Task>>> deques_;
   std::vector<std::thread> workers_;
 
-  std::mutex inject_mutex_;
-  std::deque<Task*> injected_;
+  Mutex inject_mutex_;
+  std::deque<Task*> injected_ PMPR_GUARDED_BY(inject_mutex_);
 
-  std::mutex sleep_mutex_;
-  std::condition_variable sleep_cv_;
+  Mutex sleep_mutex_;
+  CondVar sleep_cv_;
   std::atomic<std::uint64_t> work_epoch_{0};
   /// Workers currently parked (or committing to park) on sleep_cv_.
   /// notify() skips the mutex + notify entirely while this is zero — the

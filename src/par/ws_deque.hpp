@@ -54,14 +54,19 @@ class WsDeque {
   WsDeque& operator=(const WsDeque&) = delete;
 
   ~WsDeque() {
+    // relaxed: destruction is single-threaded; no thief can be live here.
     delete buffer_.load(std::memory_order_relaxed);
     for (Buffer* b : retired_) delete b;
   }
 
   /// Owner-only: push a task at the bottom.
   void push(T* task) {
+    // relaxed: bottom_ is only written by the owner (this thread).
     std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    // acquire: pairs with the release CAS in steal(), so the owner sees
+    // slots freed by completed steals before reusing them.
     std::int64_t t = top_.load(std::memory_order_acquire);
+    // relaxed: buffer_ is only replaced by the owner (in grow()).
     Buffer* buf = buffer_.load(std::memory_order_relaxed);
     if (b - t > static_cast<std::int64_t>(buf->capacity) - 1) {
       buf = grow(buf, t, b);
@@ -70,6 +75,9 @@ class WsDeque {
     if constexpr (kTsanBuild) {
       bottom_.store(b + 1, std::memory_order_seq_cst);
     } else {
+      // release fence + relaxed store (PPoPP'13 Fig. 1): the fence makes
+      // the slot write above visible to any thief whose acquire load of
+      // bottom_ observes b + 1.
       std::atomic_thread_fence(std::memory_order_release);
       bottom_.store(b + 1, std::memory_order_relaxed);
     }
@@ -77,13 +85,18 @@ class WsDeque {
 
   /// Owner-only: pop the most recently pushed task, or nullptr if empty.
   T* pop() {
+    // relaxed: owner-only variable (see push()).
     std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    // relaxed: owner-only variable (see push()).
     Buffer* buf = buffer_.load(std::memory_order_relaxed);
     std::int64_t t;
     if constexpr (kTsanBuild) {
       bottom_.store(b, std::memory_order_seq_cst);
       t = top_.load(std::memory_order_seq_cst);
     } else {
+      // relaxed store + seq_cst fence + relaxed load (PPoPP'13): the fence
+      // globally orders the bottom_ decrement before the top_ read, which
+      // is what prevents owner and thief from both taking the last task.
       bottom_.store(b, std::memory_order_relaxed);
       std::atomic_thread_fence(std::memory_order_seq_cst);
       t = top_.load(std::memory_order_relaxed);
@@ -92,14 +105,17 @@ class WsDeque {
     if (t <= b) {
       task = buf->get(b);
       if (t == b) {
-        // Last element: race against thieves via CAS on top.
+        // Last element: race against thieves via CAS on top (seq_cst on
+        // success; relaxed on failure since we retake no data after losing).
         if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                           std::memory_order_relaxed)) {
           task = nullptr;
         }
+        // relaxed: owner-only restore of the canonical empty state.
         bottom_.store(b + 1, std::memory_order_relaxed);
       }
     } else {
+      // relaxed: owner-only restore of the canonical empty state.
       bottom_.store(b + 1, std::memory_order_relaxed);
     }
     return task;
@@ -115,14 +131,22 @@ class WsDeque {
       t = top_.load(std::memory_order_seq_cst);
       b = bottom_.load(std::memory_order_seq_cst);
     } else {
+      // acquire top, seq_cst fence, acquire bottom (PPoPP'13): the fence
+      // orders this thief's top_ read before the bottom_ read against the
+      // owner's pop() fence; the acquire on bottom_ pairs with push()'s
+      // release fence so the slot contents read below are initialised.
       t = top_.load(std::memory_order_acquire);
       std::atomic_thread_fence(std::memory_order_seq_cst);
       b = bottom_.load(std::memory_order_acquire);
     }
     T* task = nullptr;
     if (t < b) {
+      // acquire: pairs with grow()'s release store so the thief sees a
+      // fully-copied replacement buffer.
       Buffer* buf = buffer_.load(std::memory_order_acquire);
       task = buf->get(t);
+      // seq_cst on success claims the slot; relaxed on failure — the thief
+      // abandons the attempt and reads nothing afterwards.
       if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                         std::memory_order_relaxed)) {
         return nullptr;
@@ -133,6 +157,8 @@ class WsDeque {
 
   /// Approximate size (owner or monitor use only; racy by nature).
   [[nodiscard]] std::size_t size_approx() const {
+    // relaxed (both): the result is advisory by contract; no payload is
+    // read based on these indices.
     const std::int64_t b = bottom_.load(std::memory_order_relaxed);
     const std::int64_t t = top_.load(std::memory_order_relaxed);
     return b > t ? static_cast<std::size_t>(b - t) : 0;
@@ -143,13 +169,16 @@ class WsDeque {
     explicit Buffer(std::size_t cap)
         : capacity(cap), mask(cap - 1), slots(cap) {}
 
+    // relaxed (get/put): slot visibility is ordered by the top_/bottom_
+    // fences and CASes in push()/pop()/steal(), never by the slot access
+    // itself (the slots are atomic only to make the data race defined).
     T* get(std::int64_t i) const {
       return slots[static_cast<std::size_t>(i) & mask].load(
-          std::memory_order_relaxed);
+          std::memory_order_relaxed);  // ordered externally, see above
     }
     void put(std::int64_t i, T* task) {
       slots[static_cast<std::size_t>(i) & mask].store(
-          task, std::memory_order_relaxed);
+          task, std::memory_order_relaxed);  // ordered externally, see above
     }
 
     std::size_t capacity;
@@ -167,6 +196,8 @@ class WsDeque {
     auto* bigger = new Buffer(old->capacity * 2);
     for (std::int64_t i = t; i < b; ++i) bigger->put(i, old->get(i));
     retired_.push_back(old);
+    // release: publishes the copied slots to thieves that acquire-load
+    // buffer_ in steal().
     buffer_.store(bigger, std::memory_order_release);
     return bigger;
   }

@@ -11,8 +11,8 @@ LogLevel& log_threshold() {
   return level;
 }
 
-std::mutex& log_mutex() {
-  static std::mutex m;
+Mutex& log_mutex() {
+  static Mutex m;
   return m;
 }
 
@@ -33,7 +33,7 @@ const char* level_tag(LogLevel level) {
 }  // namespace
 
 void emit(LogLevel level, std::string_view msg) {
-  std::lock_guard<std::mutex> lock(log_mutex());
+  LockGuard lock(log_mutex());
   std::fprintf(stderr, "[pmpr %s] %.*s\n", level_tag(level),
                static_cast<int>(msg.size()), msg.data());
 }

@@ -6,10 +6,11 @@
 // message emission; formatting happens outside the lock).
 #pragma once
 
-#include <mutex>
 #include <sstream>
 #include <string>
 #include <string_view>
+
+#include "util/thread_annotations.hpp"
 
 namespace pmpr {
 
@@ -19,8 +20,8 @@ namespace detail {
 /// Global mutable logging state. Kept behind accessors so tests can lower
 /// the threshold and capture output.
 LogLevel& log_threshold();
-std::mutex& log_mutex();
-void emit(LogLevel level, std::string_view msg);
+Mutex& log_mutex();
+void emit(LogLevel level, std::string_view msg) PMPR_EXCLUDES(log_mutex());
 }  // namespace detail
 
 /// Sets the minimum level that will be emitted. Returns the previous level.

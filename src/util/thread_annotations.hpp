@@ -1,0 +1,146 @@
+// Clang Thread Safety Analysis wrappers + annotated synchronisation types.
+//
+// The pmpr scheduler (src/par/) reimplements TBB's work-stealing pool, and
+// its locking protocol used to live in comments only. This header makes it
+// machine-checked: build with Clang and `-Wthread-safety
+// -Werror=thread-safety` (added automatically by the top-level
+// CMakeLists.txt) and every lock acquisition, guarded-state access, and
+// lock-ordering contract annotated below is verified at compile time.
+// Under GCC the attributes expand to nothing and the wrappers are
+// zero-overhead aliases for the std primitives they hold.
+//
+// Policy (see DESIGN.md "Static analysis"):
+//   * All mutex/condvar use outside src/par/ goes through pmpr::Mutex /
+//     pmpr::LockGuard / pmpr::CondVar (enforced by ci/pmpr_lint.py rule
+//     `raw-concurrency-type`).
+//   * State protected by a mutex is declared with PMPR_GUARDED_BY so that
+//     unlocked access is a compile error under Clang.
+//   * Functions that expect a lock held take PMPR_REQUIRES(mutex).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+// Clang exposes the analysis attributes via __attribute__; GCC accepts the
+// GNU spelling syntactically but performs no analysis, and warns on unknown
+// attributes, so gate on Clang plus __has_attribute.
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define PMPR_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef PMPR_THREAD_ANNOTATION
+#define PMPR_THREAD_ANNOTATION(x)
+#endif
+
+/// Marks a type as a capability (lockable). Name shows up in diagnostics.
+#define PMPR_CAPABILITY(name) PMPR_THREAD_ANNOTATION(capability(name))
+
+/// Marks a RAII type whose constructor acquires and destructor releases.
+#define PMPR_SCOPED_CAPABILITY PMPR_THREAD_ANNOTATION(scoped_lockable)
+
+/// Declares that a data member is protected by the given capability.
+#define PMPR_GUARDED_BY(x) PMPR_THREAD_ANNOTATION(guarded_by(x))
+
+/// Declares that the pointee of a pointer member is protected.
+#define PMPR_PT_GUARDED_BY(x) PMPR_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the capability to be held on entry (and keeps it held).
+#define PMPR_REQUIRES(...) \
+  PMPR_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it on return.
+#define PMPR_ACQUIRE(...) \
+  PMPR_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability.
+#define PMPR_RELEASE(...) \
+  PMPR_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `ret`.
+#define PMPR_TRY_ACQUIRE(ret, ...) \
+  PMPR_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Function must NOT be called with the capability held (deadlock guard).
+#define PMPR_EXCLUDES(...) PMPR_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Return value is the capability guarding the annotated state.
+#define PMPR_RETURN_CAPABILITY(x) PMPR_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch for code the analysis cannot model (use sparingly; every
+/// use should explain why in an adjacent comment).
+#define PMPR_NO_THREAD_SAFETY_ANALYSIS \
+  PMPR_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace pmpr {
+
+class CondVar;
+
+/// std::mutex with capability annotations. Prefer LockGuard over manual
+/// lock()/unlock() pairs; the manual form exists for the rare protocol
+/// (e.g. ThreadPool shutdown) that interleaves locking with other steps.
+class PMPR_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() PMPR_ACQUIRE() { m_.lock(); }
+  void unlock() PMPR_RELEASE() { m_.unlock(); }
+  bool try_lock() PMPR_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  friend class LockGuard;
+  std::mutex m_;
+};
+
+/// RAII lock over pmpr::Mutex (std::unique_lock under the hood so CondVar
+/// can wait on it). Scoped-capability annotated: Clang tracks the guarded
+/// region between construction and destruction.
+class PMPR_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mu) PMPR_ACQUIRE(mu) : lock_(mu.m_) {}
+  ~LockGuard() PMPR_RELEASE() {}
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable paired with pmpr::Mutex via LockGuard. Thin wrapper
+/// over std::condition_variable (not _any: the lock is always a
+/// unique_lock<std::mutex> internally, keeping the fast native path).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+  /// Caller must hold `lock`; the analysis cannot see the temporary
+  /// release inside wait, which is the standard condvar caveat.
+  void wait(LockGuard& lock) { cv_.wait(lock.lock_); }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(LockGuard& lock,
+                          const std::chrono::duration<Rep, Period>& dur) {
+    return cv_.wait_for(lock.lock_, dur);
+  }
+
+  template <typename Predicate>
+  void wait(LockGuard& lock, Predicate pred) {
+    cv_.wait(lock.lock_, std::move(pred));
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace pmpr

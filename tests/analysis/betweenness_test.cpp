@@ -104,7 +104,9 @@ TEST(Betweenness, StarHubTakesAll) {
   const VertexId hub = set.part(0).local_of(0);
   EXPECT_NEAR(r.score[hub], k * (k - 1) / 2.0, 1e-12);
   for (VertexId v = 0; v < set.part(0).num_local(); ++v) {
-    if (v != hub) EXPECT_NEAR(r.score[v], 0.0, 1e-12);
+    if (v != hub) {
+      EXPECT_NEAR(r.score[v], 0.0, 1e-12);
+    }
   }
 }
 

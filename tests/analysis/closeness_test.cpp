@@ -84,7 +84,9 @@ TEST(Closeness, StarCenterIsMostCentral) {
       closeness_window(set.part(0), 0, 10, ClosenessParams{});
   const VertexId center = set.part(0).local_of(0);
   for (VertexId v = 0; v < set.part(0).num_local(); ++v) {
-    if (v != center) EXPECT_GT(r.score[center], r.score[v]);
+    if (v != center) {
+      EXPECT_GT(r.score[center], r.score[v]);
+    }
   }
 }
 

@@ -122,6 +122,59 @@ TEST(Export, BinaryRejectsTruncation) {
   EXPECT_THROW(load_series_binary(dir.file("t.bin")), std::runtime_error);
 }
 
+// A header can claim far more windows/rows than the file holds; the loader
+// must reject it from the file size alone instead of attempting the
+// allocation (corrupt-header defense, mirroring edge_list.cpp).
+TEST(Export, BinaryRejectsHugeWindowCount) {
+  TempDir dir;
+  {
+    std::ofstream out(dir.file("huge.bin"), std::ios::binary);
+    out << "PMPRTS01";
+    const std::uint64_t windows = 1ULL << 60;
+    out.write(reinterpret_cast<const char*>(&windows), sizeof(windows));
+  }
+  EXPECT_THROW(load_series_binary(dir.file("huge.bin")), std::runtime_error);
+}
+
+TEST(Export, BinaryRejectsHugeRowCount) {
+  TempDir dir;
+  {
+    std::ofstream out(dir.file("hugerows.bin"), std::ios::binary);
+    out << "PMPRTS01";
+    const std::uint64_t windows = 1;
+    out.write(reinterpret_cast<const char*>(&windows), sizeof(windows));
+    const std::uint64_t count = 1ULL << 60;
+    out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  }
+  EXPECT_THROW(load_series_binary(dir.file("hugerows.bin")),
+               std::runtime_error);
+}
+
+TEST(Export, BinaryRejectsWindowCountBeyondPayload) {
+  TempDir dir;
+  {
+    // Claims 3 windows but carries bytes for at most one empty window.
+    std::ofstream out(dir.file("short.bin"), std::ios::binary);
+    out << "PMPRTS01";
+    const std::uint64_t windows = 3;
+    out.write(reinterpret_cast<const char*>(&windows), sizeof(windows));
+    const std::uint64_t count = 0;
+    out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  }
+  EXPECT_THROW(load_series_binary(dir.file("short.bin")), std::runtime_error);
+}
+
+TEST(Export, BinaryRejectsTruncatedMidRow) {
+  TempDir dir;
+  const StoreAllSink sink = computed_series();
+  save_series_binary(sink, dir.file("midrow.bin"));
+  const auto size = std::filesystem::file_size(dir.file("midrow.bin"));
+  // Chop into the middle of the final row's score field.
+  std::filesystem::resize_file(dir.file("midrow.bin"), size - 3);
+  EXPECT_THROW(load_series_binary(dir.file("midrow.bin")),
+               std::runtime_error);
+}
+
 TEST(Export, EmptyWindowsSurvive) {
   TempDir dir;
   StoreAllSink sink(3);  // nothing consumed: three empty windows

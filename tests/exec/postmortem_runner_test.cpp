@@ -66,12 +66,12 @@ INSTANTIATE_TEST_SUITE_P(
                           par::Partitioner::kStatic),
         ::testing::Values(false, true),
         ::testing::Values(std::size_t{1}, std::size_t{4})),
-    [](const auto& info) {
-      return std::string(to_string(std::get<0>(info.param))) + "_" +
-             std::string(to_string(std::get<1>(info.param))) + "_" +
-             std::string(to_string(std::get<2>(info.param))) +
-             (std::get<3>(info.param) ? "_partial" : "_full") + "_Y" +
-             std::to_string(std::get<4>(info.param));
+    [](const auto& pinfo) {
+      return std::string(to_string(std::get<0>(pinfo.param))) + "_" +
+             std::string(to_string(std::get<1>(pinfo.param))) + "_" +
+             std::string(to_string(std::get<2>(pinfo.param))) +
+             (std::get<3>(pinfo.param) ? "_partial" : "_full") + "_Y" +
+             std::to_string(std::get<4>(pinfo.param));
     });
 
 TEST(PostmortemRunner, PartialInitReducesTotalIterations) {

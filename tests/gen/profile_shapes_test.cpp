@@ -61,8 +61,8 @@ TEST_P(GrowthDatasets, MostEventsArriveLate) {
 INSTANTIATE_TEST_SUITE_P(Growth, GrowthDatasets,
                          ::testing::Values("wiki-talk", "stackoverflow",
                                            "askubuntu"),
-                         [](const auto& info) {
-                           std::string n = info.param;
+                         [](const auto& pinfo) {
+                           std::string n = pinfo.param;
                            for (char& ch : n) {
                              if (ch == '-') ch = '_';
                            }

@@ -76,8 +76,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values("ca-cit-HepTh", "stackoverflow", "askubuntu",
                       "youtube-growth", "epinions-user-ratings",
                       "ia-enron-email", "wiki-talk"),
-    [](const auto& info) {
-      std::string name = info.param;
+    [](const auto& pinfo) {
+      std::string name = pinfo.param;
       for (char& ch : name) {
         if (ch == '-') ch = '_';
       }

@@ -51,8 +51,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(ProfileShape::kUniform, ProfileShape::kSpike,
                       ProfileShape::kBurst, ProfileShape::kGrowth,
                       ProfileShape::kSteadyBursty, ProfileShape::kIrregular),
-    [](const auto& info) {
-      std::string name(to_string(info.param));
+    [](const auto& pinfo) {
+      std::string name(to_string(pinfo.param));
       for (char& ch : name) {
         if (ch == '-') ch = '_';
       }

@@ -69,7 +69,7 @@ TEST(Csr, IsolatedTrailingVertices) {
 
 TEST(WindowGraph, BuildMatchesBruteForce) {
   const TemporalEdgeList events = test::random_events(3, 40, 1500, 5000);
-  for (const auto [ts, te] : std::vector<std::pair<Timestamp, Timestamp>>{
+  for (const auto& [ts, te] : std::vector<std::pair<Timestamp, Timestamp>>{
            {0, 5000}, {1000, 2000}, {4900, 5000}, {2000, 1000}}) {
     const WindowGraph g =
         build_window_graph(events.slice(ts, te), events.num_vertices());

@@ -78,7 +78,7 @@ TEST(TemporalEdgeList, MinMaxTime) {
 
 TEST(TemporalEdgeList, SliceMatchesBruteForce) {
   const TemporalEdgeList list = test::random_events(1, 50, 2000, 10000);
-  for (const auto [ts, te] : std::vector<std::pair<Timestamp, Timestamp>>{
+  for (const auto& [ts, te] : std::vector<std::pair<Timestamp, Timestamp>>{
            {0, 10000}, {500, 700}, {0, 0}, {9999, 10000}, {5000, 4000}}) {
     const auto slice = list.slice(ts, te);
     std::size_t expected = 0;

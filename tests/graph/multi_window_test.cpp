@@ -80,8 +80,12 @@ TEST_P(MultiWindowParam, WindowEdgesMatchBruteForceThroughParts) {
 
 INSTANTIATE_TEST_SUITE_P(PartCounts, MultiWindowParam,
                          ::testing::Values(1, 2, 3, 6, 17, 1000),
-                         [](const auto& info) {
-                           return "Y" + std::to_string(info.param);
+                         [](const auto& pinfo) {
+                           // += instead of operator+ dodges a GCC 12
+                           // -Wrestrict false positive (PR105651).
+                           std::string name = "Y";
+                           name += std::to_string(pinfo.param);
+                           return name;
                          });
 
 TEST(MultiWindow, LocalGlobalMappingRoundTrips) {

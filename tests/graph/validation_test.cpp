@@ -213,8 +213,8 @@ TEST(EdgeListValidation, ConstructorRejectsReservedVertexId) {
 
 TEST(EdgeListValidation, MinMaxTimeOfEmptyListThrow) {
   const TemporalEdgeList list;
-  EXPECT_THROW(list.min_time(), InvariantError);
-  EXPECT_THROW(list.max_time(), InvariantError);
+  EXPECT_THROW((void)list.min_time(), InvariantError);
+  EXPECT_THROW((void)list.max_time(), InvariantError);
 }
 
 TEST(EdgeListValidation, TextLoadRejectsOverflowingVertexId) {

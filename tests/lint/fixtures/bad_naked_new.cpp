@@ -1,0 +1,12 @@
+// pmpr-lint fixture: violates exactly `naked-new-delete`.
+// Manual lifetime management outside ws_deque.hpp.
+struct Node {
+  int value = 0;
+};
+
+int roundtrip(int v) {
+  Node* n = new Node{v};
+  const int out = n->value;
+  delete n;
+  return out;
+}

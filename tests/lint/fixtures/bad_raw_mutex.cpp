@@ -1,0 +1,9 @@
+// pmpr-lint fixture: violates exactly `raw-concurrency-type`.
+// Uses std::mutex directly instead of pmpr::Mutex, outside src/par/.
+#include <mutex>
+
+int guarded_increment(int& value) {
+  static std::mutex m;
+  const std::scoped_lock lock(m);
+  return ++value;
+}

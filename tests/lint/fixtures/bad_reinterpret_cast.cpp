@@ -1,0 +1,7 @@
+// pmpr-lint fixture: violates exactly `reinterpret-cast-outside-io`.
+// Type punning outside the binary-IO allowlist.
+#include <cstdint>
+
+std::uint32_t low_word(const double& d) {
+  return *reinterpret_cast<const std::uint32_t*>(&d);
+}

@@ -1,0 +1,9 @@
+// pmpr-lint fixture: violates exactly `atomic-order-comment`.
+// A relaxed atomic access with no adjacent ordering-rationale comment.
+#include <atomic>
+
+int count_up(std::atomic<int>& counter) {
+  counter.fetch_add(1, std::memory_order_relaxed);
+
+  return counter.load();
+}

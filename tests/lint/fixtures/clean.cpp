@@ -1,0 +1,25 @@
+// pmpr-lint fixture: violates no rule. Exercises the near-miss cases —
+// a documented relaxed atomic, a deleted copy constructor, and smart
+// pointers — that must NOT be flagged.
+#include <atomic>
+#include <memory>
+
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void bump() {
+    // relaxed: pure event count, read only after threads join.
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  int value() const { return count_.load(); }
+
+ private:
+  std::atomic<int> count_{0};
+};
+
+std::unique_ptr<Counter> make_counter() {
+  return std::make_unique<Counter>();
+}

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Self-test for ci/pmpr_lint.py.
+
+Runs the linter over each fixture under tests/lint/fixtures/ and asserts:
+  * every bad_* fixture exits non-zero and reports exactly its expected
+    rule id (and no other rule),
+  * the clean fixture exits zero with no findings.
+
+Registered as the ctest target `pmpr_lint.fixtures`.
+"""
+
+import argparse
+import pathlib
+import re
+import subprocess
+import sys
+
+# fixture file -> rule id it must (exclusively) trip.
+EXPECTED = {
+    "bad_relaxed_atomic.cpp": "atomic-order-comment",
+    "bad_raw_mutex.cpp": "raw-concurrency-type",
+    "bad_naked_new.cpp": "naked-new-delete",
+    "bad_reinterpret_cast.cpp": "reinterpret-cast-outside-io",
+    "clean.cpp": None,
+}
+
+RULE_RE = re.compile(r"\[([a-z-]+)\]")
+
+
+def run_lint(root, fixture):
+    return subprocess.run(
+        [
+            sys.executable,
+            str(root / "ci" / "pmpr_lint.py"),
+            "--root",
+            str(root),
+            str(fixture),
+        ],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--root", default=".", help="repo root")
+    args = ap.parse_args()
+    root = pathlib.Path(args.root).resolve()
+    fixture_dir = root / "tests" / "lint" / "fixtures"
+
+    failures = []
+    on_disk = {p.name for p in fixture_dir.glob("*.cpp")}
+    missing = set(EXPECTED) - on_disk
+    stray = on_disk - set(EXPECTED)
+    if missing:
+        failures.append(f"missing fixtures: {sorted(missing)}")
+    if stray:
+        failures.append(f"fixtures without an expectation: {sorted(stray)}")
+
+    for name, want_rule in sorted(EXPECTED.items()):
+        fixture = fixture_dir / name
+        if not fixture.exists():
+            continue
+        proc = run_lint(root, fixture)
+        got_rules = set(RULE_RE.findall(proc.stdout))
+        if want_rule is None:
+            if proc.returncode != 0 or got_rules:
+                failures.append(
+                    f"{name}: expected clean, got exit={proc.returncode} "
+                    f"rules={sorted(got_rules)}\n{proc.stdout}"
+                )
+            else:
+                print(f"ok   {name}: clean as expected")
+        else:
+            if proc.returncode == 0:
+                failures.append(f"{name}: expected a violation, got none")
+            elif got_rules != {want_rule}:
+                failures.append(
+                    f"{name}: expected exactly [{want_rule}], got "
+                    f"{sorted(got_rules)}\n{proc.stdout}"
+                )
+            else:
+                print(f"ok   {name}: tripped [{want_rule}] only")
+
+    if failures:
+        print("\n".join(f"FAIL {f}" for f in failures))
+        return 1
+    print(f"pmpr-lint fixtures: all {len(EXPECTED)} behaved as expected")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

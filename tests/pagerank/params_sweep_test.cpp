@@ -74,9 +74,9 @@ INSTANTIATE_TEST_SUITE_P(
     AlphaDanglingGrid, PagerankParamSweep,
     ::testing::Combine(::testing::Values(0.01, 0.15, 0.5, 0.85),
                        ::testing::Values(true, false)),
-    [](const auto& info) {
-      const double alpha = std::get<0>(info.param);
-      const bool redistribute = std::get<1>(info.param);
+    [](const auto& pinfo) {
+      const double alpha = std::get<0>(pinfo.param);
+      const bool redistribute = std::get<1>(pinfo.param);
       return "alpha" + std::to_string(static_cast<int>(alpha * 100)) +
              (redistribute ? "_dangling" : "_leak");
     });
@@ -109,10 +109,10 @@ TEST_P(ToleranceSweep, TighterToleranceMoreIterationsCloserToFixpoint) {
 
 INSTANTIATE_TEST_SUITE_P(Tolerances, ToleranceSweep,
                          ::testing::Values(1e-4, 1e-6, 1e-8, 1e-10),
-                         [](const auto& info) {
+                         [](const auto& pinfo) {
                            return "tol1e" +
                                   std::to_string(static_cast<int>(
-                                      -std::log10(info.param)));
+                                      -std::log10(pinfo.param)));
                          });
 
 }  // namespace

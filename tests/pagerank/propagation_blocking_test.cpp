@@ -29,7 +29,7 @@ std::vector<double> run_blocked(const TemporalEdgeList& events, Timestamp ts,
 
 TEST(PropagationBlocking, MatchesPullKernel) {
   const TemporalEdgeList events = test::random_events(3, 60, 2000, 10000);
-  for (const auto [ts, te] : std::vector<std::pair<Timestamp, Timestamp>>{
+  for (const auto& [ts, te] : std::vector<std::pair<Timestamp, Timestamp>>{
            {0, 10000}, {2000, 5000}, {9000, 10000}}) {
     const auto blocked = run_blocked(events, ts, te, 12);
     const WindowGraph ref_graph =
@@ -58,8 +58,8 @@ TEST_P(BinBits, BinWidthNeverChangesResults) {
 
 INSTANTIATE_TEST_SUITE_P(Widths, BinBits,
                          ::testing::Values(4u, 6u, 8u, 16u, 30u),
-                         [](const auto& info) {
-                           return "bits" + std::to_string(info.param);
+                         [](const auto& pinfo) {
+                           return "bits" + std::to_string(pinfo.param);
                          });
 
 TEST(PropagationBlocking, DistributionMaintained) {

@@ -85,8 +85,12 @@ TEST_P(SpmmLanes, EveryLaneMatchesBruteForce) {
 
 INSTANTIATE_TEST_SUITE_P(LaneCounts, SpmmLanes,
                          ::testing::Values(1, 2, 4, 8, 16, 64),
-                         [](const auto& info) {
-                           return "L" + std::to_string(info.param);
+                         [](const auto& pinfo) {
+                           // += instead of operator+ dodges a GCC 12
+                           // -Wrestrict false positive (PR105651).
+                           std::string name = "L";
+                           name += std::to_string(pinfo.param);
+                           return name;
                          });
 
 TEST(SpmmTemporal, MatchesSpmvPerWindow) {

@@ -57,9 +57,9 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(std::size_t{1}, std::size_t{8},
                                          std::size_t{64}, std::size_t{2048},
                                          std::size_t{100000})),
-    [](const auto& info) {
-      return std::string(to_string(std::get<0>(info.param))) + "_grain" +
-             std::to_string(std::get<1>(info.param));
+    [](const auto& pinfo) {
+      return std::string(to_string(std::get<0>(pinfo.param))) + "_grain" +
+             std::to_string(std::get<1>(pinfo.param));
     });
 
 TEST(ParallelFor, EmptyRangeIsNoop) {

@@ -117,7 +117,7 @@ TEST(ParStress, UnevenWorkloadsBalance) {
     parallel_for(0, 200, opts, [&](std::size_t i) {
       std::uint64_t spin = i == 0 ? 20000 : 10;
       volatile std::uint64_t x = 0;
-      for (std::uint64_t k = 0; k < spin; ++k) x += k;
+      for (std::uint64_t k = 0; k < spin; ++k) x = x + k;
       total.fetch_add(1, std::memory_order_relaxed);
     });
     EXPECT_EQ(total.load(), 200u) << to_string(partitioner);
