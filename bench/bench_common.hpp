@@ -6,8 +6,12 @@
 // capped like the paper's experiment setups (6 / 256 / 1024 windows).
 #pragma once
 
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "exec/offline_runner.hpp"
 #include "exec/postmortem_runner.hpp"
@@ -27,6 +31,7 @@ struct BenchArgs {
   std::int64_t seed = 42;
   bool csv = false;          ///< Emit CSV instead of aligned text.
   std::int64_t repeats = 1;  ///< Timing repeats (median reported).
+  std::string json;          ///< When non-empty, also write results here.
 
   /// Registers the common flags on `opts`.
   void attach(Options& opts) {
@@ -34,7 +39,83 @@ struct BenchArgs {
     opts.add("seed", &seed, "generator seed");
     opts.add("csv", &csv, "print CSV instead of aligned text");
     opts.add("repeats", &repeats, "timing repeats, median reported");
+    opts.add("json", &json, "write machine-readable results to this path");
   }
+};
+
+/// Accumulates name -> {field: number} records and writes them as one JSON
+/// object, preserving insertion order. Just enough for the --json emission
+/// of benchmark binaries (consumed by ci/bench_smoke.sh and ad-hoc
+/// plotting) — not a general serializer: values are finite doubles and
+/// names must not need escaping.
+class JsonEmitter {
+ public:
+  /// Sets `record.field = value`, creating the record on first use.
+  void set(const std::string& record, const std::string& field,
+           double value) {
+    fields_for(record).emplace_back(field, value);
+  }
+
+  [[nodiscard]] bool has(const std::string& record) const {
+    for (const auto& rec : records_) {
+      if (rec.first == record) return true;
+    }
+    return false;
+  }
+
+  /// Returns `record.field`, or `fallback` when absent.
+  [[nodiscard]] double get(const std::string& record,
+                           const std::string& field,
+                           double fallback = 0.0) const {
+    for (const auto& rec : records_) {
+      if (rec.first != record) continue;
+      for (const auto& kv : rec.second) {
+        if (kv.first == field) return kv.second;
+      }
+    }
+    return fallback;
+  }
+
+  /// Writes the accumulated records to `path`; returns false on IO failure.
+  [[nodiscard]] bool write(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << "{\n";
+    for (std::size_t r = 0; r < records_.size(); ++r) {
+      out << "  \"" << records_[r].first << "\": {";
+      const auto& fields = records_[r].second;
+      for (std::size_t i = 0; i < fields.size(); ++i) {
+        out << "\n    \"" << fields[i].first
+            << "\": " << fmt_number(fields[i].second)
+            << (i + 1 < fields.size() ? "," : "\n  ");
+      }
+      out << "}" << (r + 1 < records_.size() ? "," : "") << "\n";
+    }
+    out << "}\n";
+    return static_cast<bool>(out);
+  }
+
+ private:
+  static std::string fmt_number(double v) {
+    std::ostringstream os;
+    os.precision(12);
+    os << v;
+    return os.str();
+  }
+
+  std::vector<std::pair<std::string, double>>& fields_for(
+      const std::string& record) {
+    for (auto& [name, fields] : records_) {
+      if (name == record) return fields;
+    }
+    records_.emplace_back(record,
+                          std::vector<std::pair<std::string, double>>{});
+    return records_.back().second;
+  }
+
+  std::vector<
+      std::pair<std::string, std::vector<std::pair<std::string, double>>>>
+      records_;
 };
 
 inline void print(const Table& table, const BenchArgs& args) {

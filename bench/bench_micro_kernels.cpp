@@ -5,7 +5,12 @@
 // reconstruction (the offline model's per-window cost).
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "bench_common.hpp"
+#include "pagerank/batch_csr.hpp"
 #include "pagerank/propagation_blocking.hpp"
 #include "pagerank/spmm_temporal.hpp"
 #include "pagerank/spmv_temporal.hpp"
@@ -15,6 +20,10 @@ namespace {
 
 using namespace pmpr;
 
+/// Overridable before the first MicroFixture::get() via --scale= (the
+/// bench.smoke ctest target shrinks the dataset for a fast sanity pass).
+double g_scale = 0.05;  // NOLINT(*avoid-non-const-global*)
+
 struct MicroFixture {
   TemporalEdgeList events;
   WindowSpec spec;
@@ -22,7 +31,7 @@ struct MicroFixture {
 
   MicroFixture()
       : events(gen::generate(
-            gen::scaled(gen::dataset_by_name("wiki-talk"), 0.05), 42)),
+            gen::scaled(gen::dataset_by_name("wiki-talk"), g_scale), 42)),
         spec(bench::last_windows(events, 90 * duration::kDay, 86'400, 64)),
         set(MultiWindowSet::build(events, spec, 2)) {}
 
@@ -31,6 +40,17 @@ struct MicroFixture {
     return fixture;
   }
 };
+
+/// The SpMM batch every SpMM micro-bench times: 16 lanes striding the
+/// part's windows (the paper's preferred vector length).
+SpmmBatch spmm16_batch(const MultiWindowGraph& part) {
+  SpmmBatch batch;
+  batch.lanes = std::min<std::size_t>(16, part.num_windows);
+  batch.first_window = part.first_window;
+  batch.window_stride =
+      std::max<std::size_t>(1, part.num_windows / batch.lanes);
+  return batch;
+}
 
 void BM_TemporalCsrBuild(benchmark::State& state) {
   const auto& f = MicroFixture::get();
@@ -92,13 +112,32 @@ void BM_SpmvIteration(benchmark::State& state) {
 }
 BENCHMARK(BM_SpmvIteration);
 
+void BM_SpmvIterationCompiled(benchmark::State& state) {
+  const auto& f = MicroFixture::get();
+  const auto& part = f.set.part(0);
+  const std::size_t w = part.first_window;
+  WindowState ws;
+  CompiledWindowCsr compiled;
+  compile_window(part, f.spec.start(w), f.spec.end(w), ws, compiled);
+  std::vector<double> x(part.num_local());
+  std::vector<double> scratch(part.num_local());
+  full_init(ws.active, ws.num_active, x);
+  PagerankParams params;
+  params.max_iters = 1;
+  params.tol = 0.0;
+  for (auto _ : state) {
+    pagerank_window_spmv(ws, compiled, x, scratch, params);
+    benchmark::DoNotOptimize(x[0]);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(part.num_events));
+}
+BENCHMARK(BM_SpmvIterationCompiled);
+
 void BM_SpmmIteration16(benchmark::State& state) {
   const auto& f = MicroFixture::get();
   const auto& part = f.set.part(0);
-  SpmmBatch batch;
-  batch.lanes = std::min<std::size_t>(16, part.num_windows);
-  batch.first_window = part.first_window;
-  batch.window_stride = std::max<std::size_t>(1, part.num_windows / batch.lanes);
+  const SpmmBatch batch = spmm16_batch(part);
   SpmmWindowState ws;
   compute_spmm_state(part, f.spec, batch, ws);
   const std::size_t n = part.num_local();
@@ -117,6 +156,46 @@ void BM_SpmmIteration16(benchmark::State& state) {
                           static_cast<std::int64_t>(batch.lanes));
 }
 BENCHMARK(BM_SpmmIteration16);
+
+void BM_SpmmIteration16Compiled(benchmark::State& state) {
+  const auto& f = MicroFixture::get();
+  const auto& part = f.set.part(0);
+  const SpmmBatch batch = spmm16_batch(part);
+  SpmmWindowState ws;
+  CompiledBatchCsr compiled;
+  compile_spmm_batch(part, f.spec, batch, ws, compiled);
+  const std::size_t n = part.num_local();
+  std::vector<double> x(n * batch.lanes, 1.0 / static_cast<double>(n));
+  std::vector<double> scratch(n * batch.lanes);
+  PagerankParams params;
+  params.max_iters = 1;
+  params.tol = 0.0;
+  for (auto _ : state) {
+    pagerank_spmm(ws, compiled, x, scratch, params);
+    benchmark::DoNotOptimize(x[0]);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(part.num_events) *
+                          static_cast<std::int64_t>(batch.lanes));
+}
+BENCHMARK(BM_SpmmIteration16Compiled);
+
+void BM_SpmmCompile16(benchmark::State& state) {
+  // The one-off cost the compiled iteration amortizes: building the
+  // run-compressed adjacency + lane masks for a 16-lane batch.
+  const auto& f = MicroFixture::get();
+  const auto& part = f.set.part(0);
+  const SpmmBatch batch = spmm16_batch(part);
+  SpmmWindowState ws;
+  CompiledBatchCsr compiled;
+  for (auto _ : state) {
+    compile_spmm_batch(part, f.spec, batch, ws, compiled);
+    benchmark::DoNotOptimize(compiled.nbr.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(part.num_events));
+}
+BENCHMARK(BM_SpmmCompile16);
 
 void BM_PropagationBlockingIteration(benchmark::State& state) {
   const auto& f = MicroFixture::get();
@@ -162,6 +241,97 @@ void BM_MultiWindowSetBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_MultiWindowSetBuild);
 
+/// Console reporter that additionally records every run so main() can emit
+/// machine-readable JSON (--json=PATH) next to the usual table.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Captured {
+    std::string name;
+    double ns_per_iteration = 0.0;
+    double items_per_second = 0.0;  // 0 when the bench sets no item count
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      Captured c;
+      c.name = run.benchmark_name();
+      if (run.iterations > 0) {
+        c.ns_per_iteration = run.real_accumulated_time /
+                             static_cast<double>(run.iterations) * 1e9;
+      }
+      const auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) c.items_per_second = it->second.value;
+      runs_.push_back(std::move(c));
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  [[nodiscard]] const std::vector<Captured>& runs() const { return runs_; }
+
+ private:
+  std::vector<Captured> runs_;
+};
+
+/// Emits `BENCH_kernels.json`-style output: one record per benchmark with
+/// ns/iteration, throughput, ns/item (= ns per edge per iteration for the
+/// kernel benches, where items = events x lanes), and — for the compiled
+/// kernels — the speedup over their reference counterpart.
+bool emit_json(const std::string& path,
+               const std::vector<CapturingReporter::Captured>& runs) {
+  bench::JsonEmitter json;
+  for (const auto& run : runs) {
+    json.set(run.name, "ns_per_iteration", run.ns_per_iteration);
+    if (run.items_per_second > 0.0) {
+      json.set(run.name, "items_per_second", run.items_per_second);
+      json.set(run.name, "ns_per_item", 1e9 / run.items_per_second);
+    }
+  }
+  const std::pair<const char*, const char*> pairs[] = {
+      {"BM_SpmvIterationCompiled", "BM_SpmvIteration"},
+      {"BM_SpmmIteration16Compiled", "BM_SpmmIteration16"},
+  };
+  for (const auto& [compiled, reference] : pairs) {
+    if (!json.has(compiled) || !json.has(reference)) continue;
+    const double ref_ns = json.get(reference, "ns_per_iteration");
+    const double cmp_ns = json.get(compiled, "ns_per_iteration");
+    // Same fixture and item count per iteration, so the time ratio is the
+    // edges*lanes/s throughput ratio.
+    if (cmp_ns > 0.0) {
+      json.set(compiled, "speedup_vs_reference", ref_ns / cmp_ns);
+    }
+  }
+  return json.write(path);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip our flags before google-benchmark parses the rest.
+  std::string json_path;
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--scale=", 8) == 0) {
+      g_scale = std::stod(argv[i] + 8);
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  int bench_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&bench_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                             passthrough.data())) {
+    return 1;
+  }
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_path.empty() && !emit_json(json_path, reporter.runs())) {
+    std::cerr << "failed to write " << json_path << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -42,6 +42,12 @@ struct PostmortemConfig {
   PartitionPolicy partition_policy = PartitionPolicy::kUniformWindows;
   /// SpMM lanes ("vector length"; paper uses 8 or 16).
   std::size_t vector_length = 16;
+  /// Use the batch-compiled adjacency kernels (precomputed lane masks, run
+  /// compression, active-row compaction — pagerank/batch_csr.hpp) instead
+  /// of the reference traversal that re-derives lane membership per edge
+  /// per iteration. Bit-identical results; off retains the reference
+  /// kernels for differential testing and ablation.
+  bool compiled_kernels = true;
   bool partial_init = true;
   /// Run MultiWindowSet::validate() on the representation before computing
   /// (throws pmpr::InvariantError on a structural violation). O(V + E)

@@ -21,6 +21,8 @@ namespace {
 struct ThreadState {
   WindowState ws;
   SpmmWindowState spmm_ws;
+  CompiledWindowCsr compiled_win;
+  CompiledBatchCsr compiled_batch;
   std::vector<double> x;
   std::vector<double> scratch;
   std::vector<double> lane_buf;
@@ -198,7 +200,11 @@ class PostmortemDriver {
 
     st.x.resize(n);
     st.scratch.resize(n);
-    compute_window_state(part, ts, te, st.ws, kernel_par_);
+    if (cfg_.compiled_kernels) {
+      compile_window(part, ts, te, st.ws, st.compiled_win, kernel_par_);
+    } else {
+      compute_window_state(part, ts, te, st.ws, kernel_par_);
+    }
 
     const bool partial = cfg_.partial_init && item.index > 0 &&
                          st.carry_part == item.part &&
@@ -211,8 +217,12 @@ class PostmortemDriver {
       full_init(st.ws.active, st.ws.num_active, st.x);
     }
 
-    const PagerankStats stats = pagerank_window_spmv(
-        part, ts, te, st.ws, st.x, st.scratch, cfg_.pr, kernel_par_);
+    const PagerankStats stats =
+        cfg_.compiled_kernels
+            ? pagerank_window_spmv(st.ws, st.compiled_win, st.x, st.scratch,
+                                   cfg_.pr, kernel_par_)
+            : pagerank_window_spmv(part, ts, te, st.ws, st.x, st.scratch,
+                                   cfg_.pr, kernel_par_);
     result_.iterations_per_window[w] = stats.iterations;
     sink_.consume_mapped(w, part.local_to_global, st.x);
 
@@ -238,7 +248,12 @@ class PostmortemDriver {
 
     st.x.resize(n * lanes);
     st.scratch.resize(n * lanes);
-    compute_spmm_state(part, set_.spec(), batch, st.spmm_ws, kernel_par_);
+    if (cfg_.compiled_kernels) {
+      compile_spmm_batch(part, set_.spec(), batch, st.spmm_ws,
+                         st.compiled_batch, kernel_par_);
+    } else {
+      compute_spmm_state(part, set_.spec(), batch, st.spmm_ws, kernel_par_);
+    }
 
     const bool partial = cfg_.partial_init && j > 0 &&
                          st.carry_part == item.part &&
@@ -265,8 +280,11 @@ class PostmortemDriver {
     }
 
     const SpmmStats stats =
-        pagerank_spmm(part, set_.spec(), batch, st.spmm_ws, st.x, st.scratch,
-                      cfg_.pr, kernel_par_);
+        cfg_.compiled_kernels
+            ? pagerank_spmm(st.spmm_ws, st.compiled_batch, st.x, st.scratch,
+                            cfg_.pr, kernel_par_)
+            : pagerank_spmm(part, set_.spec(), batch, st.spmm_ws, st.x,
+                            st.scratch, cfg_.pr, kernel_par_);
 
     st.lane_buf.resize(n);
     for (std::size_t k = 0; k < lanes; ++k) {

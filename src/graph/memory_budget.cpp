@@ -8,11 +8,22 @@ namespace {
 
 /// Working vectors per execution context for a part with `vertices` locals:
 /// x + scratch + prev_x (3 doubles) per lane, degrees (u32) per lane,
-/// activity mask (u64).
-std::size_t working_bytes(std::size_t vertices, std::size_t vector_length) {
+/// activity mask (u64), plus the batch-compiled adjacency
+/// (pagerank/batch_csr.hpp): row pointers, run-compressed neighbor + lane
+/// mask entries (bounded by the part's stored events — run compression and
+/// mask-0 dropping only shrink it), and the compacted active/dangling
+/// lists.
+std::size_t working_bytes(std::size_t vertices, std::size_t events,
+                          std::size_t vector_length) {
   const std::size_t lanes = std::max<std::size_t>(1, vector_length);
-  return vertices * (3 * sizeof(double) * lanes +
-                     sizeof(std::uint32_t) * lanes + sizeof(std::uint64_t));
+  const std::size_t vectors =
+      vertices * (3 * sizeof(double) * lanes +
+                  sizeof(std::uint32_t) * lanes + sizeof(std::uint64_t));
+  const std::size_t compiled =
+      (vertices + 1) * sizeof(std::size_t)                      // row_ptr
+      + events * (sizeof(VertexId) + sizeof(std::uint64_t))     // nbr + mask
+      + vertices * (2 * sizeof(VertexId) + sizeof(std::uint64_t));  // lists
+  return vectors + compiled;
 }
 
 std::size_t representation_bytes_for(std::size_t vertices,
@@ -34,7 +45,7 @@ MemoryEstimate estimate_memory(const MultiWindowSet& set,
     if (bytes >= est.largest_part_bytes) {
       est.largest_part_bytes = bytes;
       est.working_bytes_per_context =
-          working_bytes(part.num_local(), vector_length);
+          working_bytes(part.num_local(), part.num_events, vector_length);
     }
   }
   return est;
@@ -59,7 +70,7 @@ MemoryEstimate predict_memory(const TemporalEdgeList& events,
     if (bytes >= est.largest_part_bytes) {
       est.largest_part_bytes = bytes;
       est.working_bytes_per_context =
-          working_bytes(part_vertices, vector_length);
+          working_bytes(part_vertices, part_events, vector_length);
     }
   }
   return est;

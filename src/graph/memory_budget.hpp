@@ -25,7 +25,9 @@ struct MemoryEstimate {
   std::size_t largest_part_bytes = 0;
   /// Per-execution-context working set for the largest part: PageRank
   /// vector, scratch, partial-init carry, degrees and activity — times the
-  /// SpMM vector length.
+  /// SpMM vector length — plus the batch-compiled adjacency
+  /// (pagerank/batch_csr.hpp; entries bounded by the part's stored
+  /// events).
   std::size_t working_bytes_per_context = 0;
 
   /// Peak bytes with `contexts` simultaneously active parts/kernels.

@@ -1,0 +1,252 @@
+#include "pagerank/batch_csr.hpp"
+
+#include <atomic>
+#include <cassert>
+
+namespace pmpr {
+
+namespace {
+
+/// Pass A of the SpMM compile: per-row run compression that counts the
+/// surviving (mask != 0) runs into row_ptr[v + 1] and scatters degrees and
+/// activity exactly like compute_spmm_state. `Atomic` selects
+/// std::atomic_ref for the cross-row scatter targets; row_ptr[v + 1] is
+/// owned by the row and needs none.
+template <bool Atomic>
+void count_and_scatter_rows(const MultiWindowGraph& part,
+                            const WindowSpec& spec, const SpmmBatch& batch,
+                            SpmmWindowState& state, CompiledBatchCsr& out,
+                            std::size_t lo, std::size_t hi) {
+  const std::size_t lanes = batch.lanes;
+  for (std::size_t v = lo; v < hi; ++v) {
+    const auto cols = part.in.row_cols(static_cast<VertexId>(v));
+    const auto times = part.in.row_times(static_cast<VertexId>(v));
+    std::uint64_t v_mask = 0;
+    std::size_t entries = 0;
+    std::size_t i = 0;
+    while (i < cols.size()) {
+      const VertexId u = cols[i];
+      std::uint64_t run_mask = 0;
+      while (i < cols.size() && cols[i] == u) {
+        run_mask |= lanes_containing(spec, batch, times[i]);
+        ++i;
+      }
+      if (run_mask == 0) continue;
+      ++entries;
+      v_mask |= run_mask;
+      std::uint64_t m = run_mask;
+      while (m != 0) {
+        const auto k = static_cast<unsigned>(__builtin_ctzll(m));
+        m &= m - 1;
+        if constexpr (Atomic) {
+          std::atomic_ref<std::uint32_t> deg(state.out_degree[u * lanes + k]);
+          // relaxed: pure commutative count; published by the join.
+          deg.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          ++state.out_degree[u * lanes + k];
+        }
+      }
+      if constexpr (Atomic) {
+        std::atomic_ref<std::uint64_t> am(state.active_mask[u]);
+        // relaxed: commutative bit-set; published by the join.
+        am.fetch_or(run_mask, std::memory_order_relaxed);
+      } else {
+        state.active_mask[u] |= run_mask;
+      }
+    }
+    if (v_mask != 0) {
+      if constexpr (Atomic) {
+        std::atomic_ref<std::uint64_t> am(state.active_mask[v]);
+        // relaxed: commutative bit-set; published by the join.
+        am.fetch_or(v_mask, std::memory_order_relaxed);
+      } else {
+        state.active_mask[v] |= v_mask;
+      }
+    }
+    out.row_ptr[v + 1] = entries;
+  }
+}
+
+/// Pass B: re-runs the (row-local) run scan and fills nbr/mask at the
+/// prefix-summed offsets. No cross-row writes, so no atomics.
+void fill_rows(const MultiWindowGraph& part, const WindowSpec& spec,
+               const SpmmBatch& batch, CompiledBatchCsr& out, std::size_t lo,
+               std::size_t hi) {
+  for (std::size_t v = lo; v < hi; ++v) {
+    const auto cols = part.in.row_cols(static_cast<VertexId>(v));
+    const auto times = part.in.row_times(static_cast<VertexId>(v));
+    std::size_t at = out.row_ptr[v];
+    std::size_t i = 0;
+    while (i < cols.size()) {
+      const VertexId u = cols[i];
+      std::uint64_t run_mask = 0;
+      while (i < cols.size() && cols[i] == u) {
+        run_mask |= lanes_containing(spec, batch, times[i]);
+        ++i;
+      }
+      if (run_mask == 0) continue;
+      out.nbr[at] = u;
+      out.mask[at] = run_mask;
+      ++at;
+    }
+    assert(at == out.row_ptr[v + 1]);
+  }
+}
+
+}  // namespace
+
+void compile_spmm_batch(const MultiWindowGraph& part, const WindowSpec& spec,
+                        const SpmmBatch& batch, SpmmWindowState& state,
+                        CompiledBatchCsr& out,
+                        const par::ForOptions* parallel) {
+  assert(batch.lanes >= 1 && batch.lanes <= 64);
+  const std::size_t n = part.num_local();
+  state.resize(n, batch.lanes);
+  out.lanes = batch.lanes;
+  out.row_ptr.assign(n + 1, 0);
+  out.active_rows.clear();
+  out.dangling_rows.clear();
+  out.dangling_mask.clear();
+
+  if (parallel != nullptr) {
+    par::parallel_for_range(
+        0, n, *parallel, [&](std::size_t lo, std::size_t hi) {
+          count_and_scatter_rows<true>(part, spec, batch, state, out, lo, hi);
+        });
+  } else {
+    count_and_scatter_rows<false>(part, spec, batch, state, out, 0, n);
+  }
+
+  // Exclusive prefix sum turns per-row counts into offsets.
+  std::size_t total = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::size_t cnt = out.row_ptr[v + 1];
+    out.row_ptr[v + 1] = total += cnt;
+  }
+  out.nbr.resize(total);
+  out.mask.resize(total);
+
+  if (parallel != nullptr) {
+    par::parallel_for_range(0, n, *parallel,
+                            [&](std::size_t lo, std::size_t hi) {
+                              fill_rows(part, spec, batch, out, lo, hi);
+                            });
+  } else {
+    fill_rows(part, spec, batch, out, 0, n);
+  }
+
+  // Compaction lists + per-lane population (needs the complete degrees).
+  const std::size_t lanes = batch.lanes;
+  for (std::size_t v = 0; v < n; ++v) {
+    std::uint64_t m = state.active_mask[v];
+    if (m == 0) continue;
+    out.active_rows.push_back(static_cast<VertexId>(v));
+    std::uint64_t dangling = 0;
+    while (m != 0) {
+      const auto k = static_cast<unsigned>(__builtin_ctzll(m));
+      m &= m - 1;
+      ++state.num_active[k];
+      if (state.out_degree[v * lanes + k] == 0) dangling |= 1ULL << k;
+    }
+    if (dangling != 0) {
+      out.dangling_rows.push_back(static_cast<VertexId>(v));
+      out.dangling_mask.push_back(dangling);
+    }
+  }
+}
+
+namespace {
+
+template <bool Atomic>
+void count_and_scatter_window_rows(const MultiWindowGraph& part, Timestamp ts,
+                                   Timestamp te, WindowState& state,
+                                   CompiledWindowCsr& out, std::size_t lo,
+                                   std::size_t hi) {
+  for (std::size_t v = lo; v < hi; ++v) {
+    std::size_t entries = 0;
+    part.in.for_each_active_neighbor(
+        static_cast<VertexId>(v), ts, te, [&](VertexId u) {
+          ++entries;
+          if constexpr (Atomic) {
+            std::atomic_ref<std::uint32_t> deg(state.out_degree[u]);
+            // relaxed: pure commutative count; published by the join.
+            deg.fetch_add(1, std::memory_order_relaxed);
+            std::atomic_ref<std::uint8_t> act(state.active[u]);
+            // relaxed: idempotent flag; published by the join.
+            act.store(1, std::memory_order_relaxed);
+          } else {
+            ++state.out_degree[u];
+            state.active[u] = 1;
+          }
+        });
+    if (entries > 0) {
+      if constexpr (Atomic) {
+        std::atomic_ref<std::uint8_t> act(state.active[v]);
+        // relaxed: idempotent flag; published by the join.
+        act.store(1, std::memory_order_relaxed);
+      } else {
+        state.active[v] = 1;
+      }
+    }
+    out.row_ptr[v + 1] = entries;
+  }
+}
+
+void fill_window_rows(const MultiWindowGraph& part, Timestamp ts, Timestamp te,
+                      CompiledWindowCsr& out, std::size_t lo, std::size_t hi) {
+  for (std::size_t v = lo; v < hi; ++v) {
+    std::size_t at = out.row_ptr[v];
+    part.in.for_each_active_neighbor(static_cast<VertexId>(v), ts, te,
+                                     [&](VertexId u) { out.nbr[at++] = u; });
+    assert(at == out.row_ptr[v + 1]);
+  }
+}
+
+}  // namespace
+
+void compile_window(const MultiWindowGraph& part, Timestamp ts, Timestamp te,
+                    WindowState& state, CompiledWindowCsr& out,
+                    const par::ForOptions* parallel) {
+  const std::size_t n = part.num_local();
+  state.resize(n);
+  out.row_ptr.assign(n + 1, 0);
+  out.active_rows.clear();
+  out.dangling_rows.clear();
+
+  if (parallel != nullptr) {
+    par::parallel_for_range(
+        0, n, *parallel, [&](std::size_t lo, std::size_t hi) {
+          count_and_scatter_window_rows<true>(part, ts, te, state, out, lo,
+                                              hi);
+        });
+  } else {
+    count_and_scatter_window_rows<false>(part, ts, te, state, out, 0, n);
+  }
+
+  std::size_t total = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::size_t cnt = out.row_ptr[v + 1];
+    out.row_ptr[v + 1] = total += cnt;
+  }
+  out.nbr.resize(total);
+
+  if (parallel != nullptr) {
+    par::parallel_for_range(0, n, *parallel,
+                            [&](std::size_t lo, std::size_t hi) {
+                              fill_window_rows(part, ts, te, out, lo, hi);
+                            });
+  } else {
+    fill_window_rows(part, ts, te, out, 0, n);
+  }
+
+  for (std::size_t v = 0; v < n; ++v) {
+    if (state.active[v] == 0) continue;
+    ++state.num_active;
+    out.active_rows.push_back(static_cast<VertexId>(v));
+    if (state.out_degree[v] == 0) {
+      out.dangling_rows.push_back(static_cast<VertexId>(v));
+    }
+  }
+}
+
+}  // namespace pmpr

@@ -1,0 +1,120 @@
+// Batch-compiled adjacency: the per-iteration-invariant structure of an
+// SpMM batch (or a single window) compiled into the representation once.
+//
+// The reference kernels re-derive each event's lane membership
+// (lanes_containing -> WindowSpec::windows_containing) and re-scan
+// duplicate <neighbor, time> runs on every edge of every power iteration,
+// and sweep all n rows even when the batch touches a fraction of them.
+// All of that depends only on (part, spec, batch) — never on the iterate —
+// so it is hoisted into a one-time per-batch build:
+//
+//   * run compression: per row, only the *distinct* in-neighbors, each
+//     with a precomputed uint64_t lane mask (runs whose mask is 0 are
+//     dropped entirely), in a flat SoA layout (nbr[] / mask[]);
+//   * active-row compaction: sweeps iterate active_rows — rows active in
+//     at least one lane — instead of all n rows;
+//   * dangling compaction: the per-iteration dangling-mass scan reads the
+//     dangling_rows / dangling_mask lists (vertices dangling in at least
+//     one lane) instead of rescanning the n-by-lanes degree matrix.
+//
+// The SpMM inner loop then becomes: load u, load mask, AND live_mask,
+// fused multiply-add per set bit — no timestamp arithmetic. The compiled
+// kernels execute the exact floating-point operations of the reference
+// kernels in the same order, so results, residuals, and iteration counts
+// are bit-identical (tests/pagerank/compiled_kernels_test.cpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/multi_window.hpp"
+#include "graph/window.hpp"
+#include "pagerank/window_state.hpp"
+
+namespace pmpr {
+
+/// Compiled form of one SpMM batch over a part's local vertex space.
+struct CompiledBatchCsr {
+  std::size_t lanes = 0;
+
+  /// n + 1 offsets into nbr/mask. A row holds the distinct in-neighbors
+  /// (ascending, inherited from the temporal CSR's row order) whose run
+  /// intersects at least one lane's window.
+  std::vector<std::size_t> row_ptr;
+  std::vector<VertexId> nbr;
+  std::vector<std::uint64_t> mask;  ///< Parallel to nbr; never 0.
+
+  /// Rows v with active_mask[v] != 0, ascending. Sweeps visit only these.
+  std::vector<VertexId> active_rows;
+
+  /// Rows dangling (active with out-degree 0) in at least one lane,
+  /// ascending, with the bitmask of those lanes. The per-iteration
+  /// dangling-mass scan reads only these.
+  std::vector<VertexId> dangling_rows;
+  std::vector<std::uint64_t> dangling_mask;  ///< Parallel to dangling_rows.
+
+  [[nodiscard]] std::size_t num_rows() const {
+    return row_ptr.empty() ? 0 : row_ptr.size() - 1;
+  }
+  [[nodiscard]] std::span<const VertexId> row_nbr(VertexId v) const {
+    return {nbr.data() + row_ptr[v], nbr.data() + row_ptr[v + 1]};
+  }
+  [[nodiscard]] std::span<const std::uint64_t> row_mask(VertexId v) const {
+    return {mask.data() + row_ptr[v], mask.data() + row_ptr[v + 1]};
+  }
+
+  /// Bytes held by the compiled form (reported through memory_budget so
+  /// the multi-window partitioner accounts for it).
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return row_ptr.size() * sizeof(std::size_t) +
+           nbr.size() * sizeof(VertexId) +
+           mask.size() * sizeof(std::uint64_t) +
+           active_rows.size() * sizeof(VertexId) +
+           dangling_rows.size() * sizeof(VertexId) +
+           dangling_mask.size() * sizeof(std::uint64_t);
+  }
+};
+
+/// Builds `state` and `out` together: one run-compression pass replaces
+/// compute_spmm_state's scatter (which duplicated the run-scan +
+/// lanes_containing logic) and simultaneously emits the compiled
+/// adjacency. `state` after the call is identical to what
+/// compute_spmm_state produces. Non-null `parallel` runs the row passes
+/// as parallel_fors.
+void compile_spmm_batch(const MultiWindowGraph& part, const WindowSpec& spec,
+                        const SpmmBatch& batch, SpmmWindowState& state,
+                        CompiledBatchCsr& out,
+                        const par::ForOptions* parallel = nullptr);
+
+/// Compiled form of a single window (the SpMV path): distinct in-neighbors
+/// with at least one event in the window, plus the compacted active and
+/// dangling vertex lists.
+struct CompiledWindowCsr {
+  std::vector<std::size_t> row_ptr;  ///< n + 1 offsets into nbr.
+  std::vector<VertexId> nbr;         ///< Distinct active in-neighbors.
+  std::vector<VertexId> active_rows;   ///< Rows with state.active != 0.
+  std::vector<VertexId> dangling_rows;  ///< Active rows with out-degree 0.
+
+  [[nodiscard]] std::size_t num_rows() const {
+    return row_ptr.empty() ? 0 : row_ptr.size() - 1;
+  }
+  [[nodiscard]] std::span<const VertexId> row_nbr(VertexId v) const {
+    return {nbr.data() + row_ptr[v], nbr.data() + row_ptr[v + 1]};
+  }
+
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return row_ptr.size() * sizeof(std::size_t) +
+           (nbr.size() + active_rows.size() + dangling_rows.size()) *
+               sizeof(VertexId);
+  }
+};
+
+/// Builds `state` and `out` for window [ts, te] together (state identical
+/// to compute_window_state's result).
+void compile_window(const MultiWindowGraph& part, Timestamp ts, Timestamp te,
+                    WindowState& state, CompiledWindowCsr& out,
+                    const par::ForOptions* parallel = nullptr);
+
+}  // namespace pmpr

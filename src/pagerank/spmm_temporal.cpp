@@ -6,14 +6,18 @@
 #include <cstring>
 #include <utility>
 
-#include "util/thread_annotations.hpp"
-
 namespace pmpr {
 
 namespace {
 
 constexpr std::size_t kMaxLanes = 64;
 using LaneDoubles = std::array<double, kMaxLanes>;
+
+LaneDoubles add_lanes(LaneDoubles a, const LaneDoubles& b,
+                      std::size_t lanes) {
+  for (std::size_t k = 0; k < lanes; ++k) a[k] += b[k];
+  return a;
+}
 
 /// One shared sweep over rows [lo, hi) advancing all lanes in `live_mask`.
 /// Accumulates the per-lane L1 change into `diff`.
@@ -72,25 +76,113 @@ void sweep_rows(const MultiWindowGraph& part, const WindowSpec& spec,
   }
 }
 
-}  // namespace
+/// Compiled-layout sweep over active_rows[lo, hi): the inner loop is
+/// load-neighbor, load-mask, AND live_mask, fused multiply-add per set bit —
+/// no timestamp arithmetic, no duplicate-run re-scans, no untouched rows.
+/// Performs the exact floating-point operations of sweep_rows in the same
+/// order.
+void sweep_compiled_rows(const CompiledBatchCsr& compiled,
+                         const SpmmWindowState& state,
+                         std::span<const double> x, std::span<double> x_next,
+                         const LaneDoubles& base, double one_minus_alpha,
+                         std::uint64_t live_mask, LaneDoubles& diff,
+                         std::size_t lo, std::size_t hi) {
+  const std::size_t lanes = compiled.lanes;
+  LaneDoubles acc;
+  for (std::size_t r = lo; r < hi; ++r) {
+    const VertexId v = compiled.active_rows[r];
+    const std::uint64_t v_active = state.active_mask[v];
+    const std::uint64_t v_update = v_active & live_mask;
+    for (std::size_t k = 0; k < lanes; ++k) {
+      acc[k] = base[k];
+    }
 
-SpmmStats pagerank_spmm(const MultiWindowGraph& part, const WindowSpec& spec,
-                        const SpmmBatch& batch, const SpmmWindowState& state,
+    if (v_update != 0) {
+      const auto nbr = compiled.row_nbr(v);
+      const auto mask = compiled.row_mask(v);
+      for (std::size_t i = 0; i < nbr.size(); ++i) {
+        const VertexId u = nbr[i];
+        std::uint64_t m = mask[i] & v_update;
+        while (m != 0) {
+          const auto k = static_cast<std::size_t>(__builtin_ctzll(m));
+          m &= m - 1;
+          acc[k] += one_minus_alpha *
+                    (x[u * lanes + k] /
+                     static_cast<double>(state.out_degree[u * lanes + k]));
+        }
+      }
+    }
+
+    for (std::size_t k = 0; k < lanes; ++k) {
+      const std::uint64_t bit = 1ULL << k;
+      const double cur = x[v * lanes + k];
+      if ((v_active & bit) == 0) {
+        x_next[v * lanes + k] = 0.0;
+      } else if ((live_mask & bit) == 0) {
+        x_next[v * lanes + k] = cur;  // frozen lane
+      } else {
+        const double next = acc[k];
+        diff[k] += std::abs(next - cur);
+        x_next[v * lanes + k] = next;
+      }
+    }
+  }
+}
+
+/// Per-lane dangling mass of live lanes from the current vectors, scanning
+/// rows [lo, hi) of the full vertex space (reference path).
+LaneDoubles dangling_scan(const SpmmWindowState& state, const double* cur,
+                          std::size_t lanes, std::uint64_t live_mask,
+                          std::size_t lo, std::size_t hi) {
+  LaneDoubles dangling{};
+  for (std::size_t v = lo; v < hi; ++v) {
+    std::uint64_t m = state.active_mask[v] & live_mask;
+    while (m != 0) {
+      const auto k = static_cast<std::size_t>(__builtin_ctzll(m));
+      m &= m - 1;
+      if (state.out_degree[v * lanes + k] == 0) {
+        dangling[k] += cur[v * lanes + k];
+      }
+    }
+  }
+  return dangling;
+}
+
+/// Compiled dangling scan: only the precompiled dangling vertices are
+/// visited, masked down to the still-live lanes (converged lanes cost
+/// nothing). Reads dangling-list indices [lo, hi).
+LaneDoubles dangling_scan_compiled(const CompiledBatchCsr& compiled,
+                                   const double* cur, std::size_t lanes,
+                                   std::uint64_t live_mask, std::size_t lo,
+                                   std::size_t hi) {
+  LaneDoubles dangling{};
+  for (std::size_t i = lo; i < hi; ++i) {
+    const VertexId v = compiled.dangling_rows[i];
+    std::uint64_t m = compiled.dangling_mask[i] & live_mask;
+    while (m != 0) {
+      const auto k = static_cast<std::size_t>(__builtin_ctzll(m));
+      m &= m - 1;
+      dangling[k] += cur[v * lanes + k];
+    }
+  }
+  return dangling;
+}
+
+/// Shared power-iteration driver: `DanglingFn(cur, live_mask)` returns the
+/// per-lane dangling mass, `SweepFn(cur, next, base, live_mask, diff)` runs
+/// one full sweep (serial or parallel).
+template <typename DanglingFn, typename SweepFn>
+SpmmStats power_iterate(std::size_t n, std::size_t lanes,
+                        std::span<const std::size_t> num_active,
                         std::span<double> x, std::span<double> scratch,
-                        const PagerankParams& params,
-                        const par::ForOptions* parallel) {
-  const std::size_t n = part.num_local();
-  const std::size_t lanes = batch.lanes;
-  assert(lanes >= 1 && lanes <= kMaxLanes);
-  assert(x.size() == n * lanes && scratch.size() == n * lanes);
-  assert(state.lanes == lanes);
-
+                        const PagerankParams& params, DanglingFn&& dangling_of,
+                        SweepFn&& sweep) {
   SpmmStats stats;
   stats.lane_stats.assign(lanes, PagerankStats{});
 
   std::uint64_t live_mask = 0;
   for (std::size_t k = 0; k < lanes; ++k) {
-    if (state.num_active[k] > 0) {
+    if (num_active[k] > 0) {
       live_mask |= 1ULL << k;
     } else {
       // Empty window: zero the lane and mark it converged immediately.
@@ -103,45 +195,20 @@ SpmmStats pagerank_spmm(const MultiWindowGraph& part, const WindowSpec& spec,
   double* next = scratch.data();
 
   for (int iter = 0; iter < params.max_iters && live_mask != 0; ++iter) {
-    // Per-lane dangling mass from the current vectors.
     LaneDoubles base{};
-    LaneDoubles dangling{};
-    if (params.redistribute_dangling) {
-      for (std::size_t v = 0; v < n; ++v) {
-        std::uint64_t m = state.active_mask[v] & live_mask;
-        while (m != 0) {
-          const auto k = static_cast<std::size_t>(__builtin_ctzll(m));
-          m &= m - 1;
-          if (state.out_degree[v * lanes + k] == 0) {
-            dangling[k] += cur[v * lanes + k];
-          }
-        }
-      }
-    }
+    const LaneDoubles dangling =
+        params.redistribute_dangling ? dangling_of(cur, live_mask)
+                                     : LaneDoubles{};
     for (std::size_t k = 0; k < lanes; ++k) {
-      base[k] = state.num_active[k] > 0
+      base[k] = num_active[k] > 0
                     ? (params.alpha + one_minus_alpha * dangling[k]) /
-                          static_cast<double>(state.num_active[k])
+                          static_cast<double>(num_active[k])
                     : 0.0;
     }
 
-    std::span<const double> cur_span(cur, n * lanes);
-    std::span<double> next_span(next, n * lanes);
     LaneDoubles diff{};
-    if (parallel != nullptr) {
-      Mutex diff_mutex;
-      par::parallel_for_range(
-          0, n, *parallel, [&](std::size_t lo, std::size_t hi) {
-            LaneDoubles local{};
-            sweep_rows(part, spec, batch, state, cur_span, next_span, base,
-                       one_minus_alpha, live_mask, local, lo, hi);
-            LockGuard lock(diff_mutex);
-            for (std::size_t k = 0; k < lanes; ++k) diff[k] += local[k];
-          });
-    } else {
-      sweep_rows(part, spec, batch, state, cur_span, next_span, base,
-                 one_minus_alpha, live_mask, diff, 0, n);
-    }
+    sweep(std::span<const double>(cur, n * lanes),
+          std::span<double>(next, n * lanes), base, live_mask, diff);
 
     std::swap(cur, next);
     stats.iterations = iter + 1;
@@ -158,6 +225,126 @@ SpmmStats pagerank_spmm(const MultiWindowGraph& part, const WindowSpec& spec,
     std::memcpy(x.data(), cur, n * lanes * sizeof(double));
   }
   return stats;
+}
+
+}  // namespace
+
+SpmmStats pagerank_spmm(const MultiWindowGraph& part, const WindowSpec& spec,
+                        const SpmmBatch& batch, const SpmmWindowState& state,
+                        std::span<double> x, std::span<double> scratch,
+                        const PagerankParams& params,
+                        const par::ForOptions* parallel) {
+  const std::size_t n = part.num_local();
+  const std::size_t lanes = batch.lanes;
+  assert(lanes >= 1 && lanes <= kMaxLanes);
+  assert(x.size() == n * lanes && scratch.size() == n * lanes);
+  assert(state.lanes == lanes);
+
+  const double one_minus_alpha = 1.0 - params.alpha;
+  auto dangling_of = [&](const double* cur, std::uint64_t live_mask) {
+    if (parallel != nullptr) {
+      return par::parallel_reduce_slots(
+          0, n, LaneDoubles{}, *parallel,
+          [&](std::size_t lo, std::size_t hi) {
+            return dangling_scan(state, cur, lanes, live_mask, lo, hi);
+          },
+          [&](LaneDoubles a, const LaneDoubles& b) {
+            return add_lanes(a, b, lanes);
+          });
+    }
+    return dangling_scan(state, cur, lanes, live_mask, 0, n);
+  };
+  auto sweep = [&](std::span<const double> cur, std::span<double> next,
+                   const LaneDoubles& base, std::uint64_t live_mask,
+                   LaneDoubles& diff) {
+    if (parallel != nullptr) {
+      diff = par::parallel_reduce_slots(
+          0, n, LaneDoubles{}, *parallel,
+          [&](std::size_t lo, std::size_t hi) {
+            LaneDoubles local{};
+            sweep_rows(part, spec, batch, state, cur, next, base,
+                       one_minus_alpha, live_mask, local, lo, hi);
+            return local;
+          },
+          [&](LaneDoubles a, const LaneDoubles& b) {
+            return add_lanes(a, b, lanes);
+          });
+    } else {
+      sweep_rows(part, spec, batch, state, cur, next, base, one_minus_alpha,
+                 live_mask, diff, 0, n);
+    }
+  };
+  return power_iterate(n, lanes, state.num_active, x, scratch, params,
+                       dangling_of, sweep);
+}
+
+SpmmStats pagerank_spmm(const SpmmWindowState& state,
+                        const CompiledBatchCsr& compiled, std::span<double> x,
+                        std::span<double> scratch,
+                        const PagerankParams& params,
+                        const par::ForOptions* parallel) {
+  const std::size_t n = compiled.num_rows();
+  const std::size_t lanes = compiled.lanes;
+  assert(lanes >= 1 && lanes <= kMaxLanes);
+  assert(x.size() == n * lanes && scratch.size() == n * lanes);
+  assert(state.lanes == lanes);
+
+  // Sweeps visit only active rows, so entries of rows inactive in every
+  // lane are forced to the reference kernel's 0.0 once, in both buffers
+  // (the reference rewrites them every iteration).
+  std::size_t next_active = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (next_active < compiled.active_rows.size() &&
+        compiled.active_rows[next_active] == v) {
+      ++next_active;
+      continue;
+    }
+    for (std::size_t k = 0; k < lanes; ++k) {
+      x[v * lanes + k] = 0.0;
+      scratch[v * lanes + k] = 0.0;
+    }
+  }
+
+  const double one_minus_alpha = 1.0 - params.alpha;
+  const std::size_t rows = compiled.active_rows.size();
+  const std::size_t dangling_rows = compiled.dangling_rows.size();
+  auto dangling_of = [&](const double* cur, std::uint64_t live_mask) {
+    if (parallel != nullptr) {
+      return par::parallel_reduce_slots(
+          0, dangling_rows, LaneDoubles{}, *parallel,
+          [&](std::size_t lo, std::size_t hi) {
+            return dangling_scan_compiled(compiled, cur, lanes, live_mask, lo,
+                                          hi);
+          },
+          [&](LaneDoubles a, const LaneDoubles& b) {
+            return add_lanes(a, b, lanes);
+          });
+    }
+    return dangling_scan_compiled(compiled, cur, lanes, live_mask, 0,
+                                  dangling_rows);
+  };
+  auto sweep = [&](std::span<const double> cur, std::span<double> next,
+                   const LaneDoubles& base, std::uint64_t live_mask,
+                   LaneDoubles& diff) {
+    if (parallel != nullptr) {
+      diff = par::parallel_reduce_slots(
+          0, rows, LaneDoubles{}, *parallel,
+          [&](std::size_t lo, std::size_t hi) {
+            LaneDoubles local{};
+            sweep_compiled_rows(compiled, state, cur, next, base,
+                                one_minus_alpha, live_mask, local, lo, hi);
+            return local;
+          },
+          [&](LaneDoubles a, const LaneDoubles& b) {
+            return add_lanes(a, b, lanes);
+          });
+    } else {
+      sweep_compiled_rows(compiled, state, cur, next, base, one_minus_alpha,
+                          live_mask, diff, 0, rows);
+    }
+  };
+  return power_iterate(n, lanes, state.num_active, x, scratch, params,
+                       dangling_of, sweep);
 }
 
 }  // namespace pmpr

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "graph/multi_window.hpp"
+#include "pagerank/batch_csr.hpp"
 #include "pagerank/pagerank.hpp"
 #include "pagerank/window_state.hpp"
 
@@ -33,6 +34,17 @@ struct SpmmStats {
 SpmmStats pagerank_spmm(const MultiWindowGraph& part, const WindowSpec& spec,
                         const SpmmBatch& batch, const SpmmWindowState& state,
                         std::span<double> x, std::span<double> scratch,
+                        const PagerankParams& params,
+                        const par::ForOptions* parallel = nullptr);
+
+/// Compiled-kernel overload: consumes the batch-compiled adjacency
+/// (precomputed lane masks, run compression, active-row and dangling-row
+/// compaction) built by compile_spmm_batch, so each sweep does no timestamp
+/// arithmetic and touches only active rows. Bit-identical results,
+/// residuals, and iteration counts to the reference overload above.
+SpmmStats pagerank_spmm(const SpmmWindowState& state,
+                        const CompiledBatchCsr& compiled, std::span<double> x,
+                        std::span<double> scratch,
                         const PagerankParams& params,
                         const par::ForOptions* parallel = nullptr);
 

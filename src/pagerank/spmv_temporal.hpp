@@ -8,6 +8,7 @@
 #include <span>
 
 #include "graph/multi_window.hpp"
+#include "pagerank/batch_csr.hpp"
 #include "pagerank/pagerank.hpp"
 #include "pagerank/window_state.hpp"
 
@@ -20,6 +21,17 @@ namespace pmpr {
 /// paper's "application/PR-level" parallelism inside the kernel).
 PagerankStats pagerank_window_spmv(const MultiWindowGraph& part, Timestamp ts,
                                    Timestamp te, const WindowState& state,
+                                   std::span<double> x,
+                                   std::span<double> scratch,
+                                   const PagerankParams& params,
+                                   const par::ForOptions* parallel = nullptr);
+
+/// Compiled-kernel overload: consumes the per-window compiled adjacency
+/// (time filter applied once, active-row and dangling-row compaction)
+/// built by compile_window. Bit-identical results, residuals, and
+/// iteration counts to the reference overload above.
+PagerankStats pagerank_window_spmv(const WindowState& state,
+                                   const CompiledWindowCsr& compiled,
                                    std::span<double> x,
                                    std::span<double> scratch,
                                    const PagerankParams& params,

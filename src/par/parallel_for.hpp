@@ -100,4 +100,38 @@ T parallel_reduce(std::size_t begin, std::size_t end, T identity,
   return acc;
 }
 
+/// Lock-free parallel reduction for copyable array/struct accumulators
+/// (doubles, std::array<double, N>, small structs): each thread folds its
+/// chunks' partials into a cache-line-padded per-thread slot (one per
+/// worker plus one for the helping caller — see ThreadPool::reduce_slot),
+/// and the touched slots are combined with `identity` on the calling
+/// thread at the end. Like parallel_reduce, `identity` enters the result
+/// exactly once (an empty range returns it unchanged). The combine order
+/// is unspecified, so floating-point results may differ between runs at
+/// rounding precision.
+template <typename T, typename Map, typename Combine>
+T parallel_reduce_slots(std::size_t begin, std::size_t end, T identity,
+                        const ForOptions& opts, Map&& map, Combine&& combine) {
+  ThreadPool& pool = opts.pool != nullptr ? *opts.pool : ThreadPool::global();
+  struct alignas(64) Slot {
+    T value;
+    bool used = false;
+  };
+  std::vector<Slot> slots(pool.num_threads() + 1);
+  parallel_for_range(begin, end, opts, [&](std::size_t lo, std::size_t hi) {
+    // Only the owning thread touches its slot, so no lock is needed; a
+    // nested steal that re-enters on the same thread runs combine
+    // sequentially between, not during, the outer body's calls.
+    Slot& slot = slots[pool.reduce_slot()];
+    slot.value =
+        slot.used ? combine(std::move(slot.value), map(lo, hi)) : map(lo, hi);
+    slot.used = true;
+  });
+  T acc = std::move(identity);
+  for (Slot& s : slots) {
+    if (s.used) acc = combine(std::move(acc), std::move(s.value));
+  }
+  return acc;
+}
+
 }  // namespace pmpr::par

@@ -74,6 +74,12 @@ int ThreadPool::current_worker_index() {
   return tls_worker.pool != nullptr ? tls_worker.index : -1;
 }
 
+std::size_t ThreadPool::reduce_slot() const {
+  return tls_worker.pool == this && tls_worker.index >= 0
+             ? static_cast<std::size_t>(tls_worker.index)
+             : num_threads();
+}
+
 void ThreadPool::notify() {
   // Publish the new work, then wake a sleeper only if one exists. Both the
   // epoch bump and the sleeper-count load are seq_cst, as are the worker's

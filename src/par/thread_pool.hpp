@@ -122,6 +122,14 @@ class ThreadPool {
   /// the thread has never interacted with this pool.
   [[nodiscard]] static int current_worker_index();
 
+  /// Slot index of the current thread for per-thread accumulator arrays of
+  /// size num_threads() + 1: a worker of *this* pool gets its worker index;
+  /// any other thread — including a worker of a different pool — gets the
+  /// spare last slot. During a parallel_for on this pool, loop bodies run
+  /// only on this pool's workers plus the single (helping) caller, so slots
+  /// are never shared between concurrently-running bodies.
+  [[nodiscard]] std::size_t reduce_slot() const;
+
  private:
   struct Task {
     std::function<void()> fn;

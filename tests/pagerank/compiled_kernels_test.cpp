@@ -1,0 +1,302 @@
+// Differential tests: the compiled kernels (pagerank/batch_csr.hpp) must
+// agree with the reference kernels — bit-identically in serial mode (same
+// floating-point operations in the same order), within summation-order
+// rounding in parallel mode — across lane counts, strides, dangling
+// redistribution, and at the whole-runner level.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "exec/config.hpp"
+#include "exec/postmortem_runner.hpp"
+#include "exec/results.hpp"
+#include "pagerank/batch_csr.hpp"
+#include "pagerank/spmm_temporal.hpp"
+#include "pagerank/spmv_temporal.hpp"
+#include "test_helpers.hpp"
+
+namespace pmpr {
+namespace {
+
+struct Fixture {
+  TemporalEdgeList events;
+  WindowSpec spec;
+  MultiWindowSet set;
+
+  explicit Fixture(std::uint64_t seed)
+      : events(test::random_events(seed, 70, 5000, 50000)),
+        spec(WindowSpec::cover(0, 50000, 9000, 700)),
+        set(MultiWindowSet::build(events, spec, 1)) {}
+};
+
+PagerankParams params_with(bool dangling) {
+  PagerankParams p;
+  p.tol = 1e-10;
+  p.max_iters = 300;
+  p.redistribute_dangling = dangling;
+  return p;
+}
+
+/// Lane-interleaved full initialization shared by both runs.
+std::vector<double> init_x(const SpmmWindowState& state, std::size_t n) {
+  std::vector<double> x(n * state.lanes, 0.0);
+  for (std::size_t k = 0; k < state.lanes; ++k) {
+    const double uniform =
+        state.num_active[k] > 0
+            ? 1.0 / static_cast<double>(state.num_active[k])
+            : 0.0;
+    for (std::size_t v = 0; v < n; ++v) {
+      x[v * state.lanes + k] =
+          (state.active_mask[v] >> k & 1) != 0 ? uniform : 0.0;
+    }
+  }
+  return x;
+}
+
+struct SpmmRun {
+  std::vector<double> x;
+  SpmmStats stats;
+};
+
+SpmmRun run_reference(const Fixture& f, const SpmmBatch& batch, bool dangling,
+                      const par::ForOptions* parallel) {
+  const auto& part = f.set.part(0);
+  const std::size_t n = part.num_local();
+  SpmmWindowState state;
+  compute_spmm_state(part, f.spec, batch, state, parallel);
+  SpmmRun run;
+  run.x = init_x(state, n);
+  std::vector<double> scratch(n * batch.lanes);
+  run.stats = pagerank_spmm(part, f.spec, batch, state, run.x, scratch,
+                            params_with(dangling), parallel);
+  return run;
+}
+
+SpmmRun run_compiled(const Fixture& f, const SpmmBatch& batch, bool dangling,
+                     const par::ForOptions* parallel) {
+  const auto& part = f.set.part(0);
+  const std::size_t n = part.num_local();
+  SpmmWindowState state;
+  CompiledBatchCsr compiled;
+  compile_spmm_batch(part, f.spec, batch, state, compiled, parallel);
+  SpmmRun run;
+  run.x = init_x(state, n);
+  std::vector<double> scratch(n * batch.lanes);
+  run.stats = pagerank_spmm(state, compiled, run.x, scratch,
+                            params_with(dangling), parallel);
+  return run;
+}
+
+void expect_stats_equal(const SpmmStats& a, const SpmmStats& b) {
+  ASSERT_EQ(a.iterations, b.iterations);
+  ASSERT_EQ(a.lane_stats.size(), b.lane_stats.size());
+  for (std::size_t k = 0; k < a.lane_stats.size(); ++k) {
+    EXPECT_EQ(a.lane_stats[k].iterations, b.lane_stats[k].iterations)
+        << "lane " << k;
+    EXPECT_EQ(a.lane_stats[k].final_residual, b.lane_stats[k].final_residual)
+        << "lane " << k;
+  }
+}
+
+TEST(CompiledSpmm, SerialBitIdenticalAcrossLanesStridesDangling) {
+  const Fixture f(1201);
+  for (const std::size_t lanes : {std::size_t{1}, std::size_t{3},
+                                  std::size_t{64}}) {
+    for (const std::size_t stride : {std::size_t{1}, std::size_t{2}}) {
+      for (const bool dangling : {true, false}) {
+        SpmmBatch batch;
+        batch.lanes = std::min(lanes, f.spec.count);
+        batch.first_window = 0;
+        batch.window_stride = stride;
+        const SpmmRun ref = run_reference(f, batch, dangling, nullptr);
+        const SpmmRun cmp = run_compiled(f, batch, dangling, nullptr);
+        ASSERT_EQ(ref.x, cmp.x) << "lanes=" << lanes << " stride=" << stride
+                                << " dangling=" << dangling;
+        expect_stats_equal(ref.stats, cmp.stats);
+      }
+    }
+  }
+}
+
+TEST(CompiledSpmm, ParallelMatchesReference) {
+  const Fixture f(1302);
+  par::ForOptions opts{par::Partitioner::kAuto, 4, nullptr};
+  for (const std::size_t lanes : {std::size_t{3}, std::size_t{16}}) {
+    for (const bool dangling : {true, false}) {
+      SpmmBatch batch;
+      batch.lanes = std::min(lanes, f.spec.count);
+      batch.first_window = 1;
+      batch.window_stride = 2;
+      const SpmmRun ref = run_reference(f, batch, dangling, &opts);
+      const SpmmRun cmp = run_compiled(f, batch, dangling, &opts);
+      ASSERT_EQ(ref.stats.iterations, cmp.stats.iterations);
+      ASSERT_EQ(ref.x.size(), cmp.x.size());
+      double linf = 0.0;
+      for (std::size_t i = 0; i < ref.x.size(); ++i) {
+        linf = std::max(linf, std::abs(ref.x[i] - cmp.x[i]));
+      }
+      // Parallel chunking only changes floating-point summation order.
+      EXPECT_LT(linf, 1e-12) << "lanes=" << lanes;
+    }
+  }
+}
+
+TEST(CompiledSpmv, SerialBitIdenticalPerWindow) {
+  const Fixture f(1403);
+  const auto& part = f.set.part(0);
+  const std::size_t n = part.num_local();
+  for (const bool dangling : {true, false}) {
+    for (std::size_t w = 0; w < f.spec.count; w += 7) {
+      const Timestamp ts = f.spec.start(w);
+      const Timestamp te = f.spec.end(w);
+
+      WindowState ref_state;
+      compute_window_state(part, ts, te, ref_state);
+      std::vector<double> ref_x(n);
+      std::vector<double> scratch(n);
+      full_init(ref_state.active, ref_state.num_active, ref_x);
+      const PagerankStats ref_stats =
+          pagerank_window_spmv(part, ts, te, ref_state, ref_x, scratch,
+                               params_with(dangling));
+
+      WindowState state;
+      CompiledWindowCsr compiled;
+      compile_window(part, ts, te, state, compiled);
+      std::vector<double> x(n);
+      full_init(state.active, state.num_active, x);
+      const PagerankStats stats = pagerank_window_spmv(
+          state, compiled, x, scratch, params_with(dangling));
+
+      ASSERT_EQ(ref_x, x) << "window " << w << " dangling=" << dangling;
+      EXPECT_EQ(ref_stats.iterations, stats.iterations) << "window " << w;
+      EXPECT_EQ(ref_stats.final_residual, stats.final_residual)
+          << "window " << w;
+    }
+  }
+}
+
+TEST(CompiledSpmv, ParallelMatchesReference) {
+  const Fixture f(1504);
+  const auto& part = f.set.part(0);
+  const std::size_t n = part.num_local();
+  par::ForOptions opts{par::Partitioner::kSimple, 8, nullptr};
+  const std::size_t w = f.spec.count / 2;
+  const Timestamp ts = f.spec.start(w);
+  const Timestamp te = f.spec.end(w);
+
+  WindowState ref_state;
+  compute_window_state(part, ts, te, ref_state, &opts);
+  std::vector<double> ref_x(n);
+  std::vector<double> scratch(n);
+  full_init(ref_state.active, ref_state.num_active, ref_x);
+  const PagerankStats ref_stats = pagerank_window_spmv(
+      part, ts, te, ref_state, ref_x, scratch, params_with(true), &opts);
+
+  WindowState state;
+  CompiledWindowCsr compiled;
+  compile_window(part, ts, te, state, compiled, &opts);
+  std::vector<double> x(n);
+  full_init(state.active, state.num_active, x);
+  const PagerankStats stats = pagerank_window_spmv(state, compiled, x,
+                                                   scratch, params_with(true),
+                                                   &opts);
+
+  EXPECT_EQ(ref_stats.iterations, stats.iterations);
+  double linf = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    linf = std::max(linf, std::abs(ref_x[i] - x[i]));
+  }
+  EXPECT_LT(linf, 1e-12);
+}
+
+TEST(CompiledSpmm, EmptyLaneStaysZero) {
+  // A lane pointing at an empty window must come back all-zero from the
+  // compiled kernel exactly like the reference (buffers pre-zeroed).
+  TemporalEdgeList events;
+  for (int i = 0; i < 50; ++i) {
+    events.add(static_cast<VertexId>(i % 5),
+               static_cast<VertexId>((i + 1) % 5), i);
+  }
+  events.ensure_vertices(5);
+  const WindowSpec spec{.t0 = 0, .delta = 49, .sw = 1000, .count = 2};
+  const MultiWindowSet set = MultiWindowSet::build(events, spec, 1);
+  const auto& part = set.part(0);
+  SpmmBatch batch{.lanes = 2, .first_window = 0, .window_stride = 1};
+  SpmmWindowState state;
+  CompiledBatchCsr compiled;
+  compile_spmm_batch(part, spec, batch, state, compiled);
+  const std::size_t n = part.num_local();
+  std::vector<double> x(n * 2, 0.5);  // garbage in inactive entries
+  std::vector<double> scratch(n * 2, 0.25);
+  pagerank_spmm(state, compiled, x, scratch, params_with(true));
+  double lane0 = 0.0;
+  for (std::size_t v = 0; v < n; ++v) {
+    EXPECT_EQ(x[v * 2 + 1], 0.0);
+    lane0 += x[v * 2 + 0];
+  }
+  EXPECT_NEAR(lane0, 1.0, 1e-9);
+}
+
+/// Whole-runner differential: the compiled_kernels flag must not change
+/// any window's result for either kernel kind. ParallelMode::kWindow keeps
+/// each kernel serial (parallelism across windows only), so checksums are
+/// bit-identical.
+TEST(CompiledRunner, FlagPreservesResultsExactlyInWindowMode) {
+  const Fixture f(1605);
+  const MultiWindowSet set = MultiWindowSet::build(f.events, f.spec, 3);
+  for (const KernelKind kernel : {KernelKind::kSpmv, KernelKind::kSpmm}) {
+    PostmortemConfig cfg;
+    cfg.mode = ParallelMode::kWindow;
+    cfg.kernel = kernel;
+    cfg.vector_length = 8;
+    cfg.pr.tol = 1e-10;
+
+    cfg.compiled_kernels = false;
+    ChecksumSink ref(f.spec.count);
+    const RunResult ref_result = run_postmortem_prebuilt(set, ref, cfg);
+
+    cfg.compiled_kernels = true;
+    ChecksumSink cmp(f.spec.count);
+    const RunResult cmp_result = run_postmortem_prebuilt(set, cmp, cfg);
+
+    EXPECT_EQ(ref.weighted(), cmp.weighted())
+        << to_string(kernel);
+    EXPECT_EQ(ref.mass(), cmp.mass()) << to_string(kernel);
+    EXPECT_EQ(ref_result.iterations_per_window,
+              cmp_result.iterations_per_window)
+        << to_string(kernel);
+  }
+}
+
+TEST(CompiledRunner, FlagPreservesResultsInNestedMode) {
+  const Fixture f(1706);
+  const MultiWindowSet set = MultiWindowSet::build(f.events, f.spec, 2);
+  for (const KernelKind kernel : {KernelKind::kSpmv, KernelKind::kSpmm}) {
+    PostmortemConfig cfg;
+    cfg.mode = ParallelMode::kNested;
+    cfg.kernel = kernel;
+    cfg.vector_length = 8;
+    cfg.pr.tol = 1e-10;
+
+    cfg.compiled_kernels = false;
+    ChecksumSink ref(f.spec.count);
+    run_postmortem_prebuilt(set, ref, cfg);
+
+    cfg.compiled_kernels = true;
+    ChecksumSink cmp(f.spec.count);
+    run_postmortem_prebuilt(set, cmp, cfg);
+
+    for (std::size_t w = 0; w < f.spec.count; ++w) {
+      EXPECT_NEAR(ref.weighted()[w], cmp.weighted()[w], 1e-7)
+          << to_string(kernel) << " window " << w;
+      EXPECT_NEAR(ref.mass()[w], cmp.mass()[w], 1e-9)
+          << to_string(kernel) << " window " << w;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pmpr

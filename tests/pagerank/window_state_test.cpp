@@ -109,6 +109,60 @@ TEST(LanesContaining, LanePastWindowCountExcluded) {
   EXPECT_EQ(mask, 1u);
 }
 
+TEST(LanesContaining, StrideSkipsIntermediateWindows) {
+  // Windows: w covers [5w, 5w + 20]. t = 22 lies in windows 1..4.
+  WindowSpec spec{.t0 = 0, .delta = 20, .sw = 5, .count = 10};
+  // Lanes hold windows 0, 2, 4, 6: only lanes 1 and 2 (windows 2, 4) match;
+  // windows 1 and 3 fall between the sampled lanes.
+  SpmmBatch batch{.lanes = 4, .first_window = 0, .window_stride = 2};
+  EXPECT_EQ(lanes_containing(spec, batch, 22), 0b110u);
+  // Offset start: lanes hold windows 1, 3 -> both inside [1, 4].
+  SpmmBatch odd{.lanes = 2, .first_window = 1, .window_stride = 2};
+  EXPECT_EQ(lanes_containing(spec, odd, 22), 0b11u);
+}
+
+TEST(LanesContaining, FullWidthClampAt64Lanes) {
+  // delta so large that one timestamp falls in far more than 64 overlapping
+  // windows: the [k_lo, k_hi] run covers all 64 lanes and the width >= 64
+  // shift guard must produce ~0 (1ULL << 64 is UB).
+  WindowSpec spec{.t0 = 0, .delta = 100000, .sw = 1, .count = 500};
+  SpmmBatch batch{.lanes = 64, .first_window = 0, .window_stride = 1};
+  EXPECT_EQ(lanes_containing(spec, batch, 499), ~0ULL);
+}
+
+TEST(LanesContaining, TimestampOutsideAllWindowsIsZero) {
+  WindowSpec spec{.t0 = 100, .delta = 10, .sw = 5, .count = 8};
+  SpmmBatch batch{.lanes = 8, .first_window = 0, .window_stride = 1};
+  EXPECT_EQ(lanes_containing(spec, batch, 99), 0u);   // before t0
+  EXPECT_EQ(lanes_containing(spec, batch, -50), 0u);  // long before t0
+  // Last window (7) ends at 100 + 7*5 + 10 = 145.
+  EXPECT_EQ(lanes_containing(spec, batch, 146), 0u);  // after the last end
+}
+
+TEST(LanesContaining, TimestampBeforeFirstWindowOfBatch) {
+  WindowSpec spec{.t0 = 0, .delta = 10, .sw = 5, .count = 20};
+  // The batch starts at window 10 ([50, 60]); t = 12 only falls in windows
+  // 1 and 2, entirely before the batch (hi_num < 0 path).
+  SpmmBatch batch{.lanes = 4, .first_window = 10, .window_stride = 2};
+  EXPECT_EQ(lanes_containing(spec, batch, 12), 0u);
+}
+
+TEST(LanesContaining, ContainingRangeClampedToLaneCount) {
+  // t = 30 falls in windows 0..6 (w*5 <= 30 <= w*5 + 30), which extends
+  // past the 3-lane batch holding windows 0, 1, 2: k_hi must clamp.
+  WindowSpec spec{.t0 = 0, .delta = 30, .sw = 5, .count = 12};
+  SpmmBatch batch{.lanes = 3, .first_window = 0, .window_stride = 1};
+  EXPECT_EQ(lanes_containing(spec, batch, 30), 0b111u);
+}
+
+TEST(LanesContaining, PartialOverlapStartsMidBatch) {
+  // t = 30 in windows 0..6; the batch samples windows 4, 6, 8, 10, so only
+  // lanes 0 and 1 match (k_lo = 0 rounding via ceil-divide on lo_num <= 0).
+  WindowSpec spec{.t0 = 0, .delta = 30, .sw = 5, .count = 12};
+  SpmmBatch batch{.lanes = 4, .first_window = 4, .window_stride = 2};
+  EXPECT_EQ(lanes_containing(spec, batch, 30), 0b11u);
+}
+
 TEST(SpmmState, AgreesWithPerWindowState) {
   const TemporalEdgeList events = test::random_events(7, 60, 3000, 30000);
   const WindowSpec spec = WindowSpec::cover(0, 30000, 8000, 1500);

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <mutex>
 #include <numeric>
@@ -134,6 +135,83 @@ TEST(ParallelReduce, WorksUnderAllPartitioners) {
         [](double a, double b) { return a + b; });
     EXPECT_DOUBLE_EQ(got, 1000.0) << to_string(p);
   }
+}
+
+TEST(ParallelReduceSlots, SumsCorrectly) {
+  constexpr std::size_t kN = 100000;
+  const std::uint64_t got = parallel_reduce_slots(
+      0, kN, std::uint64_t{0}, {},
+      [](std::size_t lo, std::size_t hi) {
+        std::uint64_t s = 0;
+        for (std::size_t i = lo; i < hi; ++i) s += i;
+        return s;
+      },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  EXPECT_EQ(got, static_cast<std::uint64_t>(kN) * (kN - 1) / 2);
+}
+
+TEST(ParallelReduceSlots, EmptyRangeReturnsIdentity) {
+  const int got = parallel_reduce_slots(
+      7, 7, 42, {}, [](std::size_t, std::size_t) { return 0; },
+      [](int a, int b) { return a + b; });
+  EXPECT_EQ(got, 42);
+}
+
+TEST(ParallelReduceSlots, ArrayAccumulator) {
+  // The lane-residual use case: a fixed-width array merged element-wise
+  // without a mutex.
+  constexpr std::size_t kLanes = 8;
+  using Acc = std::array<double, kLanes>;
+  constexpr std::size_t kN = 4096;
+  ThreadPool pool(3);
+  ForOptions opts{Partitioner::kAuto, 16, &pool};
+  const Acc got = parallel_reduce_slots(
+      0, kN, Acc{}, opts,
+      [](std::size_t lo, std::size_t hi) {
+        Acc a{};
+        for (std::size_t i = lo; i < hi; ++i) a[i % kLanes] += 1.0;
+        return a;
+      },
+      [](Acc a, const Acc& b) {
+        for (std::size_t k = 0; k < kLanes; ++k) a[k] += b[k];
+        return a;
+      });
+  for (std::size_t k = 0; k < kLanes; ++k) {
+    EXPECT_DOUBLE_EQ(got[k], static_cast<double>(kN / kLanes)) << "lane " << k;
+  }
+}
+
+TEST(ParallelReduceSlots, ExternalPoolAndAllPartitioners) {
+  ThreadPool pool(4);
+  for (const auto p :
+       {Partitioner::kAuto, Partitioner::kSimple, Partitioner::kStatic}) {
+    ForOptions opts{p, 8, &pool};
+    const double got = parallel_reduce_slots(
+        0, 1000, 0.0, opts,
+        [](std::size_t lo, std::size_t hi) {
+          return static_cast<double>(hi - lo);
+        },
+        [](double a, double b) { return a + b; });
+    EXPECT_DOUBLE_EQ(got, 1000.0) << to_string(p);
+  }
+}
+
+TEST(ParallelReduceSlots, NestedInsideParallelFor) {
+  // Slot indexing must stay correct when the reduce runs from inside a
+  // worker of the same pool (the nested-parallelism path in the runner).
+  ThreadPool pool(3);
+  ForOptions outer{Partitioner::kSimple, 1, &pool};
+  std::vector<std::uint64_t> results(8, 0);
+  parallel_for(0, results.size(), outer, [&](std::size_t i) {
+    ForOptions inner{Partitioner::kAuto, 16, &pool};
+    results[i] = parallel_reduce_slots(
+        0, 1000, std::uint64_t{0}, inner,
+        [](std::size_t lo, std::size_t hi) {
+          return static_cast<std::uint64_t>(hi - lo);
+        },
+        [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  });
+  for (const std::uint64_t r : results) EXPECT_EQ(r, 1000u);
 }
 
 TEST(TaskGroup, RunsAllTasks) {
