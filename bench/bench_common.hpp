@@ -6,6 +6,7 @@
 // capped like the paper's experiment setups (6 / 256 / 1024 windows).
 #pragma once
 
+#include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -56,6 +57,14 @@ class JsonEmitter {
     fields_for(record).emplace_back(field, value);
   }
 
+  /// Sets `record.counters.name = value` — telemetry counters are grouped
+  /// in a nested "counters" object so ci/bench_smoke.sh can tell them from
+  /// timing fields.
+  void set_counter(const std::string& record, const std::string& name,
+                   std::uint64_t value) {
+    counters_for(record).emplace_back(name, value);
+  }
+
   [[nodiscard]] bool has(const std::string& record) const {
     for (const auto& rec : records_) {
       if (rec.first == record) return true;
@@ -84,10 +93,21 @@ class JsonEmitter {
     for (std::size_t r = 0; r < records_.size(); ++r) {
       out << "  \"" << records_[r].first << "\": {";
       const auto& fields = records_[r].second;
+      const auto* counters = counters_of(records_[r].first);
+      const bool has_counters = counters != nullptr && !counters->empty();
       for (std::size_t i = 0; i < fields.size(); ++i) {
         out << "\n    \"" << fields[i].first
             << "\": " << fmt_number(fields[i].second)
-            << (i + 1 < fields.size() ? "," : "\n  ");
+            << (i + 1 < fields.size() || has_counters ? "," : "\n  ");
+      }
+      if (has_counters) {
+        out << "\n    \"counters\": {";
+        for (std::size_t i = 0; i < counters->size(); ++i) {
+          out << "\n      \"" << (*counters)[i].first
+              << "\": " << (*counters)[i].second
+              << (i + 1 < counters->size() ? "," : "\n    ");
+        }
+        out << "}\n  ";
       }
       out << "}" << (r + 1 < records_.size() ? "," : "") << "\n";
     }
@@ -113,9 +133,30 @@ class JsonEmitter {
     return records_.back().second;
   }
 
+  std::vector<std::pair<std::string, std::uint64_t>>& counters_for(
+      const std::string& record) {
+    for (auto& [name, counters] : counter_records_) {
+      if (name == record) return counters;
+    }
+    counter_records_.emplace_back(
+        record, std::vector<std::pair<std::string, std::uint64_t>>{});
+    return counter_records_.back().second;
+  }
+
+  [[nodiscard]] const std::vector<std::pair<std::string, std::uint64_t>>*
+  counters_of(const std::string& record) const {
+    for (const auto& [name, counters] : counter_records_) {
+      if (name == record) return &counters;
+    }
+    return nullptr;
+  }
+
   std::vector<
       std::pair<std::string, std::vector<std::pair<std::string, double>>>>
       records_;
+  std::vector<
+      std::pair<std::string, std::vector<std::pair<std::string, std::uint64_t>>>>
+      counter_records_;
 };
 
 inline void print(const Table& table, const BenchArgs& args) {

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "obs/counters.hpp"
 #include "pagerank/batch_csr.hpp"
 #include "pagerank/propagation_blocking.hpp"
 #include "pagerank/spmm_temporal.hpp"
@@ -23,6 +24,34 @@ using namespace pmpr;
 /// Overridable before the first MicroFixture::get() via --scale= (the
 /// bench.smoke ctest target shrinks the dataset for a fast sanity pass).
 double g_scale = 0.05;  // NOLINT(*avoid-non-const-global*)
+
+/// Set by --counters (implied by --json=): record telemetry counter deltas
+/// around the kernel benches. Off by default so plain timing runs measure
+/// the disabled-telemetry fast path.
+bool g_counters = false;  // NOLINT(*avoid-non-const-global*)
+
+/// Per-benchmark telemetry deltas, averaged per benchmark iteration —
+/// "what does one measured traversal actually do" (edges touched, tasks,
+/// steals). Filled by the kernel benches, consumed by emit_json.
+std::vector<std::pair<std::string, obs::CounterSnapshot>>&
+bench_counter_records() {
+  static std::vector<std::pair<std::string, obs::CounterSnapshot>> records;
+  return records;
+}
+
+obs::CounterSnapshot counters_before() {
+  return g_counters ? obs::counters_snapshot() : obs::CounterSnapshot{};
+}
+
+void counters_after(const char* name, const benchmark::State& state,
+                    const obs::CounterSnapshot& before) {
+  if (!g_counters || state.iterations() == 0) return;
+  obs::CounterSnapshot delta = obs::counters_snapshot().delta_since(before);
+  for (auto& v : delta.values) {
+    v /= static_cast<std::uint64_t>(state.iterations());
+  }
+  bench_counter_records().emplace_back(name, delta);
+}
 
 struct MicroFixture {
   TemporalEdgeList events;
@@ -102,11 +131,13 @@ void BM_SpmvIteration(benchmark::State& state) {
   PagerankParams params;
   params.max_iters = 1;  // time exactly one traversal
   params.tol = 0.0;
+  const obs::CounterSnapshot before = counters_before();
   for (auto _ : state) {
     pagerank_window_spmv(part, f.spec.start(w), f.spec.end(w), ws, x,
                          scratch, params);
     benchmark::DoNotOptimize(x[0]);
   }
+  counters_after("BM_SpmvIteration", state, before);
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(part.num_events));
 }
@@ -125,10 +156,12 @@ void BM_SpmvIterationCompiled(benchmark::State& state) {
   PagerankParams params;
   params.max_iters = 1;
   params.tol = 0.0;
+  const obs::CounterSnapshot before = counters_before();
   for (auto _ : state) {
     pagerank_window_spmv(ws, compiled, x, scratch, params);
     benchmark::DoNotOptimize(x[0]);
   }
+  counters_after("BM_SpmvIterationCompiled", state, before);
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(part.num_events));
 }
@@ -146,10 +179,12 @@ void BM_SpmmIteration16(benchmark::State& state) {
   PagerankParams params;
   params.max_iters = 1;
   params.tol = 0.0;
+  const obs::CounterSnapshot before = counters_before();
   for (auto _ : state) {
     pagerank_spmm(part, f.spec, batch, ws, x, scratch, params);
     benchmark::DoNotOptimize(x[0]);
   }
+  counters_after("BM_SpmmIteration16", state, before);
   // One traversal advances `lanes` windows: credit lanes x events.
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(part.num_events) *
@@ -170,10 +205,12 @@ void BM_SpmmIteration16Compiled(benchmark::State& state) {
   PagerankParams params;
   params.max_iters = 1;
   params.tol = 0.0;
+  const obs::CounterSnapshot before = counters_before();
   for (auto _ : state) {
     pagerank_spmm(ws, compiled, x, scratch, params);
     benchmark::DoNotOptimize(x[0]);
   }
+  counters_after("BM_SpmmIteration16Compiled", state, before);
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(part.num_events) *
                           static_cast<std::int64_t>(batch.lanes));
@@ -301,6 +338,16 @@ bool emit_json(const std::string& path,
       json.set(compiled, "speedup_vs_reference", ref_ns / cmp_ns);
     }
   }
+  // Per-iteration telemetry averages for the kernel benches (only when
+  // counters were on, i.e. --counters or --json).
+  for (const auto& [name, delta] : bench_counter_records()) {
+    for (std::size_t i = 0; i < obs::kNumCounters; ++i) {
+      json.set_counter(name,
+                       std::string(obs::to_string(
+                           static_cast<obs::Counter>(i))),
+                       delta.values[i]);
+    }
+  }
   return json.write(path);
 }
 
@@ -316,10 +363,15 @@ int main(int argc, char** argv) {
       json_path = argv[i] + 7;
     } else if (std::strncmp(argv[i], "--scale=", 8) == 0) {
       g_scale = std::stod(argv[i] + 8);
+    } else if (std::strcmp(argv[i], "--counters") == 0) {
+      g_counters = true;
     } else {
       passthrough.push_back(argv[i]);
     }
   }
+  // --json implies counters: the emitted records carry a "counters" object.
+  if (!json_path.empty()) g_counters = true;
+  if (g_counters) obs::set_counters_enabled(true);
   int bench_argc = static_cast<int>(passthrough.size());
   benchmark::Initialize(&bench_argc, passthrough.data());
   if (benchmark::ReportUnrecognizedArguments(bench_argc,

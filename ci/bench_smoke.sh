@@ -33,5 +33,11 @@ for name in required:
     assert data[name]["items_per_second"] > 0, f"{name}: bad throughput"
 for name in ("BM_SpmvIterationCompiled", "BM_SpmmIteration16Compiled"):
     assert "speedup_vs_reference" in data[name], f"{name}: missing speedup"
+# --json implies --counters: every kernel record must carry the telemetry
+# counter object with real per-iteration work attributed to it.
+for name in required:
+    counters = data[name].get("counters")
+    assert counters, f"{name}: missing counters object"
+    assert counters["edges_traversed"] > 0, f"{name}: no edges counted"
 print(f"bench smoke OK: {len(data)} records in {sys.argv[1]}")
 EOF

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Telemetry smoke pass (ctest target obs.smoke): runs the documented
+# pmpr_run example on a tiny surrogate with --trace and --metrics, then
+# validates both emitted JSON shapes — the Chrome trace-event file that
+# ui.perfetto.dev loads, and the pmpr-metrics-v1 run record. Keeps the
+# observability layer's two export formats from silently rotting.
+set -euo pipefail
+
+BIN=${1:?usage: obs_smoke.sh <pmpr_run binary> [out_dir]}
+OUT=${2:-.}
+
+TRACE="$OUT/OBS_trace.json"
+METRICS="$OUT/OBS_metrics.json"
+
+"$BIN" --model postmortem --dataset wiki-talk --scale 0.002 \
+  --max-windows 16 --trace "$TRACE" --metrics "$METRICS"
+
+python3 - "$TRACE" "$METRICS" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    trace = json.load(f)
+
+assert trace.get("displayTimeUnit") == "ms", "trace: bad displayTimeUnit"
+events = trace["traceEvents"]
+assert isinstance(events, list) and events, "trace: no events"
+names = set()
+for ev in events:
+    assert ev["ph"] == "X", f"trace: unexpected phase {ev}"
+    assert ev["cat"] == "pmpr", f"trace: unexpected category {ev}"
+    assert isinstance(ev["name"], str) and ev["name"], f"trace: no name {ev}"
+    assert ev["ts"] >= 0 and ev["dur"] >= 0, f"trace: bad timing {ev}"
+    assert isinstance(ev["tid"], int) and isinstance(ev["pid"], int)
+    names.add(ev["name"])
+for required in ("postmortem.build_representation", "postmortem.run"):
+    assert required in names, f"trace: missing span {required}; got {names}"
+
+with open(sys.argv[2]) as f:
+    metrics = json.load(f)
+
+assert metrics["schema"] == "pmpr-metrics-v1", "metrics: bad schema tag"
+for field in ("build_seconds", "compute_seconds", "total_seconds"):
+    assert metrics[field] >= 0, f"metrics: bad {field}"
+assert metrics["num_windows"] > 0, "metrics: no windows"
+assert metrics["total_iterations"] > 0, "metrics: no iterations"
+assert metrics["peak_memory_bytes"] > 0, "metrics: no memory estimate"
+counters = metrics["counters"]
+assert counters["edges_traversed"] > 0, "metrics: no edges counted"
+assert counters["windows_processed"] == metrics["num_windows"]
+windows = metrics["windows"]
+assert len(windows) == metrics["num_windows"], "metrics: windows mismatch"
+for w in windows:
+    assert w["iterations"] > 0, f"metrics: window without iterations {w}"
+    assert w["final_residual"] >= 0, f"metrics: bad residual {w}"
+    assert len(w["residuals"]) == w["iterations"], \
+        f"metrics: trajectory length mismatch {w}"
+
+print(f"obs smoke OK: {len(events)} trace events, "
+      f"{metrics['num_windows']} windows in {sys.argv[2]}")
+EOF

@@ -24,8 +24,18 @@ cannot express:
 
   naked-new-delete          No `new` / `delete` expressions outside
                             ws_deque.hpp (whose lock-free buffer handoff
-                            genuinely needs manual lifetime management).
+                            genuinely needs manual lifetime management) and
+                            the obs/ registries (intentionally leaked so
+                            pool workers can flush telemetry at exit).
                             `= delete`d functions are not flagged.
+
+  raw-clock                 Direct steady_clock / system_clock /
+                            high_resolution_clock ::now() calls are
+                            confined to src/util/ (Timer/AccumTimer,
+                            logging timestamps) and src/obs/ (the trace
+                            epoch). Everything else must go through those
+                            wrappers so timing stays mockable and the
+                            telemetry cost model holds.
 
 Usage: pmpr_lint.py [--root REPO_ROOT] PATH [PATH ...]
 
@@ -47,11 +57,19 @@ ALLOW = {
         "src/graph/edge_list.cpp",
         "src/exec/export.cpp",
     },
-    "naked-new-delete": {"src/par/ws_deque.hpp"},
+    "naked-new-delete": {
+        "src/par/ws_deque.hpp",
+        # Leaked telemetry registries: static-destruction-order safety for
+        # pool worker threads flushing counters/spans at exit.
+        "src/obs/counters.cpp",
+        "src/obs/trace.cpp",
+    },
+    "raw-clock": set(),
 }
 # Directory prefixes where a rule does not apply.
 ALLOW_DIRS = {
     "raw-concurrency-type": ("src/par/",),
+    "raw-clock": ("src/util/", "src/obs/"),
 }
 
 RELAXED_ORDER = re.compile(
@@ -65,6 +83,9 @@ RAW_PRIMITIVE = re.compile(
 REINTERPRET = re.compile(r"\breinterpret_cast\b")
 NAKED_NEW = re.compile(r"(?<![\w.])new\b|(?<![\w.])delete\b(?:\s*\[\])?")
 DELETED_FN = re.compile(r"=\s*(delete|default)\s*[;,)]")
+RAW_CLOCK = re.compile(
+    r"\b(steady_clock|system_clock|high_resolution_clock)\s*::\s*now\s*\("
+)
 COMMENT_LOOKBACK = 3
 
 
@@ -161,6 +182,19 @@ def lint_file(path, rel):
                         f"naked `{m.group(0).strip()}` outside "
                         "ws_deque.hpp; use std::unique_ptr / "
                         "std::make_unique",
+                    )
+                )
+        if not allowed("raw-clock", rel):
+            m = RAW_CLOCK.search(code)
+            if m:
+                violations.append(
+                    (
+                        rel,
+                        lineno,
+                        "raw-clock",
+                        f"direct {m.group(1)}::now() outside src/util/ and "
+                        "src/obs/; use pmpr::Timer/AccumTimer "
+                        "(util/timer.hpp) or obs::trace_now_ns()",
                     )
                 )
     return violations

@@ -4,9 +4,10 @@
 #   1. ASan + UBSan: full test suite. Catches the out-of-bounds writes the
 #      loaders/builders are hardened against, plus lifetime bugs in the
 #      pointer-rich streaming structures.
-#   2. TSan: tests/par + tests/streaming. Gates the hand-rolled
-#      work-stealing pool (Chase-Lev deques, sleep/notify protocol) and the
-#      streaming runner's use of it.
+#   2. TSan: tests/par + tests/streaming + tests/obs. Gates the hand-rolled
+#      work-stealing pool (Chase-Lev deques, sleep/notify protocol), the
+#      streaming runner's use of it, and the telemetry layer's per-thread
+#      counter blocks / trace buffers under pool churn.
 #
 # Usage: ci/sanitize.sh [asan|tsan|all]      (default: all)
 #
@@ -56,9 +57,9 @@ run_tsan() {
   local dir="${BUILD_ROOT}/tsan"
   echo "=== [2/2] thread: configure + build ==="
   build_tree "${dir}" "thread"
-  echo "=== [2/2] thread: par + streaming suites ==="
+  echo "=== [2/2] thread: par + streaming + obs suites ==="
   ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" \
-    -L '^(par_test|streaming_test)$'
+    -L '^(par_test|streaming_test|obs_test)$'
 }
 
 case "${MODE}" in

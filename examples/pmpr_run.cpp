@@ -1,0 +1,114 @@
+// One-shot driver for a single execution model with the full telemetry
+// stack: scheduler/kernel counters, per-window convergence metrics, and a
+// Perfetto-loadable trace.
+//
+//   ./pmpr_run --model postmortem --dataset wiki-talk --scale 0.01 \
+//              --trace trace.json --metrics metrics.json
+//
+// Load trace.json in https://ui.perfetto.dev (or chrome://tracing) to see
+// the per-phase spans; metrics.json holds the pmpr-metrics-v1 record
+// (counters, residual trajectories, memory estimate). ci/obs_smoke.sh
+// validates both shapes.
+#include <cstdio>
+#include <string>
+
+#include "pmpr.hpp"
+
+using namespace pmpr;
+
+int main(int argc, char** argv) {
+  std::string model = "postmortem";
+  std::string dataset = "wiki-talk";
+  double scale = 0.01;
+  std::int64_t seed = 42;
+  std::int64_t delta_days = 90;
+  std::int64_t sw = 86'400;
+  std::int64_t max_windows = 64;
+  std::string trace_path;
+  std::string metrics_path;
+  Options opts("Run one execution model with telemetry enabled");
+  opts.add("model", &model, "offline | streaming | postmortem");
+  opts.add("dataset", &dataset,
+           "surrogate name (see bench_table1_datasets for the list)");
+  opts.add("scale", &scale, "surrogate dataset scale factor");
+  opts.add("seed", &seed, "generator seed");
+  opts.add("delta-days", &delta_days, "window size in days");
+  opts.add("sw", &sw, "sliding offset in seconds");
+  opts.add("max-windows", &max_windows, "cap on the number of windows");
+  opts.add("trace", &trace_path,
+           "write a Chrome trace-event JSON (Perfetto-loadable) here");
+  opts.add("metrics", &metrics_path,
+           "write the pmpr-metrics-v1 run record here");
+  if (!opts.parse(argc, argv)) return opts.saw_help() ? 0 : 1;
+  if (model != "offline" && model != "streaming" && model != "postmortem") {
+    std::fprintf(stderr, "unknown --model '%s'\n", model.c_str());
+    return 1;
+  }
+
+  // Counters and per-iteration metrics always on here (this binary exists
+  // to show them); tracing only when a --trace path was given.
+  obs::set_counters_enabled(true);
+  obs::set_metrics_enabled(true);
+  if (!trace_path.empty()) obs::set_tracing_enabled(true);
+
+  const gen::DatasetSpec spec =
+      gen::scaled(gen::dataset_by_name(dataset), scale);
+  const TemporalEdgeList events =
+      gen::generate(spec, static_cast<std::uint64_t>(seed));
+  const WindowSpec windows = WindowSpec::cover_capped(
+      events.min_time(), events.max_time(), delta_days * duration::kDay, sw,
+      static_cast<std::size_t>(max_windows));
+  std::printf("%s surrogate: %zu events, %u vertices, %zu windows\n",
+              dataset.c_str(), events.size(), events.num_vertices(),
+              windows.count);
+
+  ChecksumSink sink(windows.count);
+  RunResult result;
+  if (model == "offline") {
+    result = run_offline(events, windows, sink, OfflineOptions{});
+  } else if (model == "streaming") {
+    result = run_streaming(events, windows, sink, StreamingOptions{});
+  } else {
+    result = run_postmortem(events, windows, sink,
+                            suggest_config_for(events, windows));
+  }
+
+  std::printf("%-10s : build %7.3fs  compute %7.3fs  total %7.3fs  "
+              "(%llu iterations, ~%.1f MiB peak)\n",
+              model.c_str(), result.build_seconds, result.compute_seconds,
+              result.total_seconds(),
+              static_cast<unsigned long long>(result.total_iterations),
+              static_cast<double>(result.peak_memory_bytes) / (1024 * 1024));
+  std::printf("counters   : %llu edges traversed, %llu tasks spawned, "
+              "%llu/%llu steals, %llu vertices reused\n",
+              static_cast<unsigned long long>(
+                  result.counters[obs::Counter::kEdgesTraversed]),
+              static_cast<unsigned long long>(
+                  result.counters[obs::Counter::kTasksSpawned]),
+              static_cast<unsigned long long>(
+                  result.counters[obs::Counter::kStealsSucceeded]),
+              static_cast<unsigned long long>(
+                  result.counters[obs::Counter::kStealsAttempted]),
+              static_cast<unsigned long long>(
+                  result.counters[obs::Counter::kVerticesReused]));
+
+  if (!metrics_path.empty()) {
+    if (!obs::write_metrics_json(result, metrics_path)) {
+      std::fprintf(stderr, "failed to write metrics to %s\n",
+                   metrics_path.c_str());
+      return 1;
+    }
+    std::printf("metrics    : %s\n", metrics_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    obs::set_tracing_enabled(false);
+    if (!obs::write_chrome_trace(trace_path)) {
+      std::fprintf(stderr, "failed to write trace to %s\n",
+                   trace_path.c_str());
+      return 1;
+    }
+    std::printf("trace      : %s (%zu events; load in ui.perfetto.dev)\n",
+                trace_path.c_str(), obs::trace_event_count());
+  }
+  return 0;
+}

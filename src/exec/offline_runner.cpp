@@ -1,7 +1,12 @@
 #include "exec/offline_runner.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <functional>
+#include <utility>
 
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
 
@@ -9,26 +14,52 @@ namespace pmpr {
 
 namespace {
 
+/// Rough resident bytes of one offline window's working set: the window
+/// CSR (row pointers + columns), degrees, activity, and the two PageRank
+/// vectors. An estimate for RunResult::peak_memory_bytes, not a
+/// measurement.
+std::size_t window_bytes(const WindowGraph& g) {
+  return (g.num_vertices + 1) * sizeof(std::size_t)     // row_ptr
+         + g.in.num_edges() * sizeof(VertexId)          // columns
+         + g.num_vertices * sizeof(std::uint32_t)       // out_degree
+         + g.num_vertices * sizeof(std::uint8_t)        // is_active
+         + 2 * g.num_vertices * sizeof(double);         // x + scratch
+}
+
 /// Builds window `w`'s graph and runs a cold-start PageRank into `x`.
-/// Returns the iteration count.
-int solve_window(const TemporalEdgeList& events, const WindowSpec& spec,
-                 std::size_t w, const OfflineOptions& opts,
-                 const par::ForOptions* kernel_par, std::vector<double>& x,
-                 std::vector<double>& scratch, double& build_seconds,
-                 double& compute_seconds) {
+/// Returns the kernel stats; `memory_bytes` gets the window's estimated
+/// working-set size.
+PagerankStats solve_window(const TemporalEdgeList& events,
+                           const WindowSpec& spec, std::size_t w,
+                           const OfflineOptions& opts,
+                           const par::ForOptions* kernel_par,
+                           std::vector<double>& x,
+                           std::vector<double>& scratch,
+                           double& build_seconds, double& compute_seconds,
+                           std::size_t& memory_bytes) {
   Timer build_timer;
-  const auto slice = events.slice(spec.start(w), spec.end(w));
-  const WindowGraph g = build_window_graph(slice, events.num_vertices());
+  PMPR_TRACE_SPAN("offline.window");
+  const WindowGraph g = [&] {
+    PMPR_TRACE_SPAN("window.build");
+    const auto slice = events.slice(spec.start(w), spec.end(w));
+    return build_window_graph(slice, events.num_vertices());
+  }();
   build_seconds = build_timer.seconds();
   if (opts.validate) g.validate();
+  memory_bytes = window_bytes(g);
 
   Timer compute_timer;
   x.resize(g.num_vertices);
   scratch.resize(g.num_vertices);
-  full_init(g.is_active, g.num_active, x);
-  const PagerankStats stats = pagerank(g, x, scratch, opts.pr, kernel_par);
+  {
+    PMPR_TRACE_SPAN("window.init");
+    full_init(g.is_active, g.num_active, x);
+  }
+  PMPR_TRACE_SPAN("window.iterate");
+  PagerankStats stats = pagerank(g, x, scratch, opts.pr, kernel_par);
   compute_seconds = compute_timer.seconds();
-  return stats.iterations;
+  obs::count(obs::Counter::kWindowsProcessed);
+  return stats;
 }
 
 }  // namespace
@@ -42,8 +73,22 @@ RunResult run_offline(const TemporalEdgeList& events, const WindowSpec& spec,
   RunResult result;
   result.num_windows = spec.count;
   result.iterations_per_window.assign(spec.count, 0);
+  result.final_residuals.assign(spec.count, 0.0);
+  result.residual_trajectories.assign(spec.count, {});
+  // Per-window working-set estimates; distinct slots, no synchronization
+  // needed even when windows run in parallel.
+  std::vector<std::size_t> window_memory(spec.count, 0);
+
+  const obs::CounterSnapshot before = obs::counters_snapshot();
+  PMPR_TRACE_SPAN("offline.run");
 
   par::ForOptions for_opts{opts.partitioner, opts.grain, opts.pool};
+
+  auto record = [&](std::size_t w, PagerankStats stats) {
+    result.iterations_per_window[w] = stats.iterations;
+    result.final_residuals[w] = stats.final_residual;
+    result.residual_trajectories[w] = std::move(stats.residuals);
+  };
 
   if (opts.parallel_windows) {
     // Window-level fan-out: each window is fully independent (cold start,
@@ -56,10 +101,10 @@ RunResult run_offline(const TemporalEdgeList& events, const WindowSpec& spec,
       std::vector<double> scratch;
       double build = 0.0;
       double compute = 0.0;
-      const int iters = solve_window(events, spec, w, opts,
-                                     /*kernel_par=*/nullptr, x, scratch,
-                                     build, compute);
-      result.iterations_per_window[w] = iters;
+      PagerankStats stats =
+          solve_window(events, spec, w, opts, /*kernel_par=*/nullptr, x,
+                       scratch, build, compute, window_memory[w]);
+      record(w, std::move(stats));
       sink.consume_dense(w, x);
       // relaxed (both): commutative time totals, read only after the
       // parallel_for join publishes them.
@@ -78,9 +123,10 @@ RunResult run_offline(const TemporalEdgeList& events, const WindowSpec& spec,
     for (std::size_t w = 0; w < spec.count; ++w) {
       double build = 0.0;
       double compute = 0.0;
-      const int iters = solve_window(events, spec, w, opts, kernel_par, x,
-                                     scratch, build, compute);
-      result.iterations_per_window[w] = iters;
+      PagerankStats stats = solve_window(events, spec, w, opts, kernel_par, x,
+                                         scratch, build, compute,
+                                         window_memory[w]);
+      record(w, std::move(stats));
       sink.consume_dense(w, x);
       result.build_seconds += build;
       result.compute_seconds += compute;
@@ -90,6 +136,21 @@ RunResult run_offline(const TemporalEdgeList& events, const WindowSpec& spec,
   for (const int iters : result.iterations_per_window) {
     result.total_iterations += static_cast<std::uint64_t>(iters);
   }
+  // Peak estimate: the largest single window when sequential; with
+  // parallel_windows up to `threads` windows are resident at once, so sum
+  // the largest `threads` estimates.
+  std::sort(window_memory.begin(), window_memory.end(),
+            std::greater<std::size_t>());
+  std::size_t resident = opts.parallel_windows
+                             ? (opts.pool != nullptr
+                                    ? opts.pool->num_threads()
+                                    : par::ThreadPool::global().num_threads())
+                             : 1;
+  resident = std::min(resident, window_memory.size());
+  for (std::size_t i = 0; i < resident; ++i) {
+    result.peak_memory_bytes += window_memory[i];
+  }
+  result.counters = obs::counters_snapshot().delta_since(before);
   return result;
 }
 

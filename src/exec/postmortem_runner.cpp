@@ -2,8 +2,12 @@
 
 #include <cassert>
 #include <memory>
+#include <utility>
 #include <vector>
 
+#include "graph/memory_budget.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "pagerank/partial_init.hpp"
 #include "pagerank/spmm_temporal.hpp"
 #include "pagerank/spmv_temporal.hpp"
@@ -95,8 +99,11 @@ void spmm_partial_init_lane(std::span<const double> prev_x,
     for (std::size_t v = 0; v < n; ++v) {
       cur_x[v * cur_lanes + k] = (cur_mask[v] & cb) != 0 ? uniform : 0.0;
     }
+    obs::count(obs::Counter::kVerticesReseeded, cur_num_active);
     return;
   }
+  obs::count(obs::Counter::kVerticesReused, shared);
+  obs::count(obs::Counter::kVerticesReseeded, cur_num_active - shared);
   const double scale =
       (static_cast<double>(shared) / static_cast<double>(cur_num_active)) /
       mass;
@@ -138,6 +145,8 @@ class PostmortemDriver {
   void run() {
     result_.num_windows = set_.spec().count;
     result_.iterations_per_window.assign(set_.spec().count, 0);
+    result_.final_residuals.assign(set_.spec().count, 0.0);
+    result_.residual_trajectories.assign(set_.spec().count, {});
 
     if (cfg_.mode == ParallelMode::kPagerank) {
       // Windows strictly in order, parallelism inside the kernel only.
@@ -200,31 +209,46 @@ class PostmortemDriver {
 
     st.x.resize(n);
     st.scratch.resize(n);
-    if (cfg_.compiled_kernels) {
-      compile_window(part, ts, te, st.ws, st.compiled_win, kernel_par_);
-    } else {
-      compute_window_state(part, ts, te, st.ws, kernel_par_);
+    {
+      PMPR_TRACE_SPAN("window.build");
+      if (cfg_.compiled_kernels) {
+        compile_window(part, ts, te, st.ws, st.compiled_win, kernel_par_);
+      } else {
+        compute_window_state(part, ts, te, st.ws, kernel_par_);
+      }
     }
 
     const bool partial = cfg_.partial_init && item.index > 0 &&
                          st.carry_part == item.part &&
                          st.carry_index == item.index - 1 &&
                          st.prev_x.size() == n;
-    if (partial) {
-      partial_init(st.prev_x, st.prev_active, st.ws.active, st.ws.num_active,
-                   st.x);
-    } else {
-      full_init(st.ws.active, st.ws.num_active, st.x);
+    {
+      PMPR_TRACE_SPAN("window.init");
+      if (partial) {
+        partial_init(st.prev_x, st.prev_active, st.ws.active, st.ws.num_active,
+                     st.x);
+      } else {
+        full_init(st.ws.active, st.ws.num_active, st.x);
+      }
     }
 
-    const PagerankStats stats =
-        cfg_.compiled_kernels
-            ? pagerank_window_spmv(st.ws, st.compiled_win, st.x, st.scratch,
-                                   cfg_.pr, kernel_par_)
-            : pagerank_window_spmv(part, ts, te, st.ws, st.x, st.scratch,
-                                   cfg_.pr, kernel_par_);
+    PagerankStats stats;
+    {
+      PMPR_TRACE_SPAN("window.iterate");
+      stats = cfg_.compiled_kernels
+                  ? pagerank_window_spmv(st.ws, st.compiled_win, st.x,
+                                         st.scratch, cfg_.pr, kernel_par_)
+                  : pagerank_window_spmv(part, ts, te, st.ws, st.x, st.scratch,
+                                         cfg_.pr, kernel_par_);
+    }
     result_.iterations_per_window[w] = stats.iterations;
-    sink_.consume_mapped(w, part.local_to_global, st.x);
+    result_.final_residuals[w] = stats.final_residual;
+    result_.residual_trajectories[w] = std::move(stats.residuals);
+    obs::count(obs::Counter::kWindowsProcessed);
+    {
+      PMPR_TRACE_SPAN("window.sink");
+      sink_.consume_mapped(w, part.local_to_global, st.x);
+    }
 
     st.prev_x.swap(st.x);
     st.prev_active.swap(st.ws.active);
@@ -248,11 +272,14 @@ class PostmortemDriver {
 
     st.x.resize(n * lanes);
     st.scratch.resize(n * lanes);
-    if (cfg_.compiled_kernels) {
-      compile_spmm_batch(part, set_.spec(), batch, st.spmm_ws,
-                         st.compiled_batch, kernel_par_);
-    } else {
-      compute_spmm_state(part, set_.spec(), batch, st.spmm_ws, kernel_par_);
+    {
+      PMPR_TRACE_SPAN("batch.build");
+      if (cfg_.compiled_kernels) {
+        compile_spmm_batch(part, set_.spec(), batch, st.spmm_ws,
+                           st.compiled_batch, kernel_par_);
+      } else {
+        compute_spmm_state(part, set_.spec(), batch, st.spmm_ws, kernel_par_);
+      }
     }
 
     const bool partial = cfg_.partial_init && j > 0 &&
@@ -260,32 +287,42 @@ class PostmortemDriver {
                          st.carry_index == j - 1 &&
                          st.prev_lanes >= lanes &&
                          st.prev_x.size() == n * st.prev_lanes;
-    for (std::size_t k = 0; k < lanes; ++k) {
-      if (partial) {
-        // Lane k's window is the successor of the previous batch's lane k.
-        spmm_partial_init_lane(st.prev_x, st.prev_lanes, k, st.prev_mask,
-                               st.x, lanes, k, st.spmm_ws.active_mask,
-                               st.spmm_ws.num_active[k]);
-      } else {
-        const double uniform =
-            st.spmm_ws.num_active[k] > 0
-                ? 1.0 / static_cast<double>(st.spmm_ws.num_active[k])
-                : 0.0;
-        const std::uint64_t bit = 1ULL << k;
-        for (std::size_t v = 0; v < n; ++v) {
-          st.x[v * lanes + k] =
-              (st.spmm_ws.active_mask[v] & bit) != 0 ? uniform : 0.0;
+    {
+      PMPR_TRACE_SPAN("batch.init");
+      for (std::size_t k = 0; k < lanes; ++k) {
+        if (partial) {
+          // Lane k's window is the successor of the previous batch's lane k.
+          spmm_partial_init_lane(st.prev_x, st.prev_lanes, k, st.prev_mask,
+                                 st.x, lanes, k, st.spmm_ws.active_mask,
+                                 st.spmm_ws.num_active[k]);
+        } else {
+          const double uniform =
+              st.spmm_ws.num_active[k] > 0
+                  ? 1.0 / static_cast<double>(st.spmm_ws.num_active[k])
+                  : 0.0;
+          const std::uint64_t bit = 1ULL << k;
+          for (std::size_t v = 0; v < n; ++v) {
+            st.x[v * lanes + k] =
+                (st.spmm_ws.active_mask[v] & bit) != 0 ? uniform : 0.0;
+          }
+          obs::count(obs::Counter::kVerticesReseeded,
+                     st.spmm_ws.num_active[k]);
         }
       }
     }
 
-    const SpmmStats stats =
-        cfg_.compiled_kernels
-            ? pagerank_spmm(st.spmm_ws, st.compiled_batch, st.x, st.scratch,
-                            cfg_.pr, kernel_par_)
-            : pagerank_spmm(part, set_.spec(), batch, st.spmm_ws, st.x,
-                            st.scratch, cfg_.pr, kernel_par_);
+    SpmmStats stats;
+    {
+      PMPR_TRACE_SPAN("batch.iterate");
+      stats = cfg_.compiled_kernels
+                  ? pagerank_spmm(st.spmm_ws, st.compiled_batch, st.x,
+                                  st.scratch, cfg_.pr, kernel_par_)
+                  : pagerank_spmm(part, set_.spec(), batch, st.spmm_ws, st.x,
+                                  st.scratch, cfg_.pr, kernel_par_);
+    }
+    obs::count(obs::Counter::kWindowsProcessed, lanes);
 
+    PMPR_TRACE_SPAN("batch.sink");
     st.lane_buf.resize(n);
     for (std::size_t k = 0; k < lanes; ++k) {
       const std::size_t w = batch.window_of_lane(k);
@@ -293,6 +330,8 @@ class PostmortemDriver {
         st.lane_buf[v] = st.x[v * lanes + k];
       }
       result_.iterations_per_window[w] = stats.lane_stats[k].iterations;
+      result_.final_residuals[w] = stats.lane_stats[k].final_residual;
+      result_.residual_trajectories[w] = std::move(stats.lane_stats[k].residuals);
       sink_.consume_mapped(w, part.local_to_global, st.lane_buf);
     }
 
@@ -320,10 +359,25 @@ RunResult run_postmortem_prebuilt(const MultiWindowSet& set, ResultSink& sink,
                                   const PostmortemConfig& config) {
   if (config.validate) set.validate();
   RunResult result;
+  const obs::CounterSnapshot before = obs::counters_snapshot();
   Timer timer;
-  PostmortemDriver driver(set, sink, config, result);
-  driver.run();
+  {
+    PMPR_TRACE_SPAN("postmortem.run");
+    PostmortemDriver driver(set, sink, config, result);
+    driver.run();
+  }
   result.compute_seconds = timer.seconds();
+  result.counters = obs::counters_snapshot().delta_since(before);
+  const std::size_t kernel_contexts =
+      config.mode == ParallelMode::kPagerank
+          ? 1
+          : (config.pool != nullptr ? config.pool->num_threads()
+                                    : par::ThreadPool::global().num_threads()) +
+                1;
+  const std::size_t vlen =
+      config.kernel == KernelKind::kSpmm ? config.vector_length : 1;
+  result.peak_memory_bytes =
+      estimate_memory(set, vlen).peak_bytes(kernel_contexts);
   return result;
 }
 
@@ -331,9 +385,14 @@ RunResult run_postmortem(const TemporalEdgeList& events,
                          const WindowSpec& spec, ResultSink& sink,
                          const PostmortemConfig& config) {
   Timer build_timer;
-  const MultiWindowSet set = MultiWindowSet::build(
-      events, spec, config.num_multi_windows, config.partition_policy);
-  const double build_seconds = build_timer.seconds();
+  double build_seconds = 0.0;
+  const MultiWindowSet set = [&] {
+    PMPR_TRACE_SPAN("postmortem.build_representation");
+    MultiWindowSet s = MultiWindowSet::build(
+        events, spec, config.num_multi_windows, config.partition_policy);
+    build_seconds = build_timer.seconds();
+    return s;
+  }();
 
   RunResult result = run_postmortem_prebuilt(set, sink, config);
   result.build_seconds = build_seconds;

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "graph/types.hpp"
+#include "obs/counters.hpp"
 
 namespace pmpr {
 
@@ -23,6 +24,20 @@ struct RunResult {
   std::uint64_t total_iterations = 0;
   std::size_t num_windows = 0;
   std::vector<int> iterations_per_window;
+
+  /// Last-iteration L1 residual per window (always filled).
+  std::vector<double> final_residuals;
+  /// Per-window per-iteration L1 residuals. Entries are empty unless
+  /// obs::set_metrics_enabled(true) was active during the run (kernels
+  /// skip the per-iteration recording otherwise).
+  std::vector<std::vector<double>> residual_trajectories;
+  /// Telemetry counters accrued registry-wide between run start and end
+  /// (obs::counters_snapshot delta). All zero when counters are disabled;
+  /// concurrent unrelated runs share the registry, so attribute with care.
+  obs::CounterSnapshot counters;
+  /// Estimated peak resident bytes of the run's representation + working
+  /// sets (model-specific estimate, not a measurement).
+  std::size_t peak_memory_bytes = 0;
 
   [[nodiscard]] double total_seconds() const {
     return build_seconds + compute_seconds;

@@ -1,7 +1,10 @@
 #include "exec/streaming_runner.hpp"
 
 #include <algorithm>
+#include <utility>
 
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "streaming/delta_pagerank.hpp"
 #include "streaming/dynamic_graph.hpp"
 #include "streaming/incremental_pagerank.hpp"
@@ -69,6 +72,11 @@ RunResult run_streaming(const TemporalEdgeList& events, const WindowSpec& spec,
   RunResult result;
   result.num_windows = spec.count;
   result.iterations_per_window.assign(spec.count, 0);
+  result.final_residuals.assign(spec.count, 0.0);
+  result.residual_trajectories.assign(spec.count, {});
+
+  const obs::CounterSnapshot before = obs::counters_snapshot();
+  PMPR_TRACE_SPAN("streaming.run");
 
   const VertexId n = events.num_vertices();
   streaming::DynamicGraph graph(n);
@@ -80,27 +88,50 @@ RunResult run_streaming(const TemporalEdgeList& events, const WindowSpec& spec,
   const par::ForOptions* kernel_par =
       opts.parallel_kernel ? &for_opts : nullptr;
 
+  AccumTimer mutate_timer;
+  AccumTimer compute_timer;
+  std::size_t max_live_edges = 0;
   for (std::size_t w = 0; w < spec.count; ++w) {
-    Timer mutate_timer;
-    const WindowBatches batches = advance_graph(graph, events, spec, w);
-    result.build_seconds += mutate_timer.seconds();
-    if (opts.validate) graph.validate();
-
-    Timer compute_timer;
-    PagerankStats stats;
-    if (use_delta) {
-      if (!opts.incremental) delta.reset();
-      stats = delta.update(batches.inserted, batches.removed).pagerank;
-    } else {
-      if (!opts.incremental) warm.reset();
-      stats = warm.update(kernel_par);
+    WindowBatches batches;
+    {
+      ScopedAccum timing(mutate_timer);
+      PMPR_TRACE_SPAN("window.mutate");
+      batches = advance_graph(graph, events, spec, w);
+      if (opts.validate) graph.validate();
     }
-    result.compute_seconds += compute_timer.seconds();
+
+    PagerankStats stats;
+    {
+      ScopedAccum timing(compute_timer);
+      PMPR_TRACE_SPAN("window.iterate");
+      if (use_delta) {
+        if (!opts.incremental) delta.reset();
+        stats = delta.update(batches.inserted, batches.removed).pagerank;
+      } else {
+        if (!opts.incremental) warm.reset();
+        stats = warm.update(kernel_par);
+      }
+    }
 
     result.iterations_per_window[w] = stats.iterations;
     result.total_iterations += static_cast<std::uint64_t>(stats.iterations);
+    result.final_residuals[w] = stats.final_residual;
+    result.residual_trajectories[w] = std::move(stats.residuals);
+    max_live_edges = std::max(max_live_edges, graph.num_edges());
+    obs::count(obs::Counter::kWindowsProcessed);
+    PMPR_TRACE_SPAN("window.sink");
     sink.consume_dense(w, use_delta ? delta.values() : warm.values());
   }
+  result.build_seconds = mutate_timer.seconds();
+  result.compute_seconds = compute_timer.seconds();
+  // Rough resident estimate: the live dynamic adjacency at its largest
+  // window (endpoints + timestamp per directed edge, both directions) plus
+  // the dense per-vertex state (rank + residual/scratch + degree + flags).
+  result.peak_memory_bytes =
+      2 * max_live_edges * (2 * sizeof(VertexId) + sizeof(Timestamp)) +
+      static_cast<std::size_t>(n) *
+          (2 * sizeof(double) + 2 * sizeof(VertexId));
+  result.counters = obs::counters_snapshot().delta_since(before);
   return result;
 }
 

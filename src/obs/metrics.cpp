@@ -1,0 +1,69 @@
+#include "obs/metrics.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace pmpr::obs {
+
+namespace {
+
+/// Shortest-round-trip-ish double formatting for JSON (no inf/nan inputs
+/// by contract: residuals and seconds are finite).
+std::string fmt(double v) {
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+void write_metrics_json(const RunResult& result, std::ostream& out) {
+  out << "{\n";
+  out << "  \"schema\": \"pmpr-metrics-v1\",\n";
+  out << "  \"build_seconds\": " << fmt(result.build_seconds) << ",\n";
+  out << "  \"compute_seconds\": " << fmt(result.compute_seconds) << ",\n";
+  out << "  \"total_seconds\": " << fmt(result.total_seconds()) << ",\n";
+  out << "  \"num_windows\": " << result.num_windows << ",\n";
+  out << "  \"total_iterations\": " << result.total_iterations << ",\n";
+  out << "  \"peak_memory_bytes\": " << result.peak_memory_bytes << ",\n";
+
+  out << "  \"counters\": {";
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    \""
+        << to_string(static_cast<Counter>(i))
+        << "\": " << result.counters.values[i];
+  }
+  out << "\n  },\n";
+
+  out << "  \"windows\": [";
+  for (std::size_t w = 0; w < result.num_windows; ++w) {
+    const int iters = w < result.iterations_per_window.size()
+                          ? result.iterations_per_window[w]
+                          : 0;
+    const double final_residual =
+        w < result.final_residuals.size() ? result.final_residuals[w] : 0.0;
+    out << (w == 0 ? "\n" : ",\n");
+    out << "    {\"window\": " << w << ", \"iterations\": " << iters
+        << ", \"final_residual\": " << fmt(final_residual)
+        << ", \"residuals\": [";
+    if (w < result.residual_trajectories.size()) {
+      const auto& traj = result.residual_trajectories[w];
+      for (std::size_t i = 0; i < traj.size(); ++i) {
+        out << (i == 0 ? "" : ", ") << fmt(traj[i]);
+      }
+    }
+    out << "]}";
+  }
+  out << "\n  ]\n}\n";
+}
+
+bool write_metrics_json(const RunResult& result, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_metrics_json(result, out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace pmpr::obs

@@ -1,0 +1,26 @@
+// Runtime telemetry: run-metrics serialization (observability pillar 3).
+//
+// Every runner fills RunResult with per-window convergence data, telemetry
+// counter deltas, and a peak-memory estimate; write_metrics_json emits the
+// whole record as one JSON object (schema "pmpr-metrics-v1", validated by
+// ci/obs_smoke.sh). Benchmarks and the pmpr_run example expose it via
+// `--metrics <path>`.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "exec/results.hpp"
+
+namespace pmpr::obs {
+
+/// Writes `result` as one JSON object:
+///   { "schema": "pmpr-metrics-v1", "build_seconds": ..., ...,
+///     "counters": {"tasks_spawned": ...}, "windows": [{...}, ...] }
+void write_metrics_json(const RunResult& result, std::ostream& out);
+
+/// File variant; returns false on IO failure.
+[[nodiscard]] bool write_metrics_json(const RunResult& result,
+                                      const std::string& path);
+
+}  // namespace pmpr::obs

@@ -1,0 +1,168 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <memory>
+#include <ostream>
+#include <sstream>
+
+#include "util/thread_annotations.hpp"
+
+namespace pmpr::obs {
+
+namespace {
+
+/// A raw span record: the name pointer (a literal) is stored as-is.
+struct Record {
+  const char* name;
+  std::int64_t start_ns;
+  std::int64_t end_ns;
+};
+
+/// Per-thread span buffer. The owning thread appends; collectors copy.
+/// Both sides take `mu` — uncontended in steady state (collection happens
+/// between runs), so the append cost is a plain lock/unlock.
+struct ThreadBuf {
+  explicit ThreadBuf(std::uint32_t id) : tid(id) {}
+  const std::uint32_t tid;
+  Mutex mu;
+  std::vector<Record> records PMPR_GUARDED_BY(mu);
+};
+
+struct Registry {
+  const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  Mutex mu;
+  /// Owning list; buffers are never removed, so thread_local pointers into
+  /// it stay valid for the thread's lifetime.
+  std::vector<std::unique_ptr<ThreadBuf>> bufs PMPR_GUARDED_BY(mu);
+};
+
+Registry& registry() {
+  // Intentionally leaked singleton: pool worker threads may still close
+  // spans while function-local statics are destroyed at exit, so the
+  // registry (and its epoch) must outlive every thread.
+  static Registry* r = new Registry;
+  return *r;
+}
+
+thread_local ThreadBuf* tls_buf = nullptr;
+
+std::string escape_json(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) continue;  // drop control chars
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+namespace detail {
+
+void record_span(const char* name, std::int64_t start_ns,
+                 std::int64_t end_ns) {
+  ThreadBuf* buf = tls_buf;
+  if (buf == nullptr) {
+    Registry& r = registry();
+    LockGuard lock(r.mu);
+    r.bufs.push_back(
+        std::make_unique<ThreadBuf>(static_cast<std::uint32_t>(r.bufs.size())));
+    buf = r.bufs.back().get();
+    tls_buf = buf;
+  }
+  LockGuard lock(buf->mu);
+  buf->records.push_back(Record{name, start_ns, end_ns});
+}
+
+}  // namespace detail
+
+bool set_tracing_enabled(bool enabled) {
+  if (enabled) {
+    registry();  // Pin the epoch before the first span can start.
+  }
+  // seq_cst exchange: cold toggle, strongest order keeps reasoning trivial.
+  return detail::g_tracing_enabled.exchange(enabled);
+}
+
+void clear_trace() {
+  Registry& r = registry();
+  LockGuard lock(r.mu);
+  for (auto& buf : r.bufs) {
+    LockGuard buf_lock(buf->mu);
+    buf->records.clear();
+  }
+}
+
+std::int64_t trace_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - registry().epoch)
+      .count();
+}
+
+std::vector<TraceEvent> collect_trace() {
+  std::vector<TraceEvent> events;
+  Registry& r = registry();
+  LockGuard lock(r.mu);
+  for (auto& buf : r.bufs) {
+    LockGuard buf_lock(buf->mu);
+    for (const Record& rec : buf->records) {
+      events.push_back(
+          TraceEvent{rec.name, buf->tid, rec.start_ns, rec.end_ns});
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.start_ns != b.start_ns ? a.start_ns < b.start_ns
+                                              : a.tid < b.tid;
+            });
+  return events;
+}
+
+std::size_t trace_event_count() {
+  std::size_t n = 0;
+  Registry& r = registry();
+  LockGuard lock(r.mu);
+  for (auto& buf : r.bufs) {
+    LockGuard buf_lock(buf->mu);
+    n += buf->records.size();
+  }
+  return n;
+}
+
+void write_chrome_trace(std::ostream& out) {
+  const std::vector<TraceEvent> events = collect_trace();
+  out << "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    // Chrome trace "complete" event: ts/dur in microseconds. Three decimal
+    // digits keep nanosecond resolution.
+    std::ostringstream num;
+    num.setf(std::ios::fixed);
+    num.precision(3);
+    num << static_cast<double>(e.start_ns) * 1e-3;
+    std::ostringstream dur;
+    dur.setf(std::ios::fixed);
+    dur.precision(3);
+    dur << static_cast<double>(e.end_ns - e.start_ns) * 1e-3;
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    {\"name\": \"" << escape_json(e.name)
+        << "\", \"cat\": \"pmpr\", \"ph\": \"X\", \"pid\": 0, \"tid\": "
+        << e.tid << ", \"ts\": " << num.str() << ", \"dur\": " << dur.str()
+        << "}";
+  }
+  out << "\n  ]\n}\n";
+}
+
+bool write_chrome_trace(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_chrome_trace(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace pmpr::obs

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <utility>
 
+#include "obs/counters.hpp"
+
 namespace pmpr {
 
 void full_init(std::span<const std::uint8_t> active, std::size_t num_active,
@@ -14,6 +16,7 @@ void full_init(std::span<const std::uint8_t> active, std::size_t num_active,
   for (std::size_t v = 0; v < x.size(); ++v) {
     x[v] = active[v] != 0 ? value : 0.0;
   }
+  obs::count(obs::Counter::kVerticesReseeded, num_active);
 }
 
 namespace {
@@ -23,13 +26,16 @@ double sweep_rows(const WindowGraph& g, std::span<const double> x,
                   std::span<double> x_next, double base, double one_minus_alpha,
                   std::size_t lo, std::size_t hi) {
   double diff = 0.0;
+  std::uint64_t edges = 0;  // flushed once per chunk, not per edge
   for (std::size_t v = lo; v < hi; ++v) {
     if (g.is_active[v] == 0) {
       x_next[v] = 0.0;
       continue;
     }
     double sum = 0.0;
-    for (const VertexId u : g.in.neighbors(static_cast<VertexId>(v))) {
+    const auto nbrs = g.in.neighbors(static_cast<VertexId>(v));
+    edges += nbrs.size();
+    for (const VertexId u : nbrs) {
       // Any in-neighbor has out-degree >= 1 by construction.
       sum += x[u] / static_cast<double>(g.out_degree[u]);
     }
@@ -37,6 +43,7 @@ double sweep_rows(const WindowGraph& g, std::span<const double> x,
     diff += std::abs(next - x[v]);
     x_next[v] = next;
   }
+  obs::count(obs::Counter::kEdgesTraversed, edges);
   return diff;
 }
 
@@ -89,8 +96,16 @@ PagerankStats pagerank(const WindowGraph& g, std::span<double> x,
     std::swap(cur, next);
     stats.iterations = iter + 1;
     stats.final_residual = diff;
+    if (obs::metrics_enabled()) stats.residuals.push_back(diff);
     if (diff < params.tol) break;
   }
+  obs::count(obs::Counter::kIterations,
+             static_cast<std::uint64_t>(stats.iterations));
+  if (params.redistribute_dangling) {
+    obs::count(obs::Counter::kDanglingScanned,
+               static_cast<std::uint64_t>(stats.iterations) * n);
+  }
+  if (stats.converged(params)) obs::count(obs::Counter::kLanesConverged);
 
   if (cur != x.data()) {
     std::copy(cur, cur + n, x.data());

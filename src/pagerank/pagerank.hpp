@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "graph/csr.hpp"
 #include "par/parallel_for.hpp"
@@ -26,6 +27,10 @@ struct PagerankParams {
 struct PagerankStats {
   int iterations = 0;
   double final_residual = 0.0;  ///< L1 change of the last iteration.
+  /// Per-iteration L1 residuals (the convergence trajectory). Recorded
+  /// only while obs::set_metrics_enabled(true) — empty otherwise, so the
+  /// kernels stay allocation-free on the default path.
+  std::vector<double> residuals;
   [[nodiscard]] bool converged(const PagerankParams& p) const {
     return final_residual < p.tol;
   }

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "obs/counters.hpp"
 #include "pagerank/pagerank.hpp"
 
 namespace pmpr {
@@ -27,9 +28,12 @@ void partial_init(std::span<const double> prev_x,
     }
   }
   if (shared == 0 || shared_mass <= 0.0) {
+    // full_init counts every active vertex as re-seeded.
     full_init(cur_active, cur_num_active, out);
     return;
   }
+  obs::count(obs::Counter::kVerticesReused, shared);
+  obs::count(obs::Counter::kVerticesReseeded, cur_num_active - shared);
 
   const double uniform = 1.0 / static_cast<double>(cur_num_active);
   const double scale = (static_cast<double>(shared) /

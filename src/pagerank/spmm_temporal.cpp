@@ -6,6 +6,8 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/counters.hpp"
+
 namespace pmpr {
 
 namespace {
@@ -29,6 +31,7 @@ void sweep_rows(const MultiWindowGraph& part, const WindowSpec& spec,
                 std::size_t hi) {
   const std::size_t lanes = batch.lanes;
   LaneDoubles acc;
+  std::uint64_t edges = 0;  // flushed once per chunk, not per edge
   for (std::size_t v = lo; v < hi; ++v) {
     const std::uint64_t v_active = state.active_mask[v];
     const std::uint64_t v_update = v_active & live_mask;
@@ -41,6 +44,7 @@ void sweep_rows(const MultiWindowGraph& part, const WindowSpec& spec,
     if (v_update != 0) {
       const auto cols = part.in.row_cols(static_cast<VertexId>(v));
       const auto times = part.in.row_times(static_cast<VertexId>(v));
+      edges += cols.size();
       std::size_t i = 0;
       while (i < cols.size()) {
         const VertexId u = cols[i];
@@ -74,6 +78,7 @@ void sweep_rows(const MultiWindowGraph& part, const WindowSpec& spec,
       }
     }
   }
+  obs::count(obs::Counter::kEdgesTraversed, edges);
 }
 
 /// Compiled-layout sweep over active_rows[lo, hi): the inner loop is
@@ -89,6 +94,7 @@ void sweep_compiled_rows(const CompiledBatchCsr& compiled,
                          std::size_t lo, std::size_t hi) {
   const std::size_t lanes = compiled.lanes;
   LaneDoubles acc;
+  std::uint64_t edges = 0;  // flushed once per chunk, not per edge
   for (std::size_t r = lo; r < hi; ++r) {
     const VertexId v = compiled.active_rows[r];
     const std::uint64_t v_active = state.active_mask[v];
@@ -100,6 +106,7 @@ void sweep_compiled_rows(const CompiledBatchCsr& compiled,
     if (v_update != 0) {
       const auto nbr = compiled.row_nbr(v);
       const auto mask = compiled.row_mask(v);
+      edges += nbr.size();
       for (std::size_t i = 0; i < nbr.size(); ++i) {
         const VertexId u = nbr[i];
         std::uint64_t m = mask[i] & v_update;
@@ -127,6 +134,7 @@ void sweep_compiled_rows(const CompiledBatchCsr& compiled,
       }
     }
   }
+  obs::count(obs::Counter::kEdgesTraversed, edges);
 }
 
 /// Per-lane dangling mass of live lanes from the current vectors, scanning
@@ -145,6 +153,7 @@ LaneDoubles dangling_scan(const SpmmWindowState& state, const double* cur,
       }
     }
   }
+  obs::count(obs::Counter::kDanglingScanned, hi - lo);
   return dangling;
 }
 
@@ -165,6 +174,7 @@ LaneDoubles dangling_scan_compiled(const CompiledBatchCsr& compiled,
       dangling[k] += cur[v * lanes + k];
     }
   }
+  obs::count(obs::Counter::kDanglingScanned, hi - lo);
   return dangling;
 }
 
@@ -212,14 +222,25 @@ SpmmStats power_iterate(std::size_t n, std::size_t lanes,
 
     std::swap(cur, next);
     stats.iterations = iter + 1;
+    const bool record_residuals = obs::metrics_enabled();
+    std::uint64_t converged_this_iter = 0;
     for (std::size_t k = 0; k < lanes; ++k) {
       const std::uint64_t bit = 1ULL << k;
       if ((live_mask & bit) == 0) continue;
       stats.lane_stats[k].iterations = iter + 1;
       stats.lane_stats[k].final_residual = diff[k];
-      if (diff[k] < params.tol) live_mask &= ~bit;
+      if (record_residuals) stats.lane_stats[k].residuals.push_back(diff[k]);
+      if (diff[k] < params.tol) {
+        live_mask &= ~bit;
+        ++converged_this_iter;
+      }
+    }
+    if (converged_this_iter != 0) {
+      obs::count(obs::Counter::kLanesConverged, converged_this_iter);
     }
   }
+  obs::count(obs::Counter::kIterations,
+             static_cast<std::uint64_t>(stats.iterations));
 
   if (cur != x.data()) {
     std::memcpy(x.data(), cur, n * lanes * sizeof(double));

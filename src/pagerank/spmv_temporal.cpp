@@ -4,6 +4,8 @@
 #include <cmath>
 #include <utility>
 
+#include "obs/counters.hpp"
+
 namespace pmpr {
 
 namespace {
@@ -13,6 +15,7 @@ double sweep_rows(const MultiWindowGraph& part, Timestamp ts, Timestamp te,
                   std::span<double> x_next, double base,
                   double one_minus_alpha, std::size_t lo, std::size_t hi) {
   double diff = 0.0;
+  std::uint64_t edges = 0;  // flushed once per chunk, not per edge
   for (std::size_t v = lo; v < hi; ++v) {
     if (state.active[v] == 0) {
       x_next[v] = 0.0;
@@ -22,11 +25,13 @@ double sweep_rows(const MultiWindowGraph& part, Timestamp ts, Timestamp te,
     part.in.for_each_active_neighbor(
         static_cast<VertexId>(v), ts, te, [&](VertexId u) {
           sum += x[u] / static_cast<double>(state.out_degree[u]);
+          ++edges;
         });
     const double next = base + one_minus_alpha * sum;
     diff += std::abs(next - x[v]);
     x_next[v] = next;
   }
+  obs::count(obs::Counter::kEdgesTraversed, edges);
   return diff;
 }
 
@@ -47,16 +52,20 @@ double sweep_compiled_rows(const CompiledWindowCsr& compiled,
                            double base, double one_minus_alpha, std::size_t lo,
                            std::size_t hi) {
   double diff = 0.0;
+  std::uint64_t edges = 0;  // flushed once per chunk, not per edge
   for (std::size_t r = lo; r < hi; ++r) {
     const VertexId v = compiled.active_rows[r];
     double sum = 0.0;
-    for (const VertexId u : compiled.row_nbr(v)) {
+    const auto nbrs = compiled.row_nbr(v);
+    edges += nbrs.size();
+    for (const VertexId u : nbrs) {
       sum += x[u] / static_cast<double>(state.out_degree[u]);
     }
     const double next = base + one_minus_alpha * sum;
     diff += std::abs(next - x[v]);
     x_next[v] = next;
   }
+  obs::count(obs::Counter::kEdgesTraversed, edges);
   return diff;
 }
 
@@ -124,8 +133,17 @@ PagerankStats pagerank_window_spmv(const WindowState& state,
     std::swap(cur, next);
     stats.iterations = iter + 1;
     stats.final_residual = diff;
+    if (obs::metrics_enabled()) stats.residuals.push_back(diff);
     if (diff < params.tol) break;
   }
+  obs::count(obs::Counter::kIterations,
+             static_cast<std::uint64_t>(stats.iterations));
+  if (params.redistribute_dangling) {
+    obs::count(obs::Counter::kDanglingScanned,
+               static_cast<std::uint64_t>(stats.iterations) *
+                   compiled.dangling_rows.size());
+  }
+  if (stats.converged(params)) obs::count(obs::Counter::kLanesConverged);
 
   if (cur != x.data()) {
     std::copy(cur, cur + n, x.data());
@@ -177,8 +195,16 @@ PagerankStats pagerank_window_spmv(const MultiWindowGraph& part, Timestamp ts,
     std::swap(cur, next);
     stats.iterations = iter + 1;
     stats.final_residual = diff;
+    if (obs::metrics_enabled()) stats.residuals.push_back(diff);
     if (diff < params.tol) break;
   }
+  obs::count(obs::Counter::kIterations,
+             static_cast<std::uint64_t>(stats.iterations));
+  if (params.redistribute_dangling) {
+    obs::count(obs::Counter::kDanglingScanned,
+               static_cast<std::uint64_t>(stats.iterations) * n);
+  }
+  if (stats.converged(params)) obs::count(obs::Counter::kLanesConverged);
 
   if (cur != x.data()) {
     std::copy(cur, cur + n, x.data());

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cstdlib>
 
+#include "obs/counters.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
 
@@ -91,11 +92,13 @@ void ThreadPool::notify() {
   // the mutex entirely.
   work_epoch_.fetch_add(1, std::memory_order_seq_cst);
   if (num_sleepers_.load(std::memory_order_seq_cst) == 0) return;
+  obs::count(obs::Counter::kUnparks);
   LockGuard lock(sleep_mutex_);
   sleep_cv_.notify_one();
 }
 
 void ThreadPool::submit(std::function<void()> fn, WaitGroup& wg) {
+  obs::count(obs::Counter::kTasksSpawned);
   auto task = std::make_unique<Task>(std::move(fn), &wg);
   if (tls_worker.pool == this && tls_worker.index >= 0) {
     deques_[static_cast<std::size_t>(tls_worker.index)]->push(task.release());
@@ -122,24 +125,33 @@ ThreadPool::Task* ThreadPool::try_pop_or_steal(std::size_t self_index) {
   }
   // 2. Injection queue (cheap check before stealing).
   if (Task* t = try_pop_injected()) return t;
-  // 3. Random-victim stealing, two sweeps over the other deques.
+  // 3. Random-victim stealing, two sweeps over the other deques. Attempts
+  //    are tallied locally and flushed once per call, not per probe.
   thread_local Xoshiro256 rng(0x7e1d00d5ULL + self_index * 0x9e3779b9ULL);
   const std::size_t n = deques_.size();
   if (n == 0) return nullptr;
   const std::size_t start = rng.bounded(n);
+  std::uint64_t attempts = 0;
   for (std::size_t sweep = 0; sweep < 2; ++sweep) {
     for (std::size_t k = 0; k < n; ++k) {
       const std::size_t victim = (start + k) % n;
       if (victim == self_index) continue;
-      if (Task* t = deques_[victim]->steal()) return t;
+      ++attempts;
+      if (Task* t = deques_[victim]->steal()) {
+        obs::count(obs::Counter::kStealsAttempted, attempts);
+        obs::count(obs::Counter::kStealsSucceeded);
+        return t;
+      }
     }
   }
+  if (attempts != 0) obs::count(obs::Counter::kStealsAttempted, attempts);
   return nullptr;
 }
 
 bool ThreadPool::try_run_one(std::size_t self_index) {
   std::unique_ptr<Task> task(try_pop_or_steal(self_index));
   if (task == nullptr) return false;
+  obs::count(obs::Counter::kTasksExecuted);
   try {
     task->fn();
   } catch (...) {
@@ -192,6 +204,7 @@ void ThreadPool::worker_loop(std::size_t index) {
     if (stop_.load(std::memory_order_acquire)) break;
     num_sleepers_.fetch_add(1, std::memory_order_seq_cst);
     if (work_epoch_.load(std::memory_order_seq_cst) == seen) {
+      obs::count(obs::Counter::kParks);
       sleep_cv_.wait_for(lock, std::chrono::milliseconds(1));
     }
     num_sleepers_.fetch_sub(1, std::memory_order_seq_cst);

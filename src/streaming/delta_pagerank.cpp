@@ -4,6 +4,7 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/counters.hpp"
 #include "pagerank/partial_init.hpp"
 
 namespace pmpr::streaming {
@@ -62,6 +63,7 @@ DeltaPagerankStats DeltaPagerank::converge_full() {
     }
     const double base = (params_.alpha + d * dangling) / n_active;
     double diff = 0.0;
+    std::uint64_t edges = 0;  // flushed once per iteration, not per edge
     for (std::size_t v = 0; v < n; ++v) {
       if (!graph_.is_active(static_cast<VertexId>(v))) {
         next[v] = 0.0;
@@ -72,15 +74,27 @@ DeltaPagerankStats DeltaPagerank::converge_full() {
                          [&](VertexId u, std::uint32_t) {
                            sum += cur[u] /
                                   static_cast<double>(graph_.out_degree(u));
+                           ++edges;
                          });
       const double value = base + d * sum;
       diff += std::abs(value - cur[v]);
       next[v] = value;
     }
+    obs::count(obs::Counter::kEdgesTraversed, edges);
     std::swap(cur, next);
     stats.pagerank.iterations = iter + 1;
     stats.pagerank.final_residual = diff;
+    if (obs::metrics_enabled()) stats.pagerank.residuals.push_back(diff);
     if (diff < params_.tol) break;
+  }
+  obs::count(obs::Counter::kIterations,
+             static_cast<std::uint64_t>(stats.pagerank.iterations));
+  if (params_.redistribute_dangling) {
+    obs::count(obs::Counter::kDanglingScanned,
+               static_cast<std::uint64_t>(stats.pagerank.iterations) * n);
+  }
+  if (stats.pagerank.converged(params_)) {
+    obs::count(obs::Counter::kLanesConverged);
   }
   if (cur != x_.data()) {
     std::memcpy(x_.data(), cur, n * sizeof(double));

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/counters.hpp"
 #include "pagerank/partial_init.hpp"
 
 namespace pmpr::streaming {
@@ -52,6 +53,7 @@ PagerankStats IncrementalPagerank::update(const par::ForOptions* parallel) {
   auto sweep = [&](const double* from, double* to, double base,
                    std::size_t lo, std::size_t hi) {
     double diff = 0.0;
+    std::uint64_t edges = 0;  // flushed once per chunk, not per edge
     for (std::size_t v = lo; v < hi; ++v) {
       if (!graph_.is_active(static_cast<VertexId>(v))) {
         to[v] = 0.0;
@@ -62,11 +64,13 @@ PagerankStats IncrementalPagerank::update(const par::ForOptions* parallel) {
                          [&](VertexId u, std::uint32_t /*weight*/) {
                            sum += from[u] /
                                   static_cast<double>(graph_.out_degree(u));
+                           ++edges;
                          });
       const double value = base + one_minus_alpha * sum;
       diff += std::abs(value - from[v]);
       to[v] = value;
     }
+    obs::count(obs::Counter::kEdgesTraversed, edges);
     return diff;
   };
 
@@ -98,8 +102,16 @@ PagerankStats IncrementalPagerank::update(const par::ForOptions* parallel) {
     std::swap(cur, next);
     stats.iterations = iter + 1;
     stats.final_residual = diff;
+    if (obs::metrics_enabled()) stats.residuals.push_back(diff);
     if (diff < params_.tol) break;
   }
+  obs::count(obs::Counter::kIterations,
+             static_cast<std::uint64_t>(stats.iterations));
+  if (params_.redistribute_dangling) {
+    obs::count(obs::Counter::kDanglingScanned,
+               static_cast<std::uint64_t>(stats.iterations) * n);
+  }
+  if (stats.converged(params_)) obs::count(obs::Counter::kLanesConverged);
 
   if (cur != x_.data()) {
     std::memcpy(x_.data(), cur, n * sizeof(double));

@@ -1,6 +1,9 @@
 #include "util/logging.hpp"
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <ctime>
 
 namespace pmpr {
 
@@ -17,6 +20,9 @@ Mutex& log_mutex() {
 }
 
 namespace {
+
+std::atomic<bool> g_log_annotations{false};
+
 const char* level_tag(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug:
@@ -30,15 +36,59 @@ const char* level_tag(LogLevel level) {
   }
   return "?????";
 }
+
+/// Small sequential id claimed on a thread's first annotated log line —
+/// readable in interleaved output, unlike the opaque std::thread::id hash.
+unsigned log_thread_id() {
+  static std::atomic<unsigned> next{0};
+  // relaxed: only uniqueness matters, ids carry no ordering.
+  thread_local const unsigned id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+/// "2026-08-07T12:34:56.789Z" into `buf`. 25 bytes nominal, but GCC's
+/// -Wformat-truncation reasons about tm's full int ranges, so callers pass
+/// a buffer sized for the worst-case rendering (80 bytes).
+void format_utc_now(char* buf, std::size_t size) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  std::snprintf(buf, size, "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<int>(ms));
+}
+
 }  // namespace
 
 void emit(LogLevel level, std::string_view msg) {
+  // relaxed: advisory formatting toggle, no data published through it.
+  if (g_log_annotations.load(std::memory_order_relaxed)) {
+    char stamp[80];
+    format_utc_now(stamp, sizeof(stamp));
+    const unsigned tid = log_thread_id();
+    LockGuard lock(log_mutex());
+    std::fprintf(stderr, "[pmpr %s %s t%u] %.*s\n", level_tag(level), stamp,
+                 tid, static_cast<int>(msg.size()), msg.data());
+    return;
+  }
   LockGuard lock(log_mutex());
   std::fprintf(stderr, "[pmpr %s] %.*s\n", level_tag(level),
                static_cast<int>(msg.size()), msg.data());
 }
 
 }  // namespace detail
+
+bool set_log_annotations(bool enabled) {
+  // seq_cst exchange: toggles are rare control-plane calls; keep them
+  // strongly ordered with the lines around them.
+  return detail::g_log_annotations.exchange(enabled);
+}
 
 LogLevel set_log_level(LogLevel level) {
   LogLevel prev = detail::log_threshold();

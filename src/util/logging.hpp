@@ -27,6 +27,12 @@ void emit(LogLevel level, std::string_view msg) PMPR_EXCLUDES(log_mutex());
 /// Sets the minimum level that will be emitted. Returns the previous level.
 LogLevel set_log_level(LogLevel level);
 
+/// When enabled, every log line carries a UTC wall-clock timestamp
+/// (millisecond ISO-8601) and a small sequential thread id after the level
+/// tag: `[pmpr INFO  2026-08-07T12:34:56.789Z t0] ...`. Off by default so
+/// test goldens and log-scraping stay stable. Returns the previous setting.
+bool set_log_annotations(bool enabled);
+
 /// Parses "debug"/"info"/"warn"/"error"; unknown strings map to kInfo.
 LogLevel parse_log_level(std::string_view name);
 

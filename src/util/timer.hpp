@@ -57,4 +57,20 @@ class AccumTimer {
   double total_ = 0.0;
 };
 
+/// RAII start/stop for one AccumTimer interval: construction starts the
+/// timer, destruction stops it. Exception-safe — the interval is recorded
+/// even if the timed scope unwinds — which manual start()/stop() pairs are
+/// not.
+class ScopedAccum {
+ public:
+  explicit ScopedAccum(AccumTimer& accum) : accum_(accum) { accum_.start(); }
+  ~ScopedAccum() { accum_.stop(); }
+
+  ScopedAccum(const ScopedAccum&) = delete;
+  ScopedAccum& operator=(const ScopedAccum&) = delete;
+
+ private:
+  AccumTimer& accum_;
+};
+
 }  // namespace pmpr

@@ -1,0 +1,11 @@
+// pmpr-lint fixture: violates exactly `raw-clock`.
+// Direct clock reads outside src/util/ and src/obs/ must go through
+// pmpr::Timer/AccumTimer or obs::trace_now_ns().
+#include <chrono>
+
+long long stamp_ns() {
+  const auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             t.time_since_epoch())
+      .count();
+}

@@ -21,6 +21,7 @@ EXPECTED = {
     "bad_raw_mutex.cpp": "raw-concurrency-type",
     "bad_naked_new.cpp": "naked-new-delete",
     "bad_reinterpret_cast.cpp": "reinterpret-cast-outside-io",
+    "bad_raw_clock.cpp": "raw-clock",
     "clean.cpp": None,
 }
 

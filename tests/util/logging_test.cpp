@@ -2,8 +2,60 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
+#include <cstddef>
+#include <string>
+
 namespace pmpr {
 namespace {
+
+/// Matches `s` starting at `pos` against `pattern`, where '#' stands for
+/// one digit and every other character must match literally. Returns the
+/// position one past the match, or std::string::npos. (Hand-rolled to keep
+/// <regex> out of the -Werror sanitizer builds: GCC 12's
+/// -Wmaybe-uninitialized fires inside libstdc++'s regex compiler.)
+std::size_t match_digits_pattern(const std::string& s, std::size_t pos,
+                                 const std::string& pattern) {
+  for (const char p : pattern) {
+    if (pos >= s.size()) return std::string::npos;
+    const char c = s[pos++];
+    if (p == '#') {
+      if (std::isdigit(static_cast<unsigned char>(c)) == 0) {
+        return std::string::npos;
+      }
+    } else if (c != p) {
+      return std::string::npos;
+    }
+  }
+  return pos;
+}
+
+/// True if `out` contains an annotated prefix + message, i.e.
+/// `[pmpr INFO  2026-08-07T12:34:56.789Z t<digits>] <message>`.
+bool has_annotated_line(const std::string& out, const std::string& message) {
+  const std::string head = "[pmpr INFO  ";
+  const std::size_t at = out.find(head);
+  if (at == std::string::npos) return false;
+  std::size_t pos = match_digits_pattern(out, at + head.size(),
+                                         "####-##-##T##:##:##.###Z t#");
+  if (pos == std::string::npos) return false;
+  while (pos < out.size() &&
+         std::isdigit(static_cast<unsigned char>(out[pos])) != 0) {
+    ++pos;  // thread ids may have more than one digit
+  }
+  return out.compare(pos, 2 + message.size(), "] " + message) == 0;
+}
+
+/// True if `out` contains an ISO-8601 millisecond timestamp anywhere.
+bool has_timestamp(const std::string& out) {
+  for (std::size_t i = 0; i + 24 <= out.size(); ++i) {
+    if (match_digits_pattern(out, i, "####-##-##T##:##:##.###Z") !=
+        std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
 
 TEST(Logging, SetLogLevelReturnsPrevious) {
   const LogLevel prev = set_log_level(LogLevel::kError);
@@ -44,6 +96,37 @@ TEST(Logging, MacroStreamsMultipleTypes) {
   PMPR_LOG(kWarn) << "warn line";
   PMPR_LOG(kError) << "error line";
   set_log_level(prev);
+}
+
+TEST(Logging, SetLogAnnotationsReturnsPrevious) {
+  const bool prev = set_log_annotations(true);
+  EXPECT_TRUE(set_log_annotations(prev));
+  EXPECT_EQ(set_log_annotations(prev), prev);
+}
+
+TEST(Logging, AnnotationsOffByDefaultPlainPrefix) {
+  const LogLevel prev_level = set_log_level(LogLevel::kInfo);
+  const bool prev_annot = set_log_annotations(false);
+  testing::internal::CaptureStderr();
+  PMPR_LOG(kInfo) << "plain message";
+  const std::string out = testing::internal::GetCapturedStderr();
+  set_log_annotations(prev_annot);
+  set_log_level(prev_level);
+  EXPECT_NE(out.find("plain message"), std::string::npos);
+  // No timestamp / thread-id decoration without opting in.
+  EXPECT_FALSE(has_timestamp(out)) << "got: " << out;
+}
+
+TEST(Logging, AnnotatedPrefixCarriesTimestampAndThreadId) {
+  const LogLevel prev_level = set_log_level(LogLevel::kInfo);
+  const bool prev_annot = set_log_annotations(true);
+  testing::internal::CaptureStderr();
+  PMPR_LOG(kInfo) << "annotated message";
+  const std::string out = testing::internal::GetCapturedStderr();
+  set_log_annotations(prev_annot);
+  set_log_level(prev_level);
+  // [pmpr INFO  2026-08-07T12:34:56.789Z t0] annotated message
+  EXPECT_TRUE(has_annotated_line(out, "annotated message")) << "got: " << out;
 }
 
 }  // namespace

@@ -1,0 +1,73 @@
+#include "util/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <thread>
+
+namespace pmpr {
+namespace {
+
+TEST(Timer, SecondsAdvanceMonotonically) {
+  Timer t;
+  const double a = t.seconds();
+  const double b = t.seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+  EXPECT_GE(t.nanos(), 0);
+}
+
+TEST(Timer, ResetRestartsFromZero) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double before = t.seconds();
+  t.reset();
+  EXPECT_LT(t.seconds(), before);
+}
+
+TEST(AccumTimer, SumsDisjointIntervals) {
+  AccumTimer acc;
+  EXPECT_EQ(acc.seconds(), 0.0);
+  acc.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  acc.stop();
+  const double first = acc.seconds();
+  EXPECT_GT(first, 0.0);
+  acc.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  acc.stop();
+  EXPECT_GT(acc.seconds(), first);
+  acc.clear();
+  EXPECT_EQ(acc.seconds(), 0.0);
+}
+
+TEST(ScopedAccum, RecordsEnclosingScope) {
+  AccumTimer acc;
+  {
+    ScopedAccum timing(acc);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const double first = acc.seconds();
+  EXPECT_GT(first, 0.0);
+  {
+    ScopedAccum timing(acc);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GT(acc.seconds(), first);
+}
+
+TEST(ScopedAccum, RecordsIntervalWhenScopeUnwinds) {
+  AccumTimer acc;
+  try {
+    ScopedAccum timing(acc);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    throw std::runtime_error("unwind through the timed scope");
+  } catch (const std::runtime_error&) {
+  }
+  // The interval must have been recorded despite the exception — the whole
+  // point of the RAII form over manual start()/stop().
+  EXPECT_GT(acc.seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace pmpr
