@@ -35,7 +35,14 @@ cannot express:
                             logging timestamps) and src/obs/ (the trace
                             epoch). Everything else must go through those
                             wrappers so timing stays mockable and the
-                            telemetry cost model holds.
+                            telemetry cost model holds. The same rule
+                            covers sleeping primitives (sleep_for /
+                            sleep_until / wait_for / wait_until): a
+                            sleeping poll loop outside the sanctioned
+                            spots (the CondVar wrapper, the sampler's
+                            interruptible pacing, the pool's bounded park)
+                            is a latency bug waiting to be profiled, not a
+                            synchronisation strategy.
 
 Usage: pmpr_lint.py [--root REPO_ROOT] PATH [PATH ...]
 
@@ -52,7 +59,13 @@ import sys
 # Files (relative to --root, '/'-separated) where each rule does not apply.
 ALLOW = {
     "atomic-order-comment": set(),
-    "raw-concurrency-type": {"src/util/thread_annotations.hpp"},
+    "raw-concurrency-type": {
+        "src/util/thread_annotations.hpp",
+        # The sampling profiler owns one background std::thread; its mutex
+        # and condvar still go through the annotated wrappers.
+        "src/obs/sampler.hpp",
+        "src/obs/sampler.cpp",
+    },
     "reinterpret-cast-outside-io": {
         "src/graph/edge_list.cpp",
         "src/exec/export.cpp",
@@ -63,6 +76,7 @@ ALLOW = {
         # pool worker threads flushing counters/spans at exit.
         "src/obs/counters.cpp",
         "src/obs/trace.cpp",
+        "src/obs/histogram.cpp",
     },
     "raw-clock": set(),
 }
@@ -86,6 +100,11 @@ DELETED_FN = re.compile(r"=\s*(delete|default)\s*[;,)]")
 RAW_CLOCK = re.compile(
     r"\b(steady_clock|system_clock|high_resolution_clock)\s*::\s*now\s*\("
 )
+RAW_SLEEP = re.compile(r"\b(sleep_for|sleep_until|wait_for|wait_until)\s*\(")
+# Files additionally exempt from the raw-clock rule's sleeping-primitive
+# half (but NOT from its ::now() half): the pool's park protocol uses a
+# bounded wait_for as its lost-wakeup backstop.
+RAW_SLEEP_ALLOW = {"src/par/thread_pool.cpp"}
 COMMENT_LOOKBACK = 3
 
 
@@ -197,6 +216,20 @@ def lint_file(path, rel):
                         "(util/timer.hpp) or obs::trace_now_ns()",
                     )
                 )
+            if rel not in RAW_SLEEP_ALLOW:
+                m = RAW_SLEEP.search(code)
+                if m:
+                    violations.append(
+                        (
+                            rel,
+                            lineno,
+                            "raw-clock",
+                            f"sleeping primitive {m.group(1)}() outside the "
+                            "sanctioned spots (CondVar wrapper, obs/ "
+                            "sampler pacing, pool park backstop); use "
+                            "event-driven waits, not sleep polling",
+                        )
+                    )
     return violations
 
 

@@ -6,10 +6,15 @@
 //              --trace trace.json --metrics metrics.json
 //
 // Load trace.json in https://ui.perfetto.dev (or chrome://tracing) to see
-// the per-phase spans; metrics.json holds the pmpr-metrics-v1 record
-// (counters, residual trajectories, memory estimate). ci/obs_smoke.sh
-// validates both shapes.
+// the per-phase spans; metrics.json holds the pmpr-metrics-v2 record
+// (counters, phase-latency histograms, sampler summary, residual
+// trajectories, memory estimate). Add --profile to run the background
+// scheduler sampler during the run: its summary lands in the metrics JSON
+// and, with --trace, its queue-depth/parked-worker gauges appear as
+// counter tracks under the span timeline. ci/obs_smoke.sh validates both
+// shapes.
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "pmpr.hpp"
@@ -26,6 +31,8 @@ int main(int argc, char** argv) {
   std::int64_t max_windows = 64;
   std::string trace_path;
   std::string metrics_path;
+  bool profile = false;
+  std::int64_t profile_interval_ms = 10;
   Options opts("Run one execution model with telemetry enabled");
   opts.add("model", &model, "offline | streaming | postmortem");
   opts.add("dataset", &dataset,
@@ -38,18 +45,26 @@ int main(int argc, char** argv) {
   opts.add("trace", &trace_path,
            "write a Chrome trace-event JSON (Perfetto-loadable) here");
   opts.add("metrics", &metrics_path,
-           "write the pmpr-metrics-v1 run record here");
+           "write the pmpr-metrics-v2 run record here");
+  opts.add("profile", &profile,
+           "sample the scheduler during the run (sampler summary in "
+           "--metrics, counter tracks in --trace)");
+  opts.add("profile-interval-ms", &profile_interval_ms,
+           "sampler tick period in milliseconds");
   if (!opts.parse(argc, argv)) return opts.saw_help() ? 0 : 1;
   if (model != "offline" && model != "streaming" && model != "postmortem") {
     std::fprintf(stderr, "unknown --model '%s'\n", model.c_str());
     return 1;
   }
 
-  // Counters and per-iteration metrics always on here (this binary exists
-  // to show them); tracing only when a --trace path was given.
+  // Counters, histograms, and per-iteration metrics always on here (this
+  // binary exists to show them); tracing only when a --trace path was
+  // given.
   obs::set_counters_enabled(true);
   obs::set_metrics_enabled(true);
+  obs::set_histograms_enabled(true);
   if (!trace_path.empty()) obs::set_tracing_enabled(true);
+  obs::set_thread_name("main");
 
   const gen::DatasetSpec spec =
       gen::scaled(gen::dataset_by_name(dataset), scale);
@@ -61,6 +76,17 @@ int main(int argc, char** argv) {
   std::printf("%s surrogate: %zu events, %u vertices, %zu windows\n",
               dataset.c_str(), events.size(), events.num_vertices(),
               windows.count);
+
+  std::unique_ptr<obs::Sampler> sampler;
+  if (profile) {
+    obs::SamplerOptions sampler_opts;
+    sampler_opts.interval =
+        std::chrono::milliseconds(profile_interval_ms > 0 ? profile_interval_ms
+                                                          : 10);
+    sampler = std::make_unique<obs::Sampler>(par::ThreadPool::global(),
+                                             sampler_opts);
+    sampler->start();
+  }
 
   ChecksumSink sink(windows.count);
   RunResult result;
@@ -79,6 +105,29 @@ int main(int argc, char** argv) {
               result.total_seconds(),
               static_cast<unsigned long long>(result.total_iterations),
               static_cast<double>(result.peak_memory_bytes) / (1024 * 1024));
+  if (sampler != nullptr) {
+    sampler->stop();
+    const obs::SamplerSummary sum = sampler->summary();
+    std::printf("sampler    : %llu ticks @ %llums — queue mean %.1f max "
+                "%llu, parked mean %.1f, steal success %.2f\n",
+                static_cast<unsigned long long>(sum.num_samples),
+                static_cast<unsigned long long>(sum.interval_ms),
+                sum.mean_total_queued,
+                static_cast<unsigned long long>(sum.max_total_queued),
+                sum.mean_parked_workers, sum.mean_steal_success_rate);
+  }
+  const obs::PhaseHistogram& iter_hist =
+      result.histograms[obs::Phase::kIterate];
+  if (iter_hist.total_count() > 0) {
+    std::printf("iterate    : p50 %lluns  p90 %lluns  p99 %lluns  max "
+                "%lluns over %llu windows\n",
+                static_cast<unsigned long long>(iter_hist.percentile_ns(0.5)),
+                static_cast<unsigned long long>(iter_hist.percentile_ns(0.9)),
+                static_cast<unsigned long long>(
+                    iter_hist.percentile_ns(0.99)),
+                static_cast<unsigned long long>(iter_hist.max_ns),
+                static_cast<unsigned long long>(iter_hist.total_count()));
+  }
   std::printf("counters   : %llu edges traversed, %llu tasks spawned, "
               "%llu/%llu steals, %llu vertices reused\n",
               static_cast<unsigned long long>(
@@ -93,7 +142,7 @@ int main(int argc, char** argv) {
                   result.counters[obs::Counter::kVerticesReused]));
 
   if (!metrics_path.empty()) {
-    if (!obs::write_metrics_json(result, metrics_path)) {
+    if (!obs::write_metrics_json(result, metrics_path, sampler.get())) {
       std::fprintf(stderr, "failed to write metrics to %s\n",
                    metrics_path.c_str());
       return 1;

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "obs/counters.hpp"
+#include "obs/histogram.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
@@ -41,6 +42,7 @@ PagerankStats solve_window(const TemporalEdgeList& events,
   PMPR_TRACE_SPAN("offline.window");
   const WindowGraph g = [&] {
     PMPR_TRACE_SPAN("window.build");
+    obs::PhaseTimer timing(obs::Phase::kBuild);
     const auto slice = events.slice(spec.start(w), spec.end(w));
     return build_window_graph(slice, events.num_vertices());
   }();
@@ -53,9 +55,11 @@ PagerankStats solve_window(const TemporalEdgeList& events,
   scratch.resize(g.num_vertices);
   {
     PMPR_TRACE_SPAN("window.init");
+    obs::PhaseTimer timing(obs::Phase::kInit);
     full_init(g.is_active, g.num_active, x);
   }
   PMPR_TRACE_SPAN("window.iterate");
+  obs::PhaseTimer iterate_timing(obs::Phase::kIterate);
   PagerankStats stats = pagerank(g, x, scratch, opts.pr, kernel_par);
   compute_seconds = compute_timer.seconds();
   obs::count(obs::Counter::kWindowsProcessed);
@@ -80,6 +84,7 @@ RunResult run_offline(const TemporalEdgeList& events, const WindowSpec& spec,
   std::vector<std::size_t> window_memory(spec.count, 0);
 
   const obs::CounterSnapshot before = obs::counters_snapshot();
+  const obs::HistogramSnapshot hist_before = obs::histograms_snapshot();
   PMPR_TRACE_SPAN("offline.run");
 
   par::ForOptions for_opts{opts.partitioner, opts.grain, opts.pool};
@@ -105,7 +110,11 @@ RunResult run_offline(const TemporalEdgeList& events, const WindowSpec& spec,
           solve_window(events, spec, w, opts, /*kernel_par=*/nullptr, x,
                        scratch, build, compute, window_memory[w]);
       record(w, std::move(stats));
-      sink.consume_dense(w, x);
+      {
+        PMPR_TRACE_SPAN("window.sink");
+        obs::PhaseTimer timing(obs::Phase::kSink);
+        sink.consume_dense(w, x);
+      }
       // relaxed (both): commutative time totals, read only after the
       // parallel_for join publishes them.
       build_ns.fetch_add(static_cast<std::int64_t>(build * 1e9),
@@ -127,7 +136,11 @@ RunResult run_offline(const TemporalEdgeList& events, const WindowSpec& spec,
                                          scratch, build, compute,
                                          window_memory[w]);
       record(w, std::move(stats));
-      sink.consume_dense(w, x);
+      {
+        PMPR_TRACE_SPAN("window.sink");
+        obs::PhaseTimer timing(obs::Phase::kSink);
+        sink.consume_dense(w, x);
+      }
       result.build_seconds += build;
       result.compute_seconds += compute;
     }
@@ -151,6 +164,7 @@ RunResult run_offline(const TemporalEdgeList& events, const WindowSpec& spec,
     result.peak_memory_bytes += window_memory[i];
   }
   result.counters = obs::counters_snapshot().delta_since(before);
+  result.histograms = obs::histograms_snapshot().delta_since(hist_before);
   return result;
 }
 

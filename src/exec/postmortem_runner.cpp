@@ -7,6 +7,7 @@
 
 #include "graph/memory_budget.hpp"
 #include "obs/counters.hpp"
+#include "obs/histogram.hpp"
 #include "obs/trace.hpp"
 #include "pagerank/partial_init.hpp"
 #include "pagerank/spmm_temporal.hpp"
@@ -211,6 +212,7 @@ class PostmortemDriver {
     st.scratch.resize(n);
     {
       PMPR_TRACE_SPAN("window.build");
+      obs::PhaseTimer timing(obs::Phase::kBuild);
       if (cfg_.compiled_kernels) {
         compile_window(part, ts, te, st.ws, st.compiled_win, kernel_par_);
       } else {
@@ -224,6 +226,7 @@ class PostmortemDriver {
                          st.prev_x.size() == n;
     {
       PMPR_TRACE_SPAN("window.init");
+      obs::PhaseTimer timing(obs::Phase::kInit);
       if (partial) {
         partial_init(st.prev_x, st.prev_active, st.ws.active, st.ws.num_active,
                      st.x);
@@ -235,6 +238,7 @@ class PostmortemDriver {
     PagerankStats stats;
     {
       PMPR_TRACE_SPAN("window.iterate");
+      obs::PhaseTimer timing(obs::Phase::kIterate);
       stats = cfg_.compiled_kernels
                   ? pagerank_window_spmv(st.ws, st.compiled_win, st.x,
                                          st.scratch, cfg_.pr, kernel_par_)
@@ -247,6 +251,7 @@ class PostmortemDriver {
     obs::count(obs::Counter::kWindowsProcessed);
     {
       PMPR_TRACE_SPAN("window.sink");
+      obs::PhaseTimer timing(obs::Phase::kSink);
       sink_.consume_mapped(w, part.local_to_global, st.x);
     }
 
@@ -274,6 +279,7 @@ class PostmortemDriver {
     st.scratch.resize(n * lanes);
     {
       PMPR_TRACE_SPAN("batch.build");
+      obs::PhaseTimer timing(obs::Phase::kBuild);
       if (cfg_.compiled_kernels) {
         compile_spmm_batch(part, set_.spec(), batch, st.spmm_ws,
                            st.compiled_batch, kernel_par_);
@@ -289,6 +295,7 @@ class PostmortemDriver {
                          st.prev_x.size() == n * st.prev_lanes;
     {
       PMPR_TRACE_SPAN("batch.init");
+      obs::PhaseTimer timing(obs::Phase::kInit);
       for (std::size_t k = 0; k < lanes; ++k) {
         if (partial) {
           // Lane k's window is the successor of the previous batch's lane k.
@@ -314,6 +321,7 @@ class PostmortemDriver {
     SpmmStats stats;
     {
       PMPR_TRACE_SPAN("batch.iterate");
+      obs::PhaseTimer timing(obs::Phase::kIterate);
       stats = cfg_.compiled_kernels
                   ? pagerank_spmm(st.spmm_ws, st.compiled_batch, st.x,
                                   st.scratch, cfg_.pr, kernel_par_)
@@ -323,6 +331,7 @@ class PostmortemDriver {
     obs::count(obs::Counter::kWindowsProcessed, lanes);
 
     PMPR_TRACE_SPAN("batch.sink");
+    obs::PhaseTimer sink_timing(obs::Phase::kSink);
     st.lane_buf.resize(n);
     for (std::size_t k = 0; k < lanes; ++k) {
       const std::size_t w = batch.window_of_lane(k);
@@ -360,6 +369,7 @@ RunResult run_postmortem_prebuilt(const MultiWindowSet& set, ResultSink& sink,
   if (config.validate) set.validate();
   RunResult result;
   const obs::CounterSnapshot before = obs::counters_snapshot();
+  const obs::HistogramSnapshot hist_before = obs::histograms_snapshot();
   Timer timer;
   {
     PMPR_TRACE_SPAN("postmortem.run");
@@ -368,6 +378,7 @@ RunResult run_postmortem_prebuilt(const MultiWindowSet& set, ResultSink& sink,
   }
   result.compute_seconds = timer.seconds();
   result.counters = obs::counters_snapshot().delta_since(before);
+  result.histograms = obs::histograms_snapshot().delta_since(hist_before);
   const std::size_t kernel_contexts =
       config.mode == ParallelMode::kPagerank
           ? 1
@@ -386,8 +397,10 @@ RunResult run_postmortem(const TemporalEdgeList& events,
                          const PostmortemConfig& config) {
   Timer build_timer;
   double build_seconds = 0.0;
+  const obs::HistogramSnapshot hist_before = obs::histograms_snapshot();
   const MultiWindowSet set = [&] {
     PMPR_TRACE_SPAN("postmortem.build_representation");
+    obs::PhaseTimer timing(obs::Phase::kBuild);
     MultiWindowSet s = MultiWindowSet::build(
         events, spec, config.num_multi_windows, config.partition_policy);
     build_seconds = build_timer.seconds();
@@ -396,6 +409,9 @@ RunResult run_postmortem(const TemporalEdgeList& events,
 
   RunResult result = run_postmortem_prebuilt(set, sink, config);
   result.build_seconds = build_seconds;
+  // Re-delta from before the representation build so its kBuild recording
+  // is attributed to this run too (prebuilt only saw its own interval).
+  result.histograms = obs::histograms_snapshot().delta_since(hist_before);
   return result;
 }
 

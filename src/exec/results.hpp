@@ -14,6 +14,7 @@
 
 #include "graph/types.hpp"
 #include "obs/counters.hpp"
+#include "obs/histogram.hpp"
 
 namespace pmpr {
 
@@ -35,6 +36,10 @@ struct RunResult {
   /// (obs::counters_snapshot delta). All zero when counters are disabled;
   /// concurrent unrelated runs share the registry, so attribute with care.
   obs::CounterSnapshot counters;
+  /// Per-phase (build/init/iterate/sink) per-window latency distributions,
+  /// same registry-wide delta semantics as `counters`. All empty when
+  /// obs::set_histograms_enabled(true) was not active during the run.
+  obs::HistogramSnapshot histograms;
   /// Estimated peak resident bytes of the run's representation + working
   /// sets (model-specific estimate, not a measurement).
   std::size_t peak_memory_bytes = 0;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "obs/counters.hpp"
+#include "obs/histogram.hpp"
 #include "obs/trace.hpp"
 #include "streaming/delta_pagerank.hpp"
 #include "streaming/dynamic_graph.hpp"
@@ -76,6 +77,7 @@ RunResult run_streaming(const TemporalEdgeList& events, const WindowSpec& spec,
   result.residual_trajectories.assign(spec.count, {});
 
   const obs::CounterSnapshot before = obs::counters_snapshot();
+  const obs::HistogramSnapshot hist_before = obs::histograms_snapshot();
   PMPR_TRACE_SPAN("streaming.run");
 
   const VertexId n = events.num_vertices();
@@ -96,6 +98,8 @@ RunResult run_streaming(const TemporalEdgeList& events, const WindowSpec& spec,
     {
       ScopedAccum timing(mutate_timer);
       PMPR_TRACE_SPAN("window.mutate");
+      // Graph mutation is the streaming model's "build" phase.
+      obs::PhaseTimer phase_timing(obs::Phase::kBuild);
       batches = advance_graph(graph, events, spec, w);
       if (opts.validate) graph.validate();
     }
@@ -104,6 +108,9 @@ RunResult run_streaming(const TemporalEdgeList& events, const WindowSpec& spec,
     {
       ScopedAccum timing(compute_timer);
       PMPR_TRACE_SPAN("window.iterate");
+      // Warm-restart/delta re-seeding happens inside update(): the iterate
+      // phase covers init for the streaming model.
+      obs::PhaseTimer phase_timing(obs::Phase::kIterate);
       if (use_delta) {
         if (!opts.incremental) delta.reset();
         stats = delta.update(batches.inserted, batches.removed).pagerank;
@@ -120,6 +127,7 @@ RunResult run_streaming(const TemporalEdgeList& events, const WindowSpec& spec,
     max_live_edges = std::max(max_live_edges, graph.num_edges());
     obs::count(obs::Counter::kWindowsProcessed);
     PMPR_TRACE_SPAN("window.sink");
+    obs::PhaseTimer sink_timing(obs::Phase::kSink);
     sink.consume_dense(w, use_delta ? delta.values() : warm.values());
   }
   result.build_seconds = mutate_timer.seconds();
@@ -132,6 +140,7 @@ RunResult run_streaming(const TemporalEdgeList& events, const WindowSpec& spec,
       static_cast<std::size_t>(n) *
           (2 * sizeof(double) + 2 * sizeof(VertexId));
   result.counters = obs::counters_snapshot().delta_since(before);
+  result.histograms = obs::histograms_snapshot().delta_since(hist_before);
   return result;
 }
 

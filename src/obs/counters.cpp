@@ -11,7 +11,7 @@ constexpr std::array<std::string_view, kNumCounters> kCounterNames = {
     "steals_succeeded",  "parks",            "unparks",
     "edges_traversed",   "dangling_scanned", "lanes_converged",
     "iterations",        "vertices_reused",  "vertices_reseeded",
-    "windows_processed",
+    "windows_processed", "sampler_ticks",    "histogram_records",
 };
 
 /// One padded block per registered thread. kNumCounters * 8 bytes rounded

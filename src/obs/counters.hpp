@@ -46,8 +46,11 @@ enum class Counter : std::size_t {
   kVerticesReseeded,   ///< Vertices seeded uniformly (full or fresh part).
   // Runners (exec/).
   kWindowsProcessed,   ///< Windows handed to the result sink.
+  // Profiling layer (obs/).
+  kSamplerTicks,       ///< Scheduler snapshots taken by obs::Sampler.
+  kHistogramRecords,   ///< Durations recorded into the latency histograms.
 };
-inline constexpr std::size_t kNumCounters = 13;
+inline constexpr std::size_t kNumCounters = 15;
 
 /// Human-readable snake_case name (stable; used as JSON keys).
 [[nodiscard]] std::string_view to_string(Counter c);

@@ -4,6 +4,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "obs/sampler.hpp"
+
 namespace pmpr::obs {
 
 namespace {
@@ -17,11 +19,22 @@ std::string fmt(double v) {
   return os.str();
 }
 
+void write_phase_histogram(const PhaseHistogram& h, std::ostream& out) {
+  out << "{\"count\": " << h.total_count()
+      << ", \"mean_ns\": " << fmt(h.mean_ns())
+      << ", \"p50_ns\": " << h.percentile_ns(0.50)
+      << ", \"p90_ns\": " << h.percentile_ns(0.90)
+      << ", \"p99_ns\": " << h.percentile_ns(0.99)
+      << ", \"max_ns\": " << h.max_ns << ", \"sum_ns\": " << h.sum_ns
+      << "}";
+}
+
 }  // namespace
 
-void write_metrics_json(const RunResult& result, std::ostream& out) {
+void write_metrics_json(const RunResult& result, std::ostream& out,
+                        const Sampler* sampler) {
   out << "{\n";
-  out << "  \"schema\": \"pmpr-metrics-v1\",\n";
+  out << "  \"schema\": \"pmpr-metrics-v2\",\n";
   out << "  \"build_seconds\": " << fmt(result.build_seconds) << ",\n";
   out << "  \"compute_seconds\": " << fmt(result.compute_seconds) << ",\n";
   out << "  \"total_seconds\": " << fmt(result.total_seconds()) << ",\n";
@@ -36,6 +49,30 @@ void write_metrics_json(const RunResult& result, std::ostream& out) {
         << "\": " << result.counters.values[i];
   }
   out << "\n  },\n";
+
+  out << "  \"histograms\": {";
+  for (std::size_t p = 0; p < kNumPhases; ++p) {
+    out << (p == 0 ? "\n" : ",\n") << "    \""
+        << to_string(static_cast<Phase>(p)) << "\": ";
+    write_phase_histogram(result.histograms.phases[p], out);
+  }
+  out << "\n  },\n";
+
+  // Always present so consumers need no existence checks; all zeros when
+  // no sampler ran.
+  const SamplerSummary sum =
+      sampler != nullptr ? sampler->summary() : SamplerSummary{};
+  out << "  \"sampler\": {\n";
+  out << "    \"num_samples\": " << sum.num_samples << ",\n";
+  out << "    \"interval_ms\": " << sum.interval_ms << ",\n";
+  out << "    \"mean_total_queued\": " << fmt(sum.mean_total_queued)
+      << ",\n";
+  out << "    \"max_total_queued\": " << sum.max_total_queued << ",\n";
+  out << "    \"mean_parked_workers\": " << fmt(sum.mean_parked_workers)
+      << ",\n";
+  out << "    \"max_parked_workers\": " << sum.max_parked_workers << ",\n";
+  out << "    \"mean_steal_success_rate\": "
+      << fmt(sum.mean_steal_success_rate) << "\n  },\n";
 
   out << "  \"windows\": [";
   for (std::size_t w = 0; w < result.num_windows; ++w) {
@@ -59,10 +96,11 @@ void write_metrics_json(const RunResult& result, std::ostream& out) {
   out << "\n  ]\n}\n";
 }
 
-bool write_metrics_json(const RunResult& result, const std::string& path) {
+bool write_metrics_json(const RunResult& result, const std::string& path,
+                        const Sampler* sampler) {
   std::ofstream out(path);
   if (!out) return false;
-  write_metrics_json(result, out);
+  write_metrics_json(result, out, sampler);
   return static_cast<bool>(out);
 }
 

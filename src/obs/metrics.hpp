@@ -1,10 +1,12 @@
 // Runtime telemetry: run-metrics serialization (observability pillar 3).
 //
 // Every runner fills RunResult with per-window convergence data, telemetry
-// counter deltas, and a peak-memory estimate; write_metrics_json emits the
-// whole record as one JSON object (schema "pmpr-metrics-v1", validated by
-// ci/obs_smoke.sh). Benchmarks and the pmpr_run example expose it via
-// `--metrics <path>`.
+// counter deltas, per-phase latency histograms, and a peak-memory estimate;
+// write_metrics_json emits the whole record as one JSON object (schema
+// "pmpr-metrics-v2", validated by ci/obs_smoke.sh). Benchmarks and the
+// pmpr_run example expose it via `--metrics <path>`; pass a Sampler to also
+// embed the scheduler-profile summary (the section is always present —
+// zeroed when no sampler ran — so consumers need no existence checks).
 #pragma once
 
 #include <iosfwd>
@@ -14,13 +16,21 @@
 
 namespace pmpr::obs {
 
+class Sampler;
+
 /// Writes `result` as one JSON object:
-///   { "schema": "pmpr-metrics-v1", "build_seconds": ..., ...,
-///     "counters": {"tasks_spawned": ...}, "windows": [{...}, ...] }
-void write_metrics_json(const RunResult& result, std::ostream& out);
+///   { "schema": "pmpr-metrics-v2", "build_seconds": ..., ...,
+///     "counters": {"tasks_spawned": ...},
+///     "histograms": {"build": {"count": ..., "p50_ns": ..., ...}, ...},
+///     "sampler": {"num_samples": ..., "mean_total_queued": ..., ...},
+///     "windows": [{...}, ...] }
+/// `sampler` may be null (the "sampler" section is then all zeros).
+void write_metrics_json(const RunResult& result, std::ostream& out,
+                        const Sampler* sampler = nullptr);
 
 /// File variant; returns false on IO failure.
 [[nodiscard]] bool write_metrics_json(const RunResult& result,
-                                      const std::string& path);
+                                      const std::string& path,
+                                      const Sampler* sampler = nullptr);
 
 }  // namespace pmpr::obs

@@ -1,0 +1,158 @@
+#include "obs/sampler.hpp"
+
+#include <algorithm>
+
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
+#include "par/thread_pool.hpp"
+
+namespace pmpr::obs {
+
+Sampler::Sampler(par::ThreadPool& pool, SamplerOptions opts)
+    : pool_(pool), opts_(opts) {}
+
+Sampler::~Sampler() { stop(); }
+
+void Sampler::start() {
+  if (thread_.joinable()) return;
+  {
+    LockGuard lock(mu_);
+    stop_requested_ = false;
+  }
+  thread_ = std::thread([this] { loop(); });
+}
+
+void Sampler::stop() {
+  if (!thread_.joinable()) return;
+  {
+    LockGuard lock(mu_);
+    stop_requested_ = true;
+    wake_cv_.notify_all();
+  }
+  thread_.join();
+}
+
+SamplerSample Sampler::sample_once() {
+  SamplerSample s;
+  s.t_ns = trace_now_ns();
+  std::uint64_t total = 0;
+  std::uint64_t deepest = 0;
+  for (std::size_t i = 0; i < pool_.num_threads(); ++i) {
+    const std::uint64_t d = pool_.approx_queued(i);
+    total += d;
+    deepest = std::max(deepest, d);
+  }
+  // approx_total_queued also counts the injection queue; per-deque sums
+  // above only feed max_worker_depth.
+  s.total_queued = pool_.approx_total_queued();
+  s.max_worker_depth = deepest;
+  s.parked_workers = pool_.parked_workers();
+
+  const CounterSnapshot snap = counters_snapshot();
+  const std::uint64_t attempted = snap[Counter::kStealsAttempted];
+  const std::uint64_t succeeded = snap[Counter::kStealsSucceeded];
+  if (have_last_counters_) {
+    const std::uint64_t da =
+        attempted >= last_steals_attempted_ ? attempted - last_steals_attempted_
+                                            : 0;
+    const std::uint64_t ds =
+        succeeded >= last_steals_succeeded_ ? succeeded - last_steals_succeeded_
+                                            : 0;
+    s.steal_success_rate =
+        da == 0 ? 0.0
+                : static_cast<double>(std::min(ds, da)) /
+                      static_cast<double>(da);
+  }
+  last_steals_attempted_ = attempted;
+  last_steals_succeeded_ = succeeded;
+  have_last_counters_ = true;
+  s.lanes_converged = snap[Counter::kLanesConverged];
+  s.windows_processed = snap[Counter::kWindowsProcessed];
+
+  record(s);
+  count(Counter::kSamplerTicks);
+  if (opts_.emit_trace_counters && tracing_enabled()) {
+    record_counter_sample("sched.total_queued", s.t_ns,
+                          static_cast<double>(s.total_queued));
+    record_counter_sample("sched.max_worker_depth", s.t_ns,
+                          static_cast<double>(s.max_worker_depth));
+    record_counter_sample("sched.parked_workers", s.t_ns,
+                          static_cast<double>(s.parked_workers));
+    record_counter_sample("sched.steal_success_rate", s.t_ns,
+                          s.steal_success_rate);
+    record_counter_sample("progress.windows_processed", s.t_ns,
+                          static_cast<double>(s.windows_processed));
+  }
+  return s;
+}
+
+void Sampler::record(const SamplerSample& s) {
+  LockGuard lock(mu_);
+  if (opts_.ring_capacity > 0) {
+    if (ring_.size() < opts_.ring_capacity) {
+      ring_.push_back(s);
+    } else {
+      ring_[ring_next_] = s;
+      ring_next_ = (ring_next_ + 1) % opts_.ring_capacity;
+    }
+  }
+  ++num_samples_;
+  sum_total_queued_ += static_cast<double>(s.total_queued);
+  max_total_queued_ = std::max(max_total_queued_, s.total_queued);
+  sum_parked_ += static_cast<double>(s.parked_workers);
+  max_parked_ = std::max(max_parked_, s.parked_workers);
+  if (s.steal_success_rate > 0.0) {
+    sum_steal_rate_ += s.steal_success_rate;
+    ++ticks_with_steals_;
+  }
+}
+
+void Sampler::loop() {
+  set_thread_name("obs.sampler");
+  // Sample before the first stop check: even a stop() that races the thread
+  // spawn yields one snapshot, so short runs are never blind.
+  for (;;) {
+    sample_once();
+    LockGuard lock(mu_);
+    if (stop_requested_) return;
+    // Interruptible pacing: stop() flips stop_requested_ under mu_ and
+    // notifies, so shutdown never waits out a full interval.
+    wake_cv_.wait_for(lock, opts_.interval);
+  }
+}
+
+std::vector<SamplerSample> Sampler::samples() const {
+  LockGuard lock(mu_);
+  std::vector<SamplerSample> out;
+  out.reserve(ring_.size());
+  // Oldest-first: the ring wraps at ring_next_ once full.
+  if (ring_.size() == opts_.ring_capacity && opts_.ring_capacity > 0) {
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(ring_next_ + i) % ring_.size()]);
+    }
+  } else {
+    out = ring_;
+  }
+  return out;
+}
+
+SamplerSummary Sampler::summary() const {
+  LockGuard lock(mu_);
+  SamplerSummary sum;
+  sum.num_samples = num_samples_;
+  sum.interval_ms = static_cast<std::uint64_t>(opts_.interval.count());
+  if (num_samples_ > 0) {
+    sum.mean_total_queued =
+        sum_total_queued_ / static_cast<double>(num_samples_);
+    sum.mean_parked_workers = sum_parked_ / static_cast<double>(num_samples_);
+  }
+  sum.max_total_queued = max_total_queued_;
+  sum.max_parked_workers = max_parked_;
+  if (ticks_with_steals_ > 0) {
+    sum.mean_steal_success_rate =
+        sum_steal_rate_ / static_cast<double>(ticks_with_steals_);
+  }
+  return sum;
+}
+
+}  // namespace pmpr::obs

@@ -6,6 +6,7 @@
 #include <memory>
 #include <ostream>
 #include <sstream>
+#include <utility>
 
 #include "util/thread_annotations.hpp"
 
@@ -28,6 +29,8 @@ struct ThreadBuf {
   const std::uint32_t tid;
   Mutex mu;
   std::vector<Record> records PMPR_GUARDED_BY(mu);
+  /// Perfetto track label; empty = unnamed (no metadata event emitted).
+  std::string name PMPR_GUARDED_BY(mu);
 };
 
 struct Registry {
@@ -37,6 +40,10 @@ struct Registry {
   /// Owning list; buffers are never removed, so thread_local pointers into
   /// it stay valid for the thread's lifetime.
   std::vector<std::unique_ptr<ThreadBuf>> bufs PMPR_GUARDED_BY(mu);
+  /// Counter-track samples ("ph":"C"). One flat list under the registry
+  /// lock: the producer is the (single) sampler thread, so contention with
+  /// span recording is limited to first-use thread registration.
+  std::vector<CounterSample> counter_samples PMPR_GUARDED_BY(mu);
 };
 
 Registry& registry() {
@@ -48,6 +55,20 @@ Registry& registry() {
 }
 
 thread_local ThreadBuf* tls_buf = nullptr;
+
+/// Returns the calling thread's buffer, registering it on first use.
+ThreadBuf& my_buf() {
+  ThreadBuf* buf = tls_buf;
+  if (buf == nullptr) {
+    Registry& r = registry();
+    LockGuard lock(r.mu);
+    r.bufs.push_back(
+        std::make_unique<ThreadBuf>(static_cast<std::uint32_t>(r.bufs.size())));
+    buf = r.bufs.back().get();
+    tls_buf = buf;
+  }
+  return *buf;
+}
 
 std::string escape_json(std::string_view s) {
   std::string out;
@@ -66,20 +87,40 @@ namespace detail {
 
 void record_span(const char* name, std::int64_t start_ns,
                  std::int64_t end_ns) {
-  ThreadBuf* buf = tls_buf;
-  if (buf == nullptr) {
-    Registry& r = registry();
-    LockGuard lock(r.mu);
-    r.bufs.push_back(
-        std::make_unique<ThreadBuf>(static_cast<std::uint32_t>(r.bufs.size())));
-    buf = r.bufs.back().get();
-    tls_buf = buf;
-  }
-  LockGuard lock(buf->mu);
-  buf->records.push_back(Record{name, start_ns, end_ns});
+  ThreadBuf& buf = my_buf();
+  LockGuard lock(buf.mu);
+  buf.records.push_back(Record{name, start_ns, end_ns});
 }
 
 }  // namespace detail
+
+void record_counter_sample(const char* name, std::int64_t t_ns,
+                           double value) {
+  if (!tracing_enabled()) return;
+  Registry& r = registry();
+  LockGuard lock(r.mu);
+  r.counter_samples.push_back(CounterSample{name, t_ns, value});
+}
+
+std::vector<CounterSample> collect_counter_samples() {
+  Registry& r = registry();
+  std::vector<CounterSample> samples;
+  {
+    LockGuard lock(r.mu);
+    samples = r.counter_samples;
+  }
+  std::sort(samples.begin(), samples.end(),
+            [](const CounterSample& a, const CounterSample& b) {
+              return a.t_ns != b.t_ns ? a.t_ns < b.t_ns : a.name < b.name;
+            });
+  return samples;
+}
+
+void set_thread_name(std::string_view name) {
+  ThreadBuf& buf = my_buf();
+  LockGuard lock(buf.mu);
+  buf.name.assign(name);
+}
 
 bool set_tracing_enabled(bool enabled) {
   if (enabled) {
@@ -96,6 +137,7 @@ void clear_trace() {
     LockGuard buf_lock(buf->mu);
     buf->records.clear();
   }
+  r.counter_samples.clear();
 }
 
 std::int64_t trace_now_ns() {
@@ -134,26 +176,72 @@ std::size_t trace_event_count() {
   return n;
 }
 
+namespace {
+
+/// Microseconds with three decimals — nanosecond resolution in the µs
+/// units Chrome trace mandates.
+std::string micros(std::int64_t ns) {
+  std::ostringstream num;
+  num.setf(std::ios::fixed);
+  num.precision(3);
+  num << static_cast<double>(ns) * 1e-3;
+  return num.str();
+}
+
+}  // namespace
+
 void write_chrome_trace(std::ostream& out) {
   const std::vector<TraceEvent> events = collect_trace();
+  const std::vector<CounterSample> samples = collect_counter_samples();
+  std::vector<std::pair<std::uint32_t, std::string>> thread_names;
+  {
+    Registry& r = registry();
+    LockGuard lock(r.mu);
+    for (auto& buf : r.bufs) {
+      LockGuard buf_lock(buf->mu);
+      if (!buf->name.empty()) thread_names.emplace_back(buf->tid, buf->name);
+    }
+  }
   out << "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [";
-  for (std::size_t i = 0; i < events.size(); ++i) {
-    const TraceEvent& e = events[i];
-    // Chrome trace "complete" event: ts/dur in microseconds. Three decimal
-    // digits keep nanosecond resolution.
-    std::ostringstream num;
-    num.setf(std::ios::fixed);
-    num.precision(3);
-    num << static_cast<double>(e.start_ns) * 1e-3;
-    std::ostringstream dur;
-    dur.setf(std::ios::fixed);
-    dur.precision(3);
-    dur << static_cast<double>(e.end_ns - e.start_ns) * 1e-3;
-    out << (i == 0 ? "\n" : ",\n");
-    out << "    {\"name\": \"" << escape_json(e.name)
+  bool first = true;
+  const auto sep = [&]() -> const char* {
+    const char* s = first ? "\n" : ",\n";
+    first = false;
+    return s;
+  };
+  // Perfetto track labels ("ph":"M" metadata). Only emitted alongside real
+  // events — an empty trace stays a bare valid skeleton.
+  if (!events.empty() || !samples.empty()) {
+    out << sep()
+        << "    {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 0, "
+           "\"args\": {\"name\": \"pmpr\"}}";
+    for (const auto& [tid, name] : thread_names) {
+      out << sep()
+          << "    {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, "
+             "\"tid\": "
+          << tid << ", \"args\": {\"name\": \"" << escape_json(name)
+          << "\"}}";
+    }
+  }
+  for (const TraceEvent& e : events) {
+    // Chrome trace "complete" event: ts/dur in microseconds.
+    out << sep() << "    {\"name\": \"" << escape_json(e.name)
         << "\", \"cat\": \"pmpr\", \"ph\": \"X\", \"pid\": 0, \"tid\": "
-        << e.tid << ", \"ts\": " << num.str() << ", \"dur\": " << dur.str()
-        << "}";
+        << e.tid << ", \"ts\": " << micros(e.start_ns)
+        << ", \"dur\": " << micros(e.end_ns - e.start_ns) << "}";
+  }
+  for (const CounterSample& s : samples) {
+    // Counter event: Perfetto draws one area-chart track per name, fed by
+    // the single "value" series in args.
+    std::ostringstream val;
+    val.setf(std::ios::fixed);
+    val.precision(3);
+    val << s.value;
+    out << sep() << "    {\"name\": \"" << escape_json(s.name)
+        << "\", \"cat\": \"pmpr\", \"ph\": \"C\", \"pid\": 0, \"tid\": 0, "
+           "\"ts\": "
+        << micros(s.t_ns) << ", \"args\": {\"value\": " << val.str()
+        << "}}";
   }
   out << "\n  ]\n}\n";
 }

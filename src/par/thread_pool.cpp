@@ -3,7 +3,10 @@
 #include <chrono>
 #include <cstdlib>
 
+#include <string>
+
 #include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
 
@@ -79,6 +82,19 @@ std::size_t ThreadPool::reduce_slot() const {
   return tls_worker.pool == this && tls_worker.index >= 0
              ? static_cast<std::size_t>(tls_worker.index)
              : num_threads();
+}
+
+std::size_t ThreadPool::approx_queued(std::size_t index) const {
+  return index < deques_.size() ? deques_[index]->approx_depth() : 0;
+}
+
+std::size_t ThreadPool::approx_total_queued() const {
+  std::size_t total = 0;
+  for (const auto& dq : deques_) total += dq->approx_depth();
+  // The injection queue is mutex-guarded; sampling cadence is milliseconds,
+  // so taking the (usually uncontended) lock here is fine.
+  LockGuard lock(inject_mutex_);
+  return total + injected_.size();
 }
 
 void ThreadPool::notify() {
@@ -177,6 +193,7 @@ bool ThreadPool::try_run_one(std::size_t self_index) {
 void ThreadPool::worker_loop(std::size_t index) {
   tls_worker.pool = this;
   tls_worker.index = static_cast<int>(index);
+  obs::set_thread_name("pool.worker-" + std::to_string(index));
   int idle_spins = 0;
   // acquire: pairs with the destructor's release store so a stopping
   // worker also observes all pre-shutdown writes.

@@ -130,6 +130,27 @@ class ThreadPool {
   /// are never shared between concurrently-running bodies.
   [[nodiscard]] std::size_t reduce_slot() const;
 
+  // Monitoring introspection (obs::Sampler). All three are safe to call
+  // from any thread while the pool runs; values are advisory gauges —
+  // in-flight pushes/pops/steals and parks make them racy by contract.
+
+  /// Approximate depth of worker `index`'s deque (0 if out of range).
+  [[nodiscard]] std::size_t approx_queued(std::size_t index) const;
+
+  /// Approximate total queued tasks: every worker deque plus the
+  /// injection queue.
+  [[nodiscard]] std::size_t approx_total_queued() const
+      PMPR_EXCLUDES(inject_mutex_);
+
+  /// Workers currently parked (or committing to park) on the sleep
+  /// condvar.
+  [[nodiscard]] std::size_t parked_workers() const {
+    // relaxed: an advisory gauge for the sampler; the park protocol itself
+    // uses seq_cst on this counter (see notify()), a monitor read needs no
+    // ordering with it.
+    return num_sleepers_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Task {
     std::function<void()> fn;
@@ -146,7 +167,9 @@ class ThreadPool {
   std::vector<std::unique_ptr<WsDeque<Task>>> deques_;
   std::vector<std::thread> workers_;
 
-  Mutex inject_mutex_;
+  /// mutable: const monitoring reads (approx_total_queued) must be able to
+  /// take the lock.
+  mutable Mutex inject_mutex_;
   std::deque<Task*> injected_ PMPR_GUARDED_BY(inject_mutex_);
 
   Mutex sleep_mutex_;

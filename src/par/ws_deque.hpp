@@ -155,10 +155,13 @@ class WsDeque {
     return task;
   }
 
-  /// Approximate size (owner or monitor use only; racy by nature).
-  [[nodiscard]] std::size_t size_approx() const {
-    // relaxed (both): the result is advisory by contract; no payload is
-    // read based on these indices.
+  /// Approximate depth, safe to call from any thread (the sampling
+  /// profiler reads it from outside the pool); racy by nature.
+  [[nodiscard]] std::size_t approx_depth() const {
+    // relaxed (both): the result is advisory by contract — a monitor
+    // gauge, possibly off by in-flight pushes/pops/steals — and no slot
+    // payload is ever read based on these indices, so no acquire pairing
+    // is needed.
     const std::int64_t b = bottom_.load(std::memory_order_relaxed);
     const std::int64_t t = top_.load(std::memory_order_relaxed);
     return b > t ? static_cast<std::size_t>(b - t) : 0;

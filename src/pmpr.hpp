@@ -36,7 +36,9 @@
 #include "graph/types.hpp"             // IWYU pragma: export
 #include "graph/window.hpp"            // IWYU pragma: export
 #include "obs/counters.hpp"            // IWYU pragma: export
+#include "obs/histogram.hpp"           // IWYU pragma: export
 #include "obs/metrics.hpp"             // IWYU pragma: export
+#include "obs/sampler.hpp"             // IWYU pragma: export
 #include "obs/trace.hpp"               // IWYU pragma: export
 #include "pagerank/pagerank.hpp"       // IWYU pragma: export
 #include "par/parallel_for.hpp"        // IWYU pragma: export

@@ -24,6 +24,25 @@ double percentile(std::span<const double> sample, double q) {
   return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
 }
 
+std::size_t percentile_bucket(std::span<const std::uint64_t> counts,
+                              double q) {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  if (total == 0) return counts.size();
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the quantile observation, 1-based: q = 0 is the first
+  // observation, q = 1 the last.
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(total))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    seen += counts[i];
+    if (seen >= rank) return i;
+  }
+  return counts.size() - 1;  // unreachable: seen == total >= rank
+}
+
 double median(std::span<const double> sample) {
   return percentile(sample, 0.5);
 }

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -26,8 +27,18 @@ Summary summarize(std::span<const double> sample);
 /// Arithmetic mean; 0 for an empty sample.
 double mean(std::span<const double> sample);
 
-/// Linear-interpolation percentile, q in [0, 1]. 0 for an empty sample.
+/// Linear-interpolation percentile. `q` is clamped to [0, 1] (out-of-range
+/// quantiles never index out of bounds). 0 for an empty sample.
 double percentile(std::span<const double> sample, double q);
+
+/// Percentile over *bucketed* data: `counts[i]` observations fell into
+/// bucket i. Returns the smallest index whose cumulative count covers
+/// quantile `q` (clamped to [0, 1]) of the total, or `counts.size()` when
+/// every bucket is empty. The single CDF-walk shared by every histogram
+/// export in the tree (obs/histogram percentiles above all) — callers map
+/// the index back to a bucket boundary themselves.
+std::size_t percentile_bucket(std::span<const std::uint64_t> counts,
+                              double q);
 
 /// Median (= percentile 0.5).
 double median(std::span<const double> sample);

@@ -22,6 +22,7 @@ EXPECTED = {
     "bad_naked_new.cpp": "naked-new-delete",
     "bad_reinterpret_cast.cpp": "reinterpret-cast-outside-io",
     "bad_raw_clock.cpp": "raw-clock",
+    "bad_sleep_loop.cpp": "raw-clock",
     "clean.cpp": None,
 }
 

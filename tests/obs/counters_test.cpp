@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <set>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "par/parallel_for.hpp"
 #include "par/thread_pool.hpp"
@@ -111,6 +113,33 @@ TEST(Counters, ParallelChurnExactOnKernelCounter) {
   });
   const obs::CounterSnapshot delta = obs::counters_snapshot() - before;
   EXPECT_EQ(delta[obs::Counter::kEdgesTraversed], 3u * kN);
+}
+
+TEST(Counters, OverflowBlockLosesNoCounts) {
+  // The registry owns a fixed pool of per-thread blocks; threads beyond it
+  // share one overflow block. Spin up far more recording threads than the
+  // pool has owned slots (256) and assert the aggregate is still exact —
+  // the overflow adds are contended, never dropped.
+  TelemetryGuard guard;
+  obs::set_counters_enabled(true);
+  constexpr std::size_t kThreads = 300;  // > 256 owned slots
+  constexpr std::uint64_t kPerThread = 50;
+  const obs::CounterSnapshot before = obs::counters_snapshot();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      threads.emplace_back([] {
+        for (std::uint64_t i = 0; i < kPerThread; ++i) {
+          obs::count(obs::Counter::kDanglingScanned, 2);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  const obs::CounterSnapshot delta = obs::counters_snapshot() - before;
+  EXPECT_EQ(delta[obs::Counter::kDanglingScanned],
+            2u * kPerThread * kThreads);
 }
 
 TEST(Counters, NamesAreStableUniqueSnakeCase) {

@@ -1,0 +1,189 @@
+#include "obs/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <vector>
+
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
+#include "par/parallel_for.hpp"
+#include "par/thread_pool.hpp"
+
+namespace pmpr {
+namespace {
+
+/// Restores counters/tracing gates and drops buffered trace data so the
+/// shared registries stay clean across sibling tests.
+struct SamplerTestGuard {
+  const bool counters = obs::set_counters_enabled(false);
+  const bool tracing = obs::set_tracing_enabled(false);
+  SamplerTestGuard() { obs::clear_trace(); }
+  ~SamplerTestGuard() {
+    obs::set_counters_enabled(counters);
+    obs::set_tracing_enabled(tracing);
+    obs::clear_trace();
+  }
+};
+
+TEST(Sampler, SampleOnceWithoutThread) {
+  SamplerTestGuard guard;
+  par::ThreadPool pool(2);
+  obs::Sampler sampler(pool);
+  EXPECT_FALSE(sampler.running());
+  const obs::SamplerSample s = sampler.sample_once();
+  EXPECT_GE(s.t_ns, 0);
+  // An idle pool queues nothing; parked is at most the worker count.
+  EXPECT_EQ(s.total_queued, 0u);
+  EXPECT_LE(s.parked_workers, 2u);
+  EXPECT_EQ(sampler.summary().num_samples, 1u);
+  EXPECT_EQ(sampler.samples().size(), 1u);
+}
+
+TEST(Sampler, StartStopCollectsTicks) {
+  SamplerTestGuard guard;
+  par::ThreadPool pool(2);
+  obs::SamplerOptions opts;
+  opts.interval = std::chrono::milliseconds(1);
+  obs::Sampler sampler(pool, opts);
+  sampler.start();
+  EXPECT_TRUE(sampler.running());
+  // Keep the pool busy so the gauges see real scheduler state.
+  par::ForOptions for_opts;
+  for_opts.pool = &pool;
+  for_opts.grain = 4;
+  for (int round = 0; round < 20; ++round) {
+    par::parallel_for(0, 2000, for_opts, [](std::size_t) {
+      volatile int x = 0;
+      for (int i = 0; i < 200; ++i) x = x + i;
+    });
+  }
+  sampler.stop();
+  EXPECT_FALSE(sampler.running());
+  const obs::SamplerSummary sum = sampler.summary();
+  EXPECT_GE(sum.num_samples, 1u);
+  EXPECT_EQ(sum.interval_ms, 1u);
+  const std::vector<obs::SamplerSample> samples = sampler.samples();
+  EXPECT_EQ(samples.size(),
+            std::min<std::size_t>(sum.num_samples, opts.ring_capacity));
+  // Samples are time-ordered, oldest first.
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_LE(samples[i - 1].t_ns, samples[i].t_ns) << i;
+  }
+  // Stop is idempotent.
+  sampler.stop();
+}
+
+TEST(Sampler, StopIsPromptDespiteLongInterval) {
+  SamplerTestGuard guard;
+  par::ThreadPool pool(1);
+  obs::SamplerOptions opts;
+  opts.interval = std::chrono::minutes(10);  // would hang if stop slept it out
+  obs::Sampler sampler(pool, opts);
+  sampler.start();
+  sampler.stop();
+  EXPECT_FALSE(sampler.running());
+  EXPECT_GE(sampler.summary().num_samples, 1u);
+}
+
+TEST(Sampler, TicksBumpSamplerCounter) {
+  SamplerTestGuard guard;
+  obs::set_counters_enabled(true);
+  par::ThreadPool pool(1);
+  obs::Sampler sampler(pool);
+  const obs::CounterSnapshot before = obs::counters_snapshot();
+  sampler.sample_once();
+  sampler.sample_once();
+  const obs::CounterSnapshot delta = obs::counters_snapshot() - before;
+  EXPECT_EQ(delta[obs::Counter::kSamplerTicks], 2u);
+}
+
+TEST(Sampler, StealRateComesFromCounterDeltas) {
+  SamplerTestGuard guard;
+  obs::set_counters_enabled(true);
+  par::ThreadPool pool(1);
+  obs::Sampler sampler(pool);
+  sampler.sample_once();  // establish the baseline tick
+  // Fabricate scheduler activity between ticks: 10 attempts, 4 successes.
+  obs::count(obs::Counter::kStealsAttempted, 10);
+  obs::count(obs::Counter::kStealsSucceeded, 4);
+  const obs::SamplerSample s = sampler.sample_once();
+  EXPECT_NEAR(s.steal_success_rate, 0.4, 1e-9);
+  // No activity since the last tick: rate reads 0.
+  EXPECT_EQ(sampler.sample_once().steal_success_rate, 0.0);
+}
+
+TEST(Sampler, EmitsTraceCounterEventsWhenTracingEnabled) {
+  SamplerTestGuard guard;
+  par::ThreadPool pool(1);
+  obs::Sampler sampler(pool);
+  // Tracing off: the tick records no counter samples.
+  sampler.sample_once();
+  EXPECT_TRUE(obs::collect_counter_samples().empty());
+  obs::set_tracing_enabled(true);
+  sampler.sample_once();
+  obs::set_tracing_enabled(false);
+  const std::vector<obs::CounterSample> samples =
+      obs::collect_counter_samples();
+  ASSERT_FALSE(samples.empty());
+  bool saw_queue = false;
+  bool saw_parked = false;
+  for (const obs::CounterSample& s : samples) {
+    saw_queue |= s.name == "sched.total_queued";
+    saw_parked |= s.name == "sched.parked_workers";
+  }
+  EXPECT_TRUE(saw_queue);
+  EXPECT_TRUE(saw_parked);
+}
+
+TEST(Sampler, RingKeepsMostRecentWhenFull) {
+  SamplerTestGuard guard;
+  par::ThreadPool pool(1);
+  obs::SamplerOptions opts;
+  opts.ring_capacity = 4;
+  obs::Sampler sampler(pool, opts);
+  for (int i = 0; i < 10; ++i) sampler.sample_once();
+  const std::vector<obs::SamplerSample> samples = sampler.samples();
+  ASSERT_EQ(samples.size(), 4u);
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_LE(samples[i - 1].t_ns, samples[i].t_ns);
+  }
+  // Accumulators still cover every tick.
+  EXPECT_EQ(sampler.summary().num_samples, 10u);
+}
+
+TEST(Sampler, GaugesSeeQueuedWork) {
+  // Deterministic gauge check without the background thread: pile tasks
+  // into a pool whose worker is blocked, then sample.
+  SamplerTestGuard guard;
+  par::ThreadPool pool(1);
+  // A busy task pins the single worker so submitted work stays queued.
+  std::atomic<bool> release{false};
+  par::WaitGroup blocker_wg;
+  blocker_wg.add(1);
+  pool.submit(
+      [&release] {
+        // acquire: pairs with the release store below; also the loop exit.
+        while (!release.load(std::memory_order_acquire)) {
+        }
+      },
+      blocker_wg);
+  par::WaitGroup wg;
+  for (int i = 0; i < 16; ++i) {
+    wg.add(1);
+    pool.submit([] {}, wg);
+  }
+  obs::Sampler sampler(pool);
+  const obs::SamplerSample s = sampler.sample_once();
+  EXPECT_GE(s.total_queued, 1u);
+  // release: publishes the flag to the spinning worker.
+  release.store(true, std::memory_order_release);
+  pool.wait(blocker_wg);
+  pool.wait(wg);
+}
+
+}  // namespace
+}  // namespace pmpr

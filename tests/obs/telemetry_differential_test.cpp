@@ -3,11 +3,14 @@
 // output bit-for-bit identical to a run with telemetry off.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstddef>
 #include <vector>
 
 #include "exec/postmortem_runner.hpp"
 #include "obs/counters.hpp"
+#include "obs/histogram.hpp"
+#include "obs/sampler.hpp"
 #include "obs/trace.hpp"
 #include "par/thread_pool.hpp"
 #include "test_helpers.hpp"
@@ -15,20 +18,23 @@
 namespace pmpr {
 namespace {
 
-/// All three telemetry gates, restored on scope exit.
+/// All four telemetry gates, restored on scope exit.
 struct AllTelemetry {
   const bool counters = obs::set_counters_enabled(false);
   const bool metrics = obs::set_metrics_enabled(false);
   const bool tracing = obs::set_tracing_enabled(false);
+  const bool histograms = obs::set_histograms_enabled(false);
   ~AllTelemetry() {
     obs::set_counters_enabled(counters);
     obs::set_metrics_enabled(metrics);
     obs::set_tracing_enabled(tracing);
+    obs::set_histograms_enabled(histograms);
   }
   static void enable_all() {
     obs::set_counters_enabled(true);
     obs::set_metrics_enabled(true);
     obs::set_tracing_enabled(true);
+    obs::set_histograms_enabled(true);
   }
 };
 
@@ -62,11 +68,19 @@ TEST_P(TelemetryDifferential, OutputBitIdenticalWithTelemetryOn) {
   obs::set_counters_enabled(false);
   obs::set_metrics_enabled(false);
   obs::set_tracing_enabled(false);
+  obs::set_histograms_enabled(false);
   const auto plain = run_serial(GetParam(), pool);
 
   AllTelemetry::enable_all();
+  // A live sampler during the instrumented run: its snapshot reads must
+  // not perturb the scheduler or the kernels either.
+  obs::SamplerOptions sampler_opts;
+  sampler_opts.interval = std::chrono::milliseconds(1);
+  obs::Sampler sampler(pool, sampler_opts);
+  sampler.start();
   RunResult instrumented;
   const auto traced = run_serial(GetParam(), pool, &instrumented);
+  sampler.stop();
   obs::set_tracing_enabled(false);
   obs::clear_trace();
 
@@ -84,6 +98,15 @@ TEST_P(TelemetryDifferential, OutputBitIdenticalWithTelemetryOn) {
   EXPECT_GT(instrumented.counters[obs::Counter::kEdgesTraversed], 0u);
   EXPECT_EQ(instrumented.counters[obs::Counter::kWindowsProcessed],
             instrumented.num_windows);
+  // The phase histograms must have seen every window's iterate phase (SpMM
+  // records per batch, so >= 1 recording; SpMV records one per window).
+  const obs::PhaseHistogram& iterate =
+      instrumented.histograms[obs::Phase::kIterate];
+  EXPECT_GT(iterate.total_count(), 0u);
+  EXPECT_GT(iterate.sum_ns, 0u);
+  EXPECT_GE(iterate.max_ns, iterate.percentile_ns(0.99));
+  EXPECT_GT(instrumented.histograms[obs::Phase::kBuild].total_count(), 0u);
+  EXPECT_GT(instrumented.histograms[obs::Phase::kSink].total_count(), 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Kernels, TelemetryDifferential,

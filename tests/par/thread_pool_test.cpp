@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstddef>
+#include <thread>
 #include <vector>
 
 namespace pmpr::par {
@@ -127,6 +129,57 @@ TEST(ThreadPool, MultipleWaitGroupsIndependent) {
   EXPECT_EQ(a.load(), 100);
   pool.wait(wgb);
   EXPECT_EQ(b.load(), 100);
+}
+
+TEST(ThreadPool, IntrospectionGaugesAreSane) {
+  // The monitoring accessors (obs::Sampler's view of the pool) must be
+  // callable from a non-worker thread while workers churn, and must report
+  // in-range advisory values. Run under TSan via ci/sanitize.sh.
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.approx_queued(0), 0u);
+  EXPECT_EQ(pool.approx_queued(99), 0u);  // out of range -> 0
+  EXPECT_LE(pool.parked_workers(), pool.num_threads());
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> reads{0};
+  std::thread monitor([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const std::size_t total = pool.approx_total_queued();
+      std::size_t per = 0;
+      for (std::size_t i = 0; i < pool.num_threads(); ++i) {
+        per += pool.approx_queued(i);
+      }
+      // Deques drain concurrently, so per-deque sums may lag the total;
+      // both must stay plausible (bounded by what was ever submitted).
+      EXPECT_LE(per, 100000u);
+      EXPECT_LE(total, 100000u);
+      EXPECT_LE(pool.parked_workers(), pool.num_threads());
+      reads.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  WaitGroup wg;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 200; ++i) {
+      wg.add(1);
+      pool.submit(
+          [] {
+            volatile int x = 0;
+            for (int k = 0; k < 100; ++k) x = x + k;
+          },
+          wg);
+    }
+    pool.wait(wg);
+  }
+  // Under a loaded machine the monitor may not get scheduled during the
+  // brief churn; insist on one full observation before stopping it.
+  while (reads.load(std::memory_order_acquire) == 0) {
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_release);
+  monitor.join();
+  // Quiesced pool: nothing queued anywhere.
+  EXPECT_EQ(pool.approx_total_queued(), 0u);
 }
 
 TEST(ThreadPool, ZeroThreadRequestClampsToOne) {

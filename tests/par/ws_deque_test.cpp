@@ -61,7 +61,7 @@ TEST(WsDeque, GrowsPastInitialCapacity) {
   std::vector<int> vals(1000);
   std::iota(vals.begin(), vals.end(), 0);
   for (auto& v : vals) dq.push(&v);
-  EXPECT_EQ(dq.size_approx(), 1000u);
+  EXPECT_EQ(dq.approx_depth(), 1000u);
   for (int i = 999; i >= 0; --i) {
     ASSERT_EQ(dq.pop(), &vals[static_cast<std::size_t>(i)]);
   }
@@ -70,11 +70,11 @@ TEST(WsDeque, GrowsPastInitialCapacity) {
 TEST(WsDeque, SizeApprox) {
   WsDeque<int> dq;
   int v = 0;
-  EXPECT_EQ(dq.size_approx(), 0u);
+  EXPECT_EQ(dq.approx_depth(), 0u);
   dq.push(&v);
-  EXPECT_EQ(dq.size_approx(), 1u);
+  EXPECT_EQ(dq.approx_depth(), 1u);
   dq.pop();
-  EXPECT_EQ(dq.size_approx(), 0u);
+  EXPECT_EQ(dq.approx_depth(), 0u);
 }
 
 // Concurrency: one owner pushing/popping, several thieves stealing. Every

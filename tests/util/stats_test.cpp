@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <vector>
 
 namespace pmpr {
@@ -38,6 +39,37 @@ TEST(Stats, PercentileClampsQ) {
 TEST(Stats, PercentileInterpolates) {
   const std::vector<double> v{0.0, 10.0};
   EXPECT_DOUBLE_EQ(percentile(v, 0.25), 2.5);
+}
+
+TEST(Stats, PercentileBucketEmptyReturnsSize) {
+  const std::vector<std::uint64_t> counts{0, 0, 0};
+  EXPECT_EQ(percentile_bucket(counts, 0.5), counts.size());
+  EXPECT_EQ(percentile_bucket(std::vector<std::uint64_t>{}, 0.5), 0u);
+}
+
+TEST(Stats, PercentileBucketWalksCdf) {
+  // Buckets: 90 in #0, 9 in #2, 1 in #4. Ranks: p50→#0, p90→#0 (rank 90
+  // is the last observation of bucket 0), p91→#2, p99→#2, p100→#4.
+  const std::vector<std::uint64_t> counts{90, 0, 9, 0, 1};
+  EXPECT_EQ(percentile_bucket(counts, 0.50), 0u);
+  EXPECT_EQ(percentile_bucket(counts, 0.90), 0u);
+  EXPECT_EQ(percentile_bucket(counts, 0.91), 2u);
+  EXPECT_EQ(percentile_bucket(counts, 0.99), 2u);
+  EXPECT_EQ(percentile_bucket(counts, 1.0), 4u);
+}
+
+TEST(Stats, PercentileBucketClampsQ) {
+  const std::vector<std::uint64_t> counts{5, 5};
+  EXPECT_EQ(percentile_bucket(counts, -1.0), 0u);
+  EXPECT_EQ(percentile_bucket(counts, 0.0), 0u);
+  EXPECT_EQ(percentile_bucket(counts, 7.0), 1u);
+}
+
+TEST(Stats, PercentileBucketSingleBucket) {
+  const std::vector<std::uint64_t> counts{0, 42, 0};
+  for (const double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(percentile_bucket(counts, q), 1u) << q;
+  }
 }
 
 TEST(Stats, GeomeanSimple) {
