@@ -50,6 +50,15 @@ SpmmBatch spmm16_batch(const MultiWindowGraph& part) {
   return batch;
 }
 
+/// `count` windows with the same geometry as the 16-lane micro case
+/// (90-day delta, one-day slide, anchored at the end of the data) so
+/// ns_per_lane is comparable across batch widths. Used by the wide-sweep
+/// micro cases — the regular cases cap windows at --max-windows, which
+/// would leave most of a 512-lane batch empty.
+WindowSpec wide_lane_spec(const TemporalEdgeList& events, std::size_t count) {
+  return last_windows(events, 90 * duration::kDay, 86'400, count);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -227,6 +236,43 @@ int main(int argc, char** argv) {
       emit("micro.spmm16_compiled", "ns_per_iteration", ns_per_iter([&] {
              pagerank_spmm(ws, compiled, x, scratch, params);
            }));
+    }
+  }
+
+  // --- micro: wide SpMM sweeps (multi-word lane masks), ns/lane -------
+  {
+    PagerankParams params;
+    params.max_iters = 1;  // time exactly one traversal
+    params.tol = 0.0;
+    // A 512-lane traversal does ~32x the work of the 16-lane case; fewer
+    // timed iterations keep the suite fast while the min stays stable.
+    const int iters =
+        static_cast<int>(std::max<std::int64_t>(10, micro_iters / 8));
+    const int warmup = std::max(1, iters / 10);
+    for (const std::size_t lanes :
+         {std::size_t{64}, std::size_t{128}, std::size_t{512}}) {
+      const WindowSpec wspec = wide_lane_spec(events, lanes);
+      const MultiWindowSet wset = MultiWindowSet::build(events, wspec, 1);
+      const MultiWindowGraph& part = wset.part(0);
+      SpmmBatch batch;
+      batch.lanes = lanes;
+      batch.first_window = part.first_window;
+      batch.window_stride = 1;
+      SpmmWindowState ws;
+      CompiledBatchCsr compiled;
+      compile_spmm_batch(part, wspec, batch, ws, compiled);
+      const std::size_t n = part.num_local();
+      std::vector<double> x(n * lanes, 1.0 / static_cast<double>(n));
+      std::vector<double> scratch(n * lanes);
+      const std::vector<double> times = time_repeats(
+          [&] { pagerank_spmm(ws, compiled, x, scratch, params); }, iters,
+          warmup);
+      const double ns =
+          *std::min_element(times.begin(), times.end()) * 1e9;
+      const std::string rec =
+          "micro.spmm" + std::to_string(lanes) + "_compiled";
+      emit(rec, "ns_per_iteration", ns);
+      emit(rec, "ns_per_lane", ns / static_cast<double>(lanes));
     }
   }
 

@@ -45,6 +45,9 @@ required = {
     "micro.spmv_ref": ["ns_per_iteration"],
     "micro.spmv_compiled": ["ns_per_iteration"],
     "micro.spmm16_compiled": ["ns_per_iteration"],
+    "micro.spmm64_compiled": ["ns_per_iteration", "ns_per_lane"],
+    "micro.spmm128_compiled": ["ns_per_iteration", "ns_per_lane"],
+    "micro.spmm512_compiled": ["ns_per_iteration", "ns_per_lane"],
 }
 for record, fields in required.items():
     assert record in suite, f"missing record {record}"

@@ -84,6 +84,17 @@ assert counters["windows_processed"] == metrics["num_windows"]
 assert "sampler_ticks" in counters, "metrics: sampler_ticks missing"
 assert counters["histogram_records"] > 0, "metrics: no histogram records"
 
+# SIMD dispatch: the run must record which ISA its compiled SpMM sweeps
+# resolved to, and the matching per-ISA sweep counter must have fired
+# (the postmortem model defaults to compiled SpMM kernels).
+assert metrics["simd_isa"] in ("scalar", "avx2", "avx512"), \
+    f"metrics: bad simd_isa {metrics.get('simd_isa')!r}"
+for isa in ("scalar", "avx2", "avx512"):
+    assert f"simd_sweep_{isa}" in counters, \
+        f"metrics: simd_sweep_{isa} counter missing"
+assert counters[f"simd_sweep_{metrics['simd_isa']}"] > 0, \
+    "metrics: no sweeps counted on the resolved ISA"
+
 # v2: per-phase latency histograms. Every processed window passed through
 # build/iterate/sink; percentiles are ordered and bounded by the max.
 histograms = metrics["histograms"]

@@ -29,6 +29,16 @@ cannot express:
                             pool workers can flush telemetry at exit).
                             `= delete`d functions are not flagged.
 
+  simd-intrinsics-confined  Raw x86 vector intrinsics (_mm*() calls, the
+                            __m128/__m256/__m512/__mmask types) and
+                            __builtin_cpu_supports may only appear in the
+                            src/pagerank/simd_* translation units. Those
+                            files carry the per-file -mavx* compile flags
+                            and the runtime-dispatch guards; an intrinsic
+                            anywhere else either fails to build on baseline
+                            x86-64 or, worse, builds under -march=native
+                            and SIGILLs on older machines.
+
   raw-clock                 Direct steady_clock / system_clock /
                             high_resolution_clock ::now() calls are
                             confined to src/util/ (Timer/AccumTimer,
@@ -69,6 +79,10 @@ ALLOW = {
     "reinterpret-cast-outside-io": {
         "src/graph/edge_list.cpp",
         "src/exec/export.cpp",
+        # The x86 intrinsic load APIs take __m256i* / int* operands, so the
+        # mask-table loads cannot avoid reinterpret_cast (the casts never
+        # alias through the result — pure-load laundering the ISA demands).
+        "src/pagerank/simd_sweep_avx2.cpp",
     },
     "naked-new-delete": {
         "src/par/ws_deque.hpp",
@@ -79,11 +93,15 @@ ALLOW = {
         "src/obs/histogram.cpp",
     },
     "raw-clock": set(),
+    "simd-intrinsics-confined": set(),
 }
-# Directory prefixes where a rule does not apply.
+# Path prefixes where a rule does not apply.
 ALLOW_DIRS = {
     "raw-concurrency-type": ("src/par/",),
     "raw-clock": ("src/util/", "src/obs/"),
+    # The SIMD dispatch + sweep family: the only files built with -mavx*
+    # flags, so the only files where the intrinsics cannot SIGILL.
+    "simd-intrinsics-confined": ("src/pagerank/simd_",),
 }
 
 RELAXED_ORDER = re.compile(
@@ -101,6 +119,10 @@ RAW_CLOCK = re.compile(
     r"\b(steady_clock|system_clock|high_resolution_clock)\s*::\s*now\s*\("
 )
 RAW_SLEEP = re.compile(r"\b(sleep_for|sleep_until|wait_for|wait_until)\s*\(")
+SIMD_INTRINSIC = re.compile(
+    r"\b_mm\d*_\w+\s*\(|\b__m(?:128|256|512)[a-z]?\b|\b__mmask\d+\b|"
+    r"\b__builtin_cpu_supports\b"
+)
 # Files additionally exempt from the raw-clock rule's sleeping-primitive
 # half (but NOT from its ::now() half): the pool's park protocol uses a
 # bounded wait_for as its lost-wakeup backstop.
@@ -201,6 +223,19 @@ def lint_file(path, rel):
                         f"naked `{m.group(0).strip()}` outside "
                         "ws_deque.hpp; use std::unique_ptr / "
                         "std::make_unique",
+                    )
+                )
+        if not allowed("simd-intrinsics-confined", rel):
+            m = SIMD_INTRINSIC.search(code)
+            if m:
+                violations.append(
+                    (
+                        rel,
+                        lineno,
+                        "simd-intrinsics-confined",
+                        f"raw SIMD intrinsic `{m.group(0).strip()}` outside "
+                        "src/pagerank/simd_*; only those TUs carry the "
+                        "-mavx* flags and dispatch guards",
                     )
                 )
         if not allowed("raw-clock", rel):

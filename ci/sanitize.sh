@@ -57,9 +57,9 @@ run_tsan() {
   local dir="${BUILD_ROOT}/tsan"
   echo "=== [2/2] thread: configure + build ==="
   build_tree "${dir}" "thread"
-  echo "=== [2/2] thread: par + streaming + obs suites ==="
+  echo "=== [2/2] thread: par + streaming + obs + batch-compile suites ==="
   ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" \
-    -L '^(par_test|streaming_test|obs_test)$'
+    -L '^(par_test|streaming_test|obs_test|batch_csr_par_test)$'
 }
 
 case "${MODE}" in

@@ -29,12 +29,22 @@ int main(int argc, char** argv) {
   std::int64_t delta_days = 90;
   std::int64_t sw = 86'400;
   std::int64_t max_windows = 64;
+  std::int64_t max_lanes = 0;
+  std::string simd = "auto";
   std::string trace_path;
   std::string metrics_path;
   bool profile = false;
   std::int64_t profile_interval_ms = 10;
   Options opts("Run one execution model with telemetry enabled");
   opts.add("model", &model, "offline | streaming | postmortem");
+  opts.add("max-lanes", &max_lanes,
+           "postmortem SpMM lane width/cap, 1..512 (0 = suggested config's "
+           "width)");
+  opts.add("simd", &simd,
+           "auto | scalar | avx2 | avx512 — ISA for the compiled SpMM "
+           "sweeps; forced modes fail fast when unsupported. The resolved "
+           "ISA lands in the metrics JSON as \"simd_isa\" and the "
+           "simd_sweep_* counters record per-ISA sweep invocations");
   opts.add("dataset", &dataset,
            "surrogate name (see bench_table1_datasets for the list)");
   opts.add("scale", &scale, "surrogate dataset scale factor");
@@ -54,6 +64,14 @@ int main(int argc, char** argv) {
   if (!opts.parse(argc, argv)) return opts.saw_help() ? 0 : 1;
   if (model != "offline" && model != "streaming" && model != "postmortem") {
     std::fprintf(stderr, "unknown --model '%s'\n", model.c_str());
+    return 1;
+  }
+  if (max_lanes < 0 ||
+      max_lanes > static_cast<std::int64_t>(kMaxSpmmLanes)) {
+    // Fail fast rather than letting the runner clamp: a silently narrowed
+    // batch would make a mistyped width look like a perf regression.
+    std::fprintf(stderr, "--max-lanes %lld out of range [1, %zu]\n",
+                 static_cast<long long>(max_lanes), kMaxSpmmLanes);
     return 1;
   }
 
@@ -88,15 +106,25 @@ int main(int argc, char** argv) {
     sampler->start();
   }
 
+  const SimdMode simd_mode = parse_simd_mode(simd);
   ChecksumSink sink(windows.count);
   RunResult result;
   if (model == "offline") {
-    result = run_offline(events, windows, sink, OfflineOptions{});
+    OfflineOptions offline;
+    offline.simd = simd_mode;
+    result = run_offline(events, windows, sink, offline);
   } else if (model == "streaming") {
-    result = run_streaming(events, windows, sink, StreamingOptions{});
+    StreamingOptions streaming;
+    streaming.simd = simd_mode;
+    result = run_streaming(events, windows, sink, streaming);
   } else {
-    result = run_postmortem(events, windows, sink,
-                            suggest_config_for(events, windows));
+    PostmortemConfig config = suggest_config_for(events, windows);
+    config.simd = simd_mode;
+    if (max_lanes > 0) {
+      config.vector_length = static_cast<std::size_t>(max_lanes);
+      config.max_lanes = static_cast<std::size_t>(max_lanes);
+    }
+    result = run_postmortem(events, windows, sink, config);
   }
 
   std::printf("%-10s : build %7.3fs  compute %7.3fs  total %7.3fs  "
@@ -105,6 +133,15 @@ int main(int argc, char** argv) {
               result.total_seconds(),
               static_cast<unsigned long long>(result.total_iterations),
               static_cast<double>(result.peak_memory_bytes) / (1024 * 1024));
+  std::printf("simd       : %s (%llu scalar / %llu avx2 / %llu avx512 "
+              "sweeps)\n",
+              result.simd_isa.c_str(),
+              static_cast<unsigned long long>(
+                  result.counters[obs::Counter::kSimdSweepScalar]),
+              static_cast<unsigned long long>(
+                  result.counters[obs::Counter::kSimdSweepAvx2]),
+              static_cast<unsigned long long>(
+                  result.counters[obs::Counter::kSimdSweepAvx512]));
   if (sampler != nullptr) {
     sampler->stop();
     const obs::SamplerSummary sum = sampler->summary();

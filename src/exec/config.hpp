@@ -9,6 +9,8 @@
 #include "graph/multi_window.hpp"
 #include "graph/window.hpp"
 #include "pagerank/pagerank.hpp"
+#include "pagerank/simd_dispatch.hpp"
+#include "pagerank/window_state.hpp"
 #include "par/partitioner.hpp"
 
 namespace pmpr {
@@ -42,6 +44,15 @@ struct PostmortemConfig {
   PartitionPolicy partition_policy = PartitionPolicy::kUniformWindows;
   /// SpMM lanes ("vector length"; paper uses 8 or 16).
   std::size_t vector_length = 16;
+  /// Hard cap on SpMM lanes per batch, clamped to [1, kMaxSpmmLanes].
+  /// vector_length asks for a width; max_lanes bounds what any batch may
+  /// actually get (the pre-PR 6 kernels were hard-clamped at 64).
+  std::size_t max_lanes = kMaxSpmmLanes;
+  /// ISA override for the compiled SpMM sweeps (kAuto = best the CPU
+  /// supports; forced modes are for differential testing / perf triage and
+  /// throw InvariantError when unsupported). Resolved once per run and
+  /// recorded in RunResult::simd_isa.
+  SimdMode simd = SimdMode::kAuto;
   /// Use the batch-compiled adjacency kernels (precomputed lane masks, run
   /// compression, active-row compaction — pagerank/batch_csr.hpp) instead
   /// of the reference traversal that re-derives lane membership per edge

@@ -36,8 +36,9 @@ struct ThreadState {
   // state processed.
   std::vector<double> prev_x;
   std::vector<std::uint8_t> prev_active;      // SpMV
-  std::vector<std::uint64_t> prev_mask;       // SpMM
+  std::vector<std::uint64_t> prev_mask;       // SpMM, n * prev_words
   std::size_t prev_lanes = 0;                 // SpMM
+  std::size_t prev_words = 1;                 // SpMM mask words
   std::size_t carry_part = SIZE_MAX;
   std::size_t carry_index = SIZE_MAX;
 };
@@ -56,10 +57,15 @@ struct PartBatching {
   std::size_t num_batches = 0;
 };
 
-PartBatching batching_for(std::size_t num_windows, std::size_t vector_length) {
+PartBatching batching_for(std::size_t num_windows, std::size_t vector_length,
+                          std::size_t max_lanes) {
+  // The kernels handle up to kMaxSpmmLanes since the multi-word masks of
+  // PR 6; max_lanes is the config's own (tighter) cap.
+  const std::size_t cap =
+      std::min(std::max<std::size_t>(max_lanes, 1), kMaxSpmmLanes);
   PartBatching b;
   b.lanes_max = std::min(std::max<std::size_t>(vector_length, 1),
-                         std::min<std::size_t>(num_windows, 64));
+                         std::min<std::size_t>(num_windows, cap));
   b.region = (num_windows + b.lanes_max - 1) / b.lanes_max;
   b.num_batches = b.region;
   return b;
@@ -72,17 +78,23 @@ std::size_t lanes_of_batch(const PartBatching& b, std::size_t num_windows,
   return (num_windows - j - 1) / b.region + 1;
 }
 
-/// Eq. 4 for one SpMM lane over lane-interleaved storage.
+/// Eq. 4 for one SpMM lane over lane-interleaved storage. Masks are
+/// multi-word: prev_mask is n * prev_words, cur_mask n * cur_words.
 void spmm_partial_init_lane(std::span<const double> prev_x,
-                            std::size_t prev_lanes, std::size_t kp,
+                            std::size_t prev_lanes, std::size_t prev_words,
+                            std::size_t kp,
                             std::span<const std::uint64_t> prev_mask,
                             std::span<double> cur_x, std::size_t cur_lanes,
-                            std::size_t k,
+                            std::size_t cur_words, std::size_t k,
                             std::span<const std::uint64_t> cur_mask,
                             std::size_t cur_num_active) {
-  const std::size_t n = cur_mask.size();
-  const std::uint64_t pb = 1ULL << kp;
-  const std::uint64_t cb = 1ULL << k;
+  const std::size_t n = cur_mask.size() / cur_words;
+  const auto prev_has = [&](std::size_t v) {
+    return mask_test(prev_mask.data() + v * prev_words, kp);
+  };
+  const auto cur_has = [&](std::size_t v) {
+    return mask_test(cur_mask.data() + v * cur_words, k);
+  };
   if (cur_num_active == 0) {
     for (std::size_t v = 0; v < n; ++v) cur_x[v * cur_lanes + k] = 0.0;
     return;
@@ -90,7 +102,7 @@ void spmm_partial_init_lane(std::span<const double> prev_x,
   std::size_t shared = 0;
   double mass = 0.0;
   for (std::size_t v = 0; v < n; ++v) {
-    if ((prev_mask[v] & pb) != 0 && (cur_mask[v] & cb) != 0) {
+    if (prev_has(v) && cur_has(v)) {
       ++shared;
       mass += prev_x[v * prev_lanes + kp];
     }
@@ -98,7 +110,7 @@ void spmm_partial_init_lane(std::span<const double> prev_x,
   const double uniform = 1.0 / static_cast<double>(cur_num_active);
   if (shared == 0 || mass <= 0.0) {
     for (std::size_t v = 0; v < n; ++v) {
-      cur_x[v * cur_lanes + k] = (cur_mask[v] & cb) != 0 ? uniform : 0.0;
+      cur_x[v * cur_lanes + k] = cur_has(v) ? uniform : 0.0;
     }
     obs::count(obs::Counter::kVerticesReseeded, cur_num_active);
     return;
@@ -109,9 +121,9 @@ void spmm_partial_init_lane(std::span<const double> prev_x,
       (static_cast<double>(shared) / static_cast<double>(cur_num_active)) /
       mass;
   for (std::size_t v = 0; v < n; ++v) {
-    if ((cur_mask[v] & cb) == 0) {
+    if (!cur_has(v)) {
       cur_x[v * cur_lanes + k] = 0.0;
-    } else if ((prev_mask[v] & pb) != 0) {
+    } else if (prev_has(v)) {
       cur_x[v * cur_lanes + k] = prev_x[v * prev_lanes + kp] * scale;
     } else {
       cur_x[v * cur_lanes + k] = uniform;
@@ -136,7 +148,9 @@ class PostmortemDriver {
       const std::size_t count =
           cfg.kernel == KernelKind::kSpmv
               ? part.num_windows
-              : batching_for(part.num_windows, cfg.vector_length).num_batches;
+              : batching_for(part.num_windows, cfg.vector_length,
+                             cfg.max_lanes)
+                    .num_batches;
       for (std::size_t i = 0; i < count; ++i) items_.push_back({p, i});
     }
 
@@ -264,7 +278,7 @@ class PostmortemDriver {
   void process_spmm(ThreadState& st, const WorkItem& item) {
     const MultiWindowGraph& part = set_.part(item.part);
     const PartBatching geo =
-        batching_for(part.num_windows, cfg_.vector_length);
+        batching_for(part.num_windows, cfg_.vector_length, cfg_.max_lanes);
     const std::size_t j = item.index;
     const std::size_t lanes = lanes_of_batch(geo, part.num_windows, j);
     assert(lanes >= 1);
@@ -296,21 +310,22 @@ class PostmortemDriver {
     {
       PMPR_TRACE_SPAN("batch.init");
       obs::PhaseTimer timing(obs::Phase::kInit);
+      const std::size_t words = st.spmm_ws.mask_words;
       for (std::size_t k = 0; k < lanes; ++k) {
         if (partial) {
           // Lane k's window is the successor of the previous batch's lane k.
-          spmm_partial_init_lane(st.prev_x, st.prev_lanes, k, st.prev_mask,
-                                 st.x, lanes, k, st.spmm_ws.active_mask,
+          spmm_partial_init_lane(st.prev_x, st.prev_lanes, st.prev_words, k,
+                                 st.prev_mask, st.x, lanes, words, k,
+                                 st.spmm_ws.active_mask,
                                  st.spmm_ws.num_active[k]);
         } else {
           const double uniform =
               st.spmm_ws.num_active[k] > 0
                   ? 1.0 / static_cast<double>(st.spmm_ws.num_active[k])
                   : 0.0;
-          const std::uint64_t bit = 1ULL << k;
           for (std::size_t v = 0; v < n; ++v) {
             st.x[v * lanes + k] =
-                (st.spmm_ws.active_mask[v] & bit) != 0 ? uniform : 0.0;
+                mask_test(st.spmm_ws.mask_of(v), k) ? uniform : 0.0;
           }
           obs::count(obs::Counter::kVerticesReseeded,
                      st.spmm_ws.num_active[k]);
@@ -324,7 +339,8 @@ class PostmortemDriver {
       obs::PhaseTimer timing(obs::Phase::kIterate);
       stats = cfg_.compiled_kernels
                   ? pagerank_spmm(st.spmm_ws, st.compiled_batch, st.x,
-                                  st.scratch, cfg_.pr, kernel_par_)
+                                  st.scratch, cfg_.pr, kernel_par_,
+                                  cfg_.simd)
                   : pagerank_spmm(part, set_.spec(), batch, st.spmm_ws, st.x,
                                   st.scratch, cfg_.pr, kernel_par_);
     }
@@ -347,6 +363,7 @@ class PostmortemDriver {
     st.prev_x.swap(st.x);
     st.prev_mask = st.spmm_ws.active_mask;  // copy; spmm_ws reused next item
     st.prev_lanes = lanes;
+    st.prev_words = st.spmm_ws.mask_words;
     st.carry_part = item.part;
     st.carry_index = j;
   }
@@ -368,6 +385,9 @@ RunResult run_postmortem_prebuilt(const MultiWindowSet& set, ResultSink& sink,
                                   const PostmortemConfig& config) {
   if (config.validate) set.validate();
   RunResult result;
+  // Resolve up front: a forced-but-unsupported simd mode fails the run
+  // here, before any work, instead of deep inside the first batch.
+  result.simd_isa = std::string(to_string(resolve_simd(config.simd)));
   const obs::CounterSnapshot before = obs::counters_snapshot();
   const obs::HistogramSnapshot hist_before = obs::histograms_snapshot();
   Timer timer;

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <mutex>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "graph/types.hpp"
@@ -43,6 +44,12 @@ struct RunResult {
   /// Estimated peak resident bytes of the run's representation + working
   /// sets (model-specific estimate, not a measurement).
   std::size_t peak_memory_bytes = 0;
+  /// Resolved SIMD ISA of the run's options ("scalar" / "avx2" / "avx512").
+  /// Compiled SpMM sweeps executed on this ISA; the per-ISA simd_sweep_*
+  /// counters record how many. Set by all three runners (the SpMV-shaped
+  /// offline/streaming kernels record what dispatch resolved even though
+  /// they do not run the wide sweeps).
+  std::string simd_isa;
 
   [[nodiscard]] double total_seconds() const {
     return build_seconds + compute_seconds;

@@ -2,27 +2,31 @@
 
 #include <algorithm>
 
+#include "util/bits.hpp"
+
 namespace pmpr {
 
 namespace {
 
 /// Working vectors per execution context for a part with `vertices` locals:
 /// x + scratch + prev_x (3 doubles) per lane, degrees (u32) per lane,
-/// activity mask (u64), plus the batch-compiled adjacency
-/// (pagerank/batch_csr.hpp): row pointers, run-compressed neighbor + lane
-/// mask entries (bounded by the part's stored events — run compression and
-/// mask-0 dropping only shrink it), and the compacted active/dangling
-/// lists.
+/// activity mask (mask_words_for(lanes) u64 words), plus the batch-compiled
+/// adjacency (pagerank/batch_csr.hpp): row pointers, run-compressed
+/// neighbor + multi-word lane mask entries (bounded by the part's stored
+/// events — run compression and mask-0 dropping only shrink it), and the
+/// compacted active/dangling lists (dangling masks are also words-wide).
 std::size_t working_bytes(std::size_t vertices, std::size_t events,
                           std::size_t vector_length) {
   const std::size_t lanes = std::max<std::size_t>(1, vector_length);
+  const std::size_t words = mask_words_for(lanes);
+  const std::size_t mask_bytes = words * sizeof(std::uint64_t);
   const std::size_t vectors =
       vertices * (3 * sizeof(double) * lanes +
-                  sizeof(std::uint32_t) * lanes + sizeof(std::uint64_t));
+                  sizeof(std::uint32_t) * lanes + mask_bytes);
   const std::size_t compiled =
-      (vertices + 1) * sizeof(std::size_t)                      // row_ptr
-      + events * (sizeof(VertexId) + sizeof(std::uint64_t))     // nbr + mask
-      + vertices * (2 * sizeof(VertexId) + sizeof(std::uint64_t));  // lists
+      (vertices + 1) * sizeof(std::size_t)               // row_ptr
+      + events * (sizeof(VertexId) + mask_bytes)         // nbr + mask
+      + vertices * (2 * sizeof(VertexId) + mask_bytes);  // lists
   return vectors + compiled;
 }
 

@@ -12,6 +12,7 @@ constexpr std::array<std::string_view, kNumCounters> kCounterNames = {
     "edges_traversed",   "dangling_scanned", "lanes_converged",
     "iterations",        "vertices_reused",  "vertices_reseeded",
     "windows_processed", "sampler_ticks",    "histogram_records",
+    "simd_sweep_scalar", "simd_sweep_avx2",  "simd_sweep_avx512",
 };
 
 /// One padded block per registered thread. kNumCounters * 8 bytes rounded

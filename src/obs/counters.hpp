@@ -49,8 +49,15 @@ enum class Counter : std::size_t {
   // Profiling layer (obs/).
   kSamplerTicks,       ///< Scheduler snapshots taken by obs::Sampler.
   kHistogramRecords,   ///< Durations recorded into the latency histograms.
+  // SIMD dispatch (pagerank/simd_*): which compiled-sweep ISA ran. One
+  // count per sweep invocation (i.e. per power iteration of a compiled
+  // SpMM batch), so the three split kIterations of compiled batches by
+  // instruction set.
+  kSimdSweepScalar,    ///< Compiled sweeps run on the scalar kernel.
+  kSimdSweepAvx2,      ///< Compiled sweeps run on the AVX2 kernel.
+  kSimdSweepAvx512,    ///< Compiled sweeps run on the AVX-512 kernel.
 };
-inline constexpr std::size_t kNumCounters = 15;
+inline constexpr std::size_t kNumCounters = 18;
 
 /// Human-readable snake_case name (stable; used as JSON keys).
 [[nodiscard]] std::string_view to_string(Counter c);

@@ -1,43 +1,58 @@
 #include "pagerank/batch_csr.hpp"
 
+#include <array>
 #include <atomic>
 #include <cassert>
+
+#include "util/check.hpp"
 
 namespace pmpr {
 
 namespace {
 
+using RunMask = std::array<std::uint64_t, mask_words_for(kMaxSpmmLanes)>;
+
 /// Pass A of the SpMM compile: per-row run compression that counts the
 /// surviving (mask != 0) runs into row_ptr[v + 1] and scatters degrees and
-/// activity exactly like compute_spmm_state. `Atomic` selects
-/// std::atomic_ref for the cross-row scatter targets; row_ptr[v + 1] is
-/// owned by the row and needs none.
+/// activity exactly like compute_spmm_state.
+///
+/// Atomicity ownership (audited for the serial/parallel split; the
+/// TSan-gated stress in tests/pagerank/batch_csr_parallel_test.cpp guards
+/// it):
+///   * row_ptr[v + 1] — written only by the thread sweeping row v, in both
+///     paths. Never atomic.
+///   * state.out_degree[u * lanes + k] and state.active_mask[u ...] —
+///     cross-row scatter targets: row v bumps arbitrary u's slots. The
+///     parallel path (Atomic = true) must use std::atomic_ref for *every*
+///     one of these; the serial path (Atomic = false) owns the whole array
+///     on one thread and uses plain increments — the two `if constexpr`
+///     arms below are the same write routed per path, not a mixed mode.
+///   * state.active_mask[v ...] (the row's own activity) is also a shared
+///     slot: other rows scatter into v as a neighbor, so the parallel path
+///     ORs it atomically too.
 template <bool Atomic>
 void count_and_scatter_rows(const MultiWindowGraph& part,
                             const WindowSpec& spec, const SpmmBatch& batch,
                             SpmmWindowState& state, CompiledBatchCsr& out,
                             std::size_t lo, std::size_t hi) {
   const std::size_t lanes = batch.lanes;
+  const std::size_t words = state.mask_words;
   for (std::size_t v = lo; v < hi; ++v) {
     const auto cols = part.in.row_cols(static_cast<VertexId>(v));
     const auto times = part.in.row_times(static_cast<VertexId>(v));
-    std::uint64_t v_mask = 0;
+    RunMask v_mask{};
     std::size_t entries = 0;
     std::size_t i = 0;
     while (i < cols.size()) {
       const VertexId u = cols[i];
-      std::uint64_t run_mask = 0;
+      RunMask run_mask{};
       while (i < cols.size() && cols[i] == u) {
-        run_mask |= lanes_containing(spec, batch, times[i]);
+        lanes_containing_into(spec, batch, times[i], run_mask.data());
         ++i;
       }
-      if (run_mask == 0) continue;
+      if (!mask_any(run_mask.data(), words)) continue;
       ++entries;
-      v_mask |= run_mask;
-      std::uint64_t m = run_mask;
-      while (m != 0) {
-        const auto k = static_cast<unsigned>(__builtin_ctzll(m));
-        m &= m - 1;
+      for_each_set_lane(run_mask.data(), words, [&](std::size_t k) {
         if constexpr (Atomic) {
           std::atomic_ref<std::uint32_t> deg(state.out_degree[u * lanes + k]);
           // relaxed: pure commutative count; published by the join.
@@ -45,22 +60,28 @@ void count_and_scatter_rows(const MultiWindowGraph& part,
         } else {
           ++state.out_degree[u * lanes + k];
         }
-      }
-      if constexpr (Atomic) {
-        std::atomic_ref<std::uint64_t> am(state.active_mask[u]);
-        // relaxed: commutative bit-set; published by the join.
-        am.fetch_or(run_mask, std::memory_order_relaxed);
-      } else {
-        state.active_mask[u] |= run_mask;
+      });
+      for (std::size_t w = 0; w < words; ++w) {
+        v_mask[w] |= run_mask[w];
+        if (run_mask[w] == 0) continue;
+        if constexpr (Atomic) {
+          std::atomic_ref<std::uint64_t> am(
+              state.active_mask[u * words + w]);
+          // relaxed: commutative bit-set; published by the join.
+          am.fetch_or(run_mask[w], std::memory_order_relaxed);
+        } else {
+          state.active_mask[u * words + w] |= run_mask[w];
+        }
       }
     }
-    if (v_mask != 0) {
+    for (std::size_t w = 0; w < words; ++w) {
+      if (v_mask[w] == 0) continue;
       if constexpr (Atomic) {
-        std::atomic_ref<std::uint64_t> am(state.active_mask[v]);
+        std::atomic_ref<std::uint64_t> am(state.active_mask[v * words + w]);
         // relaxed: commutative bit-set; published by the join.
-        am.fetch_or(v_mask, std::memory_order_relaxed);
+        am.fetch_or(v_mask[w], std::memory_order_relaxed);
       } else {
-        state.active_mask[v] |= v_mask;
+        state.active_mask[v * words + w] |= v_mask[w];
       }
     }
     out.row_ptr[v + 1] = entries;
@@ -68,10 +89,12 @@ void count_and_scatter_rows(const MultiWindowGraph& part,
 }
 
 /// Pass B: re-runs the (row-local) run scan and fills nbr/mask at the
-/// prefix-summed offsets. No cross-row writes, so no atomics.
+/// prefix-summed offsets. No cross-row writes, so no atomics in either
+/// path.
 void fill_rows(const MultiWindowGraph& part, const WindowSpec& spec,
                const SpmmBatch& batch, CompiledBatchCsr& out, std::size_t lo,
                std::size_t hi) {
+  const std::size_t words = out.mask_words;
   for (std::size_t v = lo; v < hi; ++v) {
     const auto cols = part.in.row_cols(static_cast<VertexId>(v));
     const auto times = part.in.row_times(static_cast<VertexId>(v));
@@ -79,14 +102,16 @@ void fill_rows(const MultiWindowGraph& part, const WindowSpec& spec,
     std::size_t i = 0;
     while (i < cols.size()) {
       const VertexId u = cols[i];
-      std::uint64_t run_mask = 0;
+      RunMask run_mask{};
       while (i < cols.size() && cols[i] == u) {
-        run_mask |= lanes_containing(spec, batch, times[i]);
+        lanes_containing_into(spec, batch, times[i], run_mask.data());
         ++i;
       }
-      if (run_mask == 0) continue;
+      if (!mask_any(run_mask.data(), words)) continue;
       out.nbr[at] = u;
-      out.mask[at] = run_mask;
+      for (std::size_t w = 0; w < words; ++w) {
+        out.mask[at * words + w] = run_mask[w];
+      }
       ++at;
     }
     assert(at == out.row_ptr[v + 1]);
@@ -99,10 +124,16 @@ void compile_spmm_batch(const MultiWindowGraph& part, const WindowSpec& spec,
                         const SpmmBatch& batch, SpmmWindowState& state,
                         CompiledBatchCsr& out,
                         const par::ForOptions* parallel) {
-  assert(batch.lanes >= 1 && batch.lanes <= 64);
+  // Release-mode check (was a debug assert): with -DNDEBUG an oversized
+  // batch would silently shift lane bits out of the mask words — UB plus a
+  // corrupt compiled form.
+  PMPR_CHECK_MSG(batch.lanes >= 1 && batch.lanes <= kMaxSpmmLanes,
+                 "SpMM batch lanes " << batch.lanes << " outside [1, "
+                                     << kMaxSpmmLanes << "]");
   const std::size_t n = part.num_local();
   state.resize(n, batch.lanes);
   out.lanes = batch.lanes;
+  out.mask_words = state.mask_words;
   out.row_ptr.assign(n + 1, 0);
   out.active_rows.clear();
   out.dangling_rows.clear();
@@ -124,7 +155,7 @@ void compile_spmm_batch(const MultiWindowGraph& part, const WindowSpec& spec,
     out.row_ptr[v + 1] = total += cnt;
   }
   out.nbr.resize(total);
-  out.mask.resize(total);
+  out.mask.resize(total * out.mask_words);
 
   if (parallel != nullptr) {
     par::parallel_for_range(0, n, *parallel,
@@ -137,20 +168,25 @@ void compile_spmm_batch(const MultiWindowGraph& part, const WindowSpec& spec,
 
   // Compaction lists + per-lane population (needs the complete degrees).
   const std::size_t lanes = batch.lanes;
+  const std::size_t words = out.mask_words;
   for (std::size_t v = 0; v < n; ++v) {
-    std::uint64_t m = state.active_mask[v];
-    if (m == 0) continue;
+    const std::uint64_t* m = state.mask_of(v);
+    if (!mask_any(m, words)) continue;
     out.active_rows.push_back(static_cast<VertexId>(v));
-    std::uint64_t dangling = 0;
-    while (m != 0) {
-      const auto k = static_cast<unsigned>(__builtin_ctzll(m));
-      m &= m - 1;
+    RunMask dangling{};
+    bool any_dangling = false;
+    for_each_set_lane(m, words, [&](std::size_t k) {
       ++state.num_active[k];
-      if (state.out_degree[v * lanes + k] == 0) dangling |= 1ULL << k;
-    }
-    if (dangling != 0) {
+      if (state.out_degree[v * lanes + k] == 0) {
+        mask_set(dangling.data(), k);
+        any_dangling = true;
+      }
+    });
+    if (any_dangling) {
       out.dangling_rows.push_back(static_cast<VertexId>(v));
-      out.dangling_mask.push_back(dangling);
+      for (std::size_t w = 0; w < words; ++w) {
+        out.dangling_mask.push_back(dangling[w]);
+      }
     }
   }
 }

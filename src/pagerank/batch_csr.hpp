@@ -9,19 +9,21 @@
 // so it is hoisted into a one-time per-batch build:
 //
 //   * run compression: per row, only the *distinct* in-neighbors, each
-//     with a precomputed uint64_t lane mask (runs whose mask is 0 are
-//     dropped entirely), in a flat SoA layout (nbr[] / mask[]);
+//     with a precomputed multi-word lane mask (runs whose mask is all-zero
+//     are dropped entirely), in a flat SoA layout (nbr[] / mask[]);
 //   * active-row compaction: sweeps iterate active_rows — rows active in
 //     at least one lane — instead of all n rows;
 //   * dangling compaction: the per-iteration dangling-mass scan reads the
 //     dangling_rows / dangling_mask lists (vertices dangling in at least
 //     one lane) instead of rescanning the n-by-lanes degree matrix.
 //
-// The SpMM inner loop then becomes: load u, load mask, AND live_mask,
-// fused multiply-add per set bit — no timestamp arithmetic. The compiled
-// kernels execute the exact floating-point operations of the reference
-// kernels in the same order, so results, residuals, and iteration counts
-// are bit-identical (tests/pagerank/compiled_kernels_test.cpp).
+// The SpMM inner loop then becomes: load u, load mask words, AND the live
+// mask, fused multiply-add per set bit — no timestamp arithmetic. The
+// compiled kernels (scalar and the AVX2/AVX-512 sweeps of
+// simd_sweep_*.cpp) execute the exact floating-point operations of the
+// reference kernels with the same per-lane order, so results, residuals,
+// and iteration counts are bit-identical when run serially
+// (tests/pagerank/compiled_kernels_test.cpp).
 #pragma once
 
 #include <cstddef>
@@ -38,22 +40,29 @@ namespace pmpr {
 /// Compiled form of one SpMM batch over a part's local vertex space.
 struct CompiledBatchCsr {
   std::size_t lanes = 0;
+  /// Words per lane mask: mask_words_for(lanes) ∈ {1, 2, 4, 8}. Every mask
+  /// in this struct (entry masks, dangling masks) is this many words.
+  std::size_t mask_words = 1;
 
-  /// n + 1 offsets into nbr/mask. A row holds the distinct in-neighbors
-  /// (ascending, inherited from the temporal CSR's row order) whose run
-  /// intersects at least one lane's window.
+  /// n + 1 offsets into nbr (and, scaled by mask_words, into mask). A row
+  /// holds the distinct in-neighbors (ascending, inherited from the
+  /// temporal CSR's row order) whose run intersects at least one lane's
+  /// window.
   std::vector<std::size_t> row_ptr;
   std::vector<VertexId> nbr;
-  std::vector<std::uint64_t> mask;  ///< Parallel to nbr; never 0.
+  /// mask_words words per nbr entry (entry i owns
+  /// mask[i*mask_words .. (i+1)*mask_words)); never all-zero.
+  std::vector<std::uint64_t> mask;
 
-  /// Rows v with active_mask[v] != 0, ascending. Sweeps visit only these.
+  /// Rows v active in at least one lane, ascending. Sweeps visit only
+  /// these.
   std::vector<VertexId> active_rows;
 
   /// Rows dangling (active with out-degree 0) in at least one lane,
-  /// ascending, with the bitmask of those lanes. The per-iteration
-  /// dangling-mass scan reads only these.
+  /// ascending, with the multi-word mask of those lanes (mask_words words
+  /// per row).
   std::vector<VertexId> dangling_rows;
-  std::vector<std::uint64_t> dangling_mask;  ///< Parallel to dangling_rows.
+  std::vector<std::uint64_t> dangling_mask;
 
   [[nodiscard]] std::size_t num_rows() const {
     return row_ptr.empty() ? 0 : row_ptr.size() - 1;
@@ -61,8 +70,15 @@ struct CompiledBatchCsr {
   [[nodiscard]] std::span<const VertexId> row_nbr(VertexId v) const {
     return {nbr.data() + row_ptr[v], nbr.data() + row_ptr[v + 1]};
   }
+  /// All mask words of row v: (row_ptr[v+1] - row_ptr[v]) * mask_words
+  /// values, mask_words per entry.
   [[nodiscard]] std::span<const std::uint64_t> row_mask(VertexId v) const {
-    return {mask.data() + row_ptr[v], mask.data() + row_ptr[v + 1]};
+    return {mask.data() + row_ptr[v] * mask_words,
+            mask.data() + row_ptr[v + 1] * mask_words};
+  }
+  /// Mask words of global entry i (an index into nbr).
+  [[nodiscard]] const std::uint64_t* entry_mask(std::size_t i) const {
+    return mask.data() + i * mask_words;
   }
 
   /// Bytes held by the compiled form (reported through memory_budget so
@@ -82,7 +98,8 @@ struct CompiledBatchCsr {
 /// lanes_containing logic) and simultaneously emits the compiled
 /// adjacency. `state` after the call is identical to what
 /// compute_spmm_state produces. Non-null `parallel` runs the row passes
-/// as parallel_fors.
+/// as parallel_fors. Throws InvariantError when batch.lanes is outside
+/// [1, kMaxSpmmLanes].
 void compile_spmm_batch(const MultiWindowGraph& part, const WindowSpec& spec,
                         const SpmmBatch& batch, SpmmWindowState& state,
                         CompiledBatchCsr& out,

@@ -1,0 +1,129 @@
+#include "pagerank/simd_dispatch.hpp"
+
+#include "util/check.hpp"
+
+namespace pmpr {
+
+namespace {
+
+bool cpu_has_avx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0 &&
+         __builtin_cpu_supports("fma") != 0;
+#else
+  return false;
+#endif
+}
+
+bool cpu_has_avx512() {
+#if defined(__x86_64__) || defined(__i386__)
+  // The sweep uses 512-bit FP plus 256-bit masked integer loads, so it
+  // needs F (foundation), DQ (doubleword/quadword ops), VL (128/256-bit
+  // forms of the EVEX instructions) and BW — the common server baseline
+  // since Skylake-SP.
+  return __builtin_cpu_supports("avx512f") != 0 &&
+         __builtin_cpu_supports("avx512dq") != 0 &&
+         __builtin_cpu_supports("avx512vl") != 0 &&
+         __builtin_cpu_supports("avx512bw") != 0;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+std::string_view to_string(SimdIsa isa) {
+  switch (isa) {
+    case SimdIsa::kScalar:
+      return "scalar";
+    case SimdIsa::kAvx2:
+      return "avx2";
+    case SimdIsa::kAvx512:
+      return "avx512";
+  }
+  return "scalar";
+}
+
+std::string_view to_string(SimdMode mode) {
+  switch (mode) {
+    case SimdMode::kAuto:
+      return "auto";
+    case SimdMode::kScalar:
+      return "scalar";
+    case SimdMode::kAvx2:
+      return "avx2";
+    case SimdMode::kAvx512:
+      return "avx512";
+  }
+  return "auto";
+}
+
+SimdMode parse_simd_mode(std::string_view text) {
+  if (text == "auto") return SimdMode::kAuto;
+  if (text == "scalar") return SimdMode::kScalar;
+  if (text == "avx2") return SimdMode::kAvx2;
+  if (text == "avx512") return SimdMode::kAvx512;
+  PMPR_CHECK_MSG(false, "unknown simd mode '"
+                            << std::string(text)
+                            << "' (want auto|scalar|avx2|avx512)");
+  return SimdMode::kAuto;  // unreachable
+}
+
+bool simd_isa_built(SimdIsa isa) {
+  switch (isa) {
+    case SimdIsa::kScalar:
+      return true;
+    case SimdIsa::kAvx2:
+#if defined(PMPR_HAVE_AVX2_SWEEP)
+      return true;
+#else
+      return false;
+#endif
+    case SimdIsa::kAvx512:
+#if defined(PMPR_HAVE_AVX512_SWEEP)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+bool simd_isa_supported(SimdIsa isa) {
+  switch (isa) {
+    case SimdIsa::kScalar:
+      return true;
+    case SimdIsa::kAvx2:
+      return simd_isa_built(isa) && cpu_has_avx2();
+    case SimdIsa::kAvx512:
+      return simd_isa_built(isa) && cpu_has_avx512();
+  }
+  return false;
+}
+
+SimdIsa detect_simd_isa() {
+  // The probes are cheap but the cached value keeps resolve_simd callable
+  // from per-batch hot paths without thought.
+  static const SimdIsa best = [] {
+    if (simd_isa_supported(SimdIsa::kAvx512)) return SimdIsa::kAvx512;
+    if (simd_isa_supported(SimdIsa::kAvx2)) return SimdIsa::kAvx2;
+    return SimdIsa::kScalar;
+  }();
+  return best;
+}
+
+SimdIsa resolve_simd(SimdMode mode) {
+  if (mode == SimdMode::kAuto) return detect_simd_isa();
+  const SimdIsa isa = mode == SimdMode::kScalar  ? SimdIsa::kScalar
+                      : mode == SimdMode::kAvx2 ? SimdIsa::kAvx2
+                                                 : SimdIsa::kAvx512;
+  PMPR_CHECK_MSG(simd_isa_supported(isa),
+                 "simd mode '" << to_string(mode)
+                               << "' forced but this "
+                               << (simd_isa_built(isa) ? "host's CPU"
+                                                       : "binary")
+                               << " does not support it");
+  return isa;
+}
+
+}  // namespace pmpr

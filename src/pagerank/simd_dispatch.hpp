@@ -1,0 +1,47 @@
+// Runtime ISA dispatch for the compiled SpMM sweep kernels.
+//
+// Three implementations of the inner sweep exist: a scalar ctz-loop
+// fallback (always built), an AVX2+FMA kernel, and an AVX-512 kernel. The
+// wide kernels are compiled in their own translation units with the
+// matching -m flags (see src/CMakeLists.txt) and are only ever *called*
+// after the CPU reported support here, so the rest of the library keeps
+// the project's baseline architecture flags.
+//
+// All CPUID probing (__builtin_cpu_supports) lives in simd_dispatch.cpp —
+// the pmpr-lint rule `simd-intrinsics-confined` keeps it and the raw
+// intrinsics out of the rest of the tree.
+#pragma once
+
+#include <string_view>
+
+namespace pmpr {
+
+/// A concrete sweep implementation.
+enum class SimdIsa { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+/// User-facing selection: kAuto picks the best supported ISA; the forced
+/// modes are for differential testing and perf triage.
+enum class SimdMode { kAuto, kScalar, kAvx2, kAvx512 };
+
+[[nodiscard]] std::string_view to_string(SimdIsa isa);
+[[nodiscard]] std::string_view to_string(SimdMode mode);
+
+/// Parses "auto" / "scalar" / "avx2" / "avx512". Throws InvariantError on
+/// anything else (CLI validation).
+[[nodiscard]] SimdMode parse_simd_mode(std::string_view text);
+
+/// Whether the kernels for `isa` were compiled into this binary (CMake
+/// drops the wide TUs when the compiler can't target them).
+[[nodiscard]] bool simd_isa_built(SimdIsa isa);
+
+/// Built *and* supported by the CPU we are running on.
+[[nodiscard]] bool simd_isa_supported(SimdIsa isa);
+
+/// Best supported ISA of this host (cached after the first probe).
+[[nodiscard]] SimdIsa detect_simd_isa();
+
+/// Maps a mode to the ISA to run: kAuto detects; a forced mode throws
+/// InvariantError when that ISA is not built or not supported here.
+[[nodiscard]] SimdIsa resolve_simd(SimdMode mode);
+
+}  // namespace pmpr

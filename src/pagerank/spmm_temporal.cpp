@@ -7,125 +7,88 @@
 #include <utility>
 
 #include "obs/counters.hpp"
+#include "pagerank/simd_sweep.hpp"
+#include "util/check.hpp"
 
 namespace pmpr {
 
 namespace {
 
-constexpr std::size_t kMaxLanes = 64;
-using LaneDoubles = std::array<double, kMaxLanes>;
+constexpr std::size_t kMaxMaskWords = mask_words_for(kMaxSpmmLanes);
 
-LaneDoubles add_lanes(LaneDoubles a, const LaneDoubles& b,
-                      std::size_t lanes) {
-  for (std::size_t k = 0; k < lanes; ++k) a[k] += b[k];
+/// Stack-sized multi-word mask; only the first mask_words are used.
+using LiveMask = std::array<std::uint64_t, kMaxMaskWords>;
+
+/// Per-lane double accumulators, sized `lanes` at runtime (lane counts up
+/// to kMaxSpmmLanes made the old fixed std::array<double, 64> untenable).
+using LaneVec = std::vector<double>;
+
+LaneVec add_lanes(LaneVec a, const LaneVec& b) {
+  for (std::size_t k = 0; k < a.size(); ++k) a[k] += b[k];
   return a;
 }
 
-/// One shared sweep over rows [lo, hi) advancing all lanes in `live_mask`.
-/// Accumulates the per-lane L1 change into `diff`.
+/// One shared sweep over rows [lo, hi) advancing all lanes live in
+/// `live_mask` (mask_words words). Accumulates the per-lane L1 change into
+/// `diff`. This is the reference kernel the compiled sweeps must match
+/// bit-for-bit when run serially; like them it uses an explicit fused
+/// multiply-add per contribution.
 void sweep_rows(const MultiWindowGraph& part, const WindowSpec& spec,
                 const SpmmBatch& batch, const SpmmWindowState& state,
                 std::span<const double> x, std::span<double> x_next,
-                const LaneDoubles& base, double one_minus_alpha,
-                std::uint64_t live_mask, LaneDoubles& diff, std::size_t lo,
+                const LaneVec& base, double one_minus_alpha,
+                const std::uint64_t* live_mask, LaneVec& diff, std::size_t lo,
                 std::size_t hi) {
   const std::size_t lanes = batch.lanes;
-  LaneDoubles acc;
+  const std::size_t words = state.mask_words;
+  LiveMask acc_scratch{};  // per-run lane mask, reused across runs
+  std::vector<double> acc(lanes);
   std::uint64_t edges = 0;  // flushed once per chunk, not per edge
   for (std::size_t v = lo; v < hi; ++v) {
-    const std::uint64_t v_active = state.active_mask[v];
-    const std::uint64_t v_update = v_active & live_mask;
+    const std::uint64_t* v_active = state.mask_of(v);
+    std::uint64_t any_update = 0;
+    for (std::size_t w = 0; w < words; ++w) {
+      any_update |= v_active[w] & live_mask[w];
+    }
     // Frozen (converged) and inactive lanes keep their current value so the
     // buffers can be swapped; accumulate only for live active lanes.
     for (std::size_t k = 0; k < lanes; ++k) {
       acc[k] = base[k];
     }
 
-    if (v_update != 0) {
+    if (any_update != 0) {
       const auto cols = part.in.row_cols(static_cast<VertexId>(v));
       const auto times = part.in.row_times(static_cast<VertexId>(v));
       edges += cols.size();
       std::size_t i = 0;
       while (i < cols.size()) {
         const VertexId u = cols[i];
-        std::uint64_t run_mask = 0;
+        LiveMask& run_mask = acc_scratch;
+        run_mask.fill(0);
         while (i < cols.size() && cols[i] == u) {
-          run_mask |= lanes_containing(spec, batch, times[i]);
+          lanes_containing_into(spec, batch, times[i], run_mask.data());
           ++i;
         }
-        std::uint64_t m = run_mask & v_update;
-        while (m != 0) {
-          const auto k = static_cast<std::size_t>(__builtin_ctzll(m));
-          m &= m - 1;
-          acc[k] += one_minus_alpha *
-                    (x[u * lanes + k] /
-                     static_cast<double>(state.out_degree[u * lanes + k]));
+        for (std::size_t w = 0; w < words; ++w) {
+          std::uint64_t m = run_mask[w] & v_active[w] & live_mask[w];
+          while (m != 0) {
+            const std::size_t k = w * kLanesPerMaskWord + ctz64(m);
+            m &= m - 1;
+            acc[k] = std::fma(
+                one_minus_alpha,
+                x[u * lanes + k] /
+                    static_cast<double>(state.out_degree[u * lanes + k]),
+                acc[k]);
+          }
         }
       }
     }
 
     for (std::size_t k = 0; k < lanes; ++k) {
-      const std::uint64_t bit = 1ULL << k;
       const double cur = x[v * lanes + k];
-      if ((v_active & bit) == 0) {
+      if (!mask_test(v_active, k)) {
         x_next[v * lanes + k] = 0.0;
-      } else if ((live_mask & bit) == 0) {
-        x_next[v * lanes + k] = cur;  // frozen lane
-      } else {
-        const double next = acc[k];
-        diff[k] += std::abs(next - cur);
-        x_next[v * lanes + k] = next;
-      }
-    }
-  }
-  obs::count(obs::Counter::kEdgesTraversed, edges);
-}
-
-/// Compiled-layout sweep over active_rows[lo, hi): the inner loop is
-/// load-neighbor, load-mask, AND live_mask, fused multiply-add per set bit —
-/// no timestamp arithmetic, no duplicate-run re-scans, no untouched rows.
-/// Performs the exact floating-point operations of sweep_rows in the same
-/// order.
-void sweep_compiled_rows(const CompiledBatchCsr& compiled,
-                         const SpmmWindowState& state,
-                         std::span<const double> x, std::span<double> x_next,
-                         const LaneDoubles& base, double one_minus_alpha,
-                         std::uint64_t live_mask, LaneDoubles& diff,
-                         std::size_t lo, std::size_t hi) {
-  const std::size_t lanes = compiled.lanes;
-  LaneDoubles acc;
-  std::uint64_t edges = 0;  // flushed once per chunk, not per edge
-  for (std::size_t r = lo; r < hi; ++r) {
-    const VertexId v = compiled.active_rows[r];
-    const std::uint64_t v_active = state.active_mask[v];
-    const std::uint64_t v_update = v_active & live_mask;
-    for (std::size_t k = 0; k < lanes; ++k) {
-      acc[k] = base[k];
-    }
-
-    if (v_update != 0) {
-      const auto nbr = compiled.row_nbr(v);
-      const auto mask = compiled.row_mask(v);
-      edges += nbr.size();
-      for (std::size_t i = 0; i < nbr.size(); ++i) {
-        const VertexId u = nbr[i];
-        std::uint64_t m = mask[i] & v_update;
-        while (m != 0) {
-          const auto k = static_cast<std::size_t>(__builtin_ctzll(m));
-          m &= m - 1;
-          acc[k] += one_minus_alpha *
-                    (x[u * lanes + k] /
-                     static_cast<double>(state.out_degree[u * lanes + k]));
-        }
-      }
-    }
-
-    for (std::size_t k = 0; k < lanes; ++k) {
-      const std::uint64_t bit = 1ULL << k;
-      const double cur = x[v * lanes + k];
-      if ((v_active & bit) == 0) {
-        x_next[v * lanes + k] = 0.0;
-      } else if ((live_mask & bit) == 0) {
+      } else if (!mask_test(live_mask, k)) {
         x_next[v * lanes + k] = cur;  // frozen lane
       } else {
         const double next = acc[k];
@@ -139,17 +102,21 @@ void sweep_compiled_rows(const CompiledBatchCsr& compiled,
 
 /// Per-lane dangling mass of live lanes from the current vectors, scanning
 /// rows [lo, hi) of the full vertex space (reference path).
-LaneDoubles dangling_scan(const SpmmWindowState& state, const double* cur,
-                          std::size_t lanes, std::uint64_t live_mask,
-                          std::size_t lo, std::size_t hi) {
-  LaneDoubles dangling{};
+LaneVec dangling_scan(const SpmmWindowState& state, const double* cur,
+                      std::size_t lanes, const std::uint64_t* live_mask,
+                      std::size_t lo, std::size_t hi) {
+  LaneVec dangling(lanes, 0.0);
+  const std::size_t words = state.mask_words;
   for (std::size_t v = lo; v < hi; ++v) {
-    std::uint64_t m = state.active_mask[v] & live_mask;
-    while (m != 0) {
-      const auto k = static_cast<std::size_t>(__builtin_ctzll(m));
-      m &= m - 1;
-      if (state.out_degree[v * lanes + k] == 0) {
-        dangling[k] += cur[v * lanes + k];
+    const std::uint64_t* v_active = state.mask_of(v);
+    for (std::size_t w = 0; w < words; ++w) {
+      std::uint64_t m = v_active[w] & live_mask[w];
+      while (m != 0) {
+        const std::size_t k = w * kLanesPerMaskWord + ctz64(m);
+        m &= m - 1;
+        if (state.out_degree[v * lanes + k] == 0) {
+          dangling[k] += cur[v * lanes + k];
+        }
       }
     }
   }
@@ -160,18 +127,21 @@ LaneDoubles dangling_scan(const SpmmWindowState& state, const double* cur,
 /// Compiled dangling scan: only the precompiled dangling vertices are
 /// visited, masked down to the still-live lanes (converged lanes cost
 /// nothing). Reads dangling-list indices [lo, hi).
-LaneDoubles dangling_scan_compiled(const CompiledBatchCsr& compiled,
-                                   const double* cur, std::size_t lanes,
-                                   std::uint64_t live_mask, std::size_t lo,
-                                   std::size_t hi) {
-  LaneDoubles dangling{};
+LaneVec dangling_scan_compiled(const CompiledBatchCsr& compiled,
+                               const double* cur, std::size_t lanes,
+                               const std::uint64_t* live_mask, std::size_t lo,
+                               std::size_t hi) {
+  LaneVec dangling(lanes, 0.0);
+  const std::size_t words = compiled.mask_words;
   for (std::size_t i = lo; i < hi; ++i) {
     const VertexId v = compiled.dangling_rows[i];
-    std::uint64_t m = compiled.dangling_mask[i] & live_mask;
-    while (m != 0) {
-      const auto k = static_cast<std::size_t>(__builtin_ctzll(m));
-      m &= m - 1;
-      dangling[k] += cur[v * lanes + k];
+    for (std::size_t w = 0; w < words; ++w) {
+      std::uint64_t m = compiled.dangling_mask[i * words + w] & live_mask[w];
+      while (m != 0) {
+        const std::size_t k = w * kLanesPerMaskWord + ctz64(m);
+        m &= m - 1;
+        dangling[k] += cur[v * lanes + k];
+      }
     }
   }
   obs::count(obs::Counter::kDanglingScanned, hi - lo);
@@ -182,7 +152,7 @@ LaneDoubles dangling_scan_compiled(const CompiledBatchCsr& compiled,
 /// per-lane dangling mass, `SweepFn(cur, next, base, live_mask, diff)` runs
 /// one full sweep (serial or parallel).
 template <typename DanglingFn, typename SweepFn>
-SpmmStats power_iterate(std::size_t n, std::size_t lanes,
+SpmmStats power_iterate(std::size_t n, std::size_t lanes, std::size_t words,
                         std::span<const std::size_t> num_active,
                         std::span<double> x, std::span<double> scratch,
                         const PagerankParams& params, DanglingFn&& dangling_of,
@@ -190,10 +160,10 @@ SpmmStats power_iterate(std::size_t n, std::size_t lanes,
   SpmmStats stats;
   stats.lane_stats.assign(lanes, PagerankStats{});
 
-  std::uint64_t live_mask = 0;
+  LiveMask live{};
   for (std::size_t k = 0; k < lanes; ++k) {
     if (num_active[k] > 0) {
-      live_mask |= 1ULL << k;
+      mask_set(live.data(), k);
     } else {
       // Empty window: zero the lane and mark it converged immediately.
       for (std::size_t v = 0; v < n; ++v) x[v * lanes + k] = 0.0;
@@ -204,11 +174,12 @@ SpmmStats power_iterate(std::size_t n, std::size_t lanes,
   double* cur = x.data();
   double* next = scratch.data();
 
-  for (int iter = 0; iter < params.max_iters && live_mask != 0; ++iter) {
-    LaneDoubles base{};
-    const LaneDoubles dangling =
-        params.redistribute_dangling ? dangling_of(cur, live_mask)
-                                     : LaneDoubles{};
+  for (int iter = 0;
+       iter < params.max_iters && mask_any(live.data(), words); ++iter) {
+    LaneVec base(lanes, 0.0);
+    const LaneVec dangling = params.redistribute_dangling
+                                 ? dangling_of(cur, live.data())
+                                 : LaneVec(lanes, 0.0);
     for (std::size_t k = 0; k < lanes; ++k) {
       base[k] = num_active[k] > 0
                     ? (params.alpha + one_minus_alpha * dangling[k]) /
@@ -216,22 +187,21 @@ SpmmStats power_iterate(std::size_t n, std::size_t lanes,
                     : 0.0;
     }
 
-    LaneDoubles diff{};
+    LaneVec diff(lanes, 0.0);
     sweep(std::span<const double>(cur, n * lanes),
-          std::span<double>(next, n * lanes), base, live_mask, diff);
+          std::span<double>(next, n * lanes), base, live.data(), diff);
 
     std::swap(cur, next);
     stats.iterations = iter + 1;
     const bool record_residuals = obs::metrics_enabled();
     std::uint64_t converged_this_iter = 0;
     for (std::size_t k = 0; k < lanes; ++k) {
-      const std::uint64_t bit = 1ULL << k;
-      if ((live_mask & bit) == 0) continue;
+      if (!mask_test(live.data(), k)) continue;
       stats.lane_stats[k].iterations = iter + 1;
       stats.lane_stats[k].final_residual = diff[k];
       if (record_residuals) stats.lane_stats[k].residuals.push_back(diff[k]);
       if (diff[k] < params.tol) {
-        live_mask &= ~bit;
+        mask_clear(live.data(), k);
         ++converged_this_iter;
       }
     }
@@ -257,45 +227,44 @@ SpmmStats pagerank_spmm(const MultiWindowGraph& part, const WindowSpec& spec,
                         const par::ForOptions* parallel) {
   const std::size_t n = part.num_local();
   const std::size_t lanes = batch.lanes;
-  assert(lanes >= 1 && lanes <= kMaxLanes);
+  PMPR_CHECK_MSG(lanes >= 1 && lanes <= kMaxSpmmLanes,
+                 "SpMM batch lanes " << lanes << " outside [1, "
+                                     << kMaxSpmmLanes << "]");
   assert(x.size() == n * lanes && scratch.size() == n * lanes);
   assert(state.lanes == lanes);
+  const std::size_t words = state.mask_words;
 
   const double one_minus_alpha = 1.0 - params.alpha;
-  auto dangling_of = [&](const double* cur, std::uint64_t live_mask) {
+  auto dangling_of = [&](const double* cur, const std::uint64_t* live_mask) {
     if (parallel != nullptr) {
       return par::parallel_reduce_slots(
-          0, n, LaneDoubles{}, *parallel,
+          0, n, LaneVec(lanes, 0.0), *parallel,
           [&](std::size_t lo, std::size_t hi) {
             return dangling_scan(state, cur, lanes, live_mask, lo, hi);
           },
-          [&](LaneDoubles a, const LaneDoubles& b) {
-            return add_lanes(a, b, lanes);
-          });
+          add_lanes);
     }
     return dangling_scan(state, cur, lanes, live_mask, 0, n);
   };
   auto sweep = [&](std::span<const double> cur, std::span<double> next,
-                   const LaneDoubles& base, std::uint64_t live_mask,
-                   LaneDoubles& diff) {
+                   const LaneVec& base, const std::uint64_t* live_mask,
+                   LaneVec& diff) {
     if (parallel != nullptr) {
       diff = par::parallel_reduce_slots(
-          0, n, LaneDoubles{}, *parallel,
+          0, n, LaneVec(lanes, 0.0), *parallel,
           [&](std::size_t lo, std::size_t hi) {
-            LaneDoubles local{};
+            LaneVec local(lanes, 0.0);
             sweep_rows(part, spec, batch, state, cur, next, base,
                        one_minus_alpha, live_mask, local, lo, hi);
             return local;
           },
-          [&](LaneDoubles a, const LaneDoubles& b) {
-            return add_lanes(a, b, lanes);
-          });
+          add_lanes);
     } else {
       sweep_rows(part, spec, batch, state, cur, next, base, one_minus_alpha,
                  live_mask, diff, 0, n);
     }
   };
-  return power_iterate(n, lanes, state.num_active, x, scratch, params,
+  return power_iterate(n, lanes, words, state.num_active, x, scratch, params,
                        dangling_of, sweep);
 }
 
@@ -303,12 +272,23 @@ SpmmStats pagerank_spmm(const SpmmWindowState& state,
                         const CompiledBatchCsr& compiled, std::span<double> x,
                         std::span<double> scratch,
                         const PagerankParams& params,
-                        const par::ForOptions* parallel) {
+                        const par::ForOptions* parallel, SimdMode simd) {
   const std::size_t n = compiled.num_rows();
   const std::size_t lanes = compiled.lanes;
-  assert(lanes >= 1 && lanes <= kMaxLanes);
+  PMPR_CHECK_MSG(lanes >= 1 && lanes <= kMaxSpmmLanes,
+                 "SpMM batch lanes " << lanes << " outside [1, "
+                                     << kMaxSpmmLanes << "]");
   assert(x.size() == n * lanes && scratch.size() == n * lanes);
   assert(state.lanes == lanes);
+  assert(state.mask_words == compiled.mask_words);
+  const std::size_t words = compiled.mask_words;
+
+  const SimdIsa isa = resolve_simd(simd);
+  const SpmmSweepFn sweep_fn = select_spmm_sweep(words, isa);
+  const obs::Counter isa_counter =
+      isa == SimdIsa::kAvx512  ? obs::Counter::kSimdSweepAvx512
+      : isa == SimdIsa::kAvx2 ? obs::Counter::kSimdSweepAvx2
+                               : obs::Counter::kSimdSweepScalar;
 
   // Sweeps visit only active rows, so entries of rows inactive in every
   // lane are forced to the reference kernel's 0.0 once, in both buffers
@@ -329,42 +309,44 @@ SpmmStats pagerank_spmm(const SpmmWindowState& state,
   const double one_minus_alpha = 1.0 - params.alpha;
   const std::size_t rows = compiled.active_rows.size();
   const std::size_t dangling_rows = compiled.dangling_rows.size();
-  auto dangling_of = [&](const double* cur, std::uint64_t live_mask) {
+  auto dangling_of = [&](const double* cur, const std::uint64_t* live_mask) {
     if (parallel != nullptr) {
       return par::parallel_reduce_slots(
-          0, dangling_rows, LaneDoubles{}, *parallel,
+          0, dangling_rows, LaneVec(lanes, 0.0), *parallel,
           [&](std::size_t lo, std::size_t hi) {
             return dangling_scan_compiled(compiled, cur, lanes, live_mask, lo,
                                           hi);
           },
-          [&](LaneDoubles a, const LaneDoubles& b) {
-            return add_lanes(a, b, lanes);
-          });
+          add_lanes);
     }
     return dangling_scan_compiled(compiled, cur, lanes, live_mask, 0,
                                   dangling_rows);
   };
   auto sweep = [&](std::span<const double> cur, std::span<double> next,
-                   const LaneDoubles& base, std::uint64_t live_mask,
-                   LaneDoubles& diff) {
+                   const LaneVec& base, const std::uint64_t* live_mask,
+                   LaneVec& diff) {
+    obs::count(isa_counter);
     if (parallel != nullptr) {
       diff = par::parallel_reduce_slots(
-          0, rows, LaneDoubles{}, *parallel,
+          0, rows, LaneVec(lanes, 0.0), *parallel,
           [&](std::size_t lo, std::size_t hi) {
-            LaneDoubles local{};
-            sweep_compiled_rows(compiled, state, cur, next, base,
-                                one_minus_alpha, live_mask, local, lo, hi);
+            LaneVec local(lanes, 0.0);
+            const std::uint64_t edges =
+                sweep_fn(compiled, state, cur.data(), next.data(),
+                         base.data(), one_minus_alpha, live_mask,
+                         local.data(), lo, hi);
+            obs::count(obs::Counter::kEdgesTraversed, edges);
             return local;
           },
-          [&](LaneDoubles a, const LaneDoubles& b) {
-            return add_lanes(a, b, lanes);
-          });
+          add_lanes);
     } else {
-      sweep_compiled_rows(compiled, state, cur, next, base, one_minus_alpha,
-                          live_mask, diff, 0, rows);
+      const std::uint64_t edges =
+          sweep_fn(compiled, state, cur.data(), next.data(), base.data(),
+                   one_minus_alpha, live_mask, diff.data(), 0, rows);
+      obs::count(obs::Counter::kEdgesTraversed, edges);
     }
   };
-  return power_iterate(n, lanes, state.num_active, x, scratch, params,
+  return power_iterate(n, lanes, words, state.num_active, x, scratch, params,
                        dangling_of, sweep);
 }
 

@@ -1,6 +1,7 @@
 // SpMM-inspired postmortem PageRank kernel (paper §4.4).
 //
-// Computes PageRank for up to 64 windows ("lanes") of the same multi-window
+// Computes PageRank for up to kMaxSpmmLanes (512) windows ("lanes") of the
+// same multi-window
 // graph simultaneously: each power iteration traverses the part's temporal
 // CSR once and advances every live lane's vector. The PageRank vectors are
 // lane-interleaved (x[v*lanes + k]), turning the mostly-random per-window
@@ -18,6 +19,7 @@
 #include "graph/multi_window.hpp"
 #include "pagerank/batch_csr.hpp"
 #include "pagerank/pagerank.hpp"
+#include "pagerank/simd_dispatch.hpp"
 #include "pagerank/window_state.hpp"
 
 namespace pmpr {
@@ -40,12 +42,16 @@ SpmmStats pagerank_spmm(const MultiWindowGraph& part, const WindowSpec& spec,
 /// Compiled-kernel overload: consumes the batch-compiled adjacency
 /// (precomputed lane masks, run compression, active-row and dangling-row
 /// compaction) built by compile_spmm_batch, so each sweep does no timestamp
-/// arithmetic and touches only active rows. Bit-identical results,
-/// residuals, and iteration counts to the reference overload above.
+/// arithmetic and touches only active rows. `simd` picks the sweep ISA
+/// (kAuto = best the CPU supports; forced modes throw InvariantError when
+/// unsupported — see simd_dispatch.hpp). Every ISA gives bit-identical
+/// results, residuals, and iteration counts to the reference overload
+/// above when run serially.
 SpmmStats pagerank_spmm(const SpmmWindowState& state,
                         const CompiledBatchCsr& compiled, std::span<double> x,
                         std::span<double> scratch,
                         const PagerankParams& params,
-                        const par::ForOptions* parallel = nullptr);
+                        const par::ForOptions* parallel = nullptr,
+                        SimdMode simd = SimdMode::kAuto);
 
 }  // namespace pmpr

@@ -1,7 +1,11 @@
 #include "pagerank/window_state.hpp"
 
+#include <algorithm>
+#include <array>
 #include <atomic>
 #include <cassert>
+
+#include "util/check.hpp"
 
 namespace pmpr {
 
@@ -71,54 +75,66 @@ void compute_window_state(const MultiWindowGraph& part, Timestamp ts,
   }
 }
 
-std::uint64_t lanes_containing(const WindowSpec& spec, const SpmmBatch& batch,
-                               Timestamp t) {
-  assert(batch.lanes <= 64);
+LaneSpan lane_span_containing(const WindowSpec& spec, const SpmmBatch& batch,
+                              Timestamp t) {
   const auto [wlo, whi] = spec.windows_containing(t);  // [wlo, whi)
-  if (wlo >= whi) return 0;
-  // Lane k holds window first_window + k*stride; find k range intersecting
-  // [wlo, whi).
+  if (wlo >= whi) return {};
+  // Lane k holds window first_window + k*stride; find the k range
+  // intersecting [wlo, whi). The range is contiguous in k.
   const auto first = static_cast<std::int64_t>(batch.first_window);
   const auto stride = static_cast<std::int64_t>(batch.window_stride);
   const auto lo_num = static_cast<std::int64_t>(wlo) - first;
   const auto hi_num = static_cast<std::int64_t>(whi) - 1 - first;
-  if (hi_num < 0) return 0;
-  std::int64_t k_lo = lo_num <= 0 ? 0 : (lo_num + stride - 1) / stride;
+  if (hi_num < 0) return {};
+  const std::int64_t k_lo = lo_num <= 0 ? 0 : (lo_num + stride - 1) / stride;
   std::int64_t k_hi = hi_num / stride;
-  k_hi = std::min<std::int64_t>(k_hi, static_cast<std::int64_t>(batch.lanes) - 1);
-  if (k_lo > k_hi) return 0;
-  const std::uint64_t width = static_cast<std::uint64_t>(k_hi - k_lo + 1);
-  const std::uint64_t run =
-      width >= 64 ? ~0ULL : ((1ULL << width) - 1ULL);
-  return run << k_lo;
+  k_hi = std::min<std::int64_t>(k_hi,
+                                static_cast<std::int64_t>(batch.lanes) - 1);
+  if (k_lo > k_hi) return {};
+  return {static_cast<std::size_t>(k_lo), static_cast<std::size_t>(k_hi)};
+}
+
+void lanes_containing_into(const WindowSpec& spec, const SpmmBatch& batch,
+                           Timestamp t, std::uint64_t* words) {
+  const LaneSpan span = lane_span_containing(spec, batch, t);
+  if (!span.empty()) mask_set_range(words, span.lo, span.hi);
+}
+
+std::uint64_t lanes_containing(const WindowSpec& spec, const SpmmBatch& batch,
+                               Timestamp t) {
+  assert(batch.lanes <= 64);
+  std::uint64_t word = 0;
+  lanes_containing_into(spec, batch, t, &word);
+  return word;
 }
 
 namespace {
+
+/// Max-width run mask on the stack; only the first mask_words_for(lanes)
+/// words are touched.
+using RunMask = std::array<std::uint64_t, mask_words_for(kMaxSpmmLanes)>;
 
 template <bool Atomic>
 void scatter_spmm_rows(const MultiWindowGraph& part, const WindowSpec& spec,
                        const SpmmBatch& batch, SpmmWindowState& out,
                        std::size_t lo, std::size_t hi) {
   const std::size_t lanes = batch.lanes;
+  const std::size_t words = out.mask_words;
   for (std::size_t v = lo; v < hi; ++v) {
     const auto cols = part.in.row_cols(static_cast<VertexId>(v));
     const auto times = part.in.row_times(static_cast<VertexId>(v));
-    std::uint64_t v_mask = 0;
+    RunMask v_mask{};
     std::size_t i = 0;
     while (i < cols.size()) {
       const VertexId u = cols[i];
-      std::uint64_t run_mask = 0;
+      RunMask run_mask{};
       while (i < cols.size() && cols[i] == u) {
-        run_mask |= lanes_containing(spec, batch, times[i]);
+        lanes_containing_into(spec, batch, times[i], run_mask.data());
         ++i;
       }
-      if (run_mask == 0) continue;
-      v_mask |= run_mask;
+      if (!mask_any(run_mask.data(), words)) continue;
       // u gains one distinct out-neighbor in every lane of run_mask.
-      std::uint64_t m = run_mask;
-      while (m != 0) {
-        const unsigned k = static_cast<unsigned>(__builtin_ctzll(m));
-        m &= m - 1;
+      for_each_set_lane(run_mask.data(), words, [&](std::size_t k) {
         if constexpr (Atomic) {
           std::atomic_ref<std::uint32_t> deg(out.out_degree[u * lanes + k]);
           // relaxed: pure commutative count; published by the join.
@@ -126,22 +142,27 @@ void scatter_spmm_rows(const MultiWindowGraph& part, const WindowSpec& spec,
         } else {
           ++out.out_degree[u * lanes + k];
         }
-      }
-      if constexpr (Atomic) {
-        std::atomic_ref<std::uint64_t> mask(out.active_mask[u]);
-        // relaxed: commutative bit-set; published by the join.
-        mask.fetch_or(run_mask, std::memory_order_relaxed);
-      } else {
-        out.active_mask[u] |= run_mask;
+      });
+      for (std::size_t w = 0; w < words; ++w) {
+        v_mask[w] |= run_mask[w];
+        if (run_mask[w] == 0) continue;
+        if constexpr (Atomic) {
+          std::atomic_ref<std::uint64_t> mask(out.active_mask[u * words + w]);
+          // relaxed: commutative bit-set; published by the join.
+          mask.fetch_or(run_mask[w], std::memory_order_relaxed);
+        } else {
+          out.active_mask[u * words + w] |= run_mask[w];
+        }
       }
     }
-    if (v_mask != 0) {
+    for (std::size_t w = 0; w < words; ++w) {
+      if (v_mask[w] == 0) continue;
       if constexpr (Atomic) {
-        std::atomic_ref<std::uint64_t> mask(out.active_mask[v]);
+        std::atomic_ref<std::uint64_t> mask(out.active_mask[v * words + w]);
         // relaxed: commutative bit-set; published by the join.
-        mask.fetch_or(v_mask, std::memory_order_relaxed);
+        mask.fetch_or(v_mask[w], std::memory_order_relaxed);
       } else {
-        out.active_mask[v] |= v_mask;
+        out.active_mask[v * words + w] |= v_mask[w];
       }
     }
   }
@@ -152,7 +173,11 @@ void scatter_spmm_rows(const MultiWindowGraph& part, const WindowSpec& spec,
 void compute_spmm_state(const MultiWindowGraph& part, const WindowSpec& spec,
                         const SpmmBatch& batch, SpmmWindowState& out,
                         const par::ForOptions* parallel) {
-  assert(batch.lanes >= 1 && batch.lanes <= 64);
+  // Release-mode check: an oversized lane count would index past the mask
+  // words (shift UB in release before PR 6's multi-word masks).
+  PMPR_CHECK_MSG(batch.lanes >= 1 && batch.lanes <= kMaxSpmmLanes,
+                 "SpMM batch lanes " << batch.lanes << " outside [1, "
+                                     << kMaxSpmmLanes << "]");
   const std::size_t n = part.num_local();
   out.resize(n, batch.lanes);
   if (parallel != nullptr) {
@@ -164,12 +189,8 @@ void compute_spmm_state(const MultiWindowGraph& part, const WindowSpec& spec,
     scatter_spmm_rows<false>(part, spec, batch, out, 0, n);
   }
   for (std::size_t v = 0; v < n; ++v) {
-    std::uint64_t m = out.active_mask[v];
-    while (m != 0) {
-      const unsigned k = static_cast<unsigned>(__builtin_ctzll(m));
-      m &= m - 1;
-      ++out.num_active[k];
-    }
+    for_each_set_lane(out.mask_of(v), out.mask_words,
+                      [&](std::size_t k) { ++out.num_active[k]; });
   }
 }
 

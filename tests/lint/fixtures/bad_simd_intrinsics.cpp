@@ -1,0 +1,15 @@
+// Fixture: raw x86 intrinsics outside src/pagerank/simd_* must trip
+// simd-intrinsics-confined. This TU has no -mavx* flags, so the intrinsic
+// either fails to compile on baseline x86-64 or SIGILLs under
+// -march=native on an older host.
+#include <immintrin.h>
+
+double sum4(const double* p) {
+  __m256d v = _mm256_loadu_pd(p);
+  __m128d lo = _mm256_castpd256_pd128(v);
+  __m128d hi = _mm256_extractf128_pd(v, 1);
+  __m128d s = _mm_add_pd(lo, hi);
+  return _mm_cvtsd_f64(_mm_add_sd(s, _mm_unpackhi_pd(s, s)));
+}
+
+bool host_has_avx2() { return __builtin_cpu_supports("avx2"); }

@@ -23,6 +23,7 @@ EXPECTED = {
     "bad_reinterpret_cast.cpp": "reinterpret-cast-outside-io",
     "bad_raw_clock.cpp": "raw-clock",
     "bad_sleep_loop.cpp": "raw-clock",
+    "bad_simd_intrinsics.cpp": "simd-intrinsics-confined",
     "clean.cpp": None,
 }
 

@@ -147,8 +147,13 @@ TEST(Counters, NamesAreStableUniqueSnakeCase) {
   for (std::size_t i = 0; i < obs::kNumCounters; ++i) {
     const std::string name(obs::to_string(static_cast<obs::Counter>(i)));
     ASSERT_FALSE(name.empty()) << "counter " << i;
+    // Lower snake_case; digits allowed after the first character (the
+    // per-ISA sweep counters are named simd_sweep_avx2 / _avx512).
+    ASSERT_TRUE(name[0] >= 'a' && name[0] <= 'z') << name;
     for (const char c : name) {
-      ASSERT_TRUE((c >= 'a' && c <= 'z') || c == '_') << name;
+      ASSERT_TRUE((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                  c == '_')
+          << name;
     }
     ASSERT_TRUE(seen.insert(name).second) << "duplicate name " << name;
   }

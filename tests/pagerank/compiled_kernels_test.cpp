@@ -14,9 +14,12 @@
 #include "exec/postmortem_runner.hpp"
 #include "exec/results.hpp"
 #include "pagerank/batch_csr.hpp"
+#include "pagerank/simd_dispatch.hpp"
 #include "pagerank/spmm_temporal.hpp"
 #include "pagerank/spmv_temporal.hpp"
 #include "test_helpers.hpp"
+#include "util/bits.hpp"
+#include "util/check.hpp"
 
 namespace pmpr {
 namespace {
@@ -30,7 +33,18 @@ struct Fixture {
       : events(test::random_events(seed, 70, 5000, 50000)),
         spec(WindowSpec::cover(0, 50000, 9000, 700)),
         set(MultiWindowSet::build(events, spec, 1)) {}
+
+  Fixture(std::uint64_t seed, const WindowSpec& wide_spec)
+      : events(test::random_events(seed, 50, 2500, 50000)),
+        spec(wide_spec),
+        set(MultiWindowSet::build(events, spec, 1)) {}
 };
+
+/// Enough heavily-overlapping windows that every lane of a 512-wide batch
+/// at stride 2 maps to a real (event-carrying) window.
+WindowSpec wide_spec() {
+  return WindowSpec{.t0 = 0, .delta = 6000, .sw = 45, .count = 1100};
+}
 
 PagerankParams params_with(bool dangling) {
   PagerankParams p;
@@ -50,7 +64,7 @@ std::vector<double> init_x(const SpmmWindowState& state, std::size_t n) {
             : 0.0;
     for (std::size_t v = 0; v < n; ++v) {
       x[v * state.lanes + k] =
-          (state.active_mask[v] >> k & 1) != 0 ? uniform : 0.0;
+          mask_test(state.mask_of(v), k) ? uniform : 0.0;
     }
   }
   return x;
@@ -76,7 +90,8 @@ SpmmRun run_reference(const Fixture& f, const SpmmBatch& batch, bool dangling,
 }
 
 SpmmRun run_compiled(const Fixture& f, const SpmmBatch& batch, bool dangling,
-                     const par::ForOptions* parallel) {
+                     const par::ForOptions* parallel,
+                     SimdMode simd = SimdMode::kAuto) {
   const auto& part = f.set.part(0);
   const std::size_t n = part.num_local();
   SpmmWindowState state;
@@ -86,7 +101,7 @@ SpmmRun run_compiled(const Fixture& f, const SpmmBatch& batch, bool dangling,
   run.x = init_x(state, n);
   std::vector<double> scratch(n * batch.lanes);
   run.stats = pagerank_spmm(state, compiled, run.x, scratch,
-                            params_with(dangling), parallel);
+                            params_with(dangling), parallel, simd);
   return run;
 }
 
@@ -210,6 +225,129 @@ TEST(CompiledSpmv, ParallelMatchesReference) {
     linf = std::max(linf, std::abs(ref_x[i] - x[i]));
   }
   EXPECT_LT(linf, 1e-12);
+}
+
+// Wide batches: every mask-word count {1, 2, 4, 8}, both word-boundary
+// sides (63/64/65, 127/128), a non-power-of-two interior point (192), and
+// the clamp edge (511/512). Serial compiled runs must be bit-identical to
+// the reference kernel in all of them.
+TEST(CompiledSpmm, WideLanesSerialBitIdentical) {
+  const Fixture f(2101, wide_spec());
+  for (const std::size_t lanes :
+       {std::size_t{63}, std::size_t{64}, std::size_t{65}, std::size_t{127},
+        std::size_t{128}, std::size_t{192}, std::size_t{511},
+        std::size_t{512}}) {
+    for (const std::size_t stride : {std::size_t{1}, std::size_t{2}}) {
+      for (const bool dangling : {true, false}) {
+        SpmmBatch batch;
+        batch.lanes = lanes;
+        batch.first_window = 0;
+        batch.window_stride = stride;
+        ASSERT_LE(batch.window_of_lane(lanes - 1), f.spec.count - 1);
+        const SpmmRun ref = run_reference(f, batch, dangling, nullptr);
+        const SpmmRun cmp = run_compiled(f, batch, dangling, nullptr);
+        ASSERT_EQ(ref.x, cmp.x) << "lanes=" << lanes << " stride=" << stride
+                                << " dangling=" << dangling;
+        expect_stats_equal(ref.stats, cmp.stats);
+      }
+    }
+  }
+}
+
+TEST(CompiledSpmm, WideLanesParallelMatchesReference) {
+  const Fixture f(2202, wide_spec());
+  par::ForOptions opts{par::Partitioner::kAuto, 4, nullptr};
+  for (const std::size_t lanes : {std::size_t{128}, std::size_t{512}}) {
+    SpmmBatch batch;
+    batch.lanes = lanes;
+    batch.first_window = 0;
+    batch.window_stride = 1;
+    const SpmmRun ref = run_reference(f, batch, true, &opts);
+    const SpmmRun cmp = run_compiled(f, batch, true, &opts);
+    ASSERT_EQ(ref.stats.iterations, cmp.stats.iterations);
+    ASSERT_EQ(ref.x.size(), cmp.x.size());
+    double linf = 0.0;
+    for (std::size_t i = 0; i < ref.x.size(); ++i) {
+      linf = std::max(linf, std::abs(ref.x[i] - cmp.x[i]));
+    }
+    // Parallel chunking only changes floating-point summation order.
+    EXPECT_LT(linf, 1e-12) << "lanes=" << lanes;
+  }
+}
+
+/// Forced-ISA differential: each vector kernel must produce exactly the
+/// scalar kernel's bits (all sweeps perform the same per-lane FP ops in
+/// the same order; cross-lane vectorization touches independent
+/// accumulators). Parameterized over lane counts so every mask-word
+/// template instantiation of every ISA is exercised.
+void expect_isa_matches_scalar(SimdIsa isa, SimdMode mode) {
+  if (!simd_isa_supported(isa)) {
+    GTEST_SKIP() << to_string(isa)
+                 << " not built or not supported on this host";
+  }
+  const Fixture f(2303, wide_spec());
+  for (const std::size_t lanes : {std::size_t{5}, std::size_t{64},
+                                  std::size_t{65}, std::size_t{192},
+                                  std::size_t{512}}) {
+    for (const bool dangling : {true, false}) {
+      SpmmBatch batch;
+      batch.lanes = lanes;
+      batch.first_window = 0;
+      batch.window_stride = 1;
+      const SpmmRun scalar =
+          run_compiled(f, batch, dangling, nullptr, SimdMode::kScalar);
+      const SpmmRun vec = run_compiled(f, batch, dangling, nullptr, mode);
+      ASSERT_EQ(scalar.x, vec.x)
+          << to_string(isa) << " lanes=" << lanes << " dangling=" << dangling;
+      expect_stats_equal(scalar.stats, vec.stats);
+    }
+  }
+}
+
+TEST(CompiledSpmmDispatch, Avx2BitIdenticalToScalar) {
+  expect_isa_matches_scalar(SimdIsa::kAvx2, SimdMode::kAvx2);
+}
+
+TEST(CompiledSpmmDispatch, Avx512BitIdenticalToScalar) {
+  expect_isa_matches_scalar(SimdIsa::kAvx512, SimdMode::kAvx512);
+}
+
+TEST(CompiledSpmmDispatch, AutoBitIdenticalToScalarSerial) {
+  const Fixture f(2404, wide_spec());
+  SpmmBatch batch;
+  batch.lanes = 96;
+  batch.first_window = 3;
+  batch.window_stride = 2;
+  const SpmmRun scalar =
+      run_compiled(f, batch, true, nullptr, SimdMode::kScalar);
+  const SpmmRun any = run_compiled(f, batch, true, nullptr, SimdMode::kAuto);
+  ASSERT_EQ(scalar.x, any.x);
+  expect_stats_equal(scalar.stats, any.stats);
+}
+
+// The pre-PR 6 kernels clamped batches at 64 lanes with a debug-only
+// assert: a release build fed lanes > 64 shifted a uint64_t by >= 64 (UB)
+// and scribbled whatever the hardware returned into the masks. The bound
+// is now a release-mode invariant on every entry point.
+TEST(CompiledSpmm, MalformedLaneCountsThrow) {
+  const Fixture f(2505);
+  const auto& part = f.set.part(0);
+  for (const std::size_t lanes : {std::size_t{0}, kMaxSpmmLanes + 1,
+                                  std::size_t{100000}}) {
+    SpmmBatch batch;
+    batch.lanes = lanes;
+    batch.first_window = 0;
+    batch.window_stride = 1;
+    SpmmWindowState state;
+    CompiledBatchCsr compiled;
+    EXPECT_THROW(compute_spmm_state(part, f.spec, batch, state),
+                 InvariantError)
+        << lanes;
+    EXPECT_THROW(
+        compile_spmm_batch(part, f.spec, batch, state, compiled),
+        InvariantError)
+        << lanes;
+  }
 }
 
 TEST(CompiledSpmm, EmptyLaneStaysZero) {

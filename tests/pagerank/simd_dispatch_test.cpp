@@ -1,0 +1,83 @@
+// Runtime ISA dispatch: parsing, capability probing, and the
+// forced-mode-must-fail-fast contract of resolve_simd.
+#include "pagerank/simd_dispatch.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace pmpr {
+namespace {
+
+TEST(SimdDispatch, ToStringNames) {
+  EXPECT_EQ(to_string(SimdIsa::kScalar), "scalar");
+  EXPECT_EQ(to_string(SimdIsa::kAvx2), "avx2");
+  EXPECT_EQ(to_string(SimdIsa::kAvx512), "avx512");
+  EXPECT_EQ(to_string(SimdMode::kAuto), "auto");
+  EXPECT_EQ(to_string(SimdMode::kScalar), "scalar");
+  EXPECT_EQ(to_string(SimdMode::kAvx2), "avx2");
+  EXPECT_EQ(to_string(SimdMode::kAvx512), "avx512");
+}
+
+TEST(SimdDispatch, ParseRoundTripsAndRejectsUnknown) {
+  for (const SimdMode mode : {SimdMode::kAuto, SimdMode::kScalar,
+                              SimdMode::kAvx2, SimdMode::kAvx512}) {
+    EXPECT_EQ(parse_simd_mode(to_string(mode)), mode);
+  }
+  EXPECT_THROW((void)parse_simd_mode("sse42"), InvariantError);
+  EXPECT_THROW((void)parse_simd_mode(""), InvariantError);
+  EXPECT_THROW((void)parse_simd_mode("AVX2"), InvariantError);
+}
+
+TEST(SimdDispatch, ScalarAlwaysBuiltAndSupported) {
+  EXPECT_TRUE(simd_isa_built(SimdIsa::kScalar));
+  EXPECT_TRUE(simd_isa_supported(SimdIsa::kScalar));
+}
+
+TEST(SimdDispatch, SupportedImpliesBuilt) {
+  for (const SimdIsa isa :
+       {SimdIsa::kScalar, SimdIsa::kAvx2, SimdIsa::kAvx512}) {
+    if (simd_isa_supported(isa)) {
+      EXPECT_TRUE(simd_isa_built(isa)) << to_string(isa);
+    }
+  }
+}
+
+TEST(SimdDispatch, DetectReturnsASupportedIsa) {
+  const SimdIsa isa = detect_simd_isa();
+  EXPECT_TRUE(simd_isa_supported(isa));
+  // Detection picks the best ISA: anything wider than the detected one
+  // must be unsupported.
+  if (isa != SimdIsa::kAvx512) {
+    EXPECT_FALSE(simd_isa_supported(SimdIsa::kAvx512));
+  }
+  if (isa == SimdIsa::kScalar) {
+    EXPECT_FALSE(simd_isa_supported(SimdIsa::kAvx2));
+  }
+}
+
+TEST(SimdDispatch, ResolveAutoMatchesDetect) {
+  EXPECT_EQ(resolve_simd(SimdMode::kAuto), detect_simd_isa());
+}
+
+TEST(SimdDispatch, ResolveForcedScalarAlwaysWorks) {
+  EXPECT_EQ(resolve_simd(SimdMode::kScalar), SimdIsa::kScalar);
+}
+
+TEST(SimdDispatch, ResolveForcedUnsupportedThrows) {
+  // On hosts (or builds) lacking an ISA, forcing it must fail fast instead
+  // of silently falling back — the forced modes exist for differential
+  // testing, where a silent fallback would test the wrong kernel.
+  for (const SimdIsa isa : {SimdIsa::kAvx2, SimdIsa::kAvx512}) {
+    const SimdMode mode =
+        isa == SimdIsa::kAvx2 ? SimdMode::kAvx2 : SimdMode::kAvx512;
+    if (simd_isa_supported(isa)) {
+      EXPECT_EQ(resolve_simd(mode), isa);
+    } else {
+      EXPECT_THROW((void)resolve_simd(mode), InvariantError);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pmpr
