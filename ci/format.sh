@@ -28,7 +28,8 @@ if [[ -z "${CLANG_FORMAT}" ]]; then
 fi
 
 mapfile -t FILES < <(find "${ROOT}/src" "${ROOT}/tests" \
-  -name '*.cpp' -o -name '*.hpp' | grep -v '/tests/lint/fixtures/' | sort)
+  -name '*.cpp' -o -name '*.hpp' \
+  | grep -v -e '/tests/lint/fixtures/' -e '/tests/analyze/fixtures/' | sort)
 
 if [[ "${MODE}" == "--fix" ]]; then
   "${CLANG_FORMAT}" -i "${FILES[@]}"

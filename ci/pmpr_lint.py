@@ -54,7 +54,11 @@ cannot express:
                             is a latency bug waiting to be profiled, not a
                             synchronisation strategy.
 
-Usage: pmpr_lint.py [--root REPO_ROOT] PATH [PATH ...]
+All rules dispatch from one scan per file (ci/pmpr_scan.py): each file is
+read and comment-stripped exactly once, then every rule runs over the
+cleaned lines. `--verbose` reports where the lint time goes per rule.
+
+Usage: pmpr_lint.py [--root REPO_ROOT] [--verbose] PATH [PATH ...]
 
 PATHs may be files or directories (searched recursively for *.hpp/*.cpp).
 Rule allowlists match on the path relative to --root (default: cwd).
@@ -65,6 +69,9 @@ import argparse
 import pathlib
 import re
 import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+import pmpr_scan  # noqa: E402  (sibling module, not a package)
 
 # Files (relative to --root, '/'-separated) where each rule does not apply.
 ALLOW = {
@@ -130,14 +137,6 @@ RAW_SLEEP_ALLOW = {"src/par/thread_pool.cpp"}
 COMMENT_LOOKBACK = 3
 
 
-def code_part(line):
-    """Strips // and single-line /* */ comments plus string literals."""
-    line = re.sub(r'"(\\.|[^"\\])*"', '""', line)
-    line = re.sub(r"/\*.*?\*/", "", line)
-    idx = line.find("//")
-    return line if idx < 0 else line[:idx]
-
-
 def has_adjacent_comment(lines, i):
     """True if lines[i] has a trailing comment or one appears within the
     preceding COMMENT_LOOKBACK lines."""
@@ -153,156 +152,137 @@ def allowed(rule, rel):
     return any(rel.startswith(d) for d in ALLOW_DIRS.get(rule, ()))
 
 
-def lint_file(path, rel):
-    violations = []
-    try:
-        lines = path.read_text(encoding="utf-8", errors="replace").splitlines()
-    except OSError as e:
-        return [(rel, 0, "io-error", str(e))]
-    in_block_comment = False
-    for i, raw in enumerate(lines):
-        line = raw
-        if in_block_comment:
-            end = line.find("*/")
-            if end < 0:
-                continue
-            line = line[end + 2 :]
-            in_block_comment = False
-        code = code_part(line)
-        if "/*" in code:
-            code = code[: code.index("/*")]
-            in_block_comment = True
-        lineno = i + 1
+def _regex_rule(name, pattern, message):
+    """Rule flagging every stripped-code line matching `pattern`. `message`
+    is a format string receiving the match object."""
 
-        if not allowed("atomic-order-comment", rel):
-            if RELAXED_ORDER.search(code) and not has_adjacent_comment(
-                lines, i
-            ):
-                violations.append(
-                    (
-                        rel,
-                        lineno,
-                        "atomic-order-comment",
-                        "non-seq_cst atomic access without an adjacent "
-                        "ordering-rationale comment",
-                    )
-                )
-        if not allowed("raw-concurrency-type", rel):
-            m = RAW_PRIMITIVE.search(code)
+    def check(scan):
+        if allowed(name, scan.rel):
+            return
+        for i, code in enumerate(scan.code):
+            m = pattern.search(code)
             if m:
-                violations.append(
-                    (
-                        rel,
-                        lineno,
-                        "raw-concurrency-type",
-                        f"raw {m.group(0)} outside src/par/; use "
-                        "pmpr::Mutex/LockGuard/CondVar "
-                        "(util/thread_annotations.hpp)",
-                    )
-                )
-        if not allowed("reinterpret-cast-outside-io", rel):
-            if REINTERPRET.search(code):
-                violations.append(
-                    (
-                        rel,
-                        lineno,
-                        "reinterpret-cast-outside-io",
-                        "reinterpret_cast outside the binary-IO "
-                        "allowlist",
-                    )
-                )
-        if not allowed("naked-new-delete", rel):
-            stripped = DELETED_FN.sub("", code)
-            m = NAKED_NEW.search(stripped)
-            if m:
-                violations.append(
-                    (
-                        rel,
-                        lineno,
-                        "naked-new-delete",
-                        f"naked `{m.group(0).strip()}` outside "
-                        "ws_deque.hpp; use std::unique_ptr / "
-                        "std::make_unique",
-                    )
-                )
-        if not allowed("simd-intrinsics-confined", rel):
-            m = SIMD_INTRINSIC.search(code)
-            if m:
-                violations.append(
-                    (
-                        rel,
-                        lineno,
-                        "simd-intrinsics-confined",
-                        f"raw SIMD intrinsic `{m.group(0).strip()}` outside "
-                        "src/pagerank/simd_*; only those TUs carry the "
-                        "-mavx* flags and dispatch guards",
-                    )
-                )
-        if not allowed("raw-clock", rel):
-            m = RAW_CLOCK.search(code)
-            if m:
-                violations.append(
-                    (
-                        rel,
-                        lineno,
-                        "raw-clock",
-                        f"direct {m.group(1)}::now() outside src/util/ and "
-                        "src/obs/; use pmpr::Timer/AccumTimer "
-                        "(util/timer.hpp) or obs::trace_now_ns()",
-                    )
-                )
-            if rel not in RAW_SLEEP_ALLOW:
-                m = RAW_SLEEP.search(code)
-                if m:
-                    violations.append(
-                        (
-                            rel,
-                            lineno,
-                            "raw-clock",
-                            f"sleeping primitive {m.group(1)}() outside the "
-                            "sanctioned spots (CondVar wrapper, obs/ "
-                            "sampler pacing, pool park backstop); use "
-                            "event-driven waits, not sleep polling",
-                        )
-                    )
-    return violations
+                yield (scan.rel, i + 1, name, message(m))
+
+    return pmpr_scan.Rule(name, check)
 
 
-def collect(paths):
-    for p in paths:
-        p = pathlib.Path(p)
-        if p.is_dir():
-            yield from sorted(
-                q for q in p.rglob("*") if q.suffix in (".hpp", ".cpp", ".h")
+def _check_atomic_order(scan):
+    name = "atomic-order-comment"
+    if allowed(name, scan.rel):
+        return
+    for i, code in enumerate(scan.code):
+        if RELAXED_ORDER.search(code) and not has_adjacent_comment(
+            scan.lines, i
+        ):
+            yield (
+                scan.rel,
+                i + 1,
+                name,
+                "non-seq_cst atomic access without an adjacent "
+                "ordering-rationale comment",
             )
-        else:
-            yield p
+
+
+def _check_naked_new(scan):
+    name = "naked-new-delete"
+    if allowed(name, scan.rel):
+        return
+    for i, code in enumerate(scan.code):
+        m = NAKED_NEW.search(DELETED_FN.sub("", code))
+        if m:
+            yield (
+                scan.rel,
+                i + 1,
+                name,
+                f"naked `{m.group(0).strip()}` outside ws_deque.hpp; use "
+                "std::unique_ptr / std::make_unique",
+            )
+
+
+def _check_raw_clock(scan):
+    name = "raw-clock"
+    if allowed(name, scan.rel):
+        return
+    for i, code in enumerate(scan.code):
+        m = RAW_CLOCK.search(code)
+        if m:
+            yield (
+                scan.rel,
+                i + 1,
+                name,
+                f"direct {m.group(1)}::now() outside src/util/ and "
+                "src/obs/; use pmpr::Timer/AccumTimer (util/timer.hpp) "
+                "or obs::trace_now_ns()",
+            )
+        if scan.rel not in RAW_SLEEP_ALLOW:
+            m = RAW_SLEEP.search(code)
+            if m:
+                yield (
+                    scan.rel,
+                    i + 1,
+                    name,
+                    f"sleeping primitive {m.group(1)}() outside the "
+                    "sanctioned spots (CondVar wrapper, obs/ sampler "
+                    "pacing, pool park backstop); use event-driven waits, "
+                    "not sleep polling",
+                )
+
+
+RULES = [
+    pmpr_scan.Rule("atomic-order-comment", _check_atomic_order),
+    _regex_rule(
+        "raw-concurrency-type",
+        RAW_PRIMITIVE,
+        lambda m: f"raw {m.group(0)} outside src/par/; use "
+        "pmpr::Mutex/LockGuard/CondVar (util/thread_annotations.hpp)",
+    ),
+    _regex_rule(
+        "reinterpret-cast-outside-io",
+        REINTERPRET,
+        lambda m: "reinterpret_cast outside the binary-IO allowlist",
+    ),
+    pmpr_scan.Rule("naked-new-delete", _check_naked_new),
+    _regex_rule(
+        "simd-intrinsics-confined",
+        SIMD_INTRINSIC,
+        lambda m: f"raw SIMD intrinsic `{m.group(0).strip()}` outside "
+        "src/pagerank/simd_*; only those TUs carry the -mavx* flags and "
+        "dispatch guards",
+    ),
+    pmpr_scan.Rule("raw-clock", _check_raw_clock),
+]
 
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--root", default=".", help="repo root for allowlists")
+    ap.add_argument(
+        "--verbose",
+        action="store_true",
+        help="report per-rule cumulative scan time",
+    )
     ap.add_argument("paths", nargs="+")
     args = ap.parse_args()
     root = pathlib.Path(args.root).resolve()
 
-    total_files = 0
-    violations = []
-    for f in collect(args.paths):
-        total_files += 1
-        try:
-            rel = f.resolve().relative_to(root).as_posix()
-        except ValueError:
-            rel = f.as_posix()
-        violations.extend(lint_file(f, rel))
+    scans = [
+        pmpr_scan.FileScan(f, pmpr_scan.rel_to_root(f, root))
+        for f in pmpr_scan.collect_files(args.paths)
+    ]
+    timings = {}
+    violations = pmpr_scan.run_rules(scans, RULES, timings)
 
-    for rel, lineno, rule, msg in violations:
-        print(f"{rel}:{lineno}: [{rule}] {msg}")
+    pmpr_scan.print_violations(violations)
+    if args.verbose:
+        pmpr_scan.print_timings(timings, len(scans))
     if violations:
-        print(f"pmpr-lint: {len(violations)} violation(s) in "
-              f"{total_files} file(s)")
+        print(
+            f"pmpr-lint: {len(violations)} violation(s) in "
+            f"{len(scans)} file(s)"
+        )
         return 1
-    print(f"pmpr-lint: OK ({total_files} file(s) clean)")
+    print(f"pmpr-lint: OK ({len(scans)} file(s) clean)")
     return 0
 
 

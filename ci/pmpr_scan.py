@@ -1,0 +1,159 @@
+"""Shared single-pass source scanning for pmpr's Python static gates.
+
+Both ci/pmpr_lint.py (file-local discipline rules) and ci/pmpr_analyze.py
+(whole-program layering / lock-order / header-hygiene passes) consume
+C++ sources the same way: read each file exactly once, strip comments and
+string literals, and hand the cleaned lines to every interested rule. This
+module owns that machinery so the two tools cannot drift:
+
+  * FileScan        one file, read once: raw lines + comment/string-stripped
+                    code lines (block comments handled across lines), plus
+                    the parsed `#include "..."` directives.
+  * Rule            a named check over one FileScan; `run_rules` dispatches
+                    every rule from the single scan and accumulates per-rule
+                    wall time so `--verbose` can report where lint time goes.
+  * collect_files   directory -> *.hpp/*.cpp/*.h expansion (sorted, stable).
+
+Violations are (rel_path, lineno, rule_id, message) tuples everywhere; the
+printed form `rel:line: [rule] message` is shared by both tools and relied
+on by the fixture self-tests.
+"""
+
+import pathlib
+import re
+import time
+
+SOURCE_SUFFIXES = (".hpp", ".cpp", ".h")
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+SYSTEM_INCLUDE_RE = re.compile(r"^\s*#\s*include\s+<([^>]+)>")
+
+_STRING_RE = re.compile(r'"(\\.|[^"\\])*"')
+_BLOCK_RE = re.compile(r"/\*.*?\*/")
+
+
+def strip_code(line):
+    """Strips // and single-line /* */ comments plus string literals."""
+    line = _STRING_RE.sub('""', line)
+    line = _BLOCK_RE.sub("", line)
+    idx = line.find("//")
+    return line if idx < 0 else line[:idx]
+
+
+class FileScan:
+    """One source file, read and comment-stripped exactly once.
+
+    Attributes:
+      path      pathlib.Path as given.
+      rel       '/'-separated path relative to the scan root (allowlist key).
+      lines     raw text lines (comments intact — rules that look for
+                rationale comments need them).
+      code      same length as `lines`; comments and string literals
+                stripped, multi-line /* */ blocks blanked.
+      includes  [(lineno, target)] for `#include "target"` directives.
+      system_includes  [(lineno, header)] for `#include <header>`.
+      error     IO error string, or None. On error all lists are empty.
+    """
+
+    def __init__(self, path, rel):
+        self.path = pathlib.Path(path)
+        self.rel = rel
+        self.lines = []
+        self.code = []
+        self.includes = []
+        self.system_includes = []
+        self.error = None
+        try:
+            text = self.path.read_text(encoding="utf-8", errors="replace")
+        except OSError as e:
+            self.error = str(e)
+            return
+        self.lines = text.splitlines()
+        in_block = False
+        for i, raw in enumerate(self.lines):
+            line = raw
+            if in_block:
+                end = line.find("*/")
+                if end < 0:
+                    self.code.append("")
+                    continue
+                line = line[end + 2:]
+                in_block = False
+            code = strip_code(line)
+            if "/*" in code:
+                code = code[: code.index("/*")]
+                in_block = True
+            self.code.append(code)
+            # Match includes on the pre-strip line: strip_code blanks
+            # string literals, which would erase the include target.
+            m = INCLUDE_RE.match(line)
+            if m:
+                self.includes.append((i + 1, m.group(1)))
+            else:
+                m = SYSTEM_INCLUDE_RE.match(line)
+                if m:
+                    self.system_includes.append((i + 1, m.group(1)))
+
+    def is_header(self):
+        return self.path.suffix in (".hpp", ".h")
+
+
+class Rule:
+    """One named check. Subclasses (or instances with `fn` set) implement
+    check(scan) -> iterable of (rel, lineno, rule_id, message)."""
+
+    def __init__(self, name, fn=None):
+        self.name = name
+        self.fn = fn
+
+    def check(self, scan):
+        return self.fn(scan) if self.fn is not None else ()
+
+
+def collect_files(paths):
+    """Expands files/directories into a stable, sorted source-file list."""
+    for p in paths:
+        p = pathlib.Path(p)
+        if p.is_dir():
+            yield from sorted(
+                q for q in p.rglob("*") if q.suffix in SOURCE_SUFFIXES
+            )
+        else:
+            yield p
+
+
+def rel_to_root(path, root):
+    try:
+        return path.resolve().relative_to(root).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def run_rules(scans, rules, timings=None):
+    """Dispatches every rule over every scan (each file was read once, by
+    its FileScan). `timings`, if a dict, accrues per-rule seconds."""
+    violations = []
+    for scan in scans:
+        if scan.error is not None:
+            violations.append((scan.rel, 0, "io-error", scan.error))
+            continue
+        for rule in rules:
+            t0 = time.perf_counter()
+            violations.extend(rule.check(scan))
+            if timings is not None:
+                timings[rule.name] = (
+                    timings.get(rule.name, 0.0) + time.perf_counter() - t0
+                )
+    return violations
+
+
+def print_violations(violations):
+    for rel, lineno, rule, msg in violations:
+        print(f"{rel}:{lineno}: [{rule}] {msg}")
+
+
+def print_timings(timings, total_files):
+    print(f"-- per-rule timing over {total_files} file(s):")
+    width = max((len(n) for n in timings), default=0)
+    for name in sorted(timings, key=timings.get, reverse=True):
+        print(f"   {name:<{width}}  {timings[name] * 1e3:8.2f} ms")

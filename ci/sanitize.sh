@@ -12,7 +12,10 @@
 # Usage: ci/sanitize.sh [asan|tsan|all]      (default: all)
 #
 # Environment:
-#   PMPR_SANITIZE_JOBS       parallel build/test jobs (default: nproc)
+#   PMPR_SANITIZE_JOBS       parallel build/test jobs (default:
+#                            CTEST_PARALLEL_LEVEL if set, else nproc — so
+#                            `ctest -j N` does not fan out N*nproc jobs when
+#                            this runs as the ci.sanitize_smoke target)
 #   PMPR_SANITIZE_BUILD_DIR  build-tree root (default: <repo>/build-sanitize)
 #
 # Build trees are configured at -O1 -g without NDEBUG so PMPR_DCHECKs stay
@@ -22,7 +25,7 @@
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-JOBS="${PMPR_SANITIZE_JOBS:-$(nproc)}"
+JOBS="${PMPR_SANITIZE_JOBS:-${CTEST_PARALLEL_LEVEL:-$(nproc)}}"
 BUILD_ROOT="${PMPR_SANITIZE_BUILD_DIR:-${ROOT}/build-sanitize}"
 MODE="${1:-all}"
 

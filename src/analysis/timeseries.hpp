@@ -13,7 +13,7 @@
 #include <utility>
 #include <vector>
 
-#include "exec/results.hpp"
+#include "analysis/result_sink.hpp"
 #include "graph/types.hpp"
 
 namespace pmpr::analysis {

@@ -1,4 +1,4 @@
-#include "obs/metrics.hpp"
+#include "exec/metrics.hpp"
 
 #include <fstream>
 #include <ostream>

@@ -1,5 +1,10 @@
 // Runtime telemetry: run-metrics serialization (observability pillar 3).
 //
+// Lives in exec/ (not obs/) because it serializes exec's RunResult: the
+// exporter sits above both the runners and the telemetry layer in the
+// module DAG (ci/layers.toml). The API keeps the pmpr::obs namespace it
+// has always had — callers say obs::write_metrics_json.
+//
 // Every runner fills RunResult with per-window convergence data, telemetry
 // counter deltas, per-phase latency histograms, and a peak-memory estimate;
 // write_metrics_json emits the whole record as one JSON object (schema

@@ -8,7 +8,7 @@
 #include <stdexcept>
 
 #include "util/check.hpp"
-#include "util/parallel_sort.hpp"
+#include "par/parallel_sort.hpp"
 
 namespace pmpr {
 
@@ -44,7 +44,7 @@ bool TemporalEdgeList::is_sorted_by_time() const {
 
 void TemporalEdgeList::sort_by_time() {
   // Parallel stable merge sort above its sequential cutoff; plain
-  // stable_sort below it (see util/parallel_sort.hpp).
+  // stable_sort below it (see par/parallel_sort.hpp).
   parallel_sort(edges_, [](const TemporalEdge& a, const TemporalEdge& b) {
     return a.time < b.time;
   });

@@ -4,11 +4,10 @@
 
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
-#include "par/thread_pool.hpp"
 
 namespace pmpr::obs {
 
-Sampler::Sampler(par::ThreadPool& pool, SamplerOptions opts)
+Sampler::Sampler(SchedulerProbe& pool, SamplerOptions opts)
     : pool_(pool), opts_(opts) {}
 
 Sampler::~Sampler() { stop(); }
@@ -37,7 +36,7 @@ SamplerSample Sampler::sample_once() {
   s.t_ns = trace_now_ns();
   std::uint64_t total = 0;
   std::uint64_t deepest = 0;
-  for (std::size_t i = 0; i < pool_.num_threads(); ++i) {
+  for (std::size_t i = 0; i < pool_.num_workers(); ++i) {
     const std::uint64_t d = pool_.approx_queued(i);
     total += d;
     deepest = std::max(deepest, d);

@@ -26,11 +26,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/scheduler_probe.hpp"
 #include "util/thread_annotations.hpp"
-
-namespace pmpr::par {
-class ThreadPool;
-}  // namespace pmpr::par
 
 namespace pmpr::obs {
 
@@ -73,8 +70,9 @@ struct SamplerSummary {
 
 class Sampler {
  public:
-  /// Does not start sampling; call start(). `pool` must outlive `*this`.
-  explicit Sampler(par::ThreadPool& pool, SamplerOptions opts = {});
+  /// Does not start sampling; call start(). `pool` (any SchedulerProbe —
+  /// in practice a par::ThreadPool) must outlive `*this`.
+  explicit Sampler(SchedulerProbe& pool, SamplerOptions opts = {});
   ~Sampler();  ///< Stops and joins if still running.
 
   Sampler(const Sampler&) = delete;
@@ -104,7 +102,7 @@ class Sampler {
   void loop();
   void record(const SamplerSample& s);
 
-  par::ThreadPool& pool_;
+  SchedulerProbe& pool_;
   const SamplerOptions opts_;
 
   mutable Mutex mu_;

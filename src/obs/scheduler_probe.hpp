@@ -1,0 +1,35 @@
+// Scheduler introspection interface consumed by the sampling profiler.
+//
+// The Sampler (obs/sampler.hpp) snapshots a running scheduler without
+// knowing its concrete type: par::ThreadPool implements this interface.
+// Defining the contract here (and not in par/) keeps obs below par in the
+// module DAG (ci/layers.toml) — par depends on obs for counters and trace
+// spans, so obs must never include par headers back.
+//
+// All methods are advisory monitor reads: approximate, wait-free or
+// briefly-locked on the implementation side, and safe to call from any
+// thread while the scheduler runs.
+#pragma once
+
+#include <cstddef>
+
+namespace pmpr::obs {
+
+class SchedulerProbe {
+ public:
+  virtual ~SchedulerProbe() = default;
+
+  /// Number of workers (stable for the scheduler's lifetime).
+  [[nodiscard]] virtual std::size_t num_workers() const = 0;
+
+  /// Approximate depth of worker `index`'s queue; 0 for out-of-range.
+  [[nodiscard]] virtual std::size_t approx_queued(std::size_t index) const = 0;
+
+  /// Approximate total queued tasks (all workers + any injection queue).
+  [[nodiscard]] virtual std::size_t approx_total_queued() const = 0;
+
+  /// Workers currently parked waiting for work.
+  [[nodiscard]] virtual std::size_t parked_workers() const = 0;
+};
+
+}  // namespace pmpr::obs

@@ -26,6 +26,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/scheduler_probe.hpp"
 #include "par/ws_deque.hpp"
 #include "util/thread_annotations.hpp"
 
@@ -90,12 +91,15 @@ class WaitGroup {
   std::exception_ptr exception_;
 };
 
-class ThreadPool {
+/// Implements obs::SchedulerProbe so the sampling profiler can snapshot the
+/// pool without obs/ depending back on par/ (the pool depends on obs for
+/// counters and trace spans).
+class ThreadPool : public obs::SchedulerProbe {
  public:
   /// Creates a pool with `num_threads` workers (>=1). The calling thread is
   /// not a worker but helps while waiting.
   explicit ThreadPool(std::size_t num_threads);
-  ~ThreadPool();
+  ~ThreadPool() override;
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
@@ -130,21 +134,27 @@ class ThreadPool {
   /// are never shared between concurrently-running bodies.
   [[nodiscard]] std::size_t reduce_slot() const;
 
-  // Monitoring introspection (obs::Sampler). All three are safe to call
-  // from any thread while the pool runs; values are advisory gauges —
-  // in-flight pushes/pops/steals and parks make them racy by contract.
+  // Monitoring introspection (the obs::SchedulerProbe contract, consumed
+  // by obs::Sampler). All are safe to call from any thread while the pool
+  // runs; values are advisory gauges — in-flight pushes/pops/steals and
+  // parks make them racy by contract.
+
+  /// Probe alias for num_threads().
+  [[nodiscard]] std::size_t num_workers() const override {
+    return num_threads();
+  }
 
   /// Approximate depth of worker `index`'s deque (0 if out of range).
-  [[nodiscard]] std::size_t approx_queued(std::size_t index) const;
+  [[nodiscard]] std::size_t approx_queued(std::size_t index) const override;
 
   /// Approximate total queued tasks: every worker deque plus the
   /// injection queue.
-  [[nodiscard]] std::size_t approx_total_queued() const
+  [[nodiscard]] std::size_t approx_total_queued() const override
       PMPR_EXCLUDES(inject_mutex_);
 
   /// Workers currently parked (or committing to park) on the sleep
   /// condvar.
-  [[nodiscard]] std::size_t parked_workers() const {
+  [[nodiscard]] std::size_t parked_workers() const override {
     // relaxed: an advisory gauge for the sampler; the park protocol itself
     // uses seq_cst on this counter (see notify()), a monitor read needs no
     // ordering with it.

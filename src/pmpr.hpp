@@ -24,6 +24,7 @@
 #include "analysis/timeseries.hpp"  // IWYU pragma: export
 #include "exec/config.hpp"          // IWYU pragma: export
 #include "exec/export.hpp"          // IWYU pragma: export
+#include "exec/metrics.hpp"         // IWYU pragma: export
 #include "exec/offline_runner.hpp"  // IWYU pragma: export
 #include "exec/postmortem_runner.hpp"  // IWYU pragma: export
 #include "exec/results.hpp"            // IWYU pragma: export
@@ -37,7 +38,6 @@
 #include "graph/window.hpp"            // IWYU pragma: export
 #include "obs/counters.hpp"            // IWYU pragma: export
 #include "obs/histogram.hpp"           // IWYU pragma: export
-#include "obs/metrics.hpp"             // IWYU pragma: export
 #include "obs/sampler.hpp"             // IWYU pragma: export
 #include "obs/trace.hpp"               // IWYU pragma: export
 #include "pagerank/pagerank.hpp"       // IWYU pragma: export

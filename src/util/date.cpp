@@ -33,8 +33,8 @@ CivilDate civil_from_days(std::int64_t days) {
   return out;
 }
 
-Timestamp timestamp_from_date(const CivilDate& date) {
-  return days_from_civil(date) * duration::kDay;
+std::int64_t timestamp_from_date(const CivilDate& date) {
+  return days_from_civil(date) * kSecondsPerDay;
 }
 
 std::optional<CivilDate> parse_date(std::string_view text) {
@@ -68,10 +68,10 @@ std::optional<CivilDate> parse_date(std::string_view text) {
   return date;
 }
 
-std::string format_date(Timestamp t) {
+std::string format_date(std::int64_t t) {
   // Floor toward the containing civil day for negative times.
-  std::int64_t days = t / duration::kDay;
-  if (t < 0 && t % duration::kDay != 0) --days;
+  std::int64_t days = t / kSecondsPerDay;
+  if (t < 0 && t % kSecondsPerDay != 0) --days;
   const CivilDate date = civil_from_days(days);
   char buf[16];
   std::snprintf(buf, sizeof(buf), "%04d-%02u-%02u", date.year, date.month,

@@ -11,9 +11,11 @@
 #include <string>
 #include <string_view>
 
-#include "graph/types.hpp"
-
 namespace pmpr {
+
+/// Seconds per civil day. Equal to duration::kDay (graph/types.hpp); spelled
+/// out here so util stays below graph in the module DAG (ci/layers.toml).
+inline constexpr std::int64_t kSecondsPerDay = 86400;
 
 struct CivilDate {
   int year = 1970;
@@ -27,14 +29,15 @@ std::int64_t days_from_civil(const CivilDate& date);
 /// Inverse of days_from_civil.
 CivilDate civil_from_days(std::int64_t days);
 
-/// Epoch seconds at midnight UTC of the date.
-Timestamp timestamp_from_date(const CivilDate& date);
+/// Epoch seconds at midnight UTC of the date (the graph layer's Timestamp
+/// is the same 64-bit integer).
+std::int64_t timestamp_from_date(const CivilDate& date);
 
 /// Parses "YYYY-MM-DD" (also accepts "YYYY/MM/DD"); nullopt on malformed
 /// or out-of-range input.
 std::optional<CivilDate> parse_date(std::string_view text);
 
 /// Formats epoch seconds as "YYYY-MM-DD" (UTC midnight-floor).
-std::string format_date(Timestamp t);
+std::string format_date(std::int64_t t);
 
 }  // namespace pmpr

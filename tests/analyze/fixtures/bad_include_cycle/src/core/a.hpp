@@ -1,0 +1,11 @@
+// Fixture: half of a two-header include cycle. Same module, so the layer
+// DAG has nothing to say — only SCC detection catches it.
+#pragma once
+
+#include "core/b.hpp"
+
+namespace fx {
+struct A {
+  int value = 0;
+};
+}  // namespace fx

@@ -1,0 +1,10 @@
+// Fixture: the other half of the cycle.
+#pragma once
+
+#include "core/a.hpp"
+
+namespace fx {
+struct B {
+  int value = 1;
+};
+}  // namespace fx

@@ -1,0 +1,9 @@
+// Fixture: the layer edge graph -> par is legal, but this include drags an
+// [internal] header across the module boundary — hygiene must reject it.
+#pragma once
+
+#include "par/ws_impl.hpp"
+
+namespace fx {
+inline int impl_slots(const WsImpl& w) { return w.slots; }
+}  // namespace fx

@@ -1,0 +1,8 @@
+// Fixture: module-internal implementation header.
+#pragma once
+
+namespace fx {
+struct WsImpl {
+  int slots = 0;
+};
+}  // namespace fx

@@ -1,0 +1,9 @@
+// Fixture: legitimate upper-layer header.
+#pragma once
+
+namespace fx {
+struct Edge {
+  int src = 0;
+  int dst = 0;
+};
+}  // namespace fx

@@ -1,0 +1,9 @@
+// Fixture: util reaching UP into graph — the back-edge the layers pass
+// must reject (util declares no dependencies in layers.toml).
+#pragma once
+
+#include "graph/types.hpp"
+
+namespace fx {
+inline int edge_sum(const Edge& e) { return e.src + e.dst; }
+}  // namespace fx

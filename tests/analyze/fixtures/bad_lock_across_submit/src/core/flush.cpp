@@ -1,0 +1,16 @@
+// Fixture: a lock held across a scheduler boundary. If the submitted task
+// (or a helping thread) ever needs state_mutex_, the pool deadlocks; the
+// lock pass must flag the submit while the guard is live.
+
+namespace fx {
+
+Mutex state_mutex_;
+int pending_ = 0;
+
+void flush(ThreadPool& pool) {
+  LockGuard hold(state_mutex_);
+  pending_ = 0;
+  pool.submit([] { return 1; });
+}
+
+}  // namespace fx

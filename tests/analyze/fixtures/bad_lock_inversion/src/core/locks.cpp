@@ -1,0 +1,24 @@
+// Fixture: classic AB/BA lock inversion. first() establishes the order
+// mu_a -> mu_b; second() acquires them the other way round. The lock pass
+// must report a lock-order-cycle with both witnesses.
+
+namespace fx {
+
+Mutex mu_a;
+Mutex mu_b;
+int shared_a = 0;
+int shared_b = 0;
+
+void first() {
+  LockGuard hold_a(mu_a);
+  LockGuard hold_b(mu_b);
+  shared_a += shared_b;
+}
+
+void second() {
+  LockGuard hold_b(mu_b);
+  LockGuard hold_a(mu_a);
+  shared_b += shared_a;
+}
+
+}  // namespace fx

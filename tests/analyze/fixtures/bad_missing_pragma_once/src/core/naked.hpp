@@ -1,0 +1,7 @@
+// Fixture: header with no #pragma once — double inclusion redefines Naked.
+
+namespace fx {
+struct Naked {
+  int value = 0;
+};
+}  // namespace fx

@@ -1,0 +1,4 @@
+// Fixture: the unique definer of PMPR_FIXTURE_TWICE.
+#pragma once
+
+#define PMPR_FIXTURE_TWICE(x) ((x) * 2)

@@ -1,0 +1,9 @@
+// Fixture: uses PMPR_FIXTURE_TWICE without including its definer directly
+// — works only because wrap.hpp happens to pull defs.hpp in. Hygiene must
+// demand the direct include.
+
+#include "core/wrap.hpp"
+
+namespace fx {
+int doubled() { return PMPR_FIXTURE_TWICE(21); }
+}  // namespace fx

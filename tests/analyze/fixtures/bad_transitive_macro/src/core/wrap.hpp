@@ -1,0 +1,11 @@
+// Fixture: re-exports defs.hpp; including this makes the macro visible
+// only transitively.
+#pragma once
+
+#include "core/defs.hpp"
+
+namespace fx {
+struct Wrap {
+  int value = 0;
+};
+}  // namespace fx

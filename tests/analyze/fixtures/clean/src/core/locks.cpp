@@ -1,0 +1,39 @@
+// Fixture: lock usage the analyzer must accept — a consistent mu_a -> mu_b
+// order in every function, a condvar wait (which releases the lock, so it
+// is not "held across a wait"), and a guard that ends before the submit.
+
+#include "core/thing.hpp"
+
+namespace fx {
+
+Mutex mu_a;
+Mutex mu_b;
+CondVar cv_ready;
+int shared_ = 0;
+
+void forward_order() {
+  LockGuard hold_a(mu_a);
+  LockGuard hold_b(mu_b);
+  shared_ += 1;
+}
+
+void same_order_again() {
+  LockGuard hold_a(mu_a);
+  LockGuard hold_b(mu_b);
+  shared_ += 2;
+}
+
+void wait_for_ready() {
+  LockGuard hold(mu_a);
+  cv_ready.wait(hold);
+}
+
+void submit_outside_lock(ThreadPool& pool) {
+  {
+    LockGuard hold(mu_a);
+    shared_ = 0;
+  }
+  pool.submit([] { return 1; });
+}
+
+}  // namespace fx

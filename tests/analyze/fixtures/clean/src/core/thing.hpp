@@ -1,0 +1,9 @@
+// Fixture: legal downward include plus a macro use backed by a direct
+// include of its definer.
+#pragma once
+
+#include "util/base.hpp"
+
+namespace fx {
+inline int bumped(const Base& b) { return PMPR_FIXTURE_PLUS_ONE(b.value); }
+}  // namespace fx

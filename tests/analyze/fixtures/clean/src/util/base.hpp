@@ -1,0 +1,10 @@
+// Fixture: clean bottom-layer header with a macro definition.
+#pragma once
+
+#define PMPR_FIXTURE_PLUS_ONE(x) ((x) + 1)
+
+namespace fx {
+struct Base {
+  int value = 0;
+};
+}  // namespace fx

@@ -1,4 +1,4 @@
-#include "util/parallel_sort.hpp"
+#include "par/parallel_sort.hpp"
 
 #include <gtest/gtest.h>
 

@@ -80,7 +80,7 @@ TEST(Date, ParseFormatRoundTrip) {
   Xoshiro256 rng(3);
   for (int trial = 0; trial < 1000; ++trial) {
     const auto days = static_cast<std::int64_t>(rng.bounded(60000));
-    const std::string text = format_date(days * duration::kDay);
+    const std::string text = format_date(days * kSecondsPerDay);
     const auto parsed = parse_date(text);
     ASSERT_TRUE(parsed.has_value()) << text;
     ASSERT_EQ(days_from_civil(*parsed), days) << text;
