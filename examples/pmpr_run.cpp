@@ -17,7 +17,32 @@
 #include <memory>
 #include <string>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "pmpr.hpp"
+
+namespace {
+
+/// Peak RSS of this process in bytes (0 where getrusage is unavailable).
+/// A real measurement, unlike RunResult::peak_memory_bytes' estimate —
+/// ci/oocore_smoke.sh asserts on it.
+std::size_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::size_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::size_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+}  // namespace
 
 using namespace pmpr;
 
@@ -31,6 +56,10 @@ int main(int argc, char** argv) {
   std::int64_t max_windows = 64;
   std::int64_t max_lanes = 0;
   std::string simd = "auto";
+  std::string storage = "in-ram";
+  std::int64_t memory_budget_mb = 0;
+  std::string spill_path;
+  std::int64_t parts = 0;
   std::string trace_path;
   std::string metrics_path;
   bool profile = false;
@@ -45,6 +74,17 @@ int main(int argc, char** argv) {
            "sweeps; forced modes fail fast when unsupported. The resolved "
            "ISA lands in the metrics JSON as \"simd_isa\" and the "
            "simd_sweep_* counters record per-ISA sweep invocations");
+  opts.add("storage", &storage,
+           "postmortem representation: in-ram | compressed | out-of-core "
+           "(ranks are bit-identical across all three)");
+  opts.add("memory-budget-mb", &memory_budget_mb,
+           "out-of-core: hard cap on resident compressed payload, in MiB "
+           "(0 = page one part at a time)");
+  opts.add("spill", &spill_path,
+           "out-of-core: store-file path (empty = unique temp file, "
+           "removed on exit)");
+  opts.add("parts", &parts,
+           "postmortem multi-window graph count Y (0 = suggested config)");
   opts.add("dataset", &dataset,
            "surrogate name (see bench_table1_datasets for the list)");
   opts.add("scale", &scale, "surrogate dataset scale factor");
@@ -124,6 +164,11 @@ int main(int argc, char** argv) {
       config.vector_length = static_cast<std::size_t>(max_lanes);
       config.max_lanes = static_cast<std::size_t>(max_lanes);
     }
+    config.storage = parse_storage_kind(storage);
+    config.memory_budget_bytes =
+        static_cast<std::size_t>(memory_budget_mb) * 1024 * 1024;
+    config.spill_path = spill_path;
+    if (parts > 0) config.num_multi_windows = static_cast<std::size_t>(parts);
     result = run_postmortem(events, windows, sink, config);
   }
 
@@ -133,6 +178,38 @@ int main(int argc, char** argv) {
               result.total_seconds(),
               static_cast<unsigned long long>(result.total_iterations),
               static_cast<double>(result.peak_memory_bytes) / (1024 * 1024));
+  // Order-independent digest of every window's ranks; two runs that agree
+  // bit-for-bit print the same value (ci/oocore_smoke.sh diffs this line
+  // between storage kinds).
+  double checksum = 0.0;
+  for (const double w : sink.weighted()) checksum += w;
+  std::printf("checksum   : %.17g over %zu windows\n", checksum,
+              sink.weighted().size());
+  if (model == "postmortem") {
+    std::printf("storage    : %s, representation %.2f MiB\n", storage.c_str(),
+                static_cast<double>(result.representation_bytes) /
+                    (1024 * 1024));
+    if (result.oocore_raw_bytes > 0) {
+      std::printf("oocore     : store %.2f MiB / raw %.2f MiB (%.2fx), "
+                  "peak resident %.2f MiB, %llu evictions, %llu refaults\n",
+                  static_cast<double>(result.oocore_store_bytes) /
+                      (1024 * 1024),
+                  static_cast<double>(result.oocore_raw_bytes) / (1024 * 1024),
+                  static_cast<double>(result.oocore_raw_bytes) /
+                      static_cast<double>(result.oocore_store_bytes),
+                  static_cast<double>(result.oocore_resident_peak_bytes) /
+                      (1024 * 1024),
+                  static_cast<unsigned long long>(
+                      result.counters[obs::Counter::kPartsEvicted]),
+                  static_cast<unsigned long long>(
+                      result.counters[obs::Counter::kPartRefaults]));
+    }
+  }
+  const std::size_t maxrss = peak_rss_bytes();
+  if (maxrss > 0) {
+    std::printf("maxrss     : %zu bytes (%.1f MiB)\n", maxrss,
+                static_cast<double>(maxrss) / (1024 * 1024));
+  }
   std::printf("simd       : %s (%llu scalar / %llu avx2 / %llu avx512 "
               "sweeps)\n",
               result.simd_isa.c_str(),

@@ -4,6 +4,7 @@
 
 #include "graph/window_stats.hpp"
 #include "par/thread_pool.hpp"
+#include "util/check.hpp"
 
 namespace pmpr {
 
@@ -23,6 +24,18 @@ std::string_view to_string(KernelKind k) {
   return k == KernelKind::kSpmv ? "spmv" : "spmm";
 }
 
+std::string_view to_string(StorageKind s) {
+  switch (s) {
+    case StorageKind::kInRam:
+      return "in-ram";
+    case StorageKind::kCompressed:
+      return "compressed";
+    case StorageKind::kOutOfCore:
+      return "out-of-core";
+  }
+  return "?";
+}
+
 ParallelMode parse_parallel_mode(std::string_view name) {
   if (name == "window") return ParallelMode::kWindow;
   if (name == "pagerank" || name == "pr") return ParallelMode::kPagerank;
@@ -31,6 +44,18 @@ ParallelMode parse_parallel_mode(std::string_view name) {
 
 KernelKind parse_kernel_kind(std::string_view name) {
   return name == "spmv" ? KernelKind::kSpmv : KernelKind::kSpmm;
+}
+
+StorageKind parse_storage_kind(std::string_view name) {
+  if (name == "in-ram" || name == "ram") return StorageKind::kInRam;
+  if (name == "compressed") return StorageKind::kCompressed;
+  if (name == "out-of-core" || name == "oocore") return StorageKind::kOutOfCore;
+  // Unlike the mode/kernel parsers, a typo here must not fall back: a user
+  // who asked for out-of-core and silently got in-RAM OOMs instead of
+  // paging.
+  PMPR_CHECK_MSG(false, "unknown storage kind '"
+                            << name
+                            << "' (expected in-ram, compressed, out-of-core)");
 }
 
 WorkloadProfile WorkloadProfile::from_window_edges(

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <span>
+#include <string>
 #include <string_view>
 
 #include "graph/edge_list.hpp"
@@ -26,10 +27,27 @@ enum class ParallelMode {
 /// per matrix traversal, §4.4).
 enum class KernelKind { kSpmv, kSpmm };
 
+/// How the multi-window representation is stored while computing.
+enum class StorageKind {
+  /// Raw temporal CSR arrays, all parts resident (the seed behavior and
+  /// the ablation baseline for the compressed paths).
+  kInRam,
+  /// Chunked delta+varint parts, all resident; the compile passes stream
+  /// from the chunks (io/compressed_csr.hpp) — the raw arrays never exist
+  /// after the build.
+  kCompressed,
+  /// Compressed parts serialized to an mmap-backed store file and paged
+  /// in/out under config.memory_budget_bytes
+  /// (graph/paged_multi_window.hpp). Requires compiled_kernels.
+  kOutOfCore,
+};
+
 [[nodiscard]] std::string_view to_string(ParallelMode m);
 [[nodiscard]] std::string_view to_string(KernelKind k);
+[[nodiscard]] std::string_view to_string(StorageKind s);
 ParallelMode parse_parallel_mode(std::string_view name);
 KernelKind parse_kernel_kind(std::string_view name);
+StorageKind parse_storage_kind(std::string_view name);
 
 struct PostmortemConfig {
   PagerankParams pr;
@@ -60,6 +78,17 @@ struct PostmortemConfig {
   /// kernels for differential testing and ablation.
   bool compiled_kernels = true;
   bool partial_init = true;
+  /// Representation storage: raw in-RAM (default), compressed in-RAM, or
+  /// the mmap-backed out-of-core store. The compressed kinds require
+  /// compiled_kernels (the reference traversal needs raw arrays) — the
+  /// runner throws InvariantError otherwise. Ranks are bit-identical
+  /// across all three.
+  StorageKind storage = StorageKind::kInRam;
+  /// kOutOfCore only: hard cap on resident compressed payload bytes. 0 =
+  /// "one part at a time" (the cap adjusts to the largest part).
+  std::size_t memory_budget_bytes = 0;
+  /// kOutOfCore only: store-file location; empty picks a unique temp file.
+  std::string spill_path;
   /// Run MultiWindowSet::validate() on the representation before computing
   /// (throws pmpr::InvariantError on a structural violation). O(V + E)
   /// once per run — cheap insurance for debugging and sanitizer CI.

@@ -64,13 +64,28 @@ StoreAllSink load_series_csv(const std::string& path) {
 }
 
 namespace {
-constexpr char kMagic[8] = {'P', 'M', 'P', 'R', 'T', 'S', '0', '1'};
-}
+// Version 1 files are a bare magic followed by the payload; version 2 adds
+// a 4-byte extended header (endianness tag, payload codec, reserved byte)
+// so readers can reject foreign-endian or unknown-codec files instead of
+// decoding garbage. Writers emit v2; the loader accepts both.
+constexpr char kMagicV1[8] = {'P', 'M', 'P', 'R', 'T', 'S', '0', '1'};
+constexpr char kMagicV2[8] = {'P', 'M', 'P', 'R', 'T', 'S', '0', '2'};
+/// Written as a native u16; a reader on the other endianness sees 0x0201.
+constexpr std::uint16_t kEndianTag = 0x0102;
+/// Payload codecs. Only raw ⟨vertex,score⟩ rows exist today; the tag
+/// reserves space for a compressed payload without another magic bump.
+constexpr std::uint8_t kCodecRawRows = 0;
+}  // namespace
 
 void save_series_binary(const StoreAllSink& sink, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
   if (!out) throw std::runtime_error("cannot open " + path + " for writing");
-  out.write(kMagic, sizeof(kMagic));
+  out.write(kMagicV2, sizeof(kMagicV2));
+  out.write(reinterpret_cast<const char*>(&kEndianTag), sizeof(kEndianTag));
+  const std::uint8_t codec = kCodecRawRows;
+  const std::uint8_t reserved = 0;
+  out.write(reinterpret_cast<const char*>(&codec), sizeof(codec));
+  out.write(reinterpret_cast<const char*>(&reserved), sizeof(reserved));
   const std::uint64_t windows = sink.num_windows();
   out.write(reinterpret_cast<const char*>(&windows), sizeof(windows));
   for (std::size_t w = 0; w < windows; ++w) {
@@ -99,13 +114,39 @@ StoreAllSink load_series_binary(const std::string& path) {
   constexpr std::uint64_t kRowBytes = sizeof(VertexId) + sizeof(double);
   char magic[8];
   in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+  if (!in || std::memcmp(magic, "PMPRTS", 6) != 0) {
     throw std::runtime_error(path + ": not a pmpr time-series file");
+  }
+  std::uint64_t header_bytes = sizeof(magic);
+  if (std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) == 0) {
+    std::uint16_t endian = 0;
+    std::uint8_t codec = 0;
+    std::uint8_t reserved = 0;
+    in.read(reinterpret_cast<char*>(&endian), sizeof(endian));
+    in.read(reinterpret_cast<char*>(&codec), sizeof(codec));
+    in.read(reinterpret_cast<char*>(&reserved), sizeof(reserved));
+    if (!in) throw std::runtime_error(path + ": truncated header");
+    if (endian != kEndianTag) {
+      throw std::runtime_error(path +
+                               ": endianness mismatch (file written on a "
+                               "different-endian machine)");
+    }
+    if (codec != kCodecRawRows) {
+      throw std::runtime_error(path + ": unknown payload codec " +
+                               std::to_string(codec));
+    }
+    // `reserved` is deliberately ignored: a future minor extension may set
+    // it without breaking this reader.
+    header_bytes += sizeof(endian) + sizeof(codec) + sizeof(reserved);
+  } else if (std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) != 0) {
+    throw std::runtime_error(
+        path + ": unsupported time-series format version '" +
+        std::string(magic + 6, 2) + "'");
   }
   std::uint64_t windows = 0;
   in.read(reinterpret_cast<char*>(&windows), sizeof(windows));
   if (!in) throw std::runtime_error(path + ": truncated header");
-  std::uint64_t payload = file_size - sizeof(kMagic) - sizeof(windows);
+  std::uint64_t payload = file_size - header_bytes - sizeof(windows);
   if (windows > payload / sizeof(std::uint64_t)) {
     throw std::runtime_error(path + ": window count " +
                              std::to_string(windows) +

@@ -12,6 +12,7 @@
 #include "pagerank/partial_init.hpp"
 #include "pagerank/spmm_temporal.hpp"
 #include "pagerank/spmv_temporal.hpp"
+#include "util/check.hpp"
 #include "util/timer.hpp"
 
 namespace pmpr {
@@ -28,6 +29,9 @@ struct ThreadState {
   SpmmWindowState spmm_ws;
   CompiledWindowCsr compiled_win;
   CompiledBatchCsr compiled_batch;
+  /// Chunk-decode buffers for compressed parts, reused across the serial
+  /// compile passes (the parallel passes allocate per callback).
+  io::DecodeScratch decode_scratch;
   std::vector<double> x;
   std::vector<double> scratch;
   std::vector<double> lane_buf;
@@ -133,18 +137,31 @@ void spmm_partial_init_lane(std::span<const double> prev_x,
 
 class PostmortemDriver {
  public:
-  PostmortemDriver(const MultiWindowSet& set, ResultSink& sink,
-                   const PostmortemConfig& cfg, RunResult& result)
-      : set_(set), sink_(sink), cfg_(cfg), result_(result) {
+  /// Exactly one of `set` / `paged` is non-null. The paged form processes
+  /// the work list part-major, holding a pin lease on one part at a time.
+  PostmortemDriver(const MultiWindowSet* set, PagedMultiWindowSet* paged,
+                   ResultSink& sink, const PostmortemConfig& cfg,
+                   RunResult& result)
+      : set_(set),
+        paged_(paged),
+        spec_(set != nullptr ? set->spec() : paged->spec()),
+        sink_(sink),
+        cfg_(cfg),
+        result_(result) {
     pool_ = cfg.pool != nullptr ? cfg.pool : &par::ThreadPool::global();
     for_opts_ = par::ForOptions{cfg.partitioner, cfg.grain, pool_};
     kernel_par_ =
         cfg.mode == ParallelMode::kWindow ? nullptr : &for_opts_;
 
     // One work-item list spanning all parts, ordered by part then index so
-    // contiguous chunks chain partial initialization.
-    for (std::size_t p = 0; p < set.num_parts(); ++p) {
-      const auto& part = set.part(p);
+    // contiguous chunks chain partial initialization. The paged driver
+    // additionally relies on this order: items of one part are contiguous,
+    // so a single lease covers a maximal run.
+    const std::size_t num_parts =
+        set != nullptr ? set->num_parts() : paged->num_parts();
+    for (std::size_t p = 0; p < num_parts; ++p) {
+      const MultiWindowGraph& part =
+          set != nullptr ? set->part(p) : paged->part_meta(p);
       const std::size_t count =
           cfg.kernel == KernelKind::kSpmv
               ? part.num_windows
@@ -158,12 +175,14 @@ class PostmortemDriver {
   }
 
   void run() {
-    result_.num_windows = set_.spec().count;
-    result_.iterations_per_window.assign(set_.spec().count, 0);
-    result_.final_residuals.assign(set_.spec().count, 0.0);
-    result_.residual_trajectories.assign(set_.spec().count, {});
+    result_.num_windows = spec_.count;
+    result_.iterations_per_window.assign(spec_.count, 0);
+    result_.final_residuals.assign(spec_.count, 0.0);
+    result_.residual_trajectories.assign(spec_.count, {});
 
-    if (cfg_.mode == ParallelMode::kPagerank) {
+    if (paged_ != nullptr) {
+      run_paged();
+    } else if (cfg_.mode == ParallelMode::kPagerank) {
       // Windows strictly in order, parallelism inside the kernel only.
       StateLease lease(*this);
       for (const WorkItem& item : items_) process(*lease.state, item);
@@ -207,6 +226,43 @@ class PostmortemDriver {
     ThreadState* state = nullptr;
   };
 
+  /// Part-major paged execution: maximal runs of same-part items share one
+  /// pin lease; groups run strictly in sequence so at most one part (plus
+  /// LRU leftovers under the budget) is resident. Within a group the
+  /// configured mode applies as usual.
+  void run_paged() {
+    std::size_t i = 0;
+    while (i < items_.size()) {
+      const std::size_t p = items_[i].part;
+      std::size_t j = i;
+      while (j < items_.size() && items_[j].part == p) ++j;
+      PagedMultiWindowSet::Lease lease = paged_->acquire(p);
+      // Published to the workers by the parallel_for fork below.
+      paged_part_ = &lease.part();
+      if (cfg_.mode == ParallelMode::kPagerank) {
+        StateLease slease(*this);
+        for (std::size_t k = i; k < j; ++k) process(*slease.state, items_[k]);
+      } else {
+        par::parallel_for_range(
+            i, j, for_opts_, [this](std::size_t lo, std::size_t hi) {
+              StateLease slease(*this);
+              for (std::size_t k = lo; k < hi; ++k) {
+                process(*slease.state, items_[k]);
+              }
+            });
+      }
+      paged_part_ = nullptr;
+      i = j;
+    }
+  }
+
+  /// The part an item reads: the pinned one under paged execution (the
+  /// paged store's slot graphs are only mapped while leased), the set's
+  /// otherwise.
+  [[nodiscard]] const MultiWindowGraph& part_of(const WorkItem& item) const {
+    return paged_ != nullptr ? *paged_part_ : set_->part(item.part);
+  }
+
   void process(ThreadState& st, const WorkItem& item) {
     if (cfg_.kernel == KernelKind::kSpmv) {
       process_spmv(st, item);
@@ -216,10 +272,10 @@ class PostmortemDriver {
   }
 
   void process_spmv(ThreadState& st, const WorkItem& item) {
-    const MultiWindowGraph& part = set_.part(item.part);
+    const MultiWindowGraph& part = part_of(item);
     const std::size_t w = part.first_window + item.index;
-    const Timestamp ts = set_.spec().start(w);
-    const Timestamp te = set_.spec().end(w);
+    const Timestamp ts = spec_.start(w);
+    const Timestamp te = spec_.end(w);
     const std::size_t n = part.num_local();
 
     st.x.resize(n);
@@ -228,7 +284,8 @@ class PostmortemDriver {
       PMPR_TRACE_SPAN("window.build");
       obs::PhaseTimer timing(obs::Phase::kBuild);
       if (cfg_.compiled_kernels) {
-        compile_window(part, ts, te, st.ws, st.compiled_win, kernel_par_);
+        compile_window(part, ts, te, st.ws, st.compiled_win, kernel_par_,
+                       &st.decode_scratch);
       } else {
         compute_window_state(part, ts, te, st.ws, kernel_par_);
       }
@@ -276,7 +333,7 @@ class PostmortemDriver {
   }
 
   void process_spmm(ThreadState& st, const WorkItem& item) {
-    const MultiWindowGraph& part = set_.part(item.part);
+    const MultiWindowGraph& part = part_of(item);
     const PartBatching geo =
         batching_for(part.num_windows, cfg_.vector_length, cfg_.max_lanes);
     const std::size_t j = item.index;
@@ -295,10 +352,10 @@ class PostmortemDriver {
       PMPR_TRACE_SPAN("batch.build");
       obs::PhaseTimer timing(obs::Phase::kBuild);
       if (cfg_.compiled_kernels) {
-        compile_spmm_batch(part, set_.spec(), batch, st.spmm_ws,
-                           st.compiled_batch, kernel_par_);
+        compile_spmm_batch(part, spec_, batch, st.spmm_ws, st.compiled_batch,
+                           kernel_par_, &st.decode_scratch);
       } else {
-        compute_spmm_state(part, set_.spec(), batch, st.spmm_ws, kernel_par_);
+        compute_spmm_state(part, spec_, batch, st.spmm_ws, kernel_par_);
       }
     }
 
@@ -341,7 +398,7 @@ class PostmortemDriver {
                   ? pagerank_spmm(st.spmm_ws, st.compiled_batch, st.x,
                                   st.scratch, cfg_.pr, kernel_par_,
                                   cfg_.simd)
-                  : pagerank_spmm(part, set_.spec(), batch, st.spmm_ws, st.x,
+                  : pagerank_spmm(part, spec_, batch, st.spmm_ws, st.x,
                                   st.scratch, cfg_.pr, kernel_par_);
     }
     obs::count(obs::Counter::kWindowsProcessed, lanes);
@@ -368,7 +425,13 @@ class PostmortemDriver {
     st.carry_index = j;
   }
 
-  const MultiWindowSet& set_;
+  const MultiWindowSet* set_ = nullptr;
+  PagedMultiWindowSet* paged_ = nullptr;
+  /// Pinned part of the group run_paged() is currently processing.
+  /// Written between groups only (before the fork / after the join), read
+  /// by the workers.
+  const MultiWindowGraph* paged_part_ = nullptr;
+  const WindowSpec spec_;
   ResultSink& sink_;
   const PostmortemConfig& cfg_;
   RunResult& result_;
@@ -381,8 +444,26 @@ class PostmortemDriver {
 
 }  // namespace
 
+namespace {
+
+/// Compressed representations stream through the compile passes; the
+/// reference (non-compiled) traversal reads the raw arrays and cannot run.
+void check_storage_supported(const PostmortemConfig& config) {
+  PMPR_CHECK_MSG(config.compiled_kernels ||
+                     config.storage == StorageKind::kInRam,
+                 to_string(config.storage)
+                     << " storage requires compiled_kernels: the reference "
+                        "kernels traverse the raw temporal CSR");
+}
+
+}  // namespace
+
 RunResult run_postmortem_prebuilt(const MultiWindowSet& set, ResultSink& sink,
                                   const PostmortemConfig& config) {
+  PMPR_CHECK_MSG(config.storage != StorageKind::kOutOfCore,
+                 "run_postmortem_prebuilt cannot page; use "
+                 "run_postmortem_paged or run_postmortem with "
+                 "StorageKind::kOutOfCore");
   if (config.validate) set.validate();
   RunResult result;
   // Resolve up front: a forced-but-unsupported simd mode fails the run
@@ -393,7 +474,7 @@ RunResult run_postmortem_prebuilt(const MultiWindowSet& set, ResultSink& sink,
   Timer timer;
   {
     PMPR_TRACE_SPAN("postmortem.run");
-    PostmortemDriver driver(set, sink, config, result);
+    PostmortemDriver driver(&set, nullptr, sink, config, result);
     driver.run();
   }
   result.compute_seconds = timer.seconds();
@@ -407,22 +488,89 @@ RunResult run_postmortem_prebuilt(const MultiWindowSet& set, ResultSink& sink,
                 1;
   const std::size_t vlen =
       config.kernel == KernelKind::kSpmm ? config.vector_length : 1;
-  result.peak_memory_bytes =
-      estimate_memory(set, vlen).peak_bytes(kernel_contexts);
+  const MemoryEstimate est = estimate_memory(set, vlen);
+  result.representation_bytes = est.representation_bytes;
+  result.peak_memory_bytes = est.peak_bytes(kernel_contexts);
+  return result;
+}
+
+RunResult run_postmortem_paged(PagedMultiWindowSet& paged, ResultSink& sink,
+                               const PostmortemConfig& config) {
+  PMPR_CHECK_MSG(config.compiled_kernels,
+                 "out-of-core storage requires compiled_kernels: the "
+                 "reference kernels traverse the raw temporal CSR");
+  if (config.validate) {
+    // Part at a time, bounded by the budget like any other access.
+    for (std::size_t p = 0; p < paged.num_parts(); ++p) {
+      paged.acquire(p).part().validate();
+    }
+  }
+  RunResult result;
+  result.simd_isa = std::string(to_string(resolve_simd(config.simd)));
+  const obs::CounterSnapshot before = obs::counters_snapshot();
+  const obs::HistogramSnapshot hist_before = obs::histograms_snapshot();
+  Timer timer;
+  {
+    PMPR_TRACE_SPAN("postmortem.run_paged");
+    PostmortemDriver driver(nullptr, &paged, sink, config, result);
+    driver.run();
+  }
+  result.compute_seconds = timer.seconds();
+  // Publish the store's paging activity as counters before snapshotting so
+  // the run's delta includes them.
+  const PagingStats ps = paged.stats();
+  obs::count(obs::Counter::kPartsEvicted, ps.parts_evicted);
+  obs::count(obs::Counter::kPartRefaults, ps.part_refaults);
+  result.counters = obs::counters_snapshot().delta_since(before);
+  result.histograms = obs::histograms_snapshot().delta_since(hist_before);
+  result.representation_bytes = ps.store_bytes;
+  result.oocore_resident_peak_bytes = ps.peak_resident_bytes;
+  result.oocore_store_bytes = ps.store_bytes;
+  result.oocore_raw_bytes = ps.raw_bytes;
+  // For paged runs the peak is a paging measurement, not a whole-set
+  // estimate: charged payload peak plus the always-resident vertex maps.
+  std::size_t meta_bytes = 0;
+  for (std::size_t p = 0; p < paged.num_parts(); ++p) {
+    meta_bytes +=
+        paged.part_meta(p).local_to_global.size() * sizeof(VertexId);
+  }
+  result.peak_memory_bytes = ps.peak_resident_bytes + meta_bytes;
   return result;
 }
 
 RunResult run_postmortem(const TemporalEdgeList& events,
                          const WindowSpec& spec, ResultSink& sink,
                          const PostmortemConfig& config) {
+  check_storage_supported(config);
   Timer build_timer;
   double build_seconds = 0.0;
   const obs::HistogramSnapshot hist_before = obs::histograms_snapshot();
-  const MultiWindowSet set = [&] {
+
+  if (config.storage == StorageKind::kOutOfCore) {
+    std::unique_ptr<PagedMultiWindowSet> paged;
+    {
+      PMPR_TRACE_SPAN("postmortem.build_paged_store");
+      obs::PhaseTimer timing(obs::Phase::kBuild);
+      PagedMultiWindowSet::Options opts;
+      opts.num_parts = config.num_multi_windows;
+      opts.policy = config.partition_policy;
+      opts.budget_bytes = config.memory_budget_bytes;
+      opts.spill_path = config.spill_path;
+      paged = PagedMultiWindowSet::build(events, spec, opts);
+      build_seconds = build_timer.seconds();
+    }
+    RunResult result = run_postmortem_paged(*paged, sink, config);
+    result.build_seconds = build_seconds;
+    result.histograms = obs::histograms_snapshot().delta_since(hist_before);
+    return result;
+  }
+
+  MultiWindowSet set = [&] {
     PMPR_TRACE_SPAN("postmortem.build_representation");
     obs::PhaseTimer timing(obs::Phase::kBuild);
     MultiWindowSet s = MultiWindowSet::build(
         events, spec, config.num_multi_windows, config.partition_policy);
+    if (config.storage == StorageKind::kCompressed) s.compress_in_place();
     build_seconds = build_timer.seconds();
     return s;
   }();

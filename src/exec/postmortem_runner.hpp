@@ -12,18 +12,33 @@
 #include "exec/results.hpp"
 #include "graph/edge_list.hpp"
 #include "graph/multi_window.hpp"
+#include "graph/paged_multi_window.hpp"
 
 namespace pmpr {
 
 /// Builds the multi-window representation (timed as build_seconds) and runs
-/// the analysis. `events` must be time-sorted.
+/// the analysis. `events` must be time-sorted. config.storage picks the
+/// representation: raw in-RAM, compressed in-RAM (chunk-streaming compile),
+/// or the mmap-backed out-of-core store paged under
+/// config.memory_budget_bytes. Ranks are bit-identical across the three.
 RunResult run_postmortem(const TemporalEdgeList& events,
                          const WindowSpec& spec, ResultSink& sink,
                          const PostmortemConfig& config);
 
 /// Runs on an already-built representation (build_seconds = 0). Benchmarks
 /// use this to sweep execution parameters without re-paying construction.
+/// Honors compressed parts (set.compress_in_place()) but not
+/// StorageKind::kOutOfCore — use run_postmortem_paged for that.
 RunResult run_postmortem_prebuilt(const MultiWindowSet& set, ResultSink& sink,
                                   const PostmortemConfig& config);
+
+/// Runs on an already-built paged store. Parts are processed part-major:
+/// each part is pinned (PagedMultiWindowSet::acquire) while its windows /
+/// batches compute — possibly in parallel — then released to the LRU.
+/// Requires config.compiled_kernels (the reference traversal needs raw
+/// arrays). Fills the oocore_* fields of RunResult from the store's
+/// PagingStats.
+RunResult run_postmortem_paged(PagedMultiWindowSet& paged, ResultSink& sink,
+                               const PostmortemConfig& config);
 
 }  // namespace pmpr

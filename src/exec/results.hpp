@@ -49,6 +49,18 @@ struct RunResult {
   /// they do not run the wide sweeps).
   std::string simd_isa;
 
+  /// Bytes of the stored representation (raw or compressed, whichever the
+  /// run used; postmortem runner only).
+  std::size_t representation_bytes = 0;
+  /// Out-of-core runs (StorageKind::kOutOfCore) only, zero otherwise:
+  /// peak charged resident payload, on-disk store size, and the raw
+  /// (uncompressed col+time) bytes the same adjacency would occupy — the
+  /// working set an in-RAM run needs. store/raw is the compression ratio,
+  /// peak/raw the residency reduction.
+  std::size_t oocore_resident_peak_bytes = 0;
+  std::size_t oocore_store_bytes = 0;
+  std::size_t oocore_raw_bytes = 0;
+
   [[nodiscard]] double total_seconds() const {
     return build_seconds + compute_seconds;
   }

@@ -15,12 +15,18 @@ VertexId MultiWindowGraph::local_of(VertexId global) const {
   return static_cast<VertexId>(it - local_to_global.begin());
 }
 
-namespace {
+void MultiWindowGraph::compress(std::size_t target_chunk_entries) {
+  if (is_compressed()) return;
+  in_compressed = std::make_shared<const io::CompressedTemporalCsr>(
+      compress_temporal_csr(in, target_chunk_entries));
+  in = TemporalCsr{};
+}
 
-/// Builds one part from its event slice (already restricted to the span).
-MultiWindowGraph build_part(std::span<const TemporalEdge> slice,
-                            std::size_t first_window, std::size_t num_windows,
-                            Timestamp span_start, Timestamp span_end) {
+MultiWindowGraph build_multi_window_part(std::span<const TemporalEdge> slice,
+                                         std::size_t first_window,
+                                         std::size_t num_windows,
+                                         Timestamp span_start,
+                                         Timestamp span_end) {
   MultiWindowGraph part;
   part.first_window = first_window;
   part.num_windows = num_windows;
@@ -51,8 +57,6 @@ MultiWindowGraph build_part(std::span<const TemporalEdge> slice,
                                /*reverse=*/true);
   return part;
 }
-
-}  // namespace
 
 std::string_view to_string(PartitionPolicy p) {
   return p == PartitionPolicy::kUniformWindows ? "uniform-windows"
@@ -109,6 +113,16 @@ std::vector<std::size_t> balanced_boundaries(const TemporalEdgeList& events,
 
 }  // namespace
 
+std::vector<std::size_t> partition_boundaries(const TemporalEdgeList& events,
+                                              const WindowSpec& spec,
+                                              std::size_t num_parts,
+                                              PartitionPolicy policy) {
+  num_parts = std::max<std::size_t>(1, std::min(num_parts, spec.count));
+  return policy == PartitionPolicy::kUniformWindows
+             ? uniform_boundaries(spec.count, num_parts)
+             : balanced_boundaries(events, spec, num_parts);
+}
+
 MultiWindowSet MultiWindowSet::build(const TemporalEdgeList& events,
                                      const WindowSpec& spec,
                                      std::size_t num_parts,
@@ -126,9 +140,7 @@ MultiWindowSet MultiWindowSet::build(const TemporalEdgeList& events,
   set.parts_.resize(num_parts);
 
   const std::vector<std::size_t> boundaries =
-      policy == PartitionPolicy::kUniformWindows
-          ? uniform_boundaries(spec.count, num_parts)
-          : balanced_boundaries(events, spec, num_parts);
+      partition_boundaries(events, spec, num_parts, policy);
 
   par::TaskGroup group;
   for (std::size_t p = 0; p < num_parts; ++p) {
@@ -139,8 +151,9 @@ MultiWindowSet MultiWindowSet::build(const TemporalEdgeList& events,
     const Timestamp span_start = spec.start(first);
     const Timestamp span_end = spec.end(last - 1);
     group.run([&set, &events, p, first, nwin, span_start, span_end] {
-      set.parts_[p] = build_part(events.slice(span_start, span_end), first,
-                                 nwin, span_start, span_end);
+      set.parts_[p] = build_multi_window_part(
+          events.slice(span_start, span_end), first, nwin, span_start,
+          span_end);
     });
   }
   group.wait();
@@ -150,6 +163,28 @@ MultiWindowSet MultiWindowSet::build(const TemporalEdgeList& events,
   std::erase_if(set.parts_,
                 [](const MultiWindowGraph& g) { return g.num_windows == 0; });
   return set;
+}
+
+MultiWindowSet MultiWindowSet::adopt(const WindowSpec& spec,
+                                     VertexId num_global,
+                                     std::vector<MultiWindowGraph> parts) {
+  spec.validate();
+  PMPR_CHECK_MSG(!parts.empty(), "adopt needs at least one part");
+  MultiWindowSet set;
+  set.spec_ = spec;
+  set.num_global_ = num_global;
+  set.parts_ = std::move(parts);
+  return set;
+}
+
+void MultiWindowSet::compress_in_place(std::size_t target_chunk_entries) {
+  par::TaskGroup group;
+  for (auto& part : parts_) {
+    group.run([&part, target_chunk_entries] {
+      part.compress(target_chunk_entries);
+    });
+  }
+  group.wait();
 }
 
 std::size_t MultiWindowSet::part_index_for_window(std::size_t w) const {
@@ -181,17 +216,32 @@ void MultiWindowGraph::validate() const {
                        << i << ": " << local_to_global[i - 1]
                        << " >= " << local_to_global[i]);
   }
-  PMPR_CHECK_MSG(in.num_vertices() == num_local() ||
-                     (num_local() == 0 && in.num_entries() == 0),
-                 "in-CSR covers " << in.num_vertices()
+  // Compressed parts are audited on a full decode: the codec must
+  // reproduce a structurally valid raw CSR (and the decode itself verifies
+  // chunk-table/payload integrity).
+  const TemporalCsr* csr = &in;
+  TemporalCsr decoded;
+  if (is_compressed()) {
+    PMPR_CHECK_MSG(in.num_entries() == 0 && in.num_vertices() == 0,
+                   "compressed part still holds a raw in-CSR");
+    PMPR_CHECK_MSG(in_compressed->num_rows() == num_local(),
+                   "compressed in-CSR covers " << in_compressed->num_rows()
+                                               << " rows, local space has "
+                                               << num_local());
+    decoded = decompress_temporal_csr(*in_compressed);
+    csr = &decoded;
+  }
+  PMPR_CHECK_MSG(csr->num_vertices() == num_local() ||
+                     (num_local() == 0 && csr->num_entries() == 0),
+                 "in-CSR covers " << csr->num_vertices()
                                   << " vertices, local space has "
                                   << num_local());
-  PMPR_CHECK_MSG(in.num_entries() == num_events,
-                 "in-CSR stores " << in.num_entries() << " events, part says "
-                                  << num_events);
-  in.validate();
-  for (VertexId v = 0; v < in.num_vertices(); ++v) {
-    for (const Timestamp t : in.row_times(v)) {
+  PMPR_CHECK_MSG(csr->num_entries() == num_events,
+                 "in-CSR stores " << csr->num_entries()
+                                  << " events, part says " << num_events);
+  csr->validate();
+  for (VertexId v = 0; v < csr->num_vertices(); ++v) {
+    for (const Timestamp t : csr->row_times(v)) {
       PMPR_CHECK_MSG(t >= span_start && t <= span_end,
                      "row " << v << " stores an event at time " << t
                             << " outside the part span [" << span_start

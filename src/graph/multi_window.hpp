@@ -11,6 +11,7 @@
 
 #include <cstddef>
 #include <limits>
+#include <memory>
 #include <span>
 #include <string_view>
 #include <vector>
@@ -19,6 +20,7 @@
 #include "graph/temporal_csr.hpp"
 #include "graph/types.hpp"
 #include "graph/window.hpp"
+#include "io/compressed_csr.hpp"
 
 namespace pmpr {
 
@@ -36,8 +38,21 @@ struct MultiWindowGraph {
   std::vector<VertexId> local_to_global;
 
   /// Reverse (in-neighbor) temporal CSR in local ids — the layout the
-  /// pull-style PageRank kernels traverse.
+  /// pull-style PageRank kernels traverse. Empty when the part is
+  /// compressed (in_compressed replaces it).
   TemporalCsr in;
+
+  /// Chunked delta+varint form of `in` (io/compressed_csr.hpp) — either an
+  /// owning re-encoding (compress()) or a zero-copy view into the paged
+  /// store's mmap (graph/paged_multi_window.hpp). When set, `in` is empty
+  /// and the batch-compile passes stream from the chunks; the reference
+  /// (non-compiled) kernels cannot run on such a part.
+  std::shared_ptr<const io::CompressedTemporalCsr> in_compressed;
+
+  [[nodiscard]] bool is_compressed() const { return in_compressed != nullptr; }
+
+  /// Re-encodes `in` with the chunked codec and drops the raw arrays.
+  void compress(std::size_t target_chunk_entries = io::kDefaultChunkEntries);
 
   [[nodiscard]] VertexId num_local() const {
     return static_cast<VertexId>(local_to_global.size());
@@ -49,7 +64,9 @@ struct MultiWindowGraph {
   [[nodiscard]] VertexId local_of(VertexId global) const;
 
   [[nodiscard]] std::size_t memory_bytes() const {
-    return in.memory_bytes() + local_to_global.size() * sizeof(VertexId);
+    return (is_compressed() ? in_compressed->memory_bytes()
+                            : in.memory_bytes()) +
+           local_to_global.size() * sizeof(VertexId);
   }
 
   /// Deep structural audit: window range non-empty, span ordered,
@@ -73,6 +90,22 @@ enum class PartitionPolicy {
 
 [[nodiscard]] std::string_view to_string(PartitionPolicy p);
 
+/// Window-range boundaries per part under `policy`: boundaries[p] ..
+/// boundaries[p+1] is the half-open window range of part p (num_parts + 1
+/// values). Shared by MultiWindowSet::build and the out-of-core
+/// PagedMultiWindowSet so both decompose identically.
+std::vector<std::size_t> partition_boundaries(const TemporalEdgeList& events,
+                                              const WindowSpec& spec,
+                                              std::size_t num_parts,
+                                              PartitionPolicy policy);
+
+/// Builds one part from its event slice (already restricted to the span).
+MultiWindowGraph build_multi_window_part(std::span<const TemporalEdge> slice,
+                                         std::size_t first_window,
+                                         std::size_t num_windows,
+                                         Timestamp span_start,
+                                         Timestamp span_end);
+
 /// The full postmortem representation: spec + all multi-window parts.
 class MultiWindowSet {
  public:
@@ -85,6 +118,20 @@ class MultiWindowSet {
       const TemporalEdgeList& events, const WindowSpec& spec,
       std::size_t num_parts,
       PartitionPolicy policy = PartitionPolicy::kUniformWindows);
+
+  /// Assembles a set from pre-built parts (the paged store maps its parts
+  /// from the store file and adopts them here so the postmortem driver
+  /// sees one uniform interface). Parts must already cover the spec
+  /// contiguously — validate() audits, adopt() only spot-checks shape.
+  static MultiWindowSet adopt(const WindowSpec& spec, VertexId num_global,
+                              std::vector<MultiWindowGraph> parts);
+
+  /// Re-encodes every part's in-adjacency with the chunked delta+varint
+  /// codec and drops the raw arrays (MultiWindowGraph::compress). The
+  /// compiled-kernel compile passes then stream from the chunks; the
+  /// reference kernels cannot run on a compressed set.
+  void compress_in_place(
+      std::size_t target_chunk_entries = io::kDefaultChunkEntries);
 
   [[nodiscard]] const WindowSpec& spec() const { return spec_; }
   [[nodiscard]] VertexId num_global_vertices() const { return num_global_; }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <numeric>
+#include <type_traits>
+#include <utility>
 
 #include "par/parallel_for.hpp"
 #include "util/check.hpp"
@@ -116,6 +118,45 @@ void TemporalCsr::validate() const {
       }
     }
   }
+}
+
+TemporalCsr TemporalCsr::adopt(std::vector<std::size_t> row_ptr,
+                               std::vector<VertexId> col,
+                               std::vector<Timestamp> time) {
+  PMPR_CHECK_MSG(col.size() == time.size(),
+                 "adopt: col holds " << col.size() << " entries, time holds "
+                                     << time.size());
+  PMPR_CHECK_MSG(
+      row_ptr.empty() ? col.empty()
+                      : (row_ptr.front() == 0 && row_ptr.back() == col.size()),
+      "adopt: row_ptr does not bracket the " << col.size() << " entries");
+  TemporalCsr g;
+  g.row_ptr_ = std::move(row_ptr);
+  g.col_ = std::move(col);
+  g.time_ = std::move(time);
+  return g;
+}
+
+// The io layer cannot see graph/types.hpp, so it defines its own scalar
+// widths; the bridge is only sound while they agree.
+static_assert(std::is_same_v<io::ColId, VertexId>,
+              "io::ColId must match VertexId");
+static_assert(std::is_same_v<io::TimeValue, Timestamp>,
+              "io::TimeValue must match Timestamp");
+
+io::CompressedTemporalCsr compress_temporal_csr(
+    const TemporalCsr& csr, std::size_t target_chunk_entries) {
+  return io::CompressedTemporalCsr::encode(csr.row_ptr(), csr.col(),
+                                           csr.time(), target_chunk_entries);
+}
+
+TemporalCsr decompress_temporal_csr(const io::CompressedTemporalCsr& packed) {
+  io::DecodeScratch scratch;
+  packed.decode_all(scratch);
+  if (packed.num_rows() == 0) return TemporalCsr{};
+  return TemporalCsr::adopt(std::move(scratch.row_ptr),
+                            std::move(scratch.cols),
+                            std::move(scratch.times));
 }
 
 }  // namespace pmpr

@@ -12,15 +12,50 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "graph/types.hpp"
+#include "io/compressed_csr.hpp"
 
 namespace pmpr {
+
+/// Calls `fn(u)` once per distinct neighbor u in a ⟨neighbor, time⟩-sorted
+/// row (given as parallel col/time spans) with at least one event in
+/// [ts, te]. Shared by TemporalCsr::for_each_active_neighbor and the
+/// compressed-chunk streaming passes (pagerank/batch_csr.cpp), which apply
+/// it to rows decoded into io::DecodeScratch without materializing a CSR.
+template <typename Fn>
+void for_each_active_neighbor_in_row(std::span<const VertexId> cols,
+                                     std::span<const Timestamp> times,
+                                     Timestamp ts, Timestamp te, Fn&& fn) {
+  std::size_t i = 0;
+  const std::size_t n = cols.size();
+  while (i < n) {
+    const VertexId u = cols[i];
+    bool active = false;
+    // Scan this run; timestamps within a run are ascending, so we could
+    // stop testing once past te (later events in the run are later).
+    while (i < n && cols[i] == u) {
+      const Timestamp t = times[i];
+      if (t >= ts && t <= te) active = true;
+      ++i;
+    }
+    if (active) fn(u);
+  }
+}
 
 class TemporalCsr {
  public:
   TemporalCsr() = default;
+
+  /// Adopts pre-built arrays (row_ptr.size() == rows + 1; col/time
+  /// parallel). For the io bridge (decompress_temporal_csr) and tests that
+  /// construct exact layouts; throws pmpr::InvariantError when the sizes
+  /// disagree. Does NOT verify row sort order — call validate() for that.
+  static TemporalCsr adopt(std::vector<std::size_t> row_ptr,
+                           std::vector<VertexId> col,
+                           std::vector<Timestamp> time);
 
   /// Builds over vertex space [0, n). If `reverse`, rows are destinations
   /// and columns are sources (the layout the pull-style PageRank reads).
@@ -50,32 +85,21 @@ class TemporalCsr {
     return {time_.data() + row_ptr_[v], time_.data() + row_ptr_[v + 1]};
   }
 
-  [[nodiscard]] const std::vector<std::size_t>& row_ptr() const {
+  // Read-only views (spans, not container references: the backing vectors
+  // are an implementation detail and must not leak a mutable-size handle).
+  [[nodiscard]] std::span<const std::size_t> row_ptr() const {
     return row_ptr_;
   }
-  [[nodiscard]] const std::vector<VertexId>& col() const { return col_; }
-  [[nodiscard]] const std::vector<Timestamp>& time() const { return time_; }
+  [[nodiscard]] std::span<const VertexId> col() const { return col_; }
+  [[nodiscard]] std::span<const Timestamp> time() const { return time_; }
 
   /// Calls `fn(u)` once per distinct neighbor u of v that has at least one
   /// event in [ts, te]. This is the SpMV inner loop of the paper.
   template <typename Fn>
   void for_each_active_neighbor(VertexId v, Timestamp ts, Timestamp te,
                                 Fn&& fn) const {
-    const std::size_t lo = row_ptr_[v];
-    const std::size_t hi = row_ptr_[v + 1];
-    std::size_t i = lo;
-    while (i < hi) {
-      const VertexId u = col_[i];
-      bool active = false;
-      // Scan this ⟨v,u⟩ run; timestamps within a run are ascending, so we
-      // can stop testing once past te (later events in the run are later).
-      while (i < hi && col_[i] == u) {
-        const Timestamp t = time_[i];
-        if (t >= ts && t <= te) active = true;
-        ++i;
-      }
-      if (active) fn(u);
-    }
+    for_each_active_neighbor_in_row(row_cols(v), row_times(v), ts, te,
+                                    std::forward<Fn>(fn));
   }
 
   /// Variant of for_each_active_neighbor that binary-searches each
@@ -115,5 +139,15 @@ class TemporalCsr {
   std::vector<VertexId> col_;         // |Events| entries (rowA order)
   std::vector<Timestamp> time_;       // parallel to col_
 };
+
+/// Re-encodes the CSR with the chunked delta+varint codec
+/// (io/compressed_csr.hpp). Lossless: decompress_temporal_csr round-trips
+/// every row bit-exactly, including adversarial timestamp patterns.
+io::CompressedTemporalCsr compress_temporal_csr(
+    const TemporalCsr& csr,
+    std::size_t target_chunk_entries = io::kDefaultChunkEntries);
+
+/// Inverse of compress_temporal_csr (materializes the raw arrays).
+TemporalCsr decompress_temporal_csr(const io::CompressedTemporalCsr& packed);
 
 }  // namespace pmpr

@@ -1,0 +1,119 @@
+// Variable-length integer coding for the compressed temporal CSR
+// (io/compressed_csr.hpp): LEB128 varints plus zigzag and wrapping-delta
+// helpers.
+//
+// Timestamp deltas use *wrapping* uint64 subtraction before zigzag:
+// uint64(t) - uint64(prev) is exact modulo 2^64 for every int64 pair —
+// including INT64_MIN → INT64_MAX spreads where a signed difference would
+// overflow — while the zigzag of the bit-pattern keeps small |delta|
+// encodings short. C++20 guarantees two's-complement signed↔unsigned
+// round-trips, so decode reproduces every input bit-exactly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace pmpr::io {
+
+/// Upper bound on the encoded size of one 64-bit varint (10·7 ≥ 64).
+inline constexpr std::size_t kMaxVarintBytes = 10;
+
+inline void append_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+/// Decodes one varint from [p, end) into `out`; returns the advanced
+/// cursor. Throws pmpr::InvariantError on truncation or an encoding wider
+/// than 64 bits — decode runs over mmap'd file bytes, so corrupt input is
+/// an expected failure mode, not UB.
+[[nodiscard]] inline const std::uint8_t* decode_varint(
+    const std::uint8_t* p, const std::uint8_t* end, std::uint64_t& out) {
+  // Fast path: one-byte varints dominate delta streams.
+  if (p != end && *p < 0x80) {
+    out = *p;
+    return p + 1;
+  }
+  std::uint64_t v = 0;
+  unsigned shift = 0;
+  for (;;) {
+    PMPR_CHECK_MSG(p != end, "varint truncated");
+    const std::uint8_t b = *p++;
+    // The 10th byte may only carry bit 63 (value 0 or 1); anything else
+    // would shift payload bits out of the 64-bit result.
+    PMPR_CHECK_MSG(shift < 64 && (shift != 63 || (b & 0x7F) <= 1),
+                   "varint overflows 64 bits");
+    v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) break;
+    shift += 7;
+  }
+  out = v;
+  return p;
+}
+
+[[nodiscard]] constexpr std::uint64_t zigzag_encode(std::int64_t v) {
+  // v >> 63 is an arithmetic shift (sign smear) in C++20.
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+[[nodiscard]] constexpr std::int64_t zigzag_decode(std::uint64_t z) {
+  // ~(z & 1) + 1 is -(z & 1) in unsigned arithmetic: all-ones when the
+  // sign bit was set, zero otherwise.
+  return static_cast<std::int64_t>((z >> 1) ^ (~(z & 1) + 1));
+}
+
+/// Wrapping delta of two int64 values, exact modulo 2^64.
+[[nodiscard]] constexpr std::uint64_t wrap_delta(std::int64_t cur,
+                                                 std::int64_t prev) {
+  return static_cast<std::uint64_t>(cur) - static_cast<std::uint64_t>(prev);
+}
+
+/// Inverse of wrap_delta: prev + delta with modular wrap-around.
+[[nodiscard]] constexpr std::int64_t wrap_add(std::int64_t prev,
+                                              std::uint64_t delta) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(prev) + delta);
+}
+
+/// Appends the zigzag varint of the wrapping delta cur - prev.
+inline void append_delta(std::vector<std::uint8_t>& out, std::int64_t cur,
+                         std::int64_t prev) {
+  append_varint(
+      out, zigzag_encode(static_cast<std::int64_t>(wrap_delta(cur, prev))));
+}
+
+/// Decodes one delta appended by append_delta and applies it to `prev`.
+[[nodiscard]] inline const std::uint8_t* decode_delta(const std::uint8_t* p,
+                                                      const std::uint8_t* end,
+                                                      std::int64_t prev,
+                                                      std::int64_t& cur) {
+  std::uint64_t z = 0;
+  p = decode_varint(p, end, z);
+  cur = wrap_add(prev, static_cast<std::uint64_t>(zigzag_decode(z)));
+  return p;
+}
+
+/// 32-bit variant for column ids: wrapping delta modulo 2^32, sign-extended
+/// before zigzag so small forward/backward steps stay short.
+inline void append_delta32(std::vector<std::uint8_t>& out, std::uint32_t cur,
+                          std::uint32_t prev) {
+  const std::uint32_t d = cur - prev;  // wrapping, exact mod 2^32
+  append_varint(out, zigzag_encode(static_cast<std::int32_t>(d)));
+}
+
+[[nodiscard]] inline const std::uint8_t* decode_delta32(
+    const std::uint8_t* p, const std::uint8_t* end, std::uint32_t prev,
+    std::uint32_t& cur) {
+  std::uint64_t z = 0;
+  p = decode_varint(p, end, z);
+  cur = prev + static_cast<std::uint32_t>(zigzag_decode(z));
+  return p;
+}
+
+}  // namespace pmpr::io

@@ -13,6 +13,8 @@ constexpr std::array<std::string_view, kNumCounters> kCounterNames = {
     "iterations",        "vertices_reused",  "vertices_reseeded",
     "windows_processed", "sampler_ticks",    "histogram_records",
     "simd_sweep_scalar", "simd_sweep_avx2",  "simd_sweep_avx512",
+    "parts_evicted",     "part_refaults",    "chunks_decoded",
+    "chunks_pruned",
 };
 
 /// One padded block per registered thread. kNumCounters * 8 bytes rounded

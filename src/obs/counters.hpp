@@ -56,8 +56,14 @@ enum class Counter : std::size_t {
   kSimdSweepScalar,    ///< Compiled sweeps run on the scalar kernel.
   kSimdSweepAvx2,      ///< Compiled sweeps run on the AVX2 kernel.
   kSimdSweepAvx512,    ///< Compiled sweeps run on the AVX-512 kernel.
+  // Out-of-core paging (graph/paged_multi_window) and compressed-chunk
+  // streaming (pagerank/batch_csr over io/compressed_csr).
+  kPartsEvicted,       ///< Parts dropped by the paged store's LRU.
+  kPartRefaults,       ///< Re-acquires of a previously evicted part.
+  kChunksDecoded,      ///< Compressed chunks decoded by compile passes.
+  kChunksPruned,       ///< Chunks skipped via their time extent.
 };
-inline constexpr std::size_t kNumCounters = 18;
+inline constexpr std::size_t kNumCounters = 22;
 
 /// Human-readable snake_case name (stable; used as JSON keys).
 [[nodiscard]] std::string_view to_string(Counter c);

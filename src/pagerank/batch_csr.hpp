@@ -100,10 +100,19 @@ struct CompiledBatchCsr {
 /// compute_spmm_state produces. Non-null `parallel` runs the row passes
 /// as parallel_fors. Throws InvariantError when batch.lanes is outside
 /// [1, kMaxSpmmLanes].
+///
+/// Compressed parts (part.is_compressed()) stream: the passes decode one
+/// chunk at a time into scratch — the raw CSR is never materialized — and
+/// skip chunks whose time extent misses the batch's lane windows
+/// (obs kChunksDecoded / kChunksPruned). The per-row arithmetic is shared
+/// with the raw path, so the compiled form and `state` are bit-identical.
+/// `scratch` (serial path only; the parallel path allocates per callback)
+/// lets callers reuse decode buffers across batches; null uses a local.
 void compile_spmm_batch(const MultiWindowGraph& part, const WindowSpec& spec,
                         const SpmmBatch& batch, SpmmWindowState& state,
                         CompiledBatchCsr& out,
-                        const par::ForOptions* parallel = nullptr);
+                        const par::ForOptions* parallel = nullptr,
+                        io::DecodeScratch* scratch = nullptr);
 
 /// Compiled form of a single window (the SpMV path): distinct in-neighbors
 /// with at least one event in the window, plus the compacted active and
@@ -129,9 +138,11 @@ struct CompiledWindowCsr {
 };
 
 /// Builds `state` and `out` for window [ts, te] together (state identical
-/// to compute_window_state's result).
+/// to compute_window_state's result). Streams compressed parts chunk by
+/// chunk with [ts, te] pruning, like compile_spmm_batch.
 void compile_window(const MultiWindowGraph& part, Timestamp ts, Timestamp te,
                     WindowState& state, CompiledWindowCsr& out,
-                    const par::ForOptions* parallel = nullptr);
+                    const par::ForOptions* parallel = nullptr,
+                    io::DecodeScratch* scratch = nullptr);
 
 }  // namespace pmpr

@@ -52,6 +52,9 @@ void scatter_window_rows(const MultiWindowGraph& part, Timestamp ts,
 void compute_window_state(const MultiWindowGraph& part, Timestamp ts,
                           Timestamp te, WindowState& out,
                           const par::ForOptions* parallel) {
+  PMPR_CHECK_MSG(!part.is_compressed(),
+                 "compute_window_state reads the raw in-CSR; compressed "
+                 "parts require the streaming compile (compile_window)");
   const std::size_t n = part.num_local();
   out.resize(n);
   if (parallel != nullptr) {
@@ -178,6 +181,9 @@ void compute_spmm_state(const MultiWindowGraph& part, const WindowSpec& spec,
   PMPR_CHECK_MSG(batch.lanes >= 1 && batch.lanes <= kMaxSpmmLanes,
                  "SpMM batch lanes " << batch.lanes << " outside [1, "
                                      << kMaxSpmmLanes << "]");
+  PMPR_CHECK_MSG(!part.is_compressed(),
+                 "compute_spmm_state reads the raw in-CSR; compressed "
+                 "parts require the streaming compile (compile_spmm_batch)");
   const std::size_t n = part.num_local();
   out.resize(n, batch.lanes);
   if (parallel != nullptr) {

@@ -33,9 +33,12 @@
 #include "graph/csr.hpp"               // IWYU pragma: export
 #include "graph/edge_list.hpp"         // IWYU pragma: export
 #include "graph/multi_window.hpp"      // IWYU pragma: export
+#include "graph/paged_multi_window.hpp"  // IWYU pragma: export
 #include "graph/temporal_csr.hpp"      // IWYU pragma: export
 #include "graph/types.hpp"             // IWYU pragma: export
 #include "graph/window.hpp"            // IWYU pragma: export
+#include "io/compressed_csr.hpp"       // IWYU pragma: export
+#include "io/mmap_file.hpp"            // IWYU pragma: export
 #include "obs/counters.hpp"            // IWYU pragma: export
 #include "obs/histogram.hpp"           // IWYU pragma: export
 #include "obs/sampler.hpp"             // IWYU pragma: export

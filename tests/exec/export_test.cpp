@@ -175,6 +175,112 @@ TEST(Export, BinaryRejectsTruncatedMidRow) {
                std::runtime_error);
 }
 
+TEST(Export, BinaryWritesVersion2Header) {
+  TempDir dir;
+  save_series_binary(computed_series(), dir.file("v2.bin"));
+  std::ifstream in(dir.file("v2.bin"), std::ios::binary);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  ASSERT_TRUE(in);
+  EXPECT_EQ(std::string(magic, 8), "PMPRTS02");
+  std::uint16_t endian = 0;
+  std::uint8_t codec = 0xFF;
+  std::uint8_t reserved = 0xFF;
+  in.read(reinterpret_cast<char*>(&endian), sizeof(endian));
+  in.read(reinterpret_cast<char*>(&codec), sizeof(codec));
+  in.read(reinterpret_cast<char*>(&reserved), sizeof(reserved));
+  ASSERT_TRUE(in);
+  EXPECT_EQ(endian, 0x0102);
+  EXPECT_EQ(codec, 0);  // raw-rows payload
+  EXPECT_EQ(reserved, 0);
+}
+
+TEST(Export, BinaryLoadsLegacyVersion1) {
+  TempDir dir;
+  {
+    // Hand-written v1 file: bare magic, one window with one row.
+    std::ofstream out(dir.file("v1.bin"), std::ios::binary);
+    out << "PMPRTS01";
+    const std::uint64_t windows = 1;
+    out.write(reinterpret_cast<const char*>(&windows), sizeof(windows));
+    const std::uint64_t count = 1;
+    out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+    const VertexId v = 7;
+    const double score = 0.25;
+    out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+    out.write(reinterpret_cast<const char*>(&score), sizeof(score));
+  }
+  const StoreAllSink loaded = load_series_binary(dir.file("v1.bin"));
+  ASSERT_EQ(loaded.num_windows(), 1u);
+  ASSERT_EQ(loaded.window(0).size(), 1u);
+  EXPECT_EQ(loaded.window(0)[0].first, 7u);
+  EXPECT_EQ(loaded.window(0)[0].second, 0.25);
+}
+
+TEST(Export, BinaryRejectsUnknownVersion) {
+  TempDir dir;
+  {
+    std::ofstream out(dir.file("v9.bin"), std::ios::binary);
+    out << "PMPRTS99";
+    const std::uint64_t windows = 0;
+    out.write(reinterpret_cast<const char*>(&windows), sizeof(windows));
+  }
+  EXPECT_THROW(load_series_binary(dir.file("v9.bin")), std::runtime_error);
+}
+
+TEST(Export, BinaryRejectsForeignEndianness) {
+  TempDir dir;
+  {
+    std::ofstream out(dir.file("endian.bin"), std::ios::binary);
+    out << "PMPRTS02";
+    const std::uint16_t swapped = 0x0201;  // what a foreign reader writes
+    out.write(reinterpret_cast<const char*>(&swapped), sizeof(swapped));
+    const std::uint8_t codec = 0;
+    const std::uint8_t reserved = 0;
+    out.write(reinterpret_cast<const char*>(&codec), sizeof(codec));
+    out.write(reinterpret_cast<const char*>(&reserved), sizeof(reserved));
+    const std::uint64_t windows = 0;
+    out.write(reinterpret_cast<const char*>(&windows), sizeof(windows));
+  }
+  EXPECT_THROW(load_series_binary(dir.file("endian.bin")),
+               std::runtime_error);
+}
+
+TEST(Export, BinaryRejectsUnknownCodec) {
+  TempDir dir;
+  {
+    std::ofstream out(dir.file("codec.bin"), std::ios::binary);
+    out << "PMPRTS02";
+    const std::uint16_t endian = 0x0102;
+    out.write(reinterpret_cast<const char*>(&endian), sizeof(endian));
+    const std::uint8_t codec = 42;
+    const std::uint8_t reserved = 0;
+    out.write(reinterpret_cast<const char*>(&codec), sizeof(codec));
+    out.write(reinterpret_cast<const char*>(&reserved), sizeof(reserved));
+    const std::uint64_t windows = 0;
+    out.write(reinterpret_cast<const char*>(&windows), sizeof(windows));
+  }
+  EXPECT_THROW(load_series_binary(dir.file("codec.bin")), std::runtime_error);
+}
+
+TEST(Export, BinaryIgnoresReservedHeaderByte) {
+  TempDir dir;
+  {
+    std::ofstream out(dir.file("resv.bin"), std::ios::binary);
+    out << "PMPRTS02";
+    const std::uint16_t endian = 0x0102;
+    out.write(reinterpret_cast<const char*>(&endian), sizeof(endian));
+    const std::uint8_t codec = 0;
+    const std::uint8_t reserved = 0x5A;  // future minor extension
+    out.write(reinterpret_cast<const char*>(&codec), sizeof(codec));
+    out.write(reinterpret_cast<const char*>(&reserved), sizeof(reserved));
+    const std::uint64_t windows = 0;
+    out.write(reinterpret_cast<const char*>(&windows), sizeof(windows));
+  }
+  const StoreAllSink loaded = load_series_binary(dir.file("resv.bin"));
+  EXPECT_EQ(loaded.num_windows(), 0u);
+}
+
 TEST(Export, EmptyWindowsSurvive) {
   TempDir dir;
   StoreAllSink sink(3);  // nothing consumed: three empty windows

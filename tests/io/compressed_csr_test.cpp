@@ -1,0 +1,304 @@
+#include "io/compressed_csr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace pmpr::io {
+namespace {
+
+struct RawCsr {
+  std::vector<std::size_t> row_ptr;
+  std::vector<ColId> cols;
+  std::vector<TimeValue> times;
+};
+
+/// Builds a CSR from explicit rows (list of ⟨col,time⟩ vectors).
+RawCsr make_csr(
+    const std::vector<std::vector<std::pair<ColId, TimeValue>>>& rows) {
+  RawCsr csr;
+  csr.row_ptr.push_back(0);
+  for (const auto& row : rows) {
+    for (const auto& [c, t] : row) {
+      csr.cols.push_back(c);
+      csr.times.push_back(t);
+    }
+    csr.row_ptr.push_back(csr.cols.size());
+  }
+  return csr;
+}
+
+void expect_exact_roundtrip(const RawCsr& csr,
+                            std::size_t target_chunk_entries = 4) {
+  const CompressedTemporalCsr packed = CompressedTemporalCsr::encode(
+      csr.row_ptr, csr.cols, csr.times, target_chunk_entries);
+  ASSERT_EQ(packed.num_rows(), csr.row_ptr.size() - 1);
+  ASSERT_EQ(packed.num_entries(), csr.cols.size());
+  DecodeScratch scratch;
+  packed.decode_all(scratch);
+  ASSERT_EQ(scratch.row_ptr.size(), csr.row_ptr.size());
+  for (std::size_t i = 0; i < csr.row_ptr.size(); ++i) {
+    EXPECT_EQ(scratch.row_ptr[i], csr.row_ptr[i]) << "row_ptr[" << i << "]";
+  }
+  ASSERT_EQ(scratch.cols.size(), csr.cols.size());
+  ASSERT_EQ(scratch.times.size(), csr.times.size());
+  for (std::size_t i = 0; i < csr.cols.size(); ++i) {
+    EXPECT_EQ(scratch.cols[i], csr.cols[i]) << "col[" << i << "]";
+    EXPECT_EQ(scratch.times[i], csr.times[i]) << "time[" << i << "]";
+  }
+}
+
+TEST(CompressedCsr, RoundTripsTypicalSortedRows) {
+  expect_exact_roundtrip(make_csr({
+      {{1, 10}, {1, 20}, {3, 15}, {7, 15}},
+      {{0, 5}, {2, 5}, {2, 6}},
+      {{4, 100}},
+  }));
+}
+
+TEST(CompressedCsr, RoundTripsNonMonotoneTimesWithinRow) {
+  // The encoder assumes nothing about time order inside a row: deltas go
+  // negative and the zigzag keeps them exact.
+  expect_exact_roundtrip(make_csr({
+      {{0, 500}, {1, 3}, {2, 499}, {3, -7}, {4, 500}},
+      {{9, -1}, {8, 1}, {7, -1}},
+  }));
+}
+
+TEST(CompressedCsr, RoundTripsAllEqualTimestamps) {
+  expect_exact_roundtrip(make_csr({
+      {{0, 42}, {1, 42}, {2, 42}, {3, 42}},
+      {{5, 42}, {6, 42}},
+  }));
+}
+
+TEST(CompressedCsr, RoundTripsFullInt64TimestampSpread) {
+  constexpr TimeValue lo = std::numeric_limits<TimeValue>::min();
+  constexpr TimeValue hi = std::numeric_limits<TimeValue>::max();
+  expect_exact_roundtrip(make_csr({
+      {{0, lo}, {1, hi}, {2, lo}, {3, hi}},
+      {{0, hi}},
+      {{0, lo}},
+  }));
+}
+
+TEST(CompressedCsr, RoundTripsSingleEventRows) {
+  expect_exact_roundtrip(make_csr({
+      {{3, 7}},
+      {{1, -9}},
+      {{std::numeric_limits<ColId>::max(), 0}},
+  }));
+}
+
+TEST(CompressedCsr, RoundTripsEmptyRows) {
+  expect_exact_roundtrip(make_csr({
+      {},
+      {{1, 5}},
+      {},
+      {},
+      {{2, 6}, {3, 7}},
+      {},
+  }));
+}
+
+TEST(CompressedCsr, RoundTripsEmptyCsr) {
+  expect_exact_roundtrip(make_csr({}));
+  expect_exact_roundtrip(make_csr({{}, {}, {}}));
+}
+
+TEST(CompressedCsr, RoundTripsRandomCsrAcrossChunkSizes) {
+  Xoshiro256 rng(2024);
+  std::vector<std::vector<std::pair<ColId, TimeValue>>> rows(64);
+  for (auto& row : rows) {
+    const std::size_t len = rng.bounded(9);  // includes empty rows
+    for (std::size_t i = 0; i < len; ++i) {
+      row.emplace_back(static_cast<ColId>(rng.bounded(1u << 20)),
+                       static_cast<TimeValue>(rng()));
+    }
+  }
+  const RawCsr csr = make_csr(rows);
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{7},
+                                  std::size_t{64}, kDefaultChunkEntries}) {
+    expect_exact_roundtrip(csr, chunk);
+  }
+}
+
+TEST(CompressedCsr, ChunksKeepRowsWholeAndCoverTimeExtents) {
+  const RawCsr csr = make_csr({
+      {{0, 10}, {1, 20}, {2, 30}},
+      {{0, -5}},
+      {{0, 100}, {1, 90}},
+      {{0, 7}},
+  });
+  const CompressedTemporalCsr packed =
+      CompressedTemporalCsr::encode(csr.row_ptr, csr.cols, csr.times, 2);
+  ASSERT_GE(packed.num_chunks(), 2u);
+  std::size_t next_row = 0;
+  std::size_t next_entry = 0;
+  DecodeScratch scratch;
+  for (std::size_t c = 0; c < packed.num_chunks(); ++c) {
+    const ChunkMeta& m = packed.chunk(c);
+    EXPECT_EQ(m.first_row, next_row);
+    EXPECT_EQ(m.first_entry, next_entry);
+    next_row += m.num_rows;
+    next_entry += m.num_entries;
+    packed.decode_chunk(c, scratch);
+    TimeValue lo = std::numeric_limits<TimeValue>::max();
+    TimeValue hi = std::numeric_limits<TimeValue>::min();
+    for (const TimeValue t : scratch.times) {
+      lo = std::min(lo, t);
+      hi = std::max(hi, t);
+    }
+    if (!scratch.times.empty()) {
+      EXPECT_EQ(m.time_min, lo);
+      EXPECT_EQ(m.time_max, hi);
+    }
+  }
+  EXPECT_EQ(next_row, packed.num_rows());
+  EXPECT_EQ(next_entry, packed.num_entries());
+}
+
+TEST(CompressedCsr, CompressesSortedAdjacency) {
+  // Rows sorted by ⟨neighbor, time⟩ with small deltas — the real workload.
+  std::vector<std::vector<std::pair<ColId, TimeValue>>> rows(128);
+  Xoshiro256 rng(7);
+  for (auto& row : rows) {
+    ColId col = 0;
+    TimeValue t = 1'600'000'000;
+    for (int i = 0; i < 32; ++i) {
+      col += static_cast<ColId>(rng.bounded(4));
+      t += static_cast<TimeValue>(rng.bounded(86'400));
+      row.emplace_back(col, t);
+    }
+  }
+  const RawCsr csr = make_csr(rows);
+  const CompressedTemporalCsr packed =
+      CompressedTemporalCsr::encode(csr.row_ptr, csr.cols, csr.times);
+  EXPECT_LT(packed.encoded_bytes() * 3, packed.raw_adjacency_bytes())
+      << "expected >= 3x over the raw 12-byte entries, got "
+      << static_cast<double>(packed.raw_adjacency_bytes()) /
+             static_cast<double>(packed.encoded_bytes());
+}
+
+TEST(CompressedCsr, MalformedRowPtrThrows) {
+  const std::vector<ColId> cols = {1, 2};
+  const std::vector<TimeValue> times = {1, 2};
+  // Non-monotone.
+  const std::vector<std::size_t> bad1 = {0, 2, 1};
+  EXPECT_THROW((void)CompressedTemporalCsr::encode(bad1, cols, times),
+               InvariantError);
+  // Doesn't end at the entry count.
+  const std::vector<std::size_t> bad2 = {0, 1};
+  EXPECT_THROW((void)CompressedTemporalCsr::encode(bad2, cols, times),
+               InvariantError);
+  // cols/times length mismatch.
+  const std::vector<std::size_t> ok = {0, 2};
+  const std::vector<TimeValue> short_times = {1};
+  EXPECT_THROW((void)CompressedTemporalCsr::encode(ok, cols, short_times),
+               InvariantError);
+}
+
+class CompressedCsrFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("pmpr-csr-test-" +
+              std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+              "-" + std::to_string(reinterpret_cast<std::uintptr_t>(this)) +
+              ".bin"))
+                .string();
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+  }
+  std::string path_;
+};
+
+TEST_F(CompressedCsrFileTest, SaveLoadRoundTrips) {
+  const RawCsr csr = make_csr({
+      {{1, 10}, {2, -20}},
+      {},
+      {{0, 5}, {0, 5}, {9, 1000}},
+  });
+  const CompressedTemporalCsr packed =
+      CompressedTemporalCsr::encode(csr.row_ptr, csr.cols, csr.times, 2);
+  packed.save(path_);
+  const CompressedTemporalCsr loaded = CompressedTemporalCsr::load(path_);
+  EXPECT_FALSE(loaded.is_mapped_view());
+  DecodeScratch scratch;
+  loaded.decode_all(scratch);
+  EXPECT_EQ(scratch.cols, csr.cols);
+  EXPECT_EQ(scratch.times, csr.times);
+  EXPECT_EQ(scratch.row_ptr, csr.row_ptr);
+}
+
+TEST_F(CompressedCsrFileTest, MappedViewDecodesIdentically) {
+  const RawCsr csr = make_csr({
+      {{1, 10}, {2, 20}, {3, 30}},
+      {{4, -40}},
+  });
+  const CompressedTemporalCsr packed =
+      CompressedTemporalCsr::encode(csr.row_ptr, csr.cols, csr.times, 2);
+  packed.save(path_);
+  auto file = std::make_shared<MmapFile>(MmapFile::open(path_));
+  const CompressedTemporalCsr mapped = CompressedTemporalCsr::map(file);
+  EXPECT_TRUE(mapped.is_mapped_view());
+  DecodeScratch scratch;
+  mapped.decode_all(scratch);
+  EXPECT_EQ(scratch.cols, csr.cols);
+  EXPECT_EQ(scratch.times, csr.times);
+  // Advice must not corrupt subsequent decodes (pages refault from disk).
+  mapped.advise(Advice::kDontNeed);
+  DecodeScratch again;
+  mapped.decode_all(again);
+  EXPECT_EQ(again.cols, csr.cols);
+  EXPECT_EQ(again.times, csr.times);
+}
+
+TEST_F(CompressedCsrFileTest, CorruptHeaderRejected) {
+  const RawCsr csr = make_csr({{{1, 10}}});
+  const CompressedTemporalCsr packed =
+      CompressedTemporalCsr::encode(csr.row_ptr, csr.cols, csr.times);
+  packed.save(path_);
+  std::vector<char> bytes;
+  {
+    std::ifstream in(path_, std::ios::binary | std::ios::ate);
+    bytes.resize(static_cast<std::size_t>(in.tellg()));
+    in.seekg(0);
+    in.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  const auto rewrite = [&](std::size_t at, char value) {
+    std::vector<char> copy = bytes;
+    copy[at] = value;
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(copy.data(), static_cast<std::streamsize>(copy.size()));
+  };
+  // Bad magic.
+  rewrite(0, 'X');
+  EXPECT_THROW((void)CompressedTemporalCsr::load(path_), InvariantError);
+  // Foreign endianness marker (byte 8 of the header).
+  rewrite(8, '\xFF');
+  EXPECT_THROW((void)CompressedTemporalCsr::load(path_), InvariantError);
+  // Unknown codec (byte 10).
+  rewrite(10, '\x7F');
+  EXPECT_THROW((void)CompressedTemporalCsr::load(path_), InvariantError);
+  // Truncated payload.
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() - 1));
+  }
+  EXPECT_THROW((void)CompressedTemporalCsr::load(path_), InvariantError);
+}
+
+}  // namespace
+}  // namespace pmpr::io

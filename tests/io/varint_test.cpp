@@ -1,0 +1,122 @@
+#include "io/varint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace pmpr::io {
+namespace {
+
+std::uint64_t roundtrip(std::uint64_t v) {
+  std::vector<std::uint8_t> buf;
+  append_varint(buf, v);
+  std::uint64_t out = 0;
+  const std::uint8_t* end = buf.data() + buf.size();
+  const std::uint8_t* p = decode_varint(buf.data(), end, out);
+  EXPECT_EQ(p, end) << "decode consumed " << (p - buf.data()) << " of "
+                    << buf.size() << " bytes";
+  return out;
+}
+
+TEST(Varint, RoundTripsBoundaryValues) {
+  for (const std::uint64_t v :
+       {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{127},
+        std::uint64_t{128}, std::uint64_t{16383}, std::uint64_t{16384},
+        std::uint64_t{1} << 35, std::numeric_limits<std::uint64_t>::max() - 1,
+        std::numeric_limits<std::uint64_t>::max()}) {
+    EXPECT_EQ(roundtrip(v), v);
+  }
+}
+
+TEST(Varint, EncodedSizeMatchesMagnitude) {
+  std::vector<std::uint8_t> buf;
+  append_varint(buf, 127);
+  EXPECT_EQ(buf.size(), 1u);
+  buf.clear();
+  append_varint(buf, 128);
+  EXPECT_EQ(buf.size(), 2u);
+  buf.clear();
+  append_varint(buf, std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(buf.size(), kMaxVarintBytes);
+}
+
+TEST(Varint, TruncatedStreamThrows) {
+  std::vector<std::uint8_t> buf;
+  append_varint(buf, std::uint64_t{1} << 40);
+  ASSERT_GT(buf.size(), 1u);
+  std::uint64_t out = 0;
+  EXPECT_THROW(
+      (void)decode_varint(buf.data(), buf.data() + buf.size() - 1, out),
+      InvariantError);
+  EXPECT_THROW((void)decode_varint(buf.data(), buf.data(), out),
+               InvariantError);
+}
+
+TEST(Varint, OverlongEncodingThrows) {
+  // Eleven continuation bytes: more than 64 bits of payload.
+  std::vector<std::uint8_t> buf(11, 0x80);
+  buf.push_back(0x00);
+  std::uint64_t out = 0;
+  EXPECT_THROW((void)decode_varint(buf.data(), buf.data() + buf.size(), out),
+               InvariantError);
+  // Ten bytes whose last carries more than bit 63.
+  buf.assign(9, 0x80);
+  buf.push_back(0x02);
+  EXPECT_THROW((void)decode_varint(buf.data(), buf.data() + buf.size(), out),
+               InvariantError);
+}
+
+TEST(Zigzag, RoundTripsExtremes) {
+  for (const std::int64_t v :
+       {std::int64_t{0}, std::int64_t{-1}, std::int64_t{1},
+        std::numeric_limits<std::int64_t>::min(),
+        std::numeric_limits<std::int64_t>::max()}) {
+    EXPECT_EQ(zigzag_decode(zigzag_encode(v)), v);
+  }
+  // Small magnitudes map to small codes (what keeps deltas short).
+  EXPECT_EQ(zigzag_encode(0), 0u);
+  EXPECT_EQ(zigzag_encode(-1), 1u);
+  EXPECT_EQ(zigzag_encode(1), 2u);
+}
+
+TEST(WrapDelta, ExactAcrossFullInt64Spread) {
+  constexpr std::int64_t lo = std::numeric_limits<std::int64_t>::min();
+  constexpr std::int64_t hi = std::numeric_limits<std::int64_t>::max();
+  // A signed subtraction hi - lo would overflow; the wrapping form must
+  // still reconstruct both directions bit-exactly.
+  EXPECT_EQ(wrap_add(lo, wrap_delta(hi, lo)), hi);
+  EXPECT_EQ(wrap_add(hi, wrap_delta(lo, hi)), lo);
+  std::vector<std::uint8_t> buf;
+  append_delta(buf, hi, lo);
+  std::int64_t cur = 0;
+  const std::uint8_t* p =
+      decode_delta(buf.data(), buf.data() + buf.size(), lo, cur);
+  EXPECT_EQ(p, buf.data() + buf.size());
+  EXPECT_EQ(cur, hi);
+}
+
+TEST(Delta32, RoundTripsForwardAndBackwardSteps) {
+  const std::uint32_t cases[][2] = {
+      {0u, 0u},
+      {5u, 3u},
+      {3u, 5u},
+      {0u, std::numeric_limits<std::uint32_t>::max()},
+      {std::numeric_limits<std::uint32_t>::max(), 0u},
+  };
+  for (const auto& [cur, prev] : cases) {
+    std::vector<std::uint8_t> buf;
+    append_delta32(buf, cur, prev);
+    std::uint32_t out = 0;
+    const std::uint8_t* p =
+        decode_delta32(buf.data(), buf.data() + buf.size(), prev, out);
+    EXPECT_EQ(p, buf.data() + buf.size());
+    EXPECT_EQ(out, cur) << "cur=" << cur << " prev=" << prev;
+  }
+}
+
+}  // namespace
+}  // namespace pmpr::io

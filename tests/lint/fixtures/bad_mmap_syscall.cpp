@@ -1,0 +1,10 @@
+// Fixture: must trip mmap-syscall-confined (and nothing else).
+#include <sys/mman.h>
+
+#include <cstddef>
+
+void* map_it(std::size_t size, int fd) {
+  void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  (void)madvise(addr, size, MADV_SEQUENTIAL);
+  return addr;
+}

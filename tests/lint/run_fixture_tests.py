@@ -24,6 +24,7 @@ EXPECTED = {
     "bad_raw_clock.cpp": "raw-clock",
     "bad_sleep_loop.cpp": "raw-clock",
     "bad_simd_intrinsics.cpp": "simd-intrinsics-confined",
+    "bad_mmap_syscall.cpp": "mmap-syscall-confined",
     "clean.cpp": None,
 }
 
