@@ -317,6 +317,34 @@ int main(int argc, char** argv) {
          static_cast<double>(entries) / secs);
   }
 
+  // --- io: out-of-core paging — residency + read amplification --------
+  {
+    PostmortemConfig cfg;
+    cfg.kernel = KernelKind::kSpmv;
+    cfg.num_multi_windows = 6;
+    cfg.partial_init = true;
+    cfg.storage = StorageKind::kOutOfCore;
+    cfg.memory_budget_bytes = 0;  // one part at a time — maximal paging
+    double secs = 0.0;
+    std::size_t peak = 0;
+    double read_amp = 0.0;
+    for (std::int64_t r = 0; r < args.repeats; ++r) {
+      ChecksumSink sink(spec.count);
+      const RunResult res = run_postmortem(events, spec, sink, cfg);
+      const double run_secs = res.build_seconds + res.compute_seconds;
+      if (r == 0 || run_secs < secs) secs = run_secs;
+      // Both memory records are deterministic for a fixed surrogate and
+      // config (charged residency and counter-derived amplification, not
+      // wall-clock), so the last repeat's values stand.
+      peak = res.oocore_resident_peak_bytes;
+      read_amp = res.read_amplification;
+    }
+    emit("io.oocore_paging", "seconds", secs);
+    emit("io.oocore_paging", "resident_peak_bytes",
+         static_cast<double>(peak));
+    emit("io.oocore_paging", "read_amplification", read_amp);
+  }
+
   print(table, args);
   if (!args.json.empty() && !json.write(args.json)) {
     std::cerr << "failed to write " << args.json << "\n";

@@ -15,6 +15,7 @@ Tolerance bands are classified from the metric name:
   *seconds, *_ns, ns_per_*   timing      regression = slower   (+50%)
   *_pNN_ns (percentiles)     tail        regression = slower   (+100%)
   *_per_second               throughput  regression = lower    (-33%)
+  *_bytes, *amplification*   footprint   regression = larger   (+25%)
   anything else              count       regression = +/-20% drift
 
 Absolute timings do not transfer between machines, so the always-on ctest
@@ -33,6 +34,7 @@ import sys
 TIMING_SLOWDOWN = 0.50     # timing may grow up to +50%
 TAIL_SLOWDOWN = 1.00       # tail percentiles may grow up to +100%
 THROUGHPUT_DROP = 0.33     # throughput may drop up to -33%
+FOOTPRINT_GROWTH = 0.25    # memory/IO footprints may grow up to +25%
 COUNT_DRIFT = 0.20         # counts may drift +/-20%
 
 # meta fields that must match exactly: diffing runs of different shapes
@@ -56,6 +58,11 @@ def classify(metric):
         or "ns_per_" in metric
     ):
         return "timing"
+    if metric.endswith("_bytes") or "amplification" in metric:
+        # Memory/IO footprints (resident peaks, read amplification) only
+        # regress in one direction — using *less* memory or decoding fewer
+        # bytes per delivered rank is a win, never a failure.
+        return "footprint"
     return "count"
 
 
@@ -76,6 +83,9 @@ def check_metric(metric, current, baseline, tolerance):
     if kind == "throughput":
         limit = 1.0 - min(0.99, THROUGHPUT_DROP * tolerance)
         return ratio >= limit, ratio, f"throughput >= {limit:.2f}x"
+    if kind == "footprint":
+        limit = 1.0 + FOOTPRINT_GROWTH * tolerance
+        return ratio <= limit, ratio, f"footprint <= {limit:.2f}x"
     drift = COUNT_DRIFT * tolerance
     ok = (1.0 - min(0.99, drift)) <= ratio <= (1.0 + drift)
     return ok, ratio, f"count within +/-{drift:.0%}"
@@ -154,6 +164,10 @@ def self_test():
             "total_iterations": 200,
         },
         "micro.spmv_ref": {"ns_per_iteration": 100.0},
+        "io.oocore_paging": {
+            "resident_peak_bytes": 1.0e6,
+            "read_amplification": 4.0,
+        },
     }
     sink = _Sink()
 
@@ -191,6 +205,16 @@ def self_test():
          run(clone(**{"fig5.postmortem/edges_per_second": 2e8})), False),
         ("halved throughput fails",
          run(clone(**{"fig5.postmortem/edges_per_second": 5e7})), True),
+        # Footprints are one-sided: growth past the band fails, shrinking
+        # is always a win.
+        ("doubled resident peak fails",
+         run(clone(**{"io.oocore_paging/resident_peak_bytes": 2.0e6})), True),
+        ("halved resident peak passes",
+         run(clone(**{"io.oocore_paging/resident_peak_bytes": 0.5e6})), False),
+        ("doubled read amplification fails",
+         run(clone(**{"io.oocore_paging/read_amplification": 8.0})), True),
+        ("reduced read amplification passes",
+         run(clone(**{"io.oocore_paging/read_amplification": 1.5})), False),
         # Counts drift both ways.
         ("iteration blowup fails",
          run(clone(**{"fig5.postmortem/total_iterations": 400})), True),

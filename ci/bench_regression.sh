@@ -48,6 +48,10 @@ required = {
     "micro.spmm64_compiled": ["ns_per_iteration", "ns_per_lane"],
     "micro.spmm128_compiled": ["ns_per_iteration", "ns_per_lane"],
     "micro.spmm512_compiled": ["ns_per_iteration", "ns_per_lane"],
+    "micro.decode_varint": ["ns_per_entry", "entries_per_second"],
+    "io.compress_ratio": ["ratio", "bits_per_entry"],
+    "io.oocore_paging": ["seconds", "resident_peak_bytes",
+                         "read_amplification"],
 }
 for record, fields in required.items():
     assert record in suite, f"missing record {record}"
@@ -65,6 +69,12 @@ for record, fields in required.items():
 pm = suite["fig5.postmortem"]
 assert pm["iterate_p50_ns"] <= pm["iterate_p99_ns"], "p50 > p99"
 assert pm["iterate_p99_ns"] <= pm["seconds"] * 1e9, "p99 above wall time"
+# Memory records: a paged run holds a real residency charge, and its
+# compile passes decode more encoded bytes than the ranks they deliver
+# amortize only when windows are few — either way the ratio is positive.
+oo = suite["io.oocore_paging"]
+assert oo["resident_peak_bytes"] > 0, "paged run charged no residency"
+assert oo["read_amplification"] > 0, "paged run decoded nothing"
 print(f"suite shape OK: {len(suite) - 1} records in {sys.argv[1]}")
 EOF
 
@@ -97,5 +107,24 @@ if python3 "$CI_DIR/bench_compare.py" "$DOUBLED" "$SUITE" >/dev/null 2>&1; then
   exit 1
 fi
 
+# 5. A fabricated memory blowup (2x the charged residency peak) must trip
+# the footprint band even though every timing is untouched.
+BLOATED="$OUT/BENCH_suite_bloated.json"
+python3 - "$SUITE" "$BLOATED" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    suite = json.load(f)
+suite["io.oocore_paging"]["resident_peak_bytes"] *= 2.0
+with open(sys.argv[2], "w") as f:
+    json.dump(suite, f, indent=2)
+EOF
+
+if python3 "$CI_DIR/bench_compare.py" "$BLOATED" "$SUITE" >/dev/null 2>&1; then
+  echo "bench regression gate FAILED: doubled residency was not flagged" >&2
+  exit 1
+fi
+
 echo "bench regression gate OK: self-test, shape, self-compare, fabricated" \
-     "regression all behave"
+     "timing and memory regressions all behave"

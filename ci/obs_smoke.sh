@@ -4,9 +4,9 @@
 # --profile, then validates both emitted JSON shapes — the Chrome
 # trace-event file that ui.perfetto.dev loads (X spans, C counter tracks
 # from the sampling profiler, M process/thread metadata), and the
-# pmpr-metrics-v2 run record (counters, per-phase latency histograms,
-# sampler summary). Keeps the observability layer's export formats from
-# silently rotting.
+# pmpr-metrics-v3 run record (counters, per-phase latency histograms,
+# per-tag memory accounting, sampler summary). Keeps the observability
+# layer's export formats from silently rotting.
 set -euo pipefail
 
 BIN=${1:?usage: obs_smoke.sh <pmpr_run binary> [out_dir]}
@@ -57,9 +57,15 @@ for required in ("postmortem.build_representation", "postmortem.run"):
 for required in ("main", "obs.sampler"):
     assert required in thread_names, \
         f"trace: missing thread_name {required}; got {thread_names}"
-# The sampling profiler must have emitted its scheduler counter tracks.
+# The sampling profiler must have emitted its scheduler counter tracks,
+# and (v3) the memory pillar's RSS + per-tag charge tracks. The oocore
+# mem.oocore_resident/mem.budget pair only appears for --storage
+# out-of-core runs (no store probe registers here), so it is not required.
 for required in ("sched.total_queued", "sched.parked_workers",
-                 "sched.steal_success_rate", "progress.windows_processed"):
+                 "sched.steal_success_rate", "progress.windows_processed",
+                 "mem.rss", "mem.tagged.graph", "mem.tagged.compiled_kernel",
+                 "mem.tagged.decode_scratch", "mem.tagged.oocore_payload",
+                 "mem.tagged.obs", "mem.tagged.other"):
     assert required in counter_tracks, \
         f"trace: missing counter track {required}; got {counter_tracks}"
 # Metadata events precede the payload so tracks are labelled on load.
@@ -69,7 +75,7 @@ assert phases.index("M") < phases.index("X"), "trace: metadata after spans"
 with open(sys.argv[2]) as f:
     metrics = json.load(f)
 
-assert metrics["schema"] == "pmpr-metrics-v2", "metrics: bad schema tag"
+assert metrics["schema"] == "pmpr-metrics-v3", "metrics: bad schema tag"
 for field in ("build_seconds", "compute_seconds", "total_seconds"):
     assert metrics[field] >= 0, f"metrics: bad {field}"
 assert metrics["num_windows"] > 0, "metrics: no windows"
@@ -107,6 +113,29 @@ for phase in ("build", "iterate", "sink"):
     assert h["max_ns"] >= h["p99_ns"] * 8 / 9, \
         f"metrics: {phase} max below p99's bucket {h}"
     assert h["mean_ns"] > 0, f"metrics: zero {phase} mean"
+
+# v3: per-tag memory accounting. pmpr_run enables the accounting gate, so
+# the representation (graph) and compiled kernels must show nonzero peaks;
+# the measured total peak backs peak_memory_bytes while the estimate stays
+# reportable next to it. This in-RAM run decodes nothing, so
+# read_amplification is 0 but the field must exist.
+memory = metrics["memory"]
+tags = memory["tags"]
+for tag in ("graph", "compiled_kernel", "decode_scratch", "oocore_payload",
+            "obs", "other"):
+    t = tags[tag]
+    for field in ("alloc_bytes", "free_bytes", "live_bytes", "peak_bytes"):
+        assert field in t, f"metrics: memory tag {tag} missing {field}"
+    assert t["peak_bytes"] >= max(0, t["live_bytes"]), \
+        f"metrics: {tag} peak below live {t}"
+assert tags["graph"]["peak_bytes"] > 0, "metrics: no graph bytes charged"
+assert tags["compiled_kernel"]["peak_bytes"] > 0, \
+    "metrics: no compiled-kernel bytes charged"
+assert memory["peak_bytes_measured"] > 0, "metrics: no measured peak"
+assert memory["peak_bytes_estimate"] > 0, "metrics: no estimated peak"
+assert memory["read_amplification"] >= 0, "metrics: bad read amplification"
+assert metrics["peak_memory_bytes"] == memory["peak_bytes_measured"], \
+    "metrics: peak_memory_bytes not backed by the measured watermark"
 
 # v2: sampler summary from the --profile run.
 sampler = metrics["sampler"]

@@ -9,6 +9,9 @@
 #     smaller than the working set, so the run could not just cache
 #     everything),
 #   * the paged run reports a peak resident payload within the budget,
+#   * the *measured* (mincore page scan) store residency also honors the
+#     budget, modulo kernel-readahead slack — the charge-based policy is
+#     audited against ground truth, not just against itself,
 #   * peak RSS stays sane (a paged run must not quietly materialize the
 #     whole raw representation: its maxrss is capped relative to the
 #     in-RAM run's).
@@ -77,7 +80,24 @@ assert store_mib < raw_mib, \
 assert peak_mib <= store_mib, \
     f"peak resident exceeds the whole store: {oo!r}"
 
-# 4. Real memory: the paged process must not use substantially more than
+# 4. Measured residency honors the budget. The "residency" line carries
+# the mincore-scanned peak next to the charged peak; under budget-mb 0 the
+# effective budget is the largest part, i.e. the charged peak. Kernel
+# readahead can legitimately fault pages beyond the advised range, so the
+# measured peak gets a generous slack (one extra budget's worth or 4 MiB,
+# whichever is larger) — what this catches is the store quietly going
+# fully resident on stores larger than the slack.
+res = paged.get("residency", "")
+mres = re.search(r"measured peak (\d+) bytes .*vs charged (\d+) bytes", res)
+assert mres, f"cannot parse residency line: {res!r}"
+measured_b, charged_b = int(mres.group(1)), int(mres.group(2))
+assert measured_b > 0, f"mincore scan saw nothing resident: {res!r}"
+slack = max(charged_b, 4 * 1024 * 1024)
+assert measured_b <= charged_b + slack, (
+    f"measured store residency {measured_b} B blows past the "
+    f"{charged_b} B budget charge even with {slack} B readahead slack")
+
+# 5. Real memory: the paged process must not use substantially more than
 # the in-RAM run (it holds strictly less graph data; allow 1.5x slack for
 # allocator noise on a small-footprint run).
 m_ram = re.search(r"(\d+) bytes", in_ram.get("maxrss", ""))
@@ -89,6 +109,7 @@ assert rss_paged <= rss_ram * 1.5, (
 
 print(f"oocore smoke OK: checksum match, {evictions} evictions, "
       f"store {store_mib} MiB / raw {raw_mib} MiB, "
-      f"peak resident {peak_mib} MiB, "
+      f"peak resident {peak_mib} MiB "
+      f"(measured {measured_b} B vs charged {charged_b} B), "
       f"RSS {rss_paged} vs {rss_ram} bytes")
 EOF

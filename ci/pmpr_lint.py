@@ -40,13 +40,23 @@ cannot express:
                             and SIGILLs on older machines.
 
   mmap-syscall-confined     Raw memory-mapping / low-level file syscalls
-                            (mmap, munmap, madvise, posix_madvise, pread,
-                            pwrite, ::open, open64) may only appear under
-                            src/io/ (the MmapFile wrapper). Everywhere else
-                            must go through io::MmapFile so page residency,
-                            advice hints, and error handling stay in one
-                            audited place. Member `.open()` calls (e.g.
-                            std::ifstream) are not flagged.
+                            (mmap, munmap, madvise, posix_madvise, mincore,
+                            pread, pwrite, ::open, open64) may only appear
+                            under src/io/ (the MmapFile wrapper). Everywhere
+                            else must go through io::MmapFile so page
+                            residency, advice hints, and error handling stay
+                            in one audited place. Member `.open()` calls
+                            (e.g. std::ifstream) are not flagged.
+
+  proc-syscall-confined     Process-introspection primitives (/proc/self
+                            paths, getrusage, mincore) are confined to
+                            src/util/, src/io/, and src/obs/ — the memory
+                            observability pillar's readers
+                            (obs::current_rss_bytes, obs::peak_rss_bytes,
+                            io::MmapFile::resident_bytes). Ad-hoc RSS
+                            probes elsewhere fragment the cost model and
+                            skip the platform normalisation those wrappers
+                            own.
 
   raw-clock                 Direct steady_clock / system_clock /
                             high_resolution_clock ::now() calls are
@@ -112,10 +122,12 @@ ALLOW = {
         "src/obs/counters.cpp",
         "src/obs/trace.cpp",
         "src/obs/histogram.cpp",
+        "src/obs/memory.cpp",
     },
     "raw-clock": set(),
     "simd-intrinsics-confined": set(),
     "mmap-syscall-confined": set(),
+    "proc-syscall-confined": set(),
 }
 # Path prefixes where a rule does not apply.
 ALLOW_DIRS = {
@@ -126,6 +138,9 @@ ALLOW_DIRS = {
     "reinterpret-cast-outside-io": ("src/io/",),
     # The MmapFile wrapper is the single audited home for mapping syscalls.
     "mmap-syscall-confined": ("src/io/",),
+    # The sanctioned process-introspection readers: obs/memory.cpp's RSS
+    # readers, MmapFile::resident_bytes' mincore scan, and util/ helpers.
+    "proc-syscall-confined": ("src/util/", "src/io/", "src/obs/"),
     # The SIMD dispatch + sweep family: the only files built with -mavx*
     # flags, so the only files where the intrinsics cannot SIGILL.
     "simd-intrinsics-confined": ("src/pagerank/simd_",),
@@ -151,10 +166,17 @@ RAW_SLEEP = re.compile(r"\b(sleep_for|sleep_until|wait_for|wait_until)\s*\(")
 # `.open()` and `MmapFile::open()` stay clean because the lookbehinds
 # reject a preceding word character, `.`, or `:`).
 MMAP_SYSCALL = re.compile(
-    r"(?<![\w.:])(mmap|munmap|madvise|posix_madvise|pread|pwrite|open64)"
-    r"\s*\(|"
-    r"(?<!\w)::\s*(mmap|munmap|madvise|posix_madvise|pread|pwrite|open|"
-    r"open64)\s*\("
+    r"(?<![\w.:])(mmap|munmap|madvise|posix_madvise|mincore|pread|pwrite|"
+    r"open64)\s*\(|"
+    r"(?<!\w)::\s*(mmap|munmap|madvise|posix_madvise|mincore|pread|pwrite|"
+    r"open|open64)\s*\("
+)
+# Process-introspection primitives: /proc/self readers and the rusage /
+# mincore syscalls (bare or ::-qualified calls; the string literal form
+# catches any /proc/self path construction).
+PROC_SYSCALL = re.compile(
+    r"/proc/self|(?<![\w.:])(getrusage|mincore)\s*\(|"
+    r"(?<!\w)::\s*(getrusage|mincore)\s*\("
 )
 SIMD_INTRINSIC = re.compile(
     r"\b_mm\d*_\w+\s*\(|\b__m(?:128|256|512)[a-z]?\b|\b__mmask\d+\b|"
@@ -286,6 +308,14 @@ RULES = [
         MMAP_SYSCALL,
         lambda m: f"raw mapping syscall `{m.group(0).strip()}` outside "
         "src/io/; go through io::MmapFile (io/mmap_file.hpp)",
+    ),
+    _regex_rule(
+        "proc-syscall-confined",
+        PROC_SYSCALL,
+        lambda m: f"process introspection `{m.group(0).strip()}` outside "
+        "src/util//src/io//src/obs/; use obs::current_rss_bytes / "
+        "obs::peak_rss_bytes / io::MmapFile::resident_bytes "
+        "(obs/memory.hpp)",
     ),
 ]
 

@@ -6,43 +6,19 @@
 //              --trace trace.json --metrics metrics.json
 //
 // Load trace.json in https://ui.perfetto.dev (or chrome://tracing) to see
-// the per-phase spans; metrics.json holds the pmpr-metrics-v2 record
-// (counters, phase-latency histograms, sampler summary, residual
-// trajectories, memory estimate). Add --profile to run the background
+// the per-phase spans; metrics.json holds the pmpr-metrics-v3 record
+// (counters, phase-latency histograms, per-tag memory accounting, sampler
+// summary, residual trajectories). Add --profile to run the background
 // scheduler sampler during the run: its summary lands in the metrics JSON
-// and, with --trace, its queue-depth/parked-worker gauges appear as
-// counter tracks under the span timeline. ci/obs_smoke.sh validates both
-// shapes.
+// and, with --trace, its queue-depth/parked-worker gauges plus the mem.*
+// memory tracks appear as counter tracks under the span timeline.
+// ci/obs_smoke.sh validates both shapes; --mem-report prints the per-tag
+// table on stdout.
 #include <cstdio>
 #include <memory>
 #include <string>
 
-#if defined(__unix__) || defined(__APPLE__)
-#include <sys/resource.h>
-#endif
-
 #include "pmpr.hpp"
-
-namespace {
-
-/// Peak RSS of this process in bytes (0 where getrusage is unavailable).
-/// A real measurement, unlike RunResult::peak_memory_bytes' estimate —
-/// ci/oocore_smoke.sh asserts on it.
-std::size_t peak_rss_bytes() {
-#if defined(__unix__) || defined(__APPLE__)
-  struct rusage usage{};
-  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
-#if defined(__APPLE__)
-  return static_cast<std::size_t>(usage.ru_maxrss);  // bytes on macOS
-#else
-  return static_cast<std::size_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
-#endif
-#else
-  return 0;
-#endif
-}
-
-}  // namespace
 
 using namespace pmpr;
 
@@ -63,6 +39,7 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string metrics_path;
   bool profile = false;
+  bool mem_report = false;
   std::int64_t profile_interval_ms = 10;
   Options opts("Run one execution model with telemetry enabled");
   opts.add("model", &model, "offline | streaming | postmortem");
@@ -95,10 +72,13 @@ int main(int argc, char** argv) {
   opts.add("trace", &trace_path,
            "write a Chrome trace-event JSON (Perfetto-loadable) here");
   opts.add("metrics", &metrics_path,
-           "write the pmpr-metrics-v2 run record here");
+           "write the pmpr-metrics-v3 run record here");
   opts.add("profile", &profile,
            "sample the scheduler during the run (sampler summary in "
            "--metrics, counter tracks in --trace)");
+  opts.add("mem-report", &mem_report,
+           "print the per-tag memory accounting table (live/peak per "
+           "MemTag, measured vs estimated peak) at exit");
   opts.add("profile-interval-ms", &profile_interval_ms,
            "sampler tick period in milliseconds");
   if (!opts.parse(argc, argv)) return opts.saw_help() ? 0 : 1;
@@ -121,6 +101,7 @@ int main(int argc, char** argv) {
   obs::set_counters_enabled(true);
   obs::set_metrics_enabled(true);
   obs::set_histograms_enabled(true);
+  obs::set_memory_accounting_enabled(true);
   if (!trace_path.empty()) obs::set_tracing_enabled(true);
   obs::set_thread_name("main");
 
@@ -203,9 +184,27 @@ int main(int argc, char** argv) {
                       result.counters[obs::Counter::kPartsEvicted]),
                   static_cast<unsigned long long>(
                       result.counters[obs::Counter::kPartRefaults]));
+      // Ground truth (mincore page scan of the store) next to the charge
+      // the LRU policy maintained; ci/oocore_smoke.sh asserts the measured
+      // value honors the budget (modulo readahead slack).
+      std::printf("residency  : measured peak %zu bytes (%.2f MiB) vs "
+                  "charged %zu bytes\n",
+                  result.oocore_measured_resident_peak_bytes,
+                  static_cast<double>(
+                      result.oocore_measured_resident_peak_bytes) /
+                      (1024 * 1024),
+                  result.oocore_resident_peak_bytes);
+    }
+    if (result.read_amplification > 0.0) {
+      std::printf("read-amp   : %.3fx (decoded %llu B / delivered %llu B)\n",
+                  result.read_amplification,
+                  static_cast<unsigned long long>(
+                      result.counters[obs::Counter::kBytesDecoded]),
+                  static_cast<unsigned long long>(
+                      result.counters[obs::Counter::kWindowOutputBytes]));
     }
   }
-  const std::size_t maxrss = peak_rss_bytes();
+  const std::size_t maxrss = static_cast<std::size_t>(obs::peak_rss_bytes());
   if (maxrss > 0) {
     std::printf("maxrss     : %zu bytes (%.1f MiB)\n", maxrss,
                 static_cast<double>(maxrss) / (1024 * 1024));
@@ -254,6 +253,32 @@ int main(int argc, char** argv) {
                   result.counters[obs::Counter::kStealsAttempted]),
               static_cast<unsigned long long>(
                   result.counters[obs::Counter::kVerticesReused]));
+
+  if (mem_report) {
+    // Per-tag accounting at exit: live should be near zero for run-scoped
+    // tags (their RAII charges released with the representation), peak is
+    // the process watermark the estimate is audited against.
+    std::printf("mem-report : %-16s %14s %14s %14s\n", "tag", "alloc (B)",
+                "live (B)", "peak (B)");
+    for (std::size_t i = 0; i < obs::kNumMemTags; ++i) {
+      const obs::MemTagSnapshot& t = result.memory.tags[i];
+      std::printf("mem-report : %-16s %14llu %14lld %14llu\n",
+                  std::string(obs::to_string(static_cast<obs::MemTag>(i)))
+                      .c_str(),
+                  static_cast<unsigned long long>(t.alloc_bytes),
+                  static_cast<long long>(t.live_bytes),
+                  static_cast<unsigned long long>(t.peak_bytes));
+    }
+    const double measured =
+        static_cast<double>(result.memory.total_peak_bytes);
+    const double estimate =
+        static_cast<double>(result.peak_memory_estimate_bytes);
+    std::printf("mem-report : peak measured %.2f MiB vs estimate %.2f MiB "
+                "(%+.1f%%)\n",
+                measured / (1024 * 1024), estimate / (1024 * 1024),
+                estimate > 0.0 ? (measured - estimate) / estimate * 100.0
+                               : 0.0);
+  }
 
   if (!metrics_path.empty()) {
     if (!obs::write_metrics_json(result, metrics_path, sampler.get())) {

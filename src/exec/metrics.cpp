@@ -4,6 +4,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "obs/memory.hpp"
 #include "obs/sampler.hpp"
 
 namespace pmpr::obs {
@@ -34,7 +35,7 @@ void write_phase_histogram(const PhaseHistogram& h, std::ostream& out) {
 void write_metrics_json(const RunResult& result, std::ostream& out,
                         const Sampler* sampler) {
   out << "{\n";
-  out << "  \"schema\": \"pmpr-metrics-v2\",\n";
+  out << "  \"schema\": \"pmpr-metrics-v3\",\n";
   out << "  \"build_seconds\": " << fmt(result.build_seconds) << ",\n";
   out << "  \"compute_seconds\": " << fmt(result.compute_seconds) << ",\n";
   out << "  \"total_seconds\": " << fmt(result.total_seconds()) << ",\n";
@@ -61,6 +62,41 @@ void write_metrics_json(const RunResult& result, std::ostream& out,
     write_phase_histogram(result.histograms.phases[p], out);
   }
   out << "\n  },\n";
+
+  // Memory pillar (v3). Always present, all zeros when
+  // obs::set_memory_accounting_enabled(true) was not active during the
+  // run. alloc/free are run deltas; live/peak are process watermarks.
+  out << "  \"memory\": {\n";
+  out << "    \"tags\": {";
+  for (std::size_t i = 0; i < kNumMemTags; ++i) {
+    const MemTagSnapshot& t = result.memory.tags[i];
+    out << (i == 0 ? "\n" : ",\n") << "      \""
+        << to_string(static_cast<MemTag>(i))
+        << "\": {\"alloc_bytes\": " << t.alloc_bytes
+        << ", \"free_bytes\": " << t.free_bytes
+        << ", \"live_bytes\": " << t.live_bytes
+        << ", \"peak_bytes\": " << t.peak_bytes << "}";
+  }
+  out << "\n    },\n";
+  out << "    \"total_live_bytes\": " << result.memory.total_live_bytes
+      << ",\n";
+  out << "    \"peak_bytes_measured\": " << result.memory.total_peak_bytes
+      << ",\n";
+  out << "    \"peak_bytes_estimate\": " << result.peak_memory_estimate_bytes
+      << ",\n";
+  // Oocore ground truth vs charge: the mincore-scanned store residency
+  // peak against the budget charge the LRU policy maintained. The signed
+  // delta exposes readahead (positive) and lazy faulting (negative).
+  out << "    \"oocore_resident_peak_charged_bytes\": "
+      << result.oocore_resident_peak_bytes << ",\n";
+  out << "    \"oocore_resident_peak_measured_bytes\": "
+      << result.oocore_measured_resident_peak_bytes << ",\n";
+  out << "    \"oocore_residency_delta_bytes\": "
+      << (static_cast<long long>(result.oocore_measured_resident_peak_bytes) -
+          static_cast<long long>(result.oocore_resident_peak_bytes))
+      << ",\n";
+  out << "    \"read_amplification\": " << fmt(result.read_amplification)
+      << "\n  },\n";
 
   // Always present so consumers need no existence checks; all zeros when
   // no sampler ran.

@@ -6,12 +6,14 @@
 // has always had — callers say obs::write_metrics_json.
 //
 // Every runner fills RunResult with per-window convergence data, telemetry
-// counter deltas, per-phase latency histograms, and a peak-memory estimate;
-// write_metrics_json emits the whole record as one JSON object (schema
-// "pmpr-metrics-v2", validated by ci/obs_smoke.sh). Benchmarks and the
-// pmpr_run example expose it via `--metrics <path>`; pass a Sampler to also
-// embed the scheduler-profile summary (the section is always present —
-// zeroed when no sampler ran — so consumers need no existence checks).
+// counter deltas, per-phase latency histograms, and memory accounting
+// (tagged live/peak per MemTag, measured vs estimated peak, oocore
+// residency, read amplification); write_metrics_json emits the whole
+// record as one JSON object (schema "pmpr-metrics-v3", validated by
+// ci/obs_smoke.sh). Benchmarks and the pmpr_run example expose it via
+// `--metrics <path>`; pass a Sampler to also embed the scheduler-profile
+// summary (the "sampler" and "memory" sections are always present —
+// zeroed when disabled — so consumers need no existence checks).
 #pragma once
 
 #include <iosfwd>
@@ -24,9 +26,11 @@ namespace pmpr::obs {
 class Sampler;
 
 /// Writes `result` as one JSON object:
-///   { "schema": "pmpr-metrics-v2", "build_seconds": ..., ...,
+///   { "schema": "pmpr-metrics-v3", "build_seconds": ..., ...,
 ///     "counters": {"tasks_spawned": ...},
 ///     "histograms": {"build": {"count": ..., "p50_ns": ..., ...}, ...},
+///     "memory": {"tags": {"graph": {"live_bytes": ..., ...}, ...},
+///                "peak_bytes_measured": ..., "read_amplification": ...},
 ///     "sampler": {"num_samples": ..., "mean_total_queued": ..., ...},
 ///     "windows": [{...}, ...] }
 /// `sampler` may be null (the "sampler" section is then all zeros).

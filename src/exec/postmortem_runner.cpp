@@ -8,6 +8,7 @@
 #include "graph/memory_budget.hpp"
 #include "obs/counters.hpp"
 #include "obs/histogram.hpp"
+#include "obs/memory.hpp"
 #include "obs/trace.hpp"
 #include "pagerank/partial_init.hpp"
 #include "pagerank/spmm_temporal.hpp"
@@ -324,6 +325,8 @@ class PostmortemDriver {
       PMPR_TRACE_SPAN("window.sink");
       obs::PhaseTimer timing(obs::Phase::kSink);
       sink_.consume_mapped(w, part.local_to_global, st.x);
+      // Read-amplification denominator: rank bytes this window delivered.
+      obs::count(obs::Counter::kWindowOutputBytes, n * sizeof(double));
     }
 
     st.prev_x.swap(st.x);
@@ -416,6 +419,8 @@ class PostmortemDriver {
       result_.residual_trajectories[w] = std::move(stats.lane_stats[k].residuals);
       sink_.consume_mapped(w, part.local_to_global, st.lane_buf);
     }
+    // Read-amplification denominator: one rank vector per lane's window.
+    obs::count(obs::Counter::kWindowOutputBytes, lanes * n * sizeof(double));
 
     st.prev_x.swap(st.x);
     st.prev_mask = st.spmm_ws.active_mask;  // copy; spmm_ws reused next item
@@ -456,6 +461,39 @@ void check_storage_supported(const PostmortemConfig& config) {
                         "kernels traverse the raw temporal CSR");
 }
 
+/// Folds the run's memory accounting into `result` (which must already
+/// hold its counter delta). alloc/free tallies become run deltas against
+/// `before`; live/peak stay the process watermarks at run end — watermarks
+/// have no meaningful delta. peak_memory_bytes prefers the measured
+/// tagged-charge watermark over the model estimate when accounting was on;
+/// the estimate always survives in peak_memory_estimate_bytes so drift
+/// between the two stays reportable.
+void finish_memory_accounting(const obs::MemorySnapshot& before,
+                              std::size_t estimate_bytes, RunResult& result) {
+  obs::MemorySnapshot mem = obs::memory_snapshot();
+  for (std::size_t i = 0; i < obs::kNumMemTags; ++i) {
+    // Monotone tallies: never smaller than at run start unless a test
+    // reset the registry mid-run, hence the clamp.
+    mem.tags[i].alloc_bytes -=
+        std::min(mem.tags[i].alloc_bytes, before.tags[i].alloc_bytes);
+    mem.tags[i].free_bytes -=
+        std::min(mem.tags[i].free_bytes, before.tags[i].free_bytes);
+  }
+  result.memory = mem;
+  result.peak_memory_estimate_bytes = estimate_bytes;
+  result.peak_memory_bytes =
+      obs::memory_accounting_enabled() && mem.total_peak_bytes > 0
+          ? static_cast<std::size_t>(mem.total_peak_bytes)
+          : estimate_bytes;
+  const std::uint64_t decoded = result.counters[obs::Counter::kBytesDecoded];
+  const std::uint64_t delivered =
+      result.counters[obs::Counter::kWindowOutputBytes];
+  if (decoded > 0 && delivered > 0) {
+    result.read_amplification =
+        static_cast<double>(decoded) / static_cast<double>(delivered);
+  }
+}
+
 }  // namespace
 
 RunResult run_postmortem_prebuilt(const MultiWindowSet& set, ResultSink& sink,
@@ -471,6 +509,7 @@ RunResult run_postmortem_prebuilt(const MultiWindowSet& set, ResultSink& sink,
   result.simd_isa = std::string(to_string(resolve_simd(config.simd)));
   const obs::CounterSnapshot before = obs::counters_snapshot();
   const obs::HistogramSnapshot hist_before = obs::histograms_snapshot();
+  const obs::MemorySnapshot mem_before = obs::memory_snapshot();
   Timer timer;
   {
     PMPR_TRACE_SPAN("postmortem.run");
@@ -490,7 +529,8 @@ RunResult run_postmortem_prebuilt(const MultiWindowSet& set, ResultSink& sink,
       config.kernel == KernelKind::kSpmm ? config.vector_length : 1;
   const MemoryEstimate est = estimate_memory(set, vlen);
   result.representation_bytes = est.representation_bytes;
-  result.peak_memory_bytes = est.peak_bytes(kernel_contexts);
+  finish_memory_accounting(mem_before, est.peak_bytes(kernel_contexts),
+                           result);
   return result;
 }
 
@@ -509,6 +549,7 @@ RunResult run_postmortem_paged(PagedMultiWindowSet& paged, ResultSink& sink,
   result.simd_isa = std::string(to_string(resolve_simd(config.simd)));
   const obs::CounterSnapshot before = obs::counters_snapshot();
   const obs::HistogramSnapshot hist_before = obs::histograms_snapshot();
+  const obs::MemorySnapshot mem_before = obs::memory_snapshot();
   Timer timer;
   {
     PMPR_TRACE_SPAN("postmortem.run_paged");
@@ -527,14 +568,19 @@ RunResult run_postmortem_paged(PagedMultiWindowSet& paged, ResultSink& sink,
   result.oocore_resident_peak_bytes = ps.peak_resident_bytes;
   result.oocore_store_bytes = ps.store_bytes;
   result.oocore_raw_bytes = ps.raw_bytes;
-  // For paged runs the peak is a paging measurement, not a whole-set
-  // estimate: charged payload peak plus the always-resident vertex maps.
+  result.oocore_measured_resident_peak_bytes =
+      ps.measured_resident_peak_bytes;
+  // For paged runs the fallback "estimate" is itself a paging measurement:
+  // charged payload peak plus the always-resident vertex maps. The tagged
+  // watermark (when accounting is on) additionally sees compiled kernels
+  // and decode scratch, so the two legitimately diverge.
   std::size_t meta_bytes = 0;
   for (std::size_t p = 0; p < paged.num_parts(); ++p) {
     meta_bytes +=
         paged.part_meta(p).local_to_global.size() * sizeof(VertexId);
   }
-  result.peak_memory_bytes = ps.peak_resident_bytes + meta_bytes;
+  finish_memory_accounting(mem_before, ps.peak_resident_bytes + meta_bytes,
+                           result);
   return result;
 }
 

@@ -14,6 +14,7 @@
 #include "analysis/result_sink.hpp"  // IWYU pragma: export
 #include "obs/counters.hpp"
 #include "obs/histogram.hpp"
+#include "obs/memory.hpp"
 
 namespace pmpr {
 
@@ -39,9 +40,22 @@ struct RunResult {
   /// same registry-wide delta semantics as `counters`. All empty when
   /// obs::set_histograms_enabled(true) was not active during the run.
   obs::HistogramSnapshot histograms;
-  /// Estimated peak resident bytes of the run's representation + working
-  /// sets (model-specific estimate, not a measurement).
+  /// Peak resident bytes of the run's representation + working sets. When
+  /// memory accounting was enabled this is the *measured* tagged-charge
+  /// watermark (memory.total_peak_bytes); otherwise it falls back to the
+  /// model-specific estimate. peak_memory_estimate_bytes always keeps the
+  /// estimate so drift between the two stays reportable.
   std::size_t peak_memory_bytes = 0;
+  /// The model's formula-based estimate, regardless of accounting state.
+  std::size_t peak_memory_estimate_bytes = 0;
+  /// Tagged-accounting snapshot delta across the run (alloc/free are run
+  /// deltas; live/peak are process watermarks at run end). All zero when
+  /// obs::set_memory_accounting_enabled(true) was not active.
+  obs::MemorySnapshot memory;
+  /// Read amplification of compressed/oocore runs: encoded bytes decoded
+  /// by compile passes over rank bytes delivered to sinks. 0 when the run
+  /// decoded nothing (in-RAM storage) or counters were disabled.
+  double read_amplification = 0.0;
   /// Resolved SIMD ISA of the run's options ("scalar" / "avx2" / "avx512").
   /// Compiled SpMM sweeps executed on this ISA; the per-ISA simd_sweep_*
   /// counters record how many. Set by all three runners (the SpMV-shaped
@@ -60,6 +74,10 @@ struct RunResult {
   std::size_t oocore_resident_peak_bytes = 0;
   std::size_t oocore_store_bytes = 0;
   std::size_t oocore_raw_bytes = 0;
+  /// Measured (mincore) peak residency of the oocore store, the ground
+  /// truth for oocore_resident_peak_bytes' charge-based accounting. Zero
+  /// for non-oocore runs.
+  std::size_t oocore_measured_resident_peak_bytes = 0;
 
   [[nodiscard]] double total_seconds() const {
     return build_seconds + compute_seconds;

@@ -7,6 +7,8 @@
 #include <limits>
 #include <utility>
 
+#include "obs/histogram.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -125,10 +127,16 @@ std::unique_ptr<PagedMultiWindowSet> PagedMultiWindowSet::build(
                  "out-of-core store " << set->store_path_ << " holds "
                                       << set->file_->bytes().size()
                                       << " B, expected " << offset);
+  // Hand the sampler a real-residency probe for this store so the trace
+  // charts mem.oocore_resident against mem.budget. One probe at a time —
+  // the most recently built store wins; the destructor unregisters.
+  obs::register_residency_probe(set.get());
   return set;
 }
 
 PagedMultiWindowSet::~PagedMultiWindowSet() {
+  // Stop the sampler from probing before the mappings go away.
+  obs::unregister_residency_probe(this);
   // Drop every mapping before unlinking the store.
   for (auto& slot : parts_) slot.graph.in_compressed.reset();
   file_.reset();
@@ -166,7 +174,12 @@ PagedMultiWindowSet::Lease PagedMultiWindowSet::acquire(std::size_t p) {
   LockGuard lock(mu_);
   PartSlot& slot = parts_[p];
   if (!slot.graph.is_compressed()) {
-    if (slot.ever_mapped) ++stats_.part_refaults;
+    const bool refault = slot.ever_mapped;
+    if (refault) ++stats_.part_refaults;
+    // Map-fault latency: the timeline span distinguishes first faults from
+    // refaults; the distribution lands in the io.page phase histogram.
+    PMPR_TRACE_SPAN(refault ? "oocore.refault" : "oocore.map");
+    obs::PhaseTimer timing(obs::Phase::kPage);
     make_room(slot.payload_bytes);
     io::CompressedTemporalCsr packed = io::CompressedTemporalCsr::map_at(
         file_, slot.store_offset, slot.store_size);
@@ -174,9 +187,17 @@ PagedMultiWindowSet::Lease PagedMultiWindowSet::acquire(std::size_t p) {
     slot.graph.in_compressed =
         std::make_shared<const io::CompressedTemporalCsr>(std::move(packed));
     slot.ever_mapped = true;
+    slot.charge.reset(obs::MemTag::kOocorePayload, slot.payload_bytes);
     resident_bytes_ += slot.payload_bytes;
     stats_.peak_resident_bytes =
         std::max(stats_.peak_resident_bytes, resident_bytes_);
+    // Ground-truth watermark: an mincore scan of the whole store, taken
+    // only on the map path where mmap/madvise syscalls are already in
+    // play. Kernel readahead may legitimately put it above the charged
+    // peak; lazy faulting below.
+    stats_.measured_resident_peak_bytes =
+        std::max(stats_.measured_resident_peak_bytes,
+                 file_->resident_bytes());
   }
   ++slot.pin_count;
   slot.last_use = ++clock_;
@@ -210,10 +231,12 @@ void PagedMultiWindowSet::make_room(std::size_t need) {
                                     << " B pinned, " << need
                                     << " B more needed and nothing evictable");
     PartSlot& v = parts_[victim];
+    PMPR_TRACE_SPAN("oocore.evict");
     // madvise(DONTNEED) on the clean file-backed payload pages frees them
     // immediately; the next acquire refaults from the store file.
     v.graph.in_compressed->advise(io::Advice::kDontNeed);
     v.graph.in_compressed.reset();
+    v.charge.release();
     resident_bytes_ -= v.payload_bytes;
     ++stats_.parts_evicted;
     stats_.bytes_evicted += v.payload_bytes;
@@ -244,6 +267,17 @@ std::size_t PagedMultiWindowSet::resident_bytes() const {
 PagingStats PagedMultiWindowSet::stats() const {
   LockGuard lock(mu_);
   return stats_;
+}
+
+std::uint64_t PagedMultiWindowSet::probe_resident_bytes() const {
+  // Lock-free monitor read: file_ is set once in build() before the probe
+  // registers and never reassigned; the scan itself touches no guarded
+  // state.
+  return file_ != nullptr ? file_->resident_bytes() : 0;
+}
+
+std::uint64_t PagedMultiWindowSet::probe_budget_bytes() const {
+  return budget_bytes_;
 }
 
 }  // namespace pmpr

@@ -35,6 +35,7 @@
 #include "graph/window.hpp"
 #include "io/compressed_csr.hpp"
 #include "io/mmap_file.hpp"
+#include "obs/memory.hpp"
 #include "util/thread_annotations.hpp"
 
 namespace pmpr {
@@ -45,13 +46,17 @@ struct PagingStats {
   std::size_t part_refaults = 0;   ///< Re-acquires of an evicted part.
   std::size_t bytes_evicted = 0;   ///< Payload bytes dropped by evictions.
   std::size_t peak_resident_bytes = 0;  ///< Max charged payload at any time.
+  /// Max *measured* store residency (mincore page scan, sampled on every
+  /// part map). The ground truth the charged peak is audited against:
+  /// kernel readahead can push it above the charge, lazy faulting below.
+  std::size_t measured_resident_peak_bytes = 0;
   std::size_t store_bytes = 0;     ///< On-disk store file size.
   std::size_t raw_bytes = 0;       ///< Σ raw (col+time) bytes — the
                                    ///< working set an in-RAM run needs.
   std::size_t chunks_total = 0;    ///< Σ chunks across all parts.
 };
 
-class PagedMultiWindowSet {
+class PagedMultiWindowSet : public obs::ResidencyProbe {
  public:
   struct Options {
     std::size_t num_parts = 1;
@@ -77,7 +82,7 @@ class PagedMultiWindowSet {
 
   PagedMultiWindowSet(const PagedMultiWindowSet&) = delete;
   PagedMultiWindowSet& operator=(const PagedMultiWindowSet&) = delete;
-  ~PagedMultiWindowSet();
+  ~PagedMultiWindowSet() override;
 
   /// RAII pin: the part stays resident (never evicted) while any Lease on
   /// it lives. Move-only; released on destruction.
@@ -128,6 +133,13 @@ class PagedMultiWindowSet {
   /// Snapshot of the paging counters. Thread-safe.
   [[nodiscard]] PagingStats stats() const;
 
+  /// obs::ResidencyProbe monitor reads, feeding the sampler's
+  /// mem.oocore_resident / mem.budget trace tracks. Lock-free: file_ and
+  /// budget_bytes_ are set once in build() before the probe registers and
+  /// never change afterwards; the scan itself is a pure mincore read.
+  [[nodiscard]] std::uint64_t probe_resident_bytes() const override;
+  [[nodiscard]] std::uint64_t probe_budget_bytes() const override;
+
  private:
   PagedMultiWindowSet() = default;
 
@@ -139,6 +151,8 @@ class PagedMultiWindowSet {
     std::size_t pin_count = 0;
     std::uint64_t last_use = 0;      ///< LRU clock value of the last pin.
     bool ever_mapped = false;        ///< Distinguishes refaults from faults.
+    obs::MemCharge charge;  ///< payload_bytes under kOocorePayload while
+                            ///< mapped (reset on map, released on evict).
   };
 
   void release_pin(std::size_t p);

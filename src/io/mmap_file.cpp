@@ -28,6 +28,12 @@ std::size_t page_size() {
   return ps > 0 ? static_cast<std::size_t>(ps) : 4096;
 }
 
+#if defined(__APPLE__)
+using MincoreVec = char;  // macOS declares mincore(2) with a char vector.
+#else
+using MincoreVec = unsigned char;
+#endif
+
 int native_advice(Advice a) {
   switch (a) {
     case Advice::kSequential:
@@ -147,6 +153,37 @@ void MmapFile::advise([[maybe_unused]] std::size_t offset,
   // behavior, never correctness, so the return value is ignored.
   (void)::madvise(const_cast<std::uint8_t*>(data_) + offset, length,
                   native_advice(advice));
+#endif
+}
+
+std::size_t MmapFile::resident_bytes(std::size_t offset,
+                                     std::size_t length) const {
+  if (data_ == nullptr || offset >= size_) return 0;
+  length = std::min(length, size_ - offset);
+  if (length == 0) return 0;
+  // The read-into-RAM fallback IS anonymous resident memory: report it all.
+  if (!mapped_) return length;
+#if PMPR_IO_HAVE_MMAP
+  // mincore wants a page-aligned start; align down and widen like advise().
+  const std::size_t ps = page_size();
+  const std::size_t misalign = offset % ps;
+  offset -= misalign;
+  length += misalign;
+  length = std::min(length, size_ - offset);
+  const std::size_t pages = (length + ps - 1) / ps;
+  std::vector<MincoreVec> vec(pages);
+  // Advisory measurement: a failed scan reports 0 rather than guessing.
+  if (::mincore(const_cast<std::uint8_t*>(data_) + offset, length,
+                vec.data()) != 0) {
+    return 0;
+  }
+  std::size_t resident_pages = 0;
+  for (const MincoreVec b : vec) {
+    resident_pages += static_cast<unsigned char>(b) & 1u;
+  }
+  return std::min(resident_pages * ps, length);
+#else
+  return 0;
 #endif
 }
 

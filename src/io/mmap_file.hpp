@@ -52,6 +52,19 @@ class MmapFile {
   /// correct, the paging behavior merely degrades).
   void advise(std::size_t offset, std::size_t length, Advice advice) const;
 
+  /// Bytes of [offset, offset + length) currently resident in physical
+  /// memory, measured with an mincore(2) page scan — the ground truth the
+  /// paged store's charged residency is audited against. The fallback
+  /// buffer counts as fully resident (it IS the anonymous memory). Returns
+  /// 0 when the range is empty or the scan fails.
+  [[nodiscard]] std::size_t resident_bytes(std::size_t offset,
+                                           std::size_t length) const;
+
+  /// Residency of the whole mapping.
+  [[nodiscard]] std::size_t resident_bytes() const {
+    return resident_bytes(0, size_);
+  }
+
  private:
   const std::uint8_t* data_ = nullptr;
   std::size_t size_ = 0;

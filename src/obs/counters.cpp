@@ -14,7 +14,7 @@ constexpr std::array<std::string_view, kNumCounters> kCounterNames = {
     "windows_processed", "sampler_ticks",    "histogram_records",
     "simd_sweep_scalar", "simd_sweep_avx2",  "simd_sweep_avx512",
     "parts_evicted",     "part_refaults",    "chunks_decoded",
-    "chunks_pruned",
+    "chunks_pruned",     "bytes_decoded",    "window_output_bytes",
 };
 
 /// One padded block per registered thread. kNumCounters * 8 bytes rounded

@@ -62,8 +62,10 @@ enum class Counter : std::size_t {
   kPartRefaults,       ///< Re-acquires of a previously evicted part.
   kChunksDecoded,      ///< Compressed chunks decoded by compile passes.
   kChunksPruned,       ///< Chunks skipped via their time extent.
+  kBytesDecoded,       ///< Encoded bytes expanded by chunk decodes.
+  kWindowOutputBytes,  ///< Rank bytes handed to sinks (read-amp denominator).
 };
-inline constexpr std::size_t kNumCounters = 22;
+inline constexpr std::size_t kNumCounters = 24;
 
 /// Human-readable snake_case name (stable; used as JSON keys).
 [[nodiscard]] std::string_view to_string(Counter c);

@@ -15,6 +15,7 @@ constexpr std::array<std::string_view, kNumPhases> kPhaseNames = {
     "init",
     "iterate",
     "sink",
+    "io.page",
 };
 
 constexpr std::uint64_t kSub = 1u << kHistSubBits;

@@ -37,8 +37,9 @@ enum class Phase : std::size_t {
   kInit,       ///< PageRank vector initialization (full or partial).
   kIterate,    ///< Power iterations to convergence.
   kSink,       ///< Handing the converged vector(s) to the ResultSink.
+  kPage,       ///< Out-of-core part map/decode faults (io.page latency).
 };
-inline constexpr std::size_t kNumPhases = 4;
+inline constexpr std::size_t kNumPhases = 5;
 
 /// Human-readable snake_case name (stable; used as JSON keys).
 [[nodiscard]] std::string_view to_string(Phase p);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/counters.hpp"
+#include "obs/memory.hpp"
 #include "obs/trace.hpp"
 
 namespace pmpr::obs {
@@ -81,6 +82,25 @@ SamplerSample Sampler::sample_once() {
                           s.steal_success_rate);
     record_counter_sample("progress.windows_processed", s.t_ns,
                           static_cast<double>(s.windows_processed));
+    // Memory pillar tracks: process RSS and the per-tag live charges on
+    // every tick; the oocore residency/budget pair only while a paged
+    // store's probe is registered, so Perfetto charts the paging policy
+    // honoring the cap over time.
+    record_counter_sample("mem.rss", s.t_ns,
+                          static_cast<double>(current_rss_bytes()));
+    const MemorySnapshot mem = memory_snapshot();
+    for (std::size_t i = 0; i < kNumMemTags; ++i) {
+      record_counter_sample(trace_track_name(static_cast<MemTag>(i)), s.t_ns,
+                            static_cast<double>(mem.tags[i].live_bytes));
+    }
+    std::uint64_t oocore_resident = 0;
+    std::uint64_t oocore_budget = 0;
+    if (probed_residency(&oocore_resident, &oocore_budget)) {
+      record_counter_sample("mem.oocore_resident", s.t_ns,
+                            static_cast<double>(oocore_resident));
+      record_counter_sample("mem.budget", s.t_ns,
+                            static_cast<double>(oocore_budget));
+    }
   }
   return s;
 }

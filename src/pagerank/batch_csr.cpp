@@ -28,6 +28,7 @@ bool chunk_pruned(const io::ChunkMeta& m, Timestamp prune_lo,
 struct ChunkTally {
   std::size_t decoded = 0;
   std::size_t pruned = 0;
+  std::size_t bytes = 0;  ///< Encoded bytes of the decoded chunks.
 };
 
 /// Pass A of the SpMM compile for ONE row given as col/time spans: run
@@ -147,6 +148,7 @@ void count_and_scatter_chunks(const io::CompressedTemporalCsr& packed,
       continue;
     }
     ++tally.decoded;
+    tally.bytes += m.byte_size;
     packed.decode_chunk(c, scratch);
     for (std::size_t r = 0; r < m.num_rows; ++r) {
       const std::size_t v = m.first_row + r;
@@ -208,6 +210,7 @@ void fill_chunks(const io::CompressedTemporalCsr& packed,
       continue;
     }
     ++tally.decoded;
+    tally.bytes += m.byte_size;
     packed.decode_chunk(c, scratch);
     for (std::size_t r = 0; r < m.num_rows; ++r) {
       fill_row(spec, batch, out, m.first_row + r, scratch_cols(scratch, r),
@@ -223,7 +226,8 @@ template <typename Body>
 void run_chunk_pass(std::size_t num_chunks, const par::ForOptions* parallel,
                     io::DecodeScratch* scratch,
                     std::atomic<std::uint64_t>& decoded,
-                    std::atomic<std::uint64_t>& pruned, Body&& body) {
+                    std::atomic<std::uint64_t>& pruned,
+                    std::atomic<std::uint64_t>& bytes, Body&& body) {
   if (parallel != nullptr) {
     par::parallel_for_range(
         0, num_chunks, *parallel, [&](std::size_t lo, std::size_t hi) {
@@ -233,6 +237,7 @@ void run_chunk_pass(std::size_t num_chunks, const par::ForOptions* parallel,
           // relaxed: commutative tallies; published by the join.
           decoded.fetch_add(tally.decoded, std::memory_order_relaxed);
           pruned.fetch_add(tally.pruned, std::memory_order_relaxed);
+          bytes.fetch_add(tally.bytes, std::memory_order_relaxed);
         });
   } else {
     io::DecodeScratch local;
@@ -242,17 +247,21 @@ void run_chunk_pass(std::size_t num_chunks, const par::ForOptions* parallel,
     // relaxed: single-threaded branch, nothing to order against.
     decoded.fetch_add(tally.decoded, std::memory_order_relaxed);
     pruned.fetch_add(tally.pruned, std::memory_order_relaxed);
+    bytes.fetch_add(tally.bytes, std::memory_order_relaxed);
   }
 }
 
 void flush_chunk_counters(const std::atomic<std::uint64_t>& decoded,
-                          const std::atomic<std::uint64_t>& pruned) {
+                          const std::atomic<std::uint64_t>& pruned,
+                          const std::atomic<std::uint64_t>& bytes) {
   // relaxed: callers flush after the compile's parallel-for join, which
   // already publishes every worker's tallies.
   const std::uint64_t d = decoded.load(std::memory_order_relaxed);
   const std::uint64_t p = pruned.load(std::memory_order_relaxed);
+  const std::uint64_t b = bytes.load(std::memory_order_relaxed);
   if (d != 0) obs::count(obs::Counter::kChunksDecoded, d);
   if (p != 0) obs::count(obs::Counter::kChunksPruned, p);
+  if (b != 0) obs::count(obs::Counter::kBytesDecoded, b);
 }
 
 }  // namespace
@@ -279,6 +288,7 @@ void compile_spmm_batch(const MultiWindowGraph& part, const WindowSpec& spec,
   const bool streamed = part.is_compressed();
   std::atomic<std::uint64_t> decoded{0};
   std::atomic<std::uint64_t> pruned{0};
+  std::atomic<std::uint64_t> decoded_bytes{0};
   // Union of the batch's lane windows: lanes are strided windows of one
   // spec, so coverage is [start(first lane), end(last lane)].
   const Timestamp prune_lo = spec.start(batch.first_window);
@@ -290,6 +300,7 @@ void compile_spmm_batch(const MultiWindowGraph& part, const WindowSpec& spec,
                                              << " rows, local space has "
                                              << n);
     run_chunk_pass(packed.num_chunks(), parallel, scratch, decoded, pruned,
+                   decoded_bytes,
                    [&](std::size_t lo, std::size_t hi,
                        io::DecodeScratch& sc, ChunkTally& tally) {
                      if (parallel != nullptr) {
@@ -325,6 +336,7 @@ void compile_spmm_batch(const MultiWindowGraph& part, const WindowSpec& spec,
   if (streamed) {
     const io::CompressedTemporalCsr& packed = *part.in_compressed;
     run_chunk_pass(packed.num_chunks(), parallel, scratch, decoded, pruned,
+                   decoded_bytes,
                    [&](std::size_t lo, std::size_t hi,
                        io::DecodeScratch& sc, ChunkTally& tally) {
                      fill_chunks(packed, spec, batch, prune_lo, prune_hi, out,
@@ -338,7 +350,7 @@ void compile_spmm_batch(const MultiWindowGraph& part, const WindowSpec& spec,
   } else {
     fill_rows(part, spec, batch, out, 0, n);
   }
-  flush_chunk_counters(decoded, pruned);
+  flush_chunk_counters(decoded, pruned, decoded_bytes);
 
   // Compaction lists + per-lane population (needs the complete degrees).
   const std::size_t lanes = batch.lanes;
@@ -363,6 +375,7 @@ void compile_spmm_batch(const MultiWindowGraph& part, const WindowSpec& spec,
       }
     }
   }
+  out.charge.reset(obs::MemTag::kCompiledKernel, out.memory_bytes());
 }
 
 namespace {
@@ -428,6 +441,7 @@ void count_and_scatter_window_chunks(const io::CompressedTemporalCsr& packed,
       continue;
     }
     ++tally.decoded;
+    tally.bytes += m.byte_size;
     packed.decode_chunk(c, scratch);
     for (std::size_t r = 0; r < m.num_rows; ++r) {
       const std::size_t v = m.first_row + r;
@@ -467,6 +481,7 @@ void fill_window_chunks(const io::CompressedTemporalCsr& packed, Timestamp ts,
       continue;
     }
     ++tally.decoded;
+    tally.bytes += m.byte_size;
     packed.decode_chunk(c, scratch);
     for (std::size_t r = 0; r < m.num_rows; ++r) {
       fill_window_row(ts, te, out, m.first_row + r, scratch_cols(scratch, r),
@@ -490,6 +505,7 @@ void compile_window(const MultiWindowGraph& part, Timestamp ts, Timestamp te,
   const bool streamed = part.is_compressed();
   std::atomic<std::uint64_t> decoded{0};
   std::atomic<std::uint64_t> pruned{0};
+  std::atomic<std::uint64_t> decoded_bytes{0};
   if (streamed) {
     const io::CompressedTemporalCsr& packed = *part.in_compressed;
     PMPR_CHECK_MSG(packed.num_rows() == n,
@@ -497,6 +513,7 @@ void compile_window(const MultiWindowGraph& part, Timestamp ts, Timestamp te,
                                              << " rows, local space has "
                                              << n);
     run_chunk_pass(packed.num_chunks(), parallel, scratch, decoded, pruned,
+                   decoded_bytes,
                    [&](std::size_t lo, std::size_t hi,
                        io::DecodeScratch& sc, ChunkTally& tally) {
                      if (parallel != nullptr) {
@@ -527,6 +544,7 @@ void compile_window(const MultiWindowGraph& part, Timestamp ts, Timestamp te,
   if (streamed) {
     const io::CompressedTemporalCsr& packed = *part.in_compressed;
     run_chunk_pass(packed.num_chunks(), parallel, scratch, decoded, pruned,
+                   decoded_bytes,
                    [&](std::size_t lo, std::size_t hi,
                        io::DecodeScratch& sc, ChunkTally& tally) {
                      fill_window_chunks(packed, ts, te, out, lo, hi, sc,
@@ -540,7 +558,7 @@ void compile_window(const MultiWindowGraph& part, Timestamp ts, Timestamp te,
   } else {
     fill_window_rows(part, ts, te, out, 0, n);
   }
-  flush_chunk_counters(decoded, pruned);
+  flush_chunk_counters(decoded, pruned, decoded_bytes);
 
   for (std::size_t v = 0; v < n; ++v) {
     if (state.active[v] == 0) continue;
@@ -550,6 +568,7 @@ void compile_window(const MultiWindowGraph& part, Timestamp ts, Timestamp te,
       out.dangling_rows.push_back(static_cast<VertexId>(v));
     }
   }
+  out.charge.reset(obs::MemTag::kCompiledKernel, out.memory_bytes());
 }
 
 }  // namespace pmpr

@@ -33,6 +33,7 @@
 
 #include "graph/multi_window.hpp"
 #include "graph/window.hpp"
+#include "obs/memory.hpp"
 #include "pagerank/window_state.hpp"
 
 namespace pmpr {
@@ -91,6 +92,10 @@ struct CompiledBatchCsr {
            dangling_rows.size() * sizeof(VertexId) +
            dangling_mask.size() * sizeof(std::uint64_t);
   }
+
+  /// memory_bytes() under MemTag::kCompiledKernel, refreshed by
+  /// compile_spmm_batch.
+  obs::MemCharge charge;
 };
 
 /// Builds `state` and `out` together: one run-compression pass replaces
@@ -135,6 +140,10 @@ struct CompiledWindowCsr {
            (nbr.size() + active_rows.size() + dangling_rows.size()) *
                sizeof(VertexId);
   }
+
+  /// memory_bytes() under MemTag::kCompiledKernel, refreshed by
+  /// compile_window.
+  obs::MemCharge charge;
 };
 
 /// Builds `state` and `out` for window [ts, te] together (state identical

@@ -41,6 +41,7 @@
 #include "io/mmap_file.hpp"            // IWYU pragma: export
 #include "obs/counters.hpp"            // IWYU pragma: export
 #include "obs/histogram.hpp"           // IWYU pragma: export
+#include "obs/memory.hpp"              // IWYU pragma: export
 #include "obs/sampler.hpp"             // IWYU pragma: export
 #include "obs/trace.hpp"               // IWYU pragma: export
 #include "pagerank/pagerank.hpp"       // IWYU pragma: export

@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "graph/multi_window.hpp"
@@ -19,6 +20,18 @@ WindowSpec test_spec() { return {0, 400, 100, 16}; }
 
 TemporalEdgeList test_events() {
   return test::random_events(99, 60, 5000, 1999);
+}
+
+/// Options factory: a partial designated initializer trips GCC's
+/// -Wmissing-field-initializers under -Wextra -Werror (sanitize builds).
+PagedMultiWindowSet::Options opts_with(std::size_t num_parts,
+                                       std::size_t budget_bytes = 0,
+                                       std::string spill_path = {}) {
+  PagedMultiWindowSet::Options opts;
+  opts.num_parts = num_parts;
+  opts.budget_bytes = budget_bytes;
+  opts.spill_path = std::move(spill_path);
+  return opts;
 }
 
 /// Decoded part adjacency must equal the in-RAM build's raw CSR.
@@ -70,7 +83,7 @@ TEST(PagedMultiWindowSet, BuildMatchesInRamDecomposition) {
 
 TEST(PagedMultiWindowSet, ZeroBudgetPagesOnePartAtATime) {
   const auto paged =
-      PagedMultiWindowSet::build(test_events(), test_spec(), {.num_parts = 6});
+      PagedMultiWindowSet::build(test_events(), test_spec(), opts_with(6));
   ASSERT_EQ(paged->num_parts(), 6u);
   // budget 0 resolves to the largest single part.
   EXPECT_GT(paged->budget_bytes(), 0u);
@@ -88,7 +101,7 @@ TEST(PagedMultiWindowSet, ZeroBudgetPagesOnePartAtATime) {
 
 TEST(PagedMultiWindowSet, ReacquiringEvictedPartCountsRefault) {
   const auto paged =
-      PagedMultiWindowSet::build(test_events(), test_spec(), {.num_parts = 4});
+      PagedMultiWindowSet::build(test_events(), test_spec(), opts_with(4));
   (void)paged->acquire(0);
   for (std::size_t p = 1; p < paged->num_parts(); ++p) (void)paged->acquire(p);
   const std::size_t evicted_before = paged->stats().parts_evicted;
@@ -97,9 +110,49 @@ TEST(PagedMultiWindowSet, ReacquiringEvictedPartCountsRefault) {
   EXPECT_GE(paged->stats().part_refaults, 1u);
 }
 
+TEST(PagedMultiWindowSet, RefaultCountedExactlyOncePerRemap) {
+  const auto paged =
+      PagedMultiWindowSet::build(test_events(), test_spec(), opts_with(4));
+  // First pass over all parts: cold faults only, never refaults.
+  for (std::size_t p = 0; p < paged->num_parts(); ++p) (void)paged->acquire(p);
+  EXPECT_EQ(paged->stats().part_refaults, 0u);
+  // Part 0 was evicted during the sweep: re-mapping it is one refault.
+  (void)paged->acquire(0);
+  EXPECT_EQ(paged->stats().part_refaults, 1u);
+  // Acquiring a part that is already resident is a hit, not a refault.
+  (void)paged->acquire(0);
+  EXPECT_EQ(paged->stats().part_refaults, 1u);
+  // Each further evict + re-map pair adds exactly one.
+  (void)paged->acquire(1);  // evicted earlier in the sweep
+  EXPECT_EQ(paged->stats().part_refaults, 2u);
+  (void)paged->acquire(0);  // just evicted by the line above
+  EXPECT_EQ(paged->stats().part_refaults, 3u);
+}
+
+TEST(PagedMultiWindowSet, PeakResidentMonotoneUnderChurn) {
+  const auto paged =
+      PagedMultiWindowSet::build(test_events(), test_spec(), opts_with(6));
+  std::size_t last_peak = 0;
+  for (std::size_t round = 0; round < 3; ++round) {
+    for (std::size_t p = 0; p < paged->num_parts(); ++p) {
+      const PagedMultiWindowSet::Lease lease = paged->acquire(p);
+      const PagingStats s = paged->stats();
+      // The charged watermark never decreases, and always dominates the
+      // instantaneous residency — pin/unpin churn must not reset it.
+      EXPECT_GE(s.peak_resident_bytes, last_peak);
+      EXPECT_GE(s.peak_resident_bytes, paged->resident_bytes());
+      last_peak = s.peak_resident_bytes;
+    }
+  }
+  EXPECT_GT(last_peak, 0u);
+  EXPECT_LE(last_peak, paged->budget_bytes());
+  // The churn mapped real store pages, so the mincore audit saw some.
+  EXPECT_GT(paged->stats().measured_resident_peak_bytes, 0u);
+}
+
 TEST(PagedMultiWindowSet, PinnedPartsAreNeverEvicted) {
   const auto paged =
-      PagedMultiWindowSet::build(test_events(), test_spec(), {.num_parts = 4});
+      PagedMultiWindowSet::build(test_events(), test_spec(), opts_with(4));
   const PagedMultiWindowSet::Lease held = paged->acquire(0);
   const MultiWindowGraph& part = held.part();
   ASSERT_TRUE(part.is_compressed());
@@ -115,7 +168,7 @@ TEST(PagedMultiWindowSet, PinnedPartsAreNeverEvicted) {
 
 TEST(PagedMultiWindowSet, BudgetAdmitsMultipleParts) {
   const auto one_at_a_time =
-      PagedMultiWindowSet::build(test_events(), test_spec(), {.num_parts = 4});
+      PagedMultiWindowSet::build(test_events(), test_spec(), opts_with(4));
   std::size_t total_payload = 0;
   {
     const PagingStats s = one_at_a_time->stats();
@@ -123,7 +176,7 @@ TEST(PagedMultiWindowSet, BudgetAdmitsMultipleParts) {
   }
   const auto roomy = PagedMultiWindowSet::build(
       test_events(), test_spec(),
-      {.num_parts = 4, .budget_bytes = total_payload * 2});
+      opts_with(4, total_payload * 2));
   std::vector<PagedMultiWindowSet::Lease> leases;
   for (std::size_t p = 0; p < roomy->num_parts(); ++p) {
     leases.push_back(roomy->acquire(p));
@@ -138,7 +191,7 @@ TEST(PagedMultiWindowSet, MetadataReadableWhileEvicted) {
   const TemporalEdgeList events = test_events();
   const WindowSpec spec = test_spec();
   const MultiWindowSet ram = MultiWindowSet::build(events, spec, 4);
-  const auto paged = PagedMultiWindowSet::build(events, spec, {.num_parts = 4});
+  const auto paged = PagedMultiWindowSet::build(events, spec, opts_with(4));
   // Cycle through all parts so earlier ones get evicted...
   for (std::size_t p = 0; p < paged->num_parts(); ++p) (void)paged->acquire(p);
   // ...then read every part's metadata without pinning.
@@ -152,7 +205,7 @@ TEST(PagedMultiWindowSet, MetadataReadableWhileEvicted) {
 
 TEST(PagedMultiWindowSet, StatsReportStoreAndRawBytes) {
   const auto paged =
-      PagedMultiWindowSet::build(test_events(), test_spec(), {.num_parts = 4});
+      PagedMultiWindowSet::build(test_events(), test_spec(), opts_with(4));
   const PagingStats stats = paged->stats();
   EXPECT_GT(stats.store_bytes, 0u);
   EXPECT_GT(stats.raw_bytes, 0u);
@@ -167,7 +220,7 @@ TEST(PagedMultiWindowSet, TempStoreFileRemovedOnDestroy) {
   std::string path;
   {
     const auto paged = PagedMultiWindowSet::build(test_events(), test_spec(),
-                                                  {.num_parts = 2});
+                                                  opts_with(2));
     path = paged->store_path();
     ASSERT_TRUE(std::filesystem::exists(path));
   }
@@ -180,7 +233,7 @@ TEST(PagedMultiWindowSet, ExplicitSpillPathIsUsed) {
           .string();
   {
     const auto paged = PagedMultiWindowSet::build(
-        test_events(), test_spec(), {.num_parts = 2, .spill_path = path});
+        test_events(), test_spec(), opts_with(2, 0, path));
     EXPECT_EQ(paged->store_path(), path);
     ASSERT_TRUE(std::filesystem::exists(path));
   }
@@ -192,7 +245,7 @@ TEST(PagedMultiWindowSet, RejectsUnsortedEvents) {
   events.add(0, 1, 100);
   events.add(1, 2, 50);
   EXPECT_THROW(
-      (void)PagedMultiWindowSet::build(events, {0, 10, 10, 4}, {.num_parts = 2}),
+      (void)PagedMultiWindowSet::build(events, {0, 10, 10, 4}, opts_with(2)),
       InvariantError);
 }
 

@@ -1,0 +1,22 @@
+// Fixture: must trip proc-syscall-confined (and nothing else). getrusage
+// and /proc/self stay out of here deliberately paired with nothing that
+// another rule would flag; mincore would additionally trip
+// mmap-syscall-confined, so it is exercised via the real io/ wrapper
+// instead.
+#include <fstream>
+#include <string>
+
+#include <sys/resource.h>
+
+long ad_hoc_maxrss_kib() {
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return usage.ru_maxrss;
+}
+
+std::string ad_hoc_statm() {
+  std::ifstream in("/proc/self/statm");
+  std::string line;
+  std::getline(in, line);
+  return line;
+}

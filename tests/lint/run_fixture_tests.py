@@ -25,6 +25,7 @@ EXPECTED = {
     "bad_sleep_loop.cpp": "raw-clock",
     "bad_simd_intrinsics.cpp": "simd-intrinsics-confined",
     "bad_mmap_syscall.cpp": "mmap-syscall-confined",
+    "bad_rusage_call.cpp": "proc-syscall-confined",
     "clean.cpp": None,
 }
 

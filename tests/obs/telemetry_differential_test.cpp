@@ -10,6 +10,7 @@
 #include "exec/postmortem_runner.hpp"
 #include "obs/counters.hpp"
 #include "obs/histogram.hpp"
+#include "obs/memory.hpp"
 #include "obs/sampler.hpp"
 #include "obs/trace.hpp"
 #include "par/thread_pool.hpp"
@@ -18,23 +19,26 @@
 namespace pmpr {
 namespace {
 
-/// All four telemetry gates, restored on scope exit.
+/// All five telemetry gates, restored on scope exit.
 struct AllTelemetry {
   const bool counters = obs::set_counters_enabled(false);
   const bool metrics = obs::set_metrics_enabled(false);
   const bool tracing = obs::set_tracing_enabled(false);
   const bool histograms = obs::set_histograms_enabled(false);
+  const bool memory = obs::set_memory_accounting_enabled(false);
   ~AllTelemetry() {
     obs::set_counters_enabled(counters);
     obs::set_metrics_enabled(metrics);
     obs::set_tracing_enabled(tracing);
     obs::set_histograms_enabled(histograms);
+    obs::set_memory_accounting_enabled(memory);
   }
   static void enable_all() {
     obs::set_counters_enabled(true);
     obs::set_metrics_enabled(true);
     obs::set_tracing_enabled(true);
     obs::set_histograms_enabled(true);
+    obs::set_memory_accounting_enabled(true);
   }
 };
 
@@ -107,6 +111,16 @@ TEST_P(TelemetryDifferential, OutputBitIdenticalWithTelemetryOn) {
   EXPECT_GE(iterate.max_ns, iterate.percentile_ns(0.99));
   EXPECT_GT(instrumented.histograms[obs::Phase::kBuild].total_count(), 0u);
   EXPECT_GT(instrumented.histograms[obs::Phase::kSink].total_count(), 0u);
+  // The memory pillar must have charged the run's big containers (graph
+  // arrays, compiled kernels) and backed peak_memory_bytes with the
+  // measured watermark — all without reordering a single FP op above.
+  EXPECT_GT(instrumented.memory[obs::MemTag::kGraph].peak_bytes, 0u);
+  EXPECT_GT(instrumented.memory[obs::MemTag::kCompiledKernel].peak_bytes,
+            0u);
+  EXPECT_GT(instrumented.memory.total_peak_bytes, 0u);
+  EXPECT_EQ(instrumented.peak_memory_bytes,
+            instrumented.memory.total_peak_bytes);
+  EXPECT_GT(instrumented.peak_memory_estimate_bytes, 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Kernels, TelemetryDifferential,
