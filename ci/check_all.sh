@@ -8,11 +8,16 @@
 #   analyze.hygiene   ci/pmpr_analyze.py --pass hygiene (header discipline)
 #   analyze.fixtures  tests/analyze/run_fixture_tests.py
 #   clang-tidy        ci/lint.sh (which re-runs pmpr-lint cheaply first)
+#   obs.smoke         ci/obs_smoke.sh (trace/metrics/blackbox JSON shapes)
+#   crash.smoke       ci/crash_smoke.sh (crash report, watchdog, recorder
+#                     differential)
 #
 # Every gate runs even after a failure, so one invocation reports the full
 # damage; the exit status is non-zero if any gate failed. Gates whose tool
 # is missing (clang-format / clang-tidy) report SKIP, matching the
-# individual scripts' graceful degradation.
+# individual scripts' graceful degradation; the two runtime smokes report
+# SKIP when the build dir has no binaries (static gates never require a
+# build).
 #
 # Usage: ci/check_all.sh [build-dir]
 #   build-dir (default <repo>/build-lint) supplies compile_commands.json
@@ -75,6 +80,30 @@ else
 fi
 
 run_gate "clang-tidy" bash "${ROOT}/ci/lint.sh" "${BUILD_DIR}"
+
+# Runtime smokes ride along when the build tree has the binaries: an
+# export format or crash report that stops parsing is a lint-class
+# regression even though catching it needs a run.
+smoke_or_skip() {
+  local name="$1" script="$2"
+  shift 2
+  local bin
+  for bin in "$@"; do
+    if [[ ! -x "${bin}" ]]; then
+      run_gate "${name}" echo \
+        "${name}: SKIP (${bin} not built; configure+build ${BUILD_DIR})"
+      return
+    fi
+  done
+  run_gate "${name}" bash "${script}" "$@" "${BUILD_DIR}"
+}
+
+if [[ -n "${PYTHON}" ]]; then
+  smoke_or_skip "obs.smoke" "${ROOT}/ci/obs_smoke.sh" \
+    "${BUILD_DIR}/examples/pmpr_run"
+  smoke_or_skip "crash.smoke" "${ROOT}/ci/crash_smoke.sh" \
+    "${BUILD_DIR}/tests/crash_probe" "${BUILD_DIR}/examples/pmpr_run"
+fi
 
 echo
 echo "== check_all summary =="

@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # Telemetry smoke pass (ctest target obs.smoke): runs the documented
-# pmpr_run example on a tiny surrogate with --trace, --metrics, and
-# --profile, then validates both emitted JSON shapes — the Chrome
-# trace-event file that ui.perfetto.dev loads (X spans, C counter tracks
-# from the sampling profiler, M process/thread metadata), and the
-# pmpr-metrics-v3 run record (counters, per-phase latency histograms,
-# per-tag memory accounting, sampler summary). Keeps the observability
+# pmpr_run example on a tiny surrogate with --trace, --metrics,
+# --profile, and --flight-recorder, then validates the emitted JSON
+# shapes — the Chrome trace-event file that ui.perfetto.dev loads (X
+# spans, C counter tracks from the sampling profiler, M process/thread
+# metadata), the pmpr-metrics-v4 run record (counters, per-phase latency
+# histograms, per-tag memory accounting, sampler summary, diagnostics),
+# and the pmpr-blackbox-v1 flight-recorder dump. Keeps the observability
 # layer's export formats from silently rotting.
 set -euo pipefail
 
@@ -14,12 +15,13 @@ OUT=${2:-.}
 
 TRACE="$OUT/OBS_trace.json"
 METRICS="$OUT/OBS_metrics.json"
+BLACKBOX="$OUT/OBS_blackbox.json"
 
 "$BIN" --model postmortem --dataset wiki-talk --scale 0.002 \
   --max-windows 16 --trace "$TRACE" --metrics "$METRICS" \
-  --profile --profile-interval-ms 1
+  --profile --profile-interval-ms 1 --flight-recorder "$BLACKBOX"
 
-python3 - "$TRACE" "$METRICS" <<'EOF'
+python3 - "$TRACE" "$METRICS" "$BLACKBOX" <<'EOF'
 import json
 import sys
 
@@ -75,7 +77,7 @@ assert phases.index("M") < phases.index("X"), "trace: metadata after spans"
 with open(sys.argv[2]) as f:
     metrics = json.load(f)
 
-assert metrics["schema"] == "pmpr-metrics-v3", "metrics: bad schema tag"
+assert metrics["schema"] == "pmpr-metrics-v4", "metrics: bad schema tag"
 for field in ("build_seconds", "compute_seconds", "total_seconds"):
     assert metrics[field] >= 0, f"metrics: bad {field}"
 assert metrics["num_windows"] > 0, "metrics: no windows"
@@ -143,6 +145,22 @@ assert sampler["num_samples"] > 0, "metrics: sampler took no samples"
 assert sampler["interval_ms"] == 1, "metrics: wrong sampler interval"
 assert sampler["max_parked_workers"] >= 0
 
+# v4: failure-diagnostics section. --flight-recorder keeps the recorder on,
+# so it must have recorded events from at least the main thread; no
+# watchdog ran and no crash handler was installed here.
+diag = metrics["diagnostics"]
+fr = diag["flight_recorder"]
+assert fr["enabled"] is True, "metrics: flight recorder not enabled"
+assert fr["records"] > 0, "metrics: flight recorder recorded nothing"
+assert fr["threads"] >= 1, "metrics: no recorder threads"
+assert fr["dropped"] >= 0 and fr["drains"] >= 0
+wd = diag["watchdog"]
+for field in ("arms", "fires", "max_heartbeat_age_ns", "last_stalled_phase"):
+    assert field in wd, f"metrics: watchdog section missing {field}"
+assert wd["fires"] == 0, "metrics: watchdog fired on a healthy run"
+assert diag["crash_handler_installed"] is False
+assert isinstance(diag["heartbeats"], list)
+
 windows = metrics["windows"]
 assert len(windows) == metrics["num_windows"], "metrics: windows mismatch"
 for w in windows:
@@ -151,8 +169,33 @@ for w in windows:
     assert len(w["residuals"]) == w["iterations"], \
         f"metrics: trajectory length mismatch {w}"
 
+# pmpr-blackbox-v1: the flight recorder's retained events. The serial
+# smoke run records window phase spans on the main thread at minimum.
+with open(sys.argv[3]) as f:
+    box = json.load(f)
+assert box["schema"] == "pmpr-blackbox-v1", "blackbox: bad schema tag"
+assert box["ring_capacity"] > 0, "blackbox: bad ring capacity"
+stats = box["stats"]
+assert stats["records"] > 0, "blackbox: nothing recorded"
+assert stats["threads"] >= 1, "blackbox: no threads"
+assert isinstance(box["last_error"], str)
+assert box["threads"], "blackbox: empty thread table"
+for t in box["threads"]:
+    for field in ("tid", "label", "records"):
+        assert field in t, f"blackbox: thread entry missing {field} {t}"
+assert box["events"], "blackbox: no retained events"
+kinds = set()
+for ev in box["events"]:
+    for field in ("t_ns", "tid", "kind", "name", "a", "b"):
+        assert field in ev, f"blackbox: event missing {field} {ev}"
+    kinds.add(ev["kind"])
+assert "span_begin" in kinds and "span_end" in kinds, \
+    f"blackbox: no phase spans retained; got {kinds}"
+assert "window_done" in kinds, f"blackbox: no window_done events; got {kinds}"
+
 print(f"obs smoke OK: {len(events)} trace events "
       f"({len(counter_tracks)} counter tracks), "
       f"{metrics['num_windows']} windows, "
-      f"{sampler['num_samples']} profiler samples in {sys.argv[2]}")
+      f"{sampler['num_samples']} profiler samples, "
+      f"{len(box['events'])} blackbox events in {sys.argv[2]}")
 EOF

@@ -73,6 +73,19 @@ cannot express:
                             is a latency bug waiting to be profiled, not a
                             synchronisation strategy.
 
+  signal-unsafe-in-handler  Inside PMPR_ASYNC_SIGNAL_SAFE_BEGIN/END
+                            comment-marked regions (the crash handler and
+                            the registry emitters it calls — obs/crash.cpp,
+                            obs/flightrec.cpp, obs/watchdog.cpp,
+                            obs/sigsafe.hpp), ban everything a signal
+                            handler must not do: malloc/free and `new` /
+                            `delete`, locks (LockGuard/mutex/.lock()),
+                            iostreams and stdio formatting, and
+                            std::string construction. The handler's diet
+                            is pre-allocated buffers + write(2); this rule
+                            keeps refactors honest about it. An unmatched
+                            BEGIN/END pair is itself a violation.
+
 All rules dispatch from one scan per file (ci/pmpr_scan.py): each file is
 read and comment-stripped exactly once, then every rule runs over the
 cleaned lines. `--verbose` reports where the lint time goes per rule.
@@ -101,10 +114,17 @@ ALLOW = {
         # and condvar still go through the annotated wrappers.
         "src/obs/sampler.hpp",
         "src/obs/sampler.cpp",
+        # Same structure for the watchdog monitor thread.
+        "src/obs/watchdog.hpp",
+        "src/obs/watchdog.cpp",
     },
     "reinterpret-cast-outside-io": {
         "src/graph/edge_list.cpp",
         "src/exec/export.cpp",
+        # Pointer-to-integer for the fault address in the crash banner
+        # (void* si_addr -> u64). No aliasing — the integer is only
+        # formatted, never dereferenced.
+        "src/obs/crash.cpp",
         # src/io/ as a whole is covered via ALLOW_DIRS below.
         # The x86 intrinsic load APIs take __m256i* / int* operands, so the
         # mask-table loads cannot avoid reinterpret_cast (the casts never
@@ -123,11 +143,23 @@ ALLOW = {
         "src/obs/trace.cpp",
         "src/obs/histogram.cpp",
         "src/obs/memory.cpp",
+        # Flight recorder + heartbeat registries: leaked for the same
+        # exit-order reason, plus the crash handler may read them at any
+        # point of the process's death.
+        "src/obs/flightrec.cpp",
+        "src/obs/watchdog.cpp",
     },
     "raw-clock": set(),
     "simd-intrinsics-confined": set(),
-    "mmap-syscall-confined": set(),
+    "mmap-syscall-confined": {
+        # The crash handler must bypass io::MmapFile: only raw ::open +
+        # write(2) on pre-rendered paths are async-signal-safe, and the
+        # watchdog's safe-path dump reuses the identical writer on
+        # purpose (one schema, one audited code path).
+        "src/obs/crash.cpp",
+    },
     "proc-syscall-confined": set(),
+    "signal-unsafe-in-handler": set(),
 }
 # Path prefixes where a rule does not apply.
 ALLOW_DIRS = {
@@ -186,6 +218,23 @@ SIMD_INTRINSIC = re.compile(
 # half (but NOT from its ::now() half): the pool's park protocol uses a
 # bounded wait_for as its lost-wakeup backstop.
 RAW_SLEEP_ALLOW = {"src/par/thread_pool.cpp"}
+# Async-signal-safe region markers (comments, so they survive in .lines
+# but not .code) and the constructs banned between them: allocation,
+# locking, iostream/stdio formatting, and std::string construction. The
+# lookbehind rejects preceding word chars so sigsafe_puts()/my_free()
+# style helpers never collide with the libc names.
+# The (?![\w/]) lookahead keeps prose like "...SAFE_BEGIN/END regions"
+# in doc comments from reading as a real marker.
+SIGNAL_MARKER_BEGIN = re.compile(r"PMPR_ASYNC_SIGNAL_SAFE_BEGIN(?![\w/])")
+SIGNAL_MARKER_END = re.compile(r"PMPR_ASYNC_SIGNAL_SAFE_END(?![\w/])")
+SIGNAL_UNSAFE = re.compile(
+    r"(?<![\w.:])(malloc|calloc|realloc|strdup|fopen|fdopen|printf|"
+    r"fprintf|snprintf|sprintf|vsnprintf|vprintf|puts|fputs|fwrite)\s*\(|"
+    r"\b(LockGuard|lock_guard|unique_lock|scoped_lock|shared_lock|"
+    r"ostringstream|stringstream|ofstream|ifstream)\b|"
+    r"(?:\.|->)\s*lock\s*\(|"
+    r"\bstd::(string|cout|cerr|clog)\b"
+)
 COMMENT_LOOKBACK = 3
 
 
@@ -281,8 +330,61 @@ def _check_raw_clock(scan):
                 )
 
 
+def _check_signal_unsafe(scan):
+    name = "signal-unsafe-in-handler"
+    if allowed(name, scan.rel):
+        return
+    in_region = False
+    begin_line = 0
+    for i, raw in enumerate(scan.lines):
+        if SIGNAL_MARKER_BEGIN.search(raw):
+            if in_region:
+                yield (
+                    scan.rel,
+                    i + 1,
+                    name,
+                    "nested PMPR_ASYNC_SIGNAL_SAFE_BEGIN",
+                )
+            in_region = True
+            begin_line = i + 1
+            continue
+        if SIGNAL_MARKER_END.search(raw):
+            if not in_region:
+                yield (
+                    scan.rel,
+                    i + 1,
+                    name,
+                    "PMPR_ASYNC_SIGNAL_SAFE_END without a matching BEGIN",
+                )
+            in_region = False
+            continue
+        if not in_region:
+            continue
+        code = scan.code[i]
+        m = SIGNAL_UNSAFE.search(code)
+        if m is None:
+            m = NAKED_NEW.search(DELETED_FN.sub("", code))
+        if m:
+            yield (
+                scan.rel,
+                i + 1,
+                name,
+                f"`{m.group(0).strip()}` inside an async-signal-safe "
+                "region; the handler's diet is pre-allocated buffers, "
+                "lock-free atomics, and write(2) via obs/sigsafe.hpp",
+            )
+    if in_region:
+        yield (
+            scan.rel,
+            begin_line,
+            name,
+            "PMPR_ASYNC_SIGNAL_SAFE_BEGIN without a matching END",
+        )
+
+
 RULES = [
     pmpr_scan.Rule("atomic-order-comment", _check_atomic_order),
+    pmpr_scan.Rule("signal-unsafe-in-handler", _check_signal_unsafe),
     _regex_rule(
         "raw-concurrency-type",
         RAW_PRIMITIVE,

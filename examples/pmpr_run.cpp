@@ -6,10 +6,10 @@
 //              --trace trace.json --metrics metrics.json
 //
 // Load trace.json in https://ui.perfetto.dev (or chrome://tracing) to see
-// the per-phase spans; metrics.json holds the pmpr-metrics-v3 record
+// the per-phase spans; metrics.json holds the pmpr-metrics-v4 record
 // (counters, phase-latency histograms, per-tag memory accounting, sampler
-// summary, residual trajectories). Add --profile to run the background
-// scheduler sampler during the run: its summary lands in the metrics JSON
+// summary, diagnostics, residual trajectories). Add --profile to run the
+// background scheduler sampler during the run: its summary lands in the JSON
 // and, with --trace, its queue-depth/parked-worker gauges plus the mem.*
 // memory tracks appear as counter tracks under the span timeline.
 // ci/obs_smoke.sh validates both shapes; --mem-report prints the per-tag
@@ -41,6 +41,9 @@ int main(int argc, char** argv) {
   bool profile = false;
   bool mem_report = false;
   std::int64_t profile_interval_ms = 10;
+  std::string flight_recorder_path;
+  std::int64_t watchdog_ms = 0;
+  std::string crash_dump_dir;
   Options opts("Run one execution model with telemetry enabled");
   opts.add("model", &model, "offline | streaming | postmortem");
   opts.add("max-lanes", &max_lanes,
@@ -72,7 +75,7 @@ int main(int argc, char** argv) {
   opts.add("trace", &trace_path,
            "write a Chrome trace-event JSON (Perfetto-loadable) here");
   opts.add("metrics", &metrics_path,
-           "write the pmpr-metrics-v3 run record here");
+           "write the pmpr-metrics-v4 run record here");
   opts.add("profile", &profile,
            "sample the scheduler during the run (sampler summary in "
            "--metrics, counter tracks in --trace)");
@@ -81,6 +84,17 @@ int main(int argc, char** argv) {
            "MemTag, measured vs estimated peak) at exit");
   opts.add("profile-interval-ms", &profile_interval_ms,
            "sampler tick period in milliseconds");
+  opts.add("flight-recorder", &flight_recorder_path,
+           "keep the in-memory flight recorder on and write its "
+           "pmpr-blackbox-v1 JSON (recent events per thread) here at exit");
+  opts.add("watchdog-ms", &watchdog_ms,
+           "arm a stall watchdog: a worker phase silent for this many "
+           "milliseconds triggers a diagnostic dump naming the stalled "
+           "phase (0 = off)");
+  opts.add("crash-dump-dir", &crash_dump_dir,
+           "install the fatal-signal handler; on SIGSEGV/SIGBUS/SIGABRT/"
+           "SIGFPE a pmpr-crash-<pid>.json postmortem lands here (also "
+           "enables the flight recorder)");
   if (!opts.parse(argc, argv)) return opts.saw_help() ? 0 : 1;
   if (model != "offline" && model != "streaming" && model != "postmortem") {
     std::fprintf(stderr, "unknown --model '%s'\n", model.c_str());
@@ -103,6 +117,21 @@ int main(int argc, char** argv) {
   obs::set_histograms_enabled(true);
   obs::set_memory_accounting_enabled(true);
   if (!trace_path.empty()) obs::set_tracing_enabled(true);
+  // Failure diagnostics: the recorder is cheap enough to keep on whenever
+  // any of the three surfaces (blackbox file, watchdog dump, crash report)
+  // could want its events.
+  if (!flight_recorder_path.empty() || !crash_dump_dir.empty() ||
+      watchdog_ms > 0) {
+    obs::set_flight_recorder_enabled(true);
+  }
+  if (!crash_dump_dir.empty()) {
+    obs::CrashHandlerOptions crash_opts;
+    crash_opts.dump_dir = crash_dump_dir;
+    if (!obs::install_crash_handler(crash_opts)) {
+      std::fprintf(stderr, "failed to install the crash handler\n");
+      return 1;
+    }
+  }
   obs::set_thread_name("main");
 
   const gen::DatasetSpec spec =
@@ -125,6 +154,15 @@ int main(int argc, char** argv) {
     sampler = std::make_unique<obs::Sampler>(par::ThreadPool::global(),
                                              sampler_opts);
     sampler->start();
+  }
+
+  std::unique_ptr<obs::Watchdog> watchdog;
+  if (watchdog_ms > 0) {
+    obs::WatchdogOptions wd_opts;
+    wd_opts.stall_threshold = std::chrono::milliseconds(watchdog_ms);
+    wd_opts.dump_dir = crash_dump_dir.empty() ? "." : crash_dump_dir;
+    watchdog = std::make_unique<obs::Watchdog>(wd_opts);
+    watchdog->start();
   }
 
   const SimdMode simd_mode = parse_simd_mode(simd);
@@ -218,6 +256,15 @@ int main(int argc, char** argv) {
                   result.counters[obs::Counter::kSimdSweepAvx2]),
               static_cast<unsigned long long>(
                   result.counters[obs::Counter::kSimdSweepAvx512]));
+  if (watchdog != nullptr) {
+    watchdog->stop();
+    const obs::WatchdogStats wd = obs::watchdog_stats();
+    std::printf("watchdog   : %lldms threshold, %llu stall(s)%s%s\n",
+                static_cast<long long>(watchdog_ms),
+                static_cast<unsigned long long>(watchdog->fires()),
+                watchdog->fires() > 0 ? ", last stalled phase " : "",
+                watchdog->fires() > 0 ? wd.last_stalled_phase.c_str() : "");
+  }
   if (sampler != nullptr) {
     sampler->stop();
     const obs::SamplerSummary sum = sampler->summary();
@@ -287,6 +334,20 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("metrics    : %s\n", metrics_path.c_str());
+  }
+  if (!flight_recorder_path.empty()) {
+    const obs::FlightRecorderStats fr = obs::flight_recorder_stats();
+    if (!obs::write_blackbox_json(flight_recorder_path)) {
+      std::fprintf(stderr, "failed to write the flight recorder to %s\n",
+                   flight_recorder_path.c_str());
+      return 1;
+    }
+    std::printf("blackbox   : %s (%llu events recorded, %llu aged out of "
+                "the rings, %llu threads)\n",
+                flight_recorder_path.c_str(),
+                static_cast<unsigned long long>(fr.records),
+                static_cast<unsigned long long>(fr.dropped),
+                static_cast<unsigned long long>(fr.threads));
   }
   if (!trace_path.empty()) {
     obs::set_tracing_enabled(false);

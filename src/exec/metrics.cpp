@@ -4,8 +4,11 @@
 #include <ostream>
 #include <sstream>
 
+#include "obs/crash.hpp"
+#include "obs/flightrec.hpp"
 #include "obs/memory.hpp"
 #include "obs/sampler.hpp"
+#include "obs/watchdog.hpp"
 
 namespace pmpr::obs {
 
@@ -35,7 +38,7 @@ void write_phase_histogram(const PhaseHistogram& h, std::ostream& out) {
 void write_metrics_json(const RunResult& result, std::ostream& out,
                         const Sampler* sampler) {
   out << "{\n";
-  out << "  \"schema\": \"pmpr-metrics-v3\",\n";
+  out << "  \"schema\": \"pmpr-metrics-v4\",\n";
   out << "  \"build_seconds\": " << fmt(result.build_seconds) << ",\n";
   out << "  \"compute_seconds\": " << fmt(result.compute_seconds) << ",\n";
   out << "  \"total_seconds\": " << fmt(result.total_seconds()) << ",\n";
@@ -113,6 +116,34 @@ void write_metrics_json(const RunResult& result, std::ostream& out,
   out << "    \"max_parked_workers\": " << sum.max_parked_workers << ",\n";
   out << "    \"mean_steal_success_rate\": "
       << fmt(sum.mean_steal_success_rate) << "\n  },\n";
+
+  // Diagnostics pillar (v4): flight-recorder health, watchdog totals, and
+  // the live heartbeat table, read at write time (process-wide state, not
+  // a RunResult delta — a metrics file is often the last artifact a sick
+  // run manages to produce). All zeros/empty when the gates were off.
+  const FlightRecorderStats fr = flight_recorder_stats();
+  const WatchdogStats wd = watchdog_stats();
+  out << "  \"diagnostics\": {\n";
+  out << "    \"flight_recorder\": {\"enabled\": "
+      << (flight_recorder_enabled() ? "true" : "false")
+      << ", \"records\": " << fr.records << ", \"dropped\": " << fr.dropped
+      << ", \"drains\": " << fr.drains << ", \"threads\": " << fr.threads
+      << "},\n";
+  out << "    \"watchdog\": {\"arms\": " << wd.arms
+      << ", \"fires\": " << wd.fires
+      << ", \"max_heartbeat_age_ns\": " << wd.max_heartbeat_age_ns
+      << ", \"last_stalled_phase\": \"" << wd.last_stalled_phase << "\"},\n";
+  out << "    \"crash_handler_installed\": "
+      << (crash_handler_installed() ? "true" : "false") << ",\n";
+  out << "    \"heartbeats\": [";
+  const std::vector<HeartbeatView> beats = heartbeat_table();
+  for (std::size_t i = 0; i < beats.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "      {\"tid\": " << beats[i].tid
+        << ", \"label\": \"" << beats[i].label << "\", \"phase\": \""
+        << beats[i].phase << "\", \"age_ns\": " << beats[i].age_ns
+        << ", \"beats\": " << beats[i].beats << "}";
+  }
+  out << (beats.empty() ? "]\n" : "\n    ]\n") << "  },\n";
 
   out << "  \"windows\": [";
   for (std::size_t w = 0; w < result.num_windows; ++w) {

@@ -9,7 +9,7 @@
 // counter deltas, per-phase latency histograms, and memory accounting
 // (tagged live/peak per MemTag, measured vs estimated peak, oocore
 // residency, read amplification); write_metrics_json emits the whole
-// record as one JSON object (schema "pmpr-metrics-v3", validated by
+// record as one JSON object (schema "pmpr-metrics-v4", validated by
 // ci/obs_smoke.sh). Benchmarks and the pmpr_run example expose it via
 // `--metrics <path>`; pass a Sampler to also embed the scheduler-profile
 // summary (the "sampler" and "memory" sections are always present —
@@ -26,7 +26,9 @@ namespace pmpr::obs {
 class Sampler;
 
 /// Writes `result` as one JSON object:
-///   { "schema": "pmpr-metrics-v3", "build_seconds": ..., ...,
+///   { "schema": "pmpr-metrics-v4", "build_seconds": ..., ...,
+///     "diagnostics": {"flight_recorder": {...}, "watchdog": {...},
+///                     "crash_handler_installed": ..., "heartbeats": [...]},
 ///     "counters": {"tasks_spawned": ...},
 ///     "histograms": {"build": {"count": ..., "p50_ns": ..., ...}, ...},
 ///     "memory": {"tags": {"graph": {"live_bytes": ..., ...}, ...},

@@ -6,8 +6,10 @@
 #include <utility>
 
 #include "obs/counters.hpp"
+#include "obs/flightrec.hpp"
 #include "obs/histogram.hpp"
 #include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
 
@@ -42,6 +44,7 @@ PagerankStats solve_window(const TemporalEdgeList& events,
   PMPR_TRACE_SPAN("offline.window");
   const WindowGraph g = [&] {
     PMPR_TRACE_SPAN("window.build");
+    PMPR_FR_PHASE("window.build", w);
     obs::PhaseTimer timing(obs::Phase::kBuild);
     const auto slice = events.slice(spec.start(w), spec.end(w));
     return build_window_graph(slice, events.num_vertices());
@@ -55,14 +58,17 @@ PagerankStats solve_window(const TemporalEdgeList& events,
   scratch.resize(g.num_vertices);
   {
     PMPR_TRACE_SPAN("window.init");
+    PMPR_FR_PHASE("window.init", w);
     obs::PhaseTimer timing(obs::Phase::kInit);
     full_init(g.is_active, g.num_active, x);
   }
   PMPR_TRACE_SPAN("window.iterate");
+  PMPR_FR_PHASE("window.iterate", w);
   obs::PhaseTimer iterate_timing(obs::Phase::kIterate);
   PagerankStats stats = pagerank(g, x, scratch, opts.pr, kernel_par);
   compute_seconds = compute_timer.seconds();
   obs::count(obs::Counter::kWindowsProcessed);
+  obs::fr_record(obs::FrEvent::kWindowDone, nullptr, w, stats.iterations);
   return stats;
 }
 
@@ -113,6 +119,7 @@ RunResult run_offline(const TemporalEdgeList& events, const WindowSpec& spec,
       record(w, std::move(stats));
       {
         PMPR_TRACE_SPAN("window.sink");
+        PMPR_FR_PHASE("window.sink", w);
         obs::PhaseTimer timing(obs::Phase::kSink);
         sink.consume_dense(w, x);
       }
@@ -139,6 +146,7 @@ RunResult run_offline(const TemporalEdgeList& events, const WindowSpec& spec,
       record(w, std::move(stats));
       {
         PMPR_TRACE_SPAN("window.sink");
+        PMPR_FR_PHASE("window.sink", w);
         obs::PhaseTimer timing(obs::Phase::kSink);
         sink.consume_dense(w, x);
       }

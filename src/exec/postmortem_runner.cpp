@@ -7,9 +7,11 @@
 
 #include "graph/memory_budget.hpp"
 #include "obs/counters.hpp"
+#include "obs/flightrec.hpp"
 #include "obs/histogram.hpp"
 #include "obs/memory.hpp"
 #include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
 #include "pagerank/partial_init.hpp"
 #include "pagerank/spmm_temporal.hpp"
 #include "pagerank/spmv_temporal.hpp"
@@ -283,6 +285,7 @@ class PostmortemDriver {
     st.scratch.resize(n);
     {
       PMPR_TRACE_SPAN("window.build");
+      PMPR_FR_PHASE("window.build", w);
       obs::PhaseTimer timing(obs::Phase::kBuild);
       if (cfg_.compiled_kernels) {
         compile_window(part, ts, te, st.ws, st.compiled_win, kernel_par_,
@@ -298,6 +301,7 @@ class PostmortemDriver {
                          st.prev_x.size() == n;
     {
       PMPR_TRACE_SPAN("window.init");
+      PMPR_FR_PHASE("window.init", w);
       obs::PhaseTimer timing(obs::Phase::kInit);
       if (partial) {
         partial_init(st.prev_x, st.prev_active, st.ws.active, st.ws.num_active,
@@ -310,6 +314,7 @@ class PostmortemDriver {
     PagerankStats stats;
     {
       PMPR_TRACE_SPAN("window.iterate");
+      PMPR_FR_PHASE("window.iterate", w);
       obs::PhaseTimer timing(obs::Phase::kIterate);
       stats = cfg_.compiled_kernels
                   ? pagerank_window_spmv(st.ws, st.compiled_win, st.x,
@@ -321,8 +326,10 @@ class PostmortemDriver {
     result_.final_residuals[w] = stats.final_residual;
     result_.residual_trajectories[w] = std::move(stats.residuals);
     obs::count(obs::Counter::kWindowsProcessed);
+    obs::fr_record(obs::FrEvent::kWindowDone, nullptr, w, stats.iterations);
     {
       PMPR_TRACE_SPAN("window.sink");
+      PMPR_FR_PHASE("window.sink", w);
       obs::PhaseTimer timing(obs::Phase::kSink);
       sink_.consume_mapped(w, part.local_to_global, st.x);
       // Read-amplification denominator: rank bytes this window delivered.
@@ -353,6 +360,7 @@ class PostmortemDriver {
     st.scratch.resize(n * lanes);
     {
       PMPR_TRACE_SPAN("batch.build");
+      PMPR_FR_PHASE("batch.build", batch.first_window);
       obs::PhaseTimer timing(obs::Phase::kBuild);
       if (cfg_.compiled_kernels) {
         compile_spmm_batch(part, spec_, batch, st.spmm_ws, st.compiled_batch,
@@ -369,6 +377,7 @@ class PostmortemDriver {
                          st.prev_x.size() == n * st.prev_lanes;
     {
       PMPR_TRACE_SPAN("batch.init");
+      PMPR_FR_PHASE("batch.init", batch.first_window);
       obs::PhaseTimer timing(obs::Phase::kInit);
       const std::size_t words = st.spmm_ws.mask_words;
       for (std::size_t k = 0; k < lanes; ++k) {
@@ -396,6 +405,7 @@ class PostmortemDriver {
     SpmmStats stats;
     {
       PMPR_TRACE_SPAN("batch.iterate");
+      PMPR_FR_PHASE("batch.iterate", batch.first_window);
       obs::PhaseTimer timing(obs::Phase::kIterate);
       stats = cfg_.compiled_kernels
                   ? pagerank_spmm(st.spmm_ws, st.compiled_batch, st.x,
@@ -405,8 +415,11 @@ class PostmortemDriver {
                                   st.scratch, cfg_.pr, kernel_par_);
     }
     obs::count(obs::Counter::kWindowsProcessed, lanes);
+    obs::fr_record(obs::FrEvent::kWindowDone, nullptr, batch.first_window,
+                   lanes);
 
     PMPR_TRACE_SPAN("batch.sink");
+    PMPR_FR_PHASE("batch.sink", batch.first_window);
     obs::PhaseTimer sink_timing(obs::Phase::kSink);
     st.lane_buf.resize(n);
     for (std::size_t k = 0; k < lanes; ++k) {

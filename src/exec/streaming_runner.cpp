@@ -4,8 +4,10 @@
 #include <utility>
 
 #include "obs/counters.hpp"
+#include "obs/flightrec.hpp"
 #include "obs/histogram.hpp"
 #include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
 #include "streaming/delta_pagerank.hpp"
 #include "streaming/dynamic_graph.hpp"
 #include "streaming/incremental_pagerank.hpp"
@@ -99,6 +101,7 @@ RunResult run_streaming(const TemporalEdgeList& events, const WindowSpec& spec,
     {
       ScopedAccum timing(mutate_timer);
       PMPR_TRACE_SPAN("window.mutate");
+      PMPR_FR_PHASE("window.mutate", w);
       // Graph mutation is the streaming model's "build" phase.
       obs::PhaseTimer phase_timing(obs::Phase::kBuild);
       batches = advance_graph(graph, events, spec, w);
@@ -109,6 +112,7 @@ RunResult run_streaming(const TemporalEdgeList& events, const WindowSpec& spec,
     {
       ScopedAccum timing(compute_timer);
       PMPR_TRACE_SPAN("window.iterate");
+      PMPR_FR_PHASE("window.iterate", w);
       // Warm-restart/delta re-seeding happens inside update(): the iterate
       // phase covers init for the streaming model.
       obs::PhaseTimer phase_timing(obs::Phase::kIterate);
@@ -127,7 +131,9 @@ RunResult run_streaming(const TemporalEdgeList& events, const WindowSpec& spec,
     result.residual_trajectories[w] = std::move(stats.residuals);
     max_live_edges = std::max(max_live_edges, graph.num_edges());
     obs::count(obs::Counter::kWindowsProcessed);
+    obs::fr_record(obs::FrEvent::kWindowDone, nullptr, w, stats.iterations);
     PMPR_TRACE_SPAN("window.sink");
+    PMPR_FR_PHASE("window.sink", w);
     obs::PhaseTimer sink_timing(obs::Phase::kSink);
     sink.consume_dense(w, use_delta ? delta.values() : warm.values());
   }

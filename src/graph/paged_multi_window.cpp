@@ -7,8 +7,10 @@
 #include <limits>
 #include <utility>
 
+#include "obs/flightrec.hpp"
 #include "obs/histogram.hpp"
 #include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
 #include "util/check.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -180,6 +182,14 @@ PagedMultiWindowSet::Lease PagedMultiWindowSet::acquire(std::size_t p) {
     // refaults; the distribution lands in the io.page phase histogram.
     PMPR_TRACE_SPAN(refault ? "oocore.refault" : "oocore.map");
     obs::PhaseTimer timing(obs::Phase::kPage);
+    // Paging is I/O-bound and can legitimately be the slowest thing in a
+    // run: beat the heartbeat so the watchdog knows the thread is in here,
+    // and breadcrumb refaults (a refault storm is the classic postmortem).
+    obs::heartbeat("oocore.page");
+    if (refault) {
+      obs::fr_record(obs::FrEvent::kRefault, "oocore.refault", p,
+                     slot.payload_bytes);
+    }
     make_room(slot.payload_bytes);
     io::CompressedTemporalCsr packed = io::CompressedTemporalCsr::map_at(
         file_, slot.store_offset, slot.store_size);
@@ -232,6 +242,8 @@ void PagedMultiWindowSet::make_room(std::size_t need) {
                                     << " B more needed and nothing evictable");
     PartSlot& v = parts_[victim];
     PMPR_TRACE_SPAN("oocore.evict");
+    obs::fr_record(obs::FrEvent::kEvict, "oocore.evict", victim,
+                   v.payload_bytes);
     // madvise(DONTNEED) on the clean file-backed payload pages frees them
     // immediately; the next acquire refaults from the store file.
     v.graph.in_compressed->advise(io::Advice::kDontNeed);

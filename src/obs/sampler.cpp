@@ -14,22 +14,29 @@ Sampler::Sampler(SchedulerProbe& pool, SamplerOptions opts)
 Sampler::~Sampler() { stop(); }
 
 void Sampler::start() {
+  LockGuard lock(mu_);
   if (thread_.joinable()) return;
-  {
-    LockGuard lock(mu_);
-    stop_requested_ = false;
-  }
+  stop_requested_ = false;
   thread_ = std::thread([this] { loop(); });
 }
 
 void Sampler::stop() {
-  if (!thread_.joinable()) return;
+  // Swap-join: move the handle out under the lock so concurrent stop()
+  // calls are idempotent (exactly one caller sees a joinable handle), then
+  // join outside the lock — the loop needs mu_ to observe stop_requested_.
+  std::thread t;
   {
     LockGuard lock(mu_);
     stop_requested_ = true;
     wake_cv_.notify_all();
+    t.swap(thread_);
   }
-  thread_.join();
+  if (t.joinable()) t.join();
+}
+
+bool Sampler::running() const {
+  LockGuard lock(mu_);
+  return thread_.joinable();
 }
 
 SamplerSample Sampler::sample_once() {

@@ -83,9 +83,13 @@ class Sampler {
 
   /// Signals the thread and joins it. No-op if not running. Prompt: the
   /// loop parks on a condvar, so stop never waits a full interval.
+  /// Idempotent and safe to race from several threads — the joinable
+  /// handle is swapped out under the lock, so exactly one caller joins
+  /// (the trace-exporter shutdown path stops the sampler while
+  /// write_metrics_json may be flushing concurrently).
   void stop();
 
-  [[nodiscard]] bool running() const { return thread_.joinable(); }
+  [[nodiscard]] bool running() const;
 
   /// Takes one snapshot synchronously on the calling thread (also what the
   /// background loop does per tick). Usable with the thread stopped — e.g.
@@ -125,7 +129,7 @@ class Sampler {
   std::uint64_t last_steals_succeeded_ = 0;
   bool have_last_counters_ = false;
 
-  std::thread thread_;
+  std::thread thread_ PMPR_GUARDED_BY(mu_);
 };
 
 }  // namespace pmpr::obs

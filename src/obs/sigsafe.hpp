@@ -1,0 +1,103 @@
+// Async-signal-safe output helpers for the failure-diagnostics pillar
+// (obs/flightrec, obs/watchdog, obs/crash).
+//
+// Everything in this header is callable from a signal handler: no
+// allocation, no locks, no stdio/iostreams, no errno-clobbering
+// surprises — each helper formats into a small stack buffer and hands it
+// to write(2). Short writes and EINTR are retried; other errors are
+// swallowed, because a crash dump is best-effort by definition (the
+// process is already dying and must re-raise promptly).
+//
+// The crash handler's signal-safety discipline is machine-checked: the
+// pmpr-lint rule `signal-unsafe-in-handler` bans malloc/new/locks/
+// iostreams/std::string inside PMPR_ASYNC_SIGNAL_SAFE_BEGIN/END regions
+// (see ci/pmpr_lint.py). Keep this header on that diet.
+#pragma once
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstddef>
+#include <cstdint>
+
+namespace pmpr::obs {
+
+// PMPR_ASYNC_SIGNAL_SAFE_BEGIN
+
+/// write(2) the full buffer, retrying short writes and EINTR. Errors are
+/// dropped: the callers are crash/watchdog dump paths where there is no
+/// recovery story beyond "emit what you can".
+inline void sigsafe_write(int fd, const char* s, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ::ssize_t n = ::write(fd, s + off, len - off);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return;
+  }
+}
+
+/// Emits a NUL-terminated string (strlen by hand — no libc string calls
+/// beyond what POSIX lists as async-signal-safe, and strlen is not on
+/// every platform's list).
+inline void sigsafe_puts(int fd, const char* s) {
+  std::size_t len = 0;
+  while (s[len] != '\0') ++len;
+  sigsafe_write(fd, s, len);
+}
+
+/// Formats `v` in decimal into `buf` (no terminator) and returns the
+/// length. `buf` must hold at least 20 bytes (max u64 digits).
+inline std::size_t sigsafe_format_u64(char* buf, std::uint64_t v) {
+  char tmp[20];
+  std::size_t n = 0;
+  do {
+    tmp[n++] = static_cast<char>('0' + (v % 10));
+    v /= 10;
+  } while (v != 0);
+  for (std::size_t i = 0; i < n; ++i) buf[i] = tmp[n - 1 - i];
+  return n;
+}
+
+/// Emits an unsigned decimal.
+inline void sigsafe_put_u64(int fd, std::uint64_t v) {
+  char buf[20];
+  sigsafe_write(fd, buf, sigsafe_format_u64(buf, v));
+}
+
+/// Emits a signed decimal.
+inline void sigsafe_put_i64(int fd, std::int64_t v) {
+  if (v < 0) {
+    sigsafe_write(fd, "-", 1);
+    // Negate via unsigned arithmetic so INT64_MIN does not overflow.
+    sigsafe_put_u64(fd, static_cast<std::uint64_t>(0) -
+                            static_cast<std::uint64_t>(v));
+    return;
+  }
+  sigsafe_put_u64(fd, static_cast<std::uint64_t>(v));
+}
+
+/// Emits `s` as the body of a JSON string (caller writes the quotes).
+/// Characters that would need escaping (quote, backslash, control bytes)
+/// are replaced with '_' rather than escaped — the inputs are identifiers
+/// (phase names, thread labels, truncated exception text) where fidelity
+/// of punctuation is worth less than keeping this loop trivially safe.
+inline void sigsafe_put_json_str(int fd, const char* s) {
+  char buf[256];
+  std::size_t n = 0;
+  for (std::size_t i = 0; s[i] != '\0'; ++i) {
+    if (n == sizeof(buf)) break;  // truncate absurd inputs
+    const unsigned char c = static_cast<unsigned char>(s[i]);
+    buf[n++] = (c < 0x20 || c == '"' || c == '\\' || c >= 0x7f)
+                   ? '_'
+                   : static_cast<char>(c);
+  }
+  sigsafe_write(fd, buf, n);
+}
+
+// PMPR_ASYNC_SIGNAL_SAFE_END
+
+}  // namespace pmpr::obs

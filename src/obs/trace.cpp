@@ -8,6 +8,8 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/flightrec.hpp"
+#include "obs/watchdog.hpp"
 #include "util/thread_annotations.hpp"
 
 namespace pmpr::obs {
@@ -117,9 +119,15 @@ std::vector<CounterSample> collect_counter_samples() {
 }
 
 void set_thread_name(std::string_view name) {
-  ThreadBuf& buf = my_buf();
-  LockGuard lock(buf.mu);
-  buf.name.assign(name);
+  {
+    ThreadBuf& buf = my_buf();
+    LockGuard lock(buf.mu);
+    buf.name.assign(name);
+  }
+  // One naming call labels every diagnostics surface: the Perfetto track
+  // above, the flight-recorder ring, and the watchdog heartbeat slot.
+  fr_set_thread_label(name);
+  heartbeat_set_label(name);
 }
 
 bool set_tracing_enabled(bool enabled) {

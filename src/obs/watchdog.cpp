@@ -1,0 +1,368 @@
+#include "obs/watchdog.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdlib>
+#include <utility>
+
+#include "obs/crash.hpp"
+#include "obs/sigsafe.hpp"
+#include "obs/trace.hpp"
+#include "util/logging.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace pmpr::obs {
+
+namespace {
+
+constexpr std::size_t kLabelLen = 32;
+
+/// One padded per-thread heartbeat slot. `label` is plain chars written
+/// by the owning thread; cross-thread reads are racy-by-contract (always
+/// NUL-terminated, possibly stale) — same discipline as the flight
+/// recorder's ring labels.
+struct alignas(64) BeatSlot {
+  std::atomic<std::int64_t> t_ns{0};       ///< Last beat (trace_now_ns).
+  std::atomic<const char*> phase{nullptr}; ///< Literal; nullptr = idle.
+  std::atomic<std::uint64_t> beats{0};
+  char label[kLabelLen] = {};
+};
+
+constexpr std::size_t kOwnedBlocks = 256;
+constexpr std::size_t kTotalBlocks = kOwnedBlocks + 1;
+
+struct Registry {
+  std::array<BeatSlot, kTotalBlocks> slots;
+  std::atomic<std::size_t> next_slot{0};
+};
+
+/// Same crash-path-friendly shape as the flight recorder registry: a
+/// namespace-scope atomic pointer the signal handler can load (and bail
+/// on null) without risking lazy construction in signal context.
+std::atomic<Registry*> g_registry{nullptr};
+
+Registry* registry_if_exists() {
+  // acquire: pairs with the release publication in ensure_registry; a
+  // non-null pointer implies fully-constructed slots.
+  return g_registry.load(std::memory_order_acquire);
+}
+
+Registry& ensure_registry() {
+  // acquire: see registry_if_exists.
+  Registry* r = g_registry.load(std::memory_order_acquire);
+  if (r != nullptr) return *r;
+  // Intentionally leaked: threads may still beat during static
+  // destruction, and the crash handler may read at any time.
+  Registry* fresh = new Registry;
+  Registry* expected = nullptr;
+  // acq_rel CAS: release publishes construction; acquire on failure
+  // synchronizes with the winning installer.
+  if (g_registry.compare_exchange_strong(expected, fresh,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+    return *fresh;
+  }
+  delete fresh;  // lost the installation race
+  return *expected;
+}
+
+constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+thread_local std::size_t tls_slot = kNoSlot;
+
+BeatSlot& my_slot() {
+  Registry& r = ensure_registry();
+  if (tls_slot == kNoSlot) {
+    // seq_cst fetch_add: runs once per thread; no need to reason about a
+    // weaker order.
+    tls_slot = std::min(r.next_slot.fetch_add(1), kOwnedBlocks);
+  }
+  return r.slots[tls_slot];
+}
+
+std::size_t claimed_slots(const Registry& r) {
+  // seq_cst load of a cold gauge; mirrors the claim in my_slot.
+  return std::min(r.next_slot.load(), kTotalBlocks);
+}
+
+// Process-wide watchdog totals (all Watchdog instances feed them; the
+// metrics writer and crash reports read them).
+std::atomic<std::uint64_t> g_arms{0};
+std::atomic<std::uint64_t> g_fires{0};
+std::atomic<std::int64_t> g_max_age_ns{0};
+/// Points at a phase literal (static storage), so crash-path reads are
+/// always dereferenceable.
+std::atomic<const char*> g_last_stalled_phase{nullptr};
+
+std::int64_t to_ns(std::chrono::milliseconds ms) {
+  return static_cast<std::int64_t>(ms.count()) * 1000000;
+}
+
+}  // namespace
+
+namespace detail {
+
+void heartbeat_slow(const char* phase) {
+  BeatSlot& slot = my_slot();
+  // relaxed: heartbeat fields are advisory monitor-read state — the
+  // watchdog tolerates a stale (phase, t_ns) pairing for one tick, and
+  // `phase` only ever points to static storage.
+  slot.t_ns.store(trace_now_ns(), std::memory_order_relaxed);
+  slot.phase.store(phase, std::memory_order_relaxed);  // relaxed: ditto
+  slot.beats.fetch_add(1, std::memory_order_relaxed);  // relaxed: ditto
+}
+
+void heartbeat_idle_slow() {
+  // relaxed: advisory retirement; a one-tick-stale idle flag only delays
+  // the slot leaving the stall scan.
+  my_slot().phase.store(nullptr, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+bool set_heartbeats_enabled(bool enabled) {
+  if (enabled) {
+    ensure_registry();  // allocate the slots before the first beat
+  }
+  // seq_cst exchange: cold toggle, strongest order keeps reasoning trivial.
+  return detail::g_heartbeats_enabled.exchange(enabled);
+}
+
+void heartbeat_set_label(std::string_view label) {
+  BeatSlot& slot = my_slot();
+  const std::size_t n = std::min(label.size(), kLabelLen - 1);
+  for (std::size_t i = 0; i < n; ++i) slot.label[i] = label[i];
+  slot.label[n] = '\0';
+}
+
+std::vector<HeartbeatView> heartbeat_table() {
+  std::vector<HeartbeatView> out;
+  Registry* r = registry_if_exists();
+  if (r == nullptr) return out;
+  const std::int64_t now = trace_now_ns();
+  const std::size_t n = claimed_slots(*r);
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const BeatSlot& slot = r->slots[i];
+    HeartbeatView v;
+    v.tid = static_cast<std::uint32_t>(i);
+    v.label = slot.label;
+    // relaxed: advisory monitor reads, see heartbeat_slow.
+    const char* phase = slot.phase.load(std::memory_order_relaxed);
+    const std::int64_t t = slot.t_ns.load(std::memory_order_relaxed);
+    v.beats = slot.beats.load(std::memory_order_relaxed);  // relaxed: ditto
+    if (phase != nullptr) {
+      v.phase = phase;
+      v.age_ns = t > 0 && now > t ? now - t : 0;
+    }
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+WatchdogStats watchdog_stats() {
+  WatchdogStats stats;
+  // seq_cst loads of cold stats.
+  stats.arms = g_arms.load();
+  stats.fires = g_fires.load();
+  stats.max_heartbeat_age_ns = g_max_age_ns.load();
+  const char* phase = g_last_stalled_phase.load();
+  if (phase != nullptr) stats.last_stalled_phase = phase;
+  return stats;
+}
+
+void reset_watchdog_stats() {
+  // seq_cst stores: test-only reset of cold stats.
+  g_arms.store(0);
+  g_fires.store(0);
+  g_max_age_ns.store(0);
+  g_last_stalled_phase.store(nullptr);
+}
+
+// PMPR_ASYNC_SIGNAL_SAFE_BEGIN
+
+void watchdog_emit_heartbeats_json(int fd) {
+  sigsafe_puts(fd, "[");
+  // acquire: a non-null registry pointer implies constructed slots.
+  Registry* r = g_registry.load(std::memory_order_acquire);
+  if (r != nullptr) {
+    const std::int64_t now = trace_now_ns();
+    // seq_cst load of a cold gauge.
+    const std::size_t n = std::min(r->next_slot.load(), kTotalBlocks);
+    for (std::size_t i = 0; i < n; ++i) {
+      const BeatSlot& slot = r->slots[i];
+      // relaxed: advisory monitor reads, see heartbeat_slow.
+      const char* phase = slot.phase.load(std::memory_order_relaxed);
+      const std::int64_t t = slot.t_ns.load(std::memory_order_relaxed);
+      const std::uint64_t beats =
+          slot.beats.load(std::memory_order_relaxed);  // relaxed: ditto
+      if (i != 0) sigsafe_puts(fd, ",");
+      sigsafe_puts(fd, "\n    {\"tid\": ");
+      sigsafe_put_u64(fd, i);
+      sigsafe_puts(fd, ", \"label\": \"");
+      sigsafe_put_json_str(fd, slot.label);
+      sigsafe_puts(fd, "\", \"phase\": \"");
+      sigsafe_put_json_str(fd, phase != nullptr ? phase : "");
+      sigsafe_puts(fd, "\", \"age_ns\": ");
+      sigsafe_put_i64(fd,
+                      phase != nullptr && t > 0 && now > t ? now - t : 0);
+      sigsafe_puts(fd, ", \"beats\": ");
+      sigsafe_put_u64(fd, beats);
+      sigsafe_puts(fd, "}");
+    }
+    if (n != 0) sigsafe_puts(fd, "\n  ");
+  }
+  sigsafe_puts(fd, "]");
+}
+
+// PMPR_ASYNC_SIGNAL_SAFE_END
+
+void watchdog_prewarm() { ensure_registry(); }
+
+Watchdog::Watchdog(WatchdogOptions opts) : opts_(std::move(opts)) {}
+
+Watchdog::~Watchdog() { stop(); }
+
+std::chrono::milliseconds Watchdog::effective_interval() const {
+  std::chrono::milliseconds interval = opts_.check_interval;
+  if (interval.count() <= 0) interval = opts_.stall_threshold / 4;
+  interval = std::min(interval, opts_.stall_threshold);
+  return std::max(interval, std::chrono::milliseconds(1));
+}
+
+void Watchdog::start() {
+  LockGuard lock(mu_);
+  if (thread_.joinable()) return;
+  stop_requested_ = false;
+  prev_heartbeats_ = set_heartbeats_enabled(true);
+  watchdog_prewarm();
+  // seq_cst add of a cold stat.
+  g_arms.fetch_add(1);
+  fr_record(FrEvent::kWatchdogArm, "watchdog",
+            static_cast<std::uint64_t>(to_ns(opts_.stall_threshold)));
+  thread_ = std::thread([this] { loop(); });
+}
+
+void Watchdog::stop() {
+  std::thread t;
+  bool restore = false;
+  {
+    LockGuard lock(mu_);
+    stop_requested_ = true;
+    wake_cv_.notify_all();
+    if (thread_.joinable()) {
+      t.swap(thread_);
+      restore = prev_heartbeats_;
+    }
+  }
+  // Join outside the lock (the monitor takes mu_ per tick); only the one
+  // caller that swapped the handle out joins, so concurrent stops are
+  // safe and idempotent.
+  if (t.joinable()) {
+    t.join();
+    set_heartbeats_enabled(restore);
+  }
+}
+
+bool Watchdog::running() const {
+  LockGuard lock(mu_);
+  return thread_.joinable();
+}
+
+bool Watchdog::check_once() {
+  Registry* r = registry_if_exists();
+  if (r == nullptr) return false;
+  const std::int64_t now = trace_now_ns();
+  const char* worst_phase = nullptr;
+  std::uint32_t worst_tid = 0;
+  std::int64_t worst_age = 0;
+  std::uint64_t total_beats = 0;
+  const std::size_t n = claimed_slots(*r);
+  for (std::size_t i = 0; i < n; ++i) {
+    const BeatSlot& slot = r->slots[i];
+    // relaxed: advisory monitor reads, see heartbeat_slow.
+    total_beats += slot.beats.load(std::memory_order_relaxed);
+    const char* phase = slot.phase.load(std::memory_order_relaxed);
+    const std::int64_t t =
+        slot.t_ns.load(std::memory_order_relaxed);  // relaxed: ditto
+    if (phase == nullptr || t <= 0 || now <= t) continue;
+    const std::int64_t age = now - t;
+    if (age > worst_age) {
+      worst_age = age;
+      worst_phase = phase;
+      worst_tid = static_cast<std::uint32_t>(i);
+    }
+  }
+  // seq_cst CAS-max watermark on a cold stat.
+  std::int64_t seen = g_max_age_ns.load();
+  while (worst_age > seen &&
+         !g_max_age_ns.compare_exchange_weak(seen, worst_age)) {
+  }
+  // Any progress since the last fire re-arms the episode: a continuing
+  // stall with zero beats is the same incident and must not refire every
+  // tick.
+  if (total_beats != beats_at_last_fire_) fired_since_progress_ = false;
+  if (worst_phase == nullptr || worst_age <= to_ns(opts_.stall_threshold)) {
+    return false;
+  }
+  if (fired_since_progress_) return false;
+  fire(worst_phase, worst_tid, worst_age, total_beats);
+  return true;
+}
+
+void Watchdog::fire(const char* phase, std::uint32_t tid,
+                    std::int64_t age_ns, std::uint64_t total_beats) {
+  fired_since_progress_ = true;
+  beats_at_last_fire_ = total_beats;
+  // relaxed: advisory per-instance gauge read by fires().
+  fires_.fetch_add(1, std::memory_order_relaxed);
+  // seq_cst stores/adds of cold stats (phase points to a literal).
+  g_fires.fetch_add(1);
+  g_last_stalled_phase.store(phase);
+  fr_record(FrEvent::kWatchdogFire, phase,
+            static_cast<std::uint64_t>(age_ns), tid);
+
+  std::string path = opts_.dump_path;
+  if (path.empty() && !opts_.dump_dir.empty()) {
+#if defined(__unix__) || defined(__APPLE__)
+    const long pid = static_cast<long>(::getpid());
+#else
+    const long pid = 0;
+#endif
+    path = opts_.dump_dir + "/pmpr-watchdog-" + std::to_string(pid) +
+           ".json";
+  }
+  bool dumped = false;
+  if (!path.empty()) {
+    DiagnosticContext ctx;
+    ctx.kind = "watchdog_stall";
+    ctx.stalled_phase = phase;
+    ctx.stalled_tid = tid;
+    ctx.stall_age_ns = age_ns;
+    ctx.threshold_ns = to_ns(opts_.stall_threshold);
+    dumped = write_diagnostic_report(path, ctx);
+  }
+  PMPR_LOG(kWarn) << "watchdog: no heartbeat for "
+                  << age_ns / 1000000 << " ms in phase '" << phase
+                  << "' (tid " << tid << ", threshold "
+                  << opts_.stall_threshold.count() << " ms)"
+                  << (dumped ? " — diagnostic dump: " + path : std::string());
+  if (opts_.abort_on_stall) std::abort();
+}
+
+void Watchdog::loop() {
+  set_thread_name("obs.watchdog");
+  const std::chrono::milliseconds interval = effective_interval();
+  for (;;) {
+    check_once();
+    LockGuard lock(mu_);
+    if (stop_requested_) return;
+    // Interruptible pacing: stop() flips stop_requested_ under mu_ and
+    // notifies, so shutdown never waits out a full interval.
+    wake_cv_.wait_for(lock, interval);
+  }
+}
+
+}  // namespace pmpr::obs

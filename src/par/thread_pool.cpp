@@ -6,7 +6,9 @@
 #include <string>
 
 #include "obs/counters.hpp"
+#include "obs/flightrec.hpp"
 #include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
 
@@ -109,6 +111,7 @@ void ThreadPool::notify() {
   work_epoch_.fetch_add(1, std::memory_order_seq_cst);
   if (num_sleepers_.load(std::memory_order_seq_cst) == 0) return;
   obs::count(obs::Counter::kUnparks);
+  obs::fr_record(obs::FrEvent::kUnpark);
   LockGuard lock(sleep_mutex_);
   sleep_cv_.notify_one();
 }
@@ -168,9 +171,22 @@ bool ThreadPool::try_run_one(std::size_t self_index) {
   std::unique_ptr<Task> task(try_pop_or_steal(self_index));
   if (task == nullptr) return false;
   obs::count(obs::Counter::kTasksExecuted);
+  // Failure diagnostics: per-task breadcrumb + liveness beat, so the flight
+  // recorder shows scheduler activity and the watchdog sees task churn.
+  obs::fr_record(obs::FrEvent::kTaskRun, nullptr, self_index);
+  obs::heartbeat("pool.task");
   try {
     task->fn();
   } catch (...) {
+    // Leave a last-error breadcrumb before anything else: if this exception
+    // later kills the process, the crash report names it.
+    try {
+      throw;
+    } catch (const std::exception& e) {
+      obs::fr_record_error(e.what());
+    } catch (...) {
+      obs::fr_record_error("non-std exception in pool task");
+    }
     if (!task->wg->capture_exception(std::current_exception())) {
       // The group already failed with an earlier exception; this one will
       // never be rethrown, so surface it instead of dropping it silently.
@@ -222,6 +238,9 @@ void ThreadPool::worker_loop(std::size_t index) {
     num_sleepers_.fetch_add(1, std::memory_order_seq_cst);
     if (work_epoch_.load(std::memory_order_seq_cst) == seen) {
       obs::count(obs::Counter::kParks);
+      obs::fr_record(obs::FrEvent::kPark, nullptr, index);
+      // Retire the heartbeat slot: a parked worker is idle, not stalled.
+      obs::heartbeat_idle();
       sleep_cv_.wait_for(lock, std::chrono::milliseconds(1));
     }
     num_sleepers_.fetch_sub(1, std::memory_order_seq_cst);
@@ -240,6 +259,8 @@ void ThreadPool::wait(WaitGroup& wg) {
           : deques_.size();
   while (!wg.finished()) {
     if (!try_run_one(self)) {
+      // Waiting with nothing to run is idleness, not a stall.
+      obs::heartbeat_idle();
       std::this_thread::yield();
     }
   }

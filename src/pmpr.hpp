@@ -40,10 +40,13 @@
 #include "io/compressed_csr.hpp"       // IWYU pragma: export
 #include "io/mmap_file.hpp"            // IWYU pragma: export
 #include "obs/counters.hpp"            // IWYU pragma: export
+#include "obs/crash.hpp"               // IWYU pragma: export
+#include "obs/flightrec.hpp"           // IWYU pragma: export
 #include "obs/histogram.hpp"           // IWYU pragma: export
 #include "obs/memory.hpp"              // IWYU pragma: export
 #include "obs/sampler.hpp"             // IWYU pragma: export
 #include "obs/trace.hpp"               // IWYU pragma: export
+#include "obs/watchdog.hpp"            // IWYU pragma: export
 #include "pagerank/pagerank.hpp"       // IWYU pragma: export
 #include "par/parallel_for.hpp"        // IWYU pragma: export
 #include "par/task_group.hpp"          // IWYU pragma: export

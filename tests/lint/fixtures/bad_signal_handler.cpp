@@ -1,0 +1,16 @@
+// pmpr-lint fixture: violates exactly `signal-unsafe-in-handler`.
+// Allocation, std::string construction, and stdio formatting inside a
+// marked async-signal-safe region.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+// PMPR_ASYNC_SIGNAL_SAFE_BEGIN
+
+void crash_handler(int signo) {
+  void* scratch = malloc(64);
+  std::string message = "fatal signal";
+  fprintf(stderr, "%s %d %p\n", message.c_str(), signo, scratch);
+}
+
+// PMPR_ASYNC_SIGNAL_SAFE_END

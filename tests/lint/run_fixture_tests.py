@@ -26,6 +26,7 @@ EXPECTED = {
     "bad_simd_intrinsics.cpp": "simd-intrinsics-confined",
     "bad_mmap_syscall.cpp": "mmap-syscall-confined",
     "bad_rusage_call.cpp": "proc-syscall-confined",
+    "bad_signal_handler.cpp": "signal-unsafe-in-handler",
     "clean.cpp": None,
 }
 

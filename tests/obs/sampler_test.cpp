@@ -6,9 +6,14 @@
 #include <atomic>
 #include <chrono>
 #include <cstddef>
+#include <sstream>
+#include <thread>
 #include <vector>
 
+#include "exec/metrics.hpp"
+#include "exec/results.hpp"
 #include "obs/counters.hpp"
+#include "obs/flightrec.hpp"
 #include "obs/trace.hpp"
 #include "par/parallel_for.hpp"
 #include "par/thread_pool.hpp"
@@ -183,6 +188,95 @@ TEST(Sampler, GaugesSeeQueuedWork) {
   release.store(true, std::memory_order_release);
   pool.wait(blocker_wg);
   pool.wait(wg);
+}
+
+// --- trace-exporter shutdown races -------------------------------------
+//
+// The failure-diagnostics pillar made shutdown ordering load-bearing: a
+// crash/stall dump may be written while the profiler is being stopped.
+// stop() must therefore be safe to race from any number of threads, and
+// racing exporters must always see a coherent sampler.
+
+TEST(Sampler, ConcurrentStopsJoinExactlyOnce) {
+  SamplerTestGuard guard;
+  par::ThreadPool pool(2);
+  obs::SamplerOptions opts;
+  opts.interval = std::chrono::milliseconds(1);
+  obs::Sampler sampler(pool, opts);
+  sampler.start();
+  std::vector<std::thread> stoppers;
+  stoppers.reserve(8);
+  for (int i = 0; i < 8; ++i) {
+    stoppers.emplace_back([&sampler] { sampler.stop(); });
+  }
+  for (std::thread& t : stoppers) t.join();
+  EXPECT_FALSE(sampler.running());
+  sampler.stop();  // and again after the dust settles
+  // A fully-stopped sampler restarts cleanly.
+  sampler.start();
+  EXPECT_TRUE(sampler.running());
+  sampler.stop();
+  EXPECT_FALSE(sampler.running());
+}
+
+TEST(Sampler, StopRacesMetricsExportSafely) {
+  SamplerTestGuard guard;
+  par::ThreadPool pool(2);
+  obs::SamplerOptions opts;
+  opts.interval = std::chrono::milliseconds(1);
+  obs::Sampler sampler(pool, opts);
+  sampler.start();
+  const RunResult result;  // empty run: the race is about the sampler reads
+  std::thread exporter([&result, &sampler] {
+    for (int i = 0; i < 20; ++i) {
+      std::ostringstream out;
+      obs::write_metrics_json(result, out, &sampler);
+      EXPECT_NE(out.str().find("\"sampler\""), std::string::npos);
+    }
+  });
+  sampler.stop();
+  exporter.join();
+  EXPECT_FALSE(sampler.running());
+  // Post-stop exports still see the run's accumulated summary.
+  std::ostringstream out;
+  obs::write_metrics_json(result, out, &sampler);
+  EXPECT_NE(out.str().find("\"schema\": \"pmpr-metrics-v4\""),
+            std::string::npos);
+}
+
+TEST(Sampler, StopRacesFlightRecorderDrainSafely) {
+  SamplerTestGuard guard;
+  const bool recorder = obs::set_flight_recorder_enabled(false);
+  obs::clear_flight_recorder();
+  obs::set_flight_recorder_enabled(true);
+  par::ThreadPool pool(2);
+  obs::SamplerOptions opts;
+  opts.interval = std::chrono::milliseconds(1);
+  obs::Sampler sampler(pool, opts);
+  sampler.start();
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    obs::fr_record(obs::FrEvent::kMark, "sampler.test.race", i);
+  }
+  // Drains and stops race; the drain-exactly-once partition must hold.
+  std::atomic<std::size_t> drained_total{0};
+  std::vector<std::thread> racers;
+  racers.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    racers.emplace_back([&drained_total, &sampler] {
+      sampler.stop();
+      std::size_t mine = 0;
+      for (const obs::FlightEvent& e : obs::drain_flight_recorder()) {
+        if (e.name == "sampler.test.race") ++mine;
+      }
+      // relaxed: joined below before the total is read.
+      drained_total.fetch_add(mine, std::memory_order_relaxed);
+    });
+  }
+  for (std::thread& t : racers) t.join();
+  EXPECT_FALSE(sampler.running());
+  EXPECT_EQ(drained_total.load(), 64u);
+  obs::clear_flight_recorder();
+  obs::set_flight_recorder_enabled(recorder);
 }
 
 }  // namespace

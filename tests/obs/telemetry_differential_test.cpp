@@ -5,33 +5,45 @@
 
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "exec/postmortem_runner.hpp"
 #include "obs/counters.hpp"
+#include "obs/flightrec.hpp"
 #include "obs/histogram.hpp"
 #include "obs/memory.hpp"
 #include "obs/sampler.hpp"
 #include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
 #include "par/thread_pool.hpp"
 #include "test_helpers.hpp"
 
 namespace pmpr {
 namespace {
 
-/// All five telemetry gates, restored on scope exit.
+/// All seven telemetry gates, restored on scope exit.
 struct AllTelemetry {
   const bool counters = obs::set_counters_enabled(false);
   const bool metrics = obs::set_metrics_enabled(false);
   const bool tracing = obs::set_tracing_enabled(false);
   const bool histograms = obs::set_histograms_enabled(false);
   const bool memory = obs::set_memory_accounting_enabled(false);
+  const bool flightrec = obs::set_flight_recorder_enabled(false);
+  const bool heartbeats = obs::set_heartbeats_enabled(false);
   ~AllTelemetry() {
+    // Retire this thread's heartbeat slot (the runner's last phase edge
+    // left it active) and drop the recorded rings before restoring gates.
+    obs::set_heartbeats_enabled(true);
+    obs::heartbeat_idle();
+    obs::clear_flight_recorder();
     obs::set_counters_enabled(counters);
     obs::set_metrics_enabled(metrics);
     obs::set_tracing_enabled(tracing);
     obs::set_histograms_enabled(histograms);
     obs::set_memory_accounting_enabled(memory);
+    obs::set_flight_recorder_enabled(flightrec);
+    obs::set_heartbeats_enabled(heartbeats);
   }
   static void enable_all() {
     obs::set_counters_enabled(true);
@@ -39,6 +51,8 @@ struct AllTelemetry {
     obs::set_tracing_enabled(true);
     obs::set_histograms_enabled(true);
     obs::set_memory_accounting_enabled(true);
+    obs::set_flight_recorder_enabled(true);
+    obs::set_heartbeats_enabled(true);
   }
 };
 
@@ -76,6 +90,12 @@ TEST_P(TelemetryDifferential, OutputBitIdenticalWithTelemetryOn) {
   const auto plain = run_serial(GetParam(), pool);
 
   AllTelemetry::enable_all();
+  obs::clear_flight_recorder();
+  const std::uint64_t beats_before = [] {
+    std::uint64_t sum = 0;
+    for (const obs::HeartbeatView& v : obs::heartbeat_table()) sum += v.beats;
+    return sum;
+  }();
   // A live sampler during the instrumented run: its snapshot reads must
   // not perturb the scheduler or the kernels either.
   obs::SamplerOptions sampler_opts;
@@ -121,6 +141,15 @@ TEST_P(TelemetryDifferential, OutputBitIdenticalWithTelemetryOn) {
   EXPECT_EQ(instrumented.peak_memory_bytes,
             instrumented.memory.total_peak_bytes);
   EXPECT_GT(instrumented.peak_memory_estimate_bytes, 0u);
+  // The failure-diagnostics pillar observed the same run for free: phase
+  // breadcrumbs landed in the flight-recorder rings and the runner's phase
+  // edges beat this thread's heartbeat slot.
+  EXPECT_GT(obs::flight_recorder_stats().records, 0u);
+  std::uint64_t beats_after = 0;
+  for (const obs::HeartbeatView& v : obs::heartbeat_table()) {
+    beats_after += v.beats;
+  }
+  EXPECT_GT(beats_after, beats_before);
 }
 
 INSTANTIATE_TEST_SUITE_P(Kernels, TelemetryDifferential,
